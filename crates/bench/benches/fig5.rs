@@ -1,0 +1,54 @@
+//! Criterion bench for the Figure 5 pipeline: closed-form evaluation,
+//! optimal-interval search, and the full two-curve sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dvdc_model::analytic;
+use dvdc_model::fig5;
+use dvdc_model::optimize::minimize_log_bracketed;
+use dvdc_model::Fig5Params;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let lambda = 9.26e-5;
+    let total = 172_800.0;
+    c.bench_function("analytic/expected_time_overhead", |b| {
+        b.iter(|| {
+            analytic::expected_time_checkpoint_overhead(
+                black_box(lambda),
+                black_box(total),
+                black_box(1800.0),
+                black_box(40e-3),
+                black_box(60.0),
+            )
+        })
+    });
+}
+
+fn bench_optimum_search(c: &mut Criterion) {
+    let lambda = 9.26e-5;
+    let total = 172_800.0;
+    c.bench_function("analytic/optimal_interval_search", |b| {
+        b.iter(|| {
+            minimize_log_bracketed(
+                |n| analytic::completion_ratio(lambda, total, n, black_box(172.0), 600.0),
+                10.0,
+                43_200.0,
+                1e-9,
+            )
+        })
+    });
+}
+
+fn bench_full_fig5(c: &mut Criterion) {
+    let params = Fig5Params::default();
+    c.bench_function("fig5/full_two_curve_sweep", |b| {
+        b.iter(|| fig5::run(black_box(&params)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_closed_forms,
+    bench_optimum_search,
+    bench_full_fig5
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for live migration: the pre-copy fluid model across
+//! dirty rates, and the page-hash dedup scan that accelerates migration
+//! to similar destinations (Section VII).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvdc_migrate::pagehash::PageHashIndex;
+use dvdc_migrate::precopy::{simulate, PreCopyConfig};
+use dvdc_vcluster::memory::MemoryImage;
+
+fn bench_precopy_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("precopy_model_1GiB");
+    let cfg = PreCopyConfig::default();
+    for dirty_mbps in [0u64, 10, 50, 100] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dirty_mbps}MBps_dirty")),
+            &dirty_mbps,
+            |b, &d| {
+                b.iter(|| {
+                    simulate(
+                        black_box(1 << 30),
+                        black_box(d as f64 * 1e6),
+                        black_box(125e6),
+                        &cfg,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pagehash_index_and_scan(c: &mut Criterion) {
+    let pages = 8192;
+    let page_size = 4096;
+    let resident = MemoryImage::patterned(pages, page_size, 1);
+    let migrating = MemoryImage::patterned(pages, page_size, 2);
+
+    let mut g = c.benchmark_group("pagehash_32MiB");
+    g.throughput(Throughput::Bytes((pages * page_size) as u64));
+    g.bench_function("index_image", |b| {
+        b.iter(|| {
+            let mut idx = PageHashIndex::new();
+            idx.index_image(black_box(&resident));
+            idx
+        })
+    });
+
+    let mut idx = PageHashIndex::new();
+    idx.index_image(&resident);
+    g.bench_function("dedup_scan", |b| {
+        b.iter(|| idx.dedup_transfer(black_box(&migrating)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_precopy_model, bench_pagehash_index_and_scan);
+criterion_main!(benches);

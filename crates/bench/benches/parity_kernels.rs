@@ -1,0 +1,128 @@
+//! Criterion benches for the erasure-code kernels — the "in-memory XOR is
+//! orders-of-magnitude faster than a disk write" hot loops, plus RDP and
+//! Reed–Solomon encode/decode throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvdc_parity::code::ErasureCode;
+use dvdc_parity::gf256::Tables;
+use dvdc_parity::raid5::XorCode;
+use dvdc_parity::rdp::RdpCode;
+use dvdc_parity::rs::ReedSolomon;
+use dvdc_parity::xor::{xor_into, xor_into_parallel};
+
+fn pattern(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+fn bench_xor_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor_kernel");
+    for kib in [4usize, 64, 1024, 16 * 1024] {
+        let len = kib * 1024;
+        let src = pattern(len, 3);
+        let mut dst = pattern(len, 7);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("scalar", kib), &len, |b, _| {
+            b.iter(|| xor_into(black_box(&mut dst), black_box(&src)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_xor_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor_parallel_16MiB");
+    let len = 16 * 1024 * 1024;
+    let src = pattern(len, 3);
+    let mut dst = pattern(len, 7);
+    g.throughput(Throughput::Bytes(len as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| xor_into_parallel(black_box(&mut dst), black_box(&src), t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codes_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_3x256KiB");
+    let len = 256 * 1024;
+    let data: Vec<Vec<u8>> = (0..3).map(|i| pattern(len, i as u8)).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    g.throughput(Throughput::Bytes((3 * len) as u64));
+
+    let xor = XorCode::new(3);
+    g.bench_function("xor_raid5", |b| b.iter(|| xor.encode(black_box(&refs))));
+
+    // RDP with p=5 hosts 4 data shards; use 4 shards of the same size.
+    let data4: Vec<Vec<u8>> = (0..4).map(|i| pattern(len, i as u8 + 10)).collect();
+    let refs4: Vec<&[u8]> = data4.iter().map(|d| d.as_slice()).collect();
+    let rdp = RdpCode::new(5);
+    g.bench_function("rdp_p5", |b| b.iter(|| rdp.encode(black_box(&refs4))));
+
+    let rs = ReedSolomon::new(3, 2);
+    g.bench_function("rs_3_2", |b| b.iter(|| rs.encode(black_box(&refs))));
+    g.finish();
+}
+
+fn bench_codes_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconstruct_one_of_3x256KiB");
+    let len = 256 * 1024;
+    let data: Vec<Vec<u8>> = (0..3).map(|i| pattern(len, i as u8)).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+
+    let xor = XorCode::new(3);
+    let xp = xor.encode(&refs);
+    g.bench_function("xor_raid5", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = vec![
+                None,
+                Some(data[1].clone()),
+                Some(data[2].clone()),
+                Some(xp[0].clone()),
+            ];
+            xor.reconstruct(black_box(&mut shards)).unwrap();
+            shards
+        })
+    });
+
+    let rs = ReedSolomon::new(3, 2);
+    let rp = rs.encode(&refs);
+    g.bench_function("rs_3_2_double_loss", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = vec![
+                None,
+                None,
+                Some(data[2].clone()),
+                Some(rp[0].clone()),
+                Some(rp[1].clone()),
+            ];
+            rs.reconstruct(black_box(&mut shards)).unwrap();
+            shards
+        })
+    });
+    g.finish();
+}
+
+fn bench_gf_mul_acc(c: &mut Criterion) {
+    let tables = Tables::new();
+    let len = 256 * 1024;
+    let src = pattern(len, 9);
+    let mut dst = pattern(len, 4);
+    let mut g = c.benchmark_group("gf256");
+    g.throughput(Throughput::Bytes(len as u64));
+    g.bench_function("mul_acc_256KiB", |b| {
+        b.iter(|| tables.mul_acc(black_box(&mut dst), black_box(&src), black_box(0x1D)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xor_kernel,
+    bench_xor_parallel,
+    bench_codes_encode,
+    bench_codes_reconstruct,
+    bench_gf_mul_acc
+);
+criterion_main!(benches);

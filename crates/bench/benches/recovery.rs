@@ -1,0 +1,80 @@
+//! Criterion bench for failure recovery: rebuilding a dead node's VM
+//! checkpoints from group survivors + parity, across group widths and for
+//! the double-parity (Reed–Solomon) extension.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::{CheckpointProtocol, DvdcProtocol};
+use dvdc_checkpoint::strategy::Mode;
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
+use dvdc_vcluster::ids::NodeId;
+
+fn cluster(nodes: usize) -> Cluster {
+    ClusterBuilder::new()
+        .physical_nodes(nodes)
+        .vms_per_node(2)
+        .vm_memory(128, 4096)
+        .build(0)
+}
+
+fn bench_recovery_vs_group_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recover_one_node");
+    for k in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("xor_k", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    // Smallest node count ≥ k+1 whose VM total divides
+                    // into groups of k.
+                    let mut builder_nodes = k + 1;
+                    while (builder_nodes * 2) % k != 0 {
+                        builder_nodes += 1;
+                    }
+                    let mut cl = cluster(builder_nodes);
+                    let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&cl, k).unwrap());
+                    p.run_round(&mut cl).unwrap();
+                    cl.fail_node(NodeId(0));
+                    (cl, p)
+                },
+                |(mut cl, mut p)| black_box(p.recover(&mut cl, NodeId(0)).unwrap()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_double_parity_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recover_double_failure");
+    g.bench_function("rs_m2_two_nodes_down", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = cluster(6);
+                let placement = GroupPlacement::orthogonal_with_parity(&cl, 3, 2).unwrap();
+                let mut p = DvdcProtocol::with_options(
+                    placement,
+                    Mode::Incremental,
+                    true,
+                    Duration::from_millis(40.0),
+                );
+                p.run_round(&mut cl).unwrap();
+                cl.fail_node(NodeId(0));
+                cl.fail_node(NodeId(1));
+                (cl, p)
+            },
+            |(mut cl, mut p)| {
+                p.recover(&mut cl, NodeId(0)).unwrap();
+                black_box(p.recover(&mut cl, NodeId(1)).unwrap())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recovery_vs_group_width,
+    bench_double_parity_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Availability analysis — how long until DVDC actually loses data?
+//!
+//! The paper positions DVDC as "highly fault tolerant"; this experiment
+//! quantifies that with the classic RAID MTTDL analysis over the
+//! overlapping-repair window (the only way single parity dies), across
+//! cluster sizes and repair speeds, for m = 1 (XOR) and m = 2 (RDP-class)
+//! — and shows why DVDC's fast in-memory rebuild matters: the repair time
+//! in the denominator is *seconds*, not the hours a disk-array rebuild
+//! takes.
+//!
+//! Run: `cargo run -p dvdc-bench --bin availability_analysis`
+
+use dvdc_bench::{render_table, write_json};
+use dvdc_faults::mttdl::MttdlParams;
+use dvdc_simcore::time::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    nodes: usize,
+    repair_secs: f64,
+    mttdl_single_years: f64,
+    mttdl_double_years: f64,
+    one_year_survival_single: f64,
+}
+
+fn years(d: Duration) -> f64 {
+    d.as_secs() / (365.25 * 86_400.0)
+}
+
+fn main() {
+    // A 3 h *cluster* MTBF (the paper's operating point) on a large
+    // machine corresponds to per-node MTBFs of weeks to months; we use
+    // one month per node so cluster sizes map onto realistic rates.
+    println!("MTTDL analysis — per-node MTBF 1 month\n");
+    let mtbf = Duration::from_days(30.0);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for nodes in [4usize, 16, 64, 256] {
+        for repair_secs in [30.0f64, 300.0, 3600.0] {
+            let p = MttdlParams {
+                nodes,
+                node_mtbf: mtbf,
+                repair: Duration::from_secs(repair_secs),
+            };
+            let single = years(p.mttdl_single_parity());
+            let double = years(p.mttdl_double_parity());
+            let survival = p.survival_probability(Duration::from_days(365.0), 1);
+            rows.push(vec![
+                nodes.to_string(),
+                format!("{repair_secs:.0} s"),
+                format!("{single:.1}"),
+                format!("{double:.2e}"),
+                format!("{:.6}", survival),
+            ]);
+            records.push(Row {
+                nodes,
+                repair_secs,
+                mttdl_single_years: single,
+                mttdl_double_years: double,
+                one_year_survival_single: survival,
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "repair",
+                "MTTDL m=1 (years)",
+                "MTTDL m=2 (years)",
+                "P(survive 1 y, m=1)",
+            ],
+            &rows
+        )
+    );
+
+    println!("the repair term dominates: DVDC's in-memory rebuild (~seconds) buys");
+    println!("orders of magnitude of MTTDL over an hour-long disk-array rebuild,");
+    println!("and m=2 multiplies on top — the quantitative case for the paper's");
+    println!("\"highly fault tolerant\" title.\n");
+
+    // Structural checks.
+    for w in records.chunks(3) {
+        // Within one node count, slower repair ⇒ shorter MTTDL.
+        assert!(w[0].mttdl_single_years > w[1].mttdl_single_years);
+        assert!(w[1].mttdl_single_years > w[2].mttdl_single_years);
+    }
+    assert!(records
+        .iter()
+        .all(|r| r.mttdl_double_years > r.mttdl_single_years));
+    write_json("availability_analysis", &records);
+}

@@ -1,0 +1,109 @@
+//! Fabric sensitivity / crossover analysis.
+//!
+//! The paper's Figure 5 verdict depends on the fabric constants: a slow
+//! NAS makes disk-full checkpointing hopeless; an exotic parallel filer
+//! narrows the gap. This experiment sweeps the NAS aggregate bandwidth
+//! (and, separately, the per-node link bandwidth that bounds DVDC's
+//! transfer) and reports where — if anywhere — the baseline becomes
+//! competitive. It answers the reproduction question "where do the
+//! crossovers fall": with the paper's own 40 ms-class capture overhead,
+//! diskless wins at *every* realistic NAS speed; the gap only closes when
+//! the NAS approaches memory-channel bandwidth.
+//!
+//! Run: `cargo run -p dvdc-bench --bin fabric_sensitivity`
+
+use dvdc_bench::{human_secs, render_table, write_json};
+use dvdc_model::{fig5, Fig5Params};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    nas_gbps: f64,
+    disk_full_opt_ratio: f64,
+    diskless_opt_ratio: f64,
+    reduction_pct: f64,
+}
+
+fn main() {
+    println!("Fabric sensitivity — where would disk-full checkpointing catch up?\n");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    // Sweep the NAS from a single gigabit filer to a 400 Gb/s parallel
+    // file system; scale its backing-disk bandwidth along with it (a fast
+    // filer has a fast array behind it).
+    for nas_gbps in [1.0f64, 2.0, 10.0, 40.0, 100.0, 400.0] {
+        let mut p = Fig5Params::default();
+        p.fabric.network.nas_bandwidth = nas_gbps * 125e6;
+        p.fabric.disk.write_bandwidth = (nas_gbps * 125e6 / 2.5).max(100e6);
+        p.fabric.disk.read_bandwidth = p.fabric.disk.write_bandwidth * 1.2;
+        let r = fig5::run(&p);
+        let reduction = r.reduction_at_optima * 100.0;
+        rows.push(vec![
+            format!("{nas_gbps:.0} Gb/s"),
+            format!("{:.4}", r.disk_full.optimal_ratio),
+            format!("{:.4}", r.diskless.optimal_ratio),
+            format!("{reduction:.1}%"),
+        ]);
+        records.push(Row {
+            nas_gbps,
+            disk_full_opt_ratio: r.disk_full.optimal_ratio,
+            diskless_opt_ratio: r.diskless.optimal_ratio,
+            reduction_pct: reduction,
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "NAS bandwidth",
+                "disk-full E[T]/T*",
+                "diskless E[T]/T*",
+                "reduction"
+            ],
+            &rows
+        )
+    );
+
+    // Diskless must win at every point of the sweep; the *margin* shrinks
+    // monotonically as the NAS gets exotic.
+    assert!(records.iter().all(|r| r.reduction_pct > 0.0));
+    assert!(
+        records
+            .windows(2)
+            .all(|w| w[1].reduction_pct <= w[0].reduction_pct + 1e-9),
+        "margin should shrink with NAS bandwidth"
+    );
+    println!("\ndiskless wins across the whole sweep; even a 400 Gb/s filer leaves");
+    println!(
+        "a {:.1}% completion-time advantage (the capture-only overhead is simply smaller)",
+        records.last().unwrap().reduction_pct
+    );
+
+    // Secondary sweep: slow down DVDC's links instead.
+    println!("\nDVDC link-bandwidth sweep (NAS fixed at the default 2 Gb/s):");
+    let mut rows2 = Vec::new();
+    for link_gbps in [0.1f64, 0.5, 1.0, 10.0] {
+        let mut p = Fig5Params::default();
+        p.fabric.network.link_bandwidth = link_gbps * 125e6;
+        let r = fig5::run(&p);
+        rows2.push(vec![
+            format!("{link_gbps} Gb/s"),
+            human_secs(r.diskless.optimal_interval),
+            format!("{:.4}", r.diskless.optimal_ratio),
+            format!("{:.1}%", r.reduction_at_optima * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["link", "diskless T_int*", "diskless E[T]/T*", "reduction"],
+            &rows2
+        )
+    );
+    println!("slow links leave the per-round pause (and thus the optimal interval)");
+    println!("untouched — they show up in checkpoint latency and in the repair term,");
+    println!("which is what nudges E[T]/T upward at 0.1 Gb/s.");
+
+    write_json("fabric_sensitivity", &records);
+}

@@ -1,0 +1,102 @@
+//! Monte-Carlo validation of the Section V closed forms.
+//!
+//! The paper's evaluation is analytical only (soundness caveat in
+//! DESIGN.md); this experiment simulates the exact stochastic process the
+//! equations describe and reports closed-form vs. sample mean with 95 %
+//! confidence intervals, across the operating points Figure 5 spans.
+//!
+//! Run: `cargo run -p dvdc-bench --bin mc_validation --release`
+
+use dvdc_bench::{render_table, write_json};
+use dvdc_model::analytic;
+use dvdc_model::montecarlo::{simulate, JobSpec};
+use dvdc_simcore::rng::RngHub;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct McRow {
+    interval_secs: f64,
+    overhead_secs: f64,
+    repair_secs: f64,
+    analytic_secs: f64,
+    mc_mean_secs: f64,
+    mc_ci95_secs: f64,
+    rel_error: f64,
+    within_ci: bool,
+}
+
+fn main() {
+    println!("Monte-Carlo validation of Eqs. (1)–(3) + overhead form (Section V)\n");
+    let lambda = 9.26e-5;
+    let total = 86_400.0; // one day keeps trial counts manageable
+    let trials = 3_000;
+    let hub = RngHub::new(0x5EC5);
+
+    let cases = [
+        (600.0, 0.0, 0.0),
+        (1800.0, 0.0, 0.0),
+        (600.0, 0.44, 60.0), // diskless-like overhead
+        (1800.0, 0.44, 60.0),
+        (1800.0, 172.0, 600.0), // disk-full-like overhead
+        (3600.0, 172.0, 600.0),
+    ];
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (interval, overhead, repair) in cases {
+        let spec = JobSpec {
+            lambda,
+            total,
+            interval,
+            overhead,
+            repair,
+        };
+        let closed =
+            analytic::expected_time_checkpoint_overhead(lambda, total, interval, overhead, repair);
+        let mc = simulate(&spec, trials, &hub);
+        let rel = mc.relative_error(closed);
+        let within = mc.ci95_contains(closed);
+        rows.push(vec![
+            format!("{interval:.0}"),
+            format!("{overhead:.2}"),
+            format!("{repair:.0}"),
+            format!("{closed:.0}"),
+            format!("{:.0} ± {:.0}", mc.mean, mc.ci95),
+            format!("{:.2}%", rel * 100.0),
+            if within { "yes".into() } else { "no".into() },
+        ]);
+        records.push(McRow {
+            interval_secs: interval,
+            overhead_secs: overhead,
+            repair_secs: repair,
+            analytic_secs: closed,
+            mc_mean_secs: mc.mean,
+            mc_ci95_secs: mc.ci95,
+            rel_error: rel,
+            within_ci: within,
+        });
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "T_int (s)",
+                "T_ov (s)",
+                "T_r (s)",
+                "analytic E[T] (s)",
+                "Monte-Carlo (s)",
+                "rel err",
+                "in CI95",
+            ],
+            &rows
+        )
+    );
+    let worst = records.iter().map(|r| r.rel_error).fold(0.0, f64::max);
+    println!(
+        "worst relative error: {:.2}% over {trials} trials/point",
+        worst * 100.0
+    );
+    assert!(worst < 0.05, "closed forms must track simulation");
+    write_json("mc_validation", &records);
+}

@@ -1,0 +1,100 @@
+//! Page-hash-accelerated live migration (Section VII future work).
+//!
+//! "We are currently looking at the benefits of using page hashes to
+//! speed up live migration when similar VMs reside at the host
+//! destination." The experiment sweeps the content similarity between the
+//! migrating VM and a VM already resident at the destination and measures
+//! the transfer reduction and total migration time with and without the
+//! page-hash index.
+//!
+//! Run: `cargo run -p dvdc-bench --bin pagehash_migration`
+
+use dvdc_bench::{human_bytes, human_secs, render_table, write_json};
+use dvdc_migrate::pagehash::PageHashIndex;
+use dvdc_migrate::precopy::{simulate, PreCopyConfig};
+use dvdc_vcluster::memory::MemoryImage;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PageHashRow {
+    similarity_pct: usize,
+    transfer_bytes: usize,
+    deduped_bytes: usize,
+    total_time_secs: f64,
+    baseline_time_secs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    println!("Page-hash dedup for live migration (Section VII future work)\n");
+
+    let pages = 4096usize;
+    let page_size = 4096usize;
+    let image_bytes = pages * page_size;
+    let dirty_rate = 2e6; // 2 MB/s of guest dirtying
+    let bandwidth = 125e6; // gigabit link
+    let cfg = PreCopyConfig::default();
+
+    let baseline = simulate(image_bytes, dirty_rate, bandwidth, &cfg);
+    println!(
+        "migrating VM: {} ({} pages); baseline pre-copy: {} total, {} downtime\n",
+        human_bytes(image_bytes),
+        pages,
+        human_secs(baseline.total_time.as_secs()),
+        human_secs(baseline.downtime.as_secs()),
+    );
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for similarity_pct in [0usize, 25, 50, 75, 90, 100] {
+        // Destination hosts a resident VM sharing `similarity_pct` of the
+        // migrating VM's pages.
+        let migrating = MemoryImage::patterned(pages, page_size, 1);
+        let mut resident = MemoryImage::patterned(pages, page_size, 2);
+        let shared = pages * similarity_pct / 100;
+        for p in 0..shared {
+            let page = migrating.page(dvdc_vcluster::ids::PageIndex(p)).to_vec();
+            resident.write_page(p, &page);
+        }
+        let mut idx = PageHashIndex::new();
+        idx.index_image(&resident);
+        let report = idx.dedup_transfer(&migrating);
+        let stats = simulate(report.transfer_bytes, dirty_rate, bandwidth, &cfg);
+        let speedup = baseline.total_time.as_secs() / stats.total_time.as_secs().max(1e-9);
+
+        rows.push(vec![
+            format!("{similarity_pct}%"),
+            human_bytes(report.transfer_bytes),
+            human_bytes(report.deduped_bytes),
+            human_secs(stats.total_time.as_secs()),
+            format!("{speedup:.2}×"),
+        ]);
+        records.push(PageHashRow {
+            similarity_pct,
+            transfer_bytes: report.transfer_bytes,
+            deduped_bytes: report.deduped_bytes,
+            total_time_secs: stats.total_time.as_secs(),
+            baseline_time_secs: baseline.total_time.as_secs(),
+            speedup,
+        });
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "similarity",
+                "must transfer",
+                "deduped",
+                "total time",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+
+    assert!(records.last().unwrap().speedup > records.first().unwrap().speedup);
+    assert!(records.last().unwrap().deduped_bytes == image_bytes);
+    println!("migration speedup grows with destination similarity ✓");
+    write_json("pagehash_migration", &records);
+}

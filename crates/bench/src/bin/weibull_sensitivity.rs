@@ -1,0 +1,111 @@
+//! Sensitivity of the Section V model to the Poisson assumption.
+//!
+//! The paper: "Though we can imagine cases where the Poisson assumption
+//! may not hold even on single computers (cf. the 'bathtub curve' model
+//! for failures …), it is often used as a basis for fundamental design
+//! decisions due to its mathematical tractability." This experiment
+//! quantifies the resulting bias: the same checkpointed job is simulated
+//! under renewal failure processes of equal MTBF but different Weibull
+//! shapes, and compared against the Poisson closed form.
+//!
+//! Run: `cargo run -p dvdc-bench --bin weibull_sensitivity --release`
+
+use dvdc_bench::{render_table, write_json};
+use dvdc_faults::dist::{Exponential, FailureDistribution, Weibull};
+use dvdc_model::analytic;
+use dvdc_model::montecarlo::{simulate_renewal, JobSpec};
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    shape: f64,
+    regime: &'static str,
+    mc_mean_secs: f64,
+    mc_ci95_secs: f64,
+    bias_vs_poisson_pct: f64,
+}
+
+fn main() {
+    let mtbf = 3600.0;
+    let spec = JobSpec {
+        lambda: 1.0 / mtbf,
+        total: 28_800.0,
+        interval: 1200.0,
+        overhead: 20.0,
+        repair: 60.0,
+    };
+    let trials = 4_000;
+    let hub = RngHub::new(0xBA7B);
+
+    println!("Poisson-assumption sensitivity (equal MTBF = 1 h, 8 h job, N = 20 min)\n");
+    let closed = analytic::expected_time_checkpoint_overhead(
+        spec.lambda,
+        spec.total,
+        spec.interval,
+        spec.overhead,
+        spec.repair,
+    );
+    let exp = Exponential::from_mtbf(Duration::from_secs(mtbf));
+    let poisson = simulate_renewal(&spec, &exp, trials, &hub);
+    println!(
+        "closed form: {closed:.0} s | Poisson MC: {:.0} ± {:.0} s\n",
+        poisson.mean, poisson.ci95
+    );
+
+    let weibull_at_mtbf = |k: f64| {
+        let unit_mean = Weibull::new(k, Duration::from_secs(1.0)).mean().as_secs();
+        Weibull::new(k, Duration::from_secs(mtbf / unit_mean))
+    };
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (k, regime) in [
+        (0.5, "strong infant mortality"),
+        (0.7, "infant mortality"),
+        (1.0, "= exponential"),
+        (1.5, "mild wear-out"),
+        (2.0, "wear-out"),
+        (3.0, "strong wear-out"),
+    ] {
+        let dist = weibull_at_mtbf(k);
+        let mc = simulate_renewal(&spec, &dist, trials, &hub);
+        let bias = (mc.mean - poisson.mean) / poisson.mean * 100.0;
+        rows.push(vec![
+            format!("{k:.1}"),
+            regime.to_string(),
+            format!("{:.0} ± {:.0}", mc.mean, mc.ci95),
+            format!("{bias:+.2}%"),
+        ]);
+        records.push(Row {
+            shape: k,
+            regime,
+            mc_mean_secs: mc.mean,
+            mc_ci95_secs: mc.ci95,
+            bias_vs_poisson_pct: bias,
+        });
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Weibull k",
+                "regime",
+                "E[T] (Monte-Carlo)",
+                "bias vs Poisson"
+            ],
+            &rows
+        )
+    );
+    println!("failures clustering after repairs (k<1) waste less partial work per");
+    println!("failure; regular wear-out spacing (k>1) wastes more — the Poisson");
+    println!("closed form sits between the two regimes.");
+
+    // Structural assertions: bias is monotone in k across the sweep.
+    let biases: Vec<f64> = records.iter().map(|r| r.bias_vs_poisson_pct).collect();
+    assert!(biases.first().unwrap() < &0.0);
+    assert!(biases[4] > 0.0, "wear-out must bias upward");
+    write_json("weibull_sensitivity", &records);
+}

@@ -1,0 +1,341 @@
+//! Checkpoint stores.
+//!
+//! Diskless checkpointing keeps checkpoints *in memory*. Two views matter:
+//!
+//! * [`MaterializedStore`] — per VM, the fully materialized image of the
+//!   latest applied checkpoint (increments are folded in as they arrive).
+//!   This is what parity is XORed over and what recovery reads.
+//! * [`DoubleBufferedStore`] — per VM, the *previous* and *current* epoch
+//!   images. The paper (Section II-B2): "We still need the current and
+//!   previous checkpoint during checkpointing" — if a failure strikes
+//!   mid-round, the previous epoch must still be recoverable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::payload::Checkpoint;
+use dvdc_vcluster::ids::VmId;
+
+/// Errors from applying checkpoints to a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An incremental checkpoint arrived for a VM with no base image.
+    MissingBase {
+        /// The VM concerned.
+        vm: VmId,
+    },
+    /// An incremental checkpoint's base epoch does not match the stored
+    /// image's epoch (a gap or reordering).
+    BaseEpochMismatch {
+        /// The VM concerned.
+        vm: VmId,
+        /// Epoch the increment applies on top of.
+        expected: u64,
+        /// Epoch of the image actually stored.
+        stored: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::MissingBase { vm } => {
+                write!(f, "no base image stored for {vm}")
+            }
+            StoreError::BaseEpochMismatch {
+                vm,
+                expected,
+                stored,
+            } => write!(
+                f,
+                "{vm}: increment applies to epoch {expected} but store holds epoch {stored}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One materialized entry: the image as of `epoch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    epoch: u64,
+    image: Vec<u8>,
+}
+
+/// Per-VM materialized images of the latest applied checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct MaterializedStore {
+    entries: BTreeMap<VmId, Entry>,
+}
+
+impl MaterializedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a checkpoint: full images replace, increments fold into the
+    /// stored base.
+    pub fn apply(&mut self, ckpt: &Checkpoint) -> Result<(), StoreError> {
+        use crate::payload::CheckpointPayload as P;
+        match &ckpt.payload {
+            P::Full { image, .. } => {
+                self.entries.insert(
+                    ckpt.vm,
+                    Entry {
+                        epoch: ckpt.epoch,
+                        image: image.to_vec(),
+                    },
+                );
+                Ok(())
+            }
+            P::Incremental { base_epoch, .. } => {
+                let entry = self
+                    .entries
+                    .get_mut(&ckpt.vm)
+                    .ok_or(StoreError::MissingBase { vm: ckpt.vm })?;
+                if entry.epoch != *base_epoch {
+                    return Err(StoreError::BaseEpochMismatch {
+                        vm: ckpt.vm,
+                        expected: *base_epoch,
+                        stored: entry.epoch,
+                    });
+                }
+                entry.image = ckpt.payload.apply_to(&entry.image);
+                entry.epoch = ckpt.epoch;
+                Ok(())
+            }
+        }
+    }
+
+    /// The materialized image for `vm`, if any.
+    pub fn image(&self, vm: VmId) -> Option<&[u8]> {
+        self.entries.get(&vm).map(|e| e.image.as_slice())
+    }
+
+    /// The epoch of the stored image for `vm`.
+    pub fn epoch(&self, vm: VmId) -> Option<u64> {
+        self.entries.get(&vm).map(|e| e.epoch)
+    }
+
+    /// Inserts a materialized image directly (recovery writes
+    /// reconstructed images back this way).
+    pub fn insert_image(&mut self, vm: VmId, epoch: u64, image: Vec<u8>) {
+        self.entries.insert(vm, Entry { epoch, image });
+    }
+
+    /// Drops the entry for `vm` (e.g. its holder node died).
+    pub fn remove(&mut self, vm: VmId) {
+        self.entries.remove(&vm);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of VMs with stored images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes held — the memory cost of diskless checkpointing.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.image.len()).sum()
+    }
+}
+
+/// Keeps the previous and current epoch images per VM, promoting on each
+/// successful round.
+#[derive(Debug, Clone, Default)]
+pub struct DoubleBufferedStore {
+    current: MaterializedStore,
+    previous: MaterializedStore,
+}
+
+impl DoubleBufferedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a checkpoint to the *current* buffer.
+    pub fn apply(&mut self, ckpt: &Checkpoint) -> Result<(), StoreError> {
+        self.current.apply(ckpt)
+    }
+
+    /// Commits the round: current becomes previous. Call once the whole
+    /// coordinated checkpoint (including parity) has completed — only then
+    /// is the new epoch usable ("latency is the amount of time it takes
+    /// before the checkpoint is usable").
+    pub fn commit_round(&mut self) {
+        self.previous = self.current.clone();
+    }
+
+    /// The committed (previous-round) image for `vm` — the rollback
+    /// target if the current round is interrupted.
+    pub fn committed_image(&self, vm: VmId) -> Option<&[u8]> {
+        self.previous.image(vm)
+    }
+
+    /// The in-progress (current-round) image for `vm`.
+    pub fn current_image(&self, vm: VmId) -> Option<&[u8]> {
+        self.current.image(vm)
+    }
+
+    /// Read access to the current buffer.
+    pub fn current(&self) -> &MaterializedStore {
+        &self.current
+    }
+
+    /// Mutable access to the current buffer (recovery writes).
+    pub fn current_mut(&mut self) -> &mut MaterializedStore {
+        &mut self.current
+    }
+
+    /// Read access to the committed buffer.
+    pub fn committed(&self) -> &MaterializedStore {
+        &self.previous
+    }
+
+    /// Mutable access to the committed buffer (used when checkpoint
+    /// custody moves between nodes, e.g. live migration).
+    pub fn committed_mut(&mut self) -> &mut MaterializedStore {
+        &mut self.previous
+    }
+
+    /// Total bytes across both buffers — the "2×" memory cost of keeping
+    /// current + previous that the paper accepts for safety.
+    pub fn total_bytes(&self) -> usize {
+        self.current.total_bytes() + self.previous.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{Checkpointer, Mode};
+    use dvdc_vcluster::memory::MemoryImage;
+
+    #[test]
+    fn full_then_incremental_materializes() {
+        let mut mem = MemoryImage::patterned(8, 16, 3);
+        let mut ck = Checkpointer::new(Mode::Incremental);
+        let mut store = MaterializedStore::new();
+
+        store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
+        assert_eq!(store.image(VmId(0)).unwrap(), mem.as_bytes());
+        assert_eq!(store.epoch(VmId(0)), Some(0));
+
+        mem.write_page(2, &[0xEEu8; 16]);
+        store.apply(&ck.capture(VmId(0), 1, &mut mem)).unwrap();
+        assert_eq!(store.image(VmId(0)).unwrap(), mem.as_bytes());
+        assert_eq!(store.epoch(VmId(0)), Some(1));
+    }
+
+    #[test]
+    fn increment_without_base_rejected() {
+        use crate::payload::{Checkpoint, CheckpointPayload};
+        let mut store = MaterializedStore::new();
+        let ckpt = Checkpoint {
+            vm: VmId(5),
+            epoch: 1,
+            payload: CheckpointPayload::Incremental {
+                base_epoch: 0,
+                page_size: 16,
+                image_len: 32,
+                pages: vec![],
+            },
+        };
+        assert_eq!(
+            store.apply(&ckpt),
+            Err(StoreError::MissingBase { vm: VmId(5) })
+        );
+    }
+
+    #[test]
+    fn epoch_gap_rejected() {
+        let mut mem = MemoryImage::patterned(4, 16, 1);
+        let mut ck = Checkpointer::new(Mode::Incremental);
+        let mut store = MaterializedStore::new();
+        store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
+        // Capture epoch 1 but don't apply it; epoch 2 then has base 1 ≠ 0.
+        mem.write_page(0, &[1u8; 16]);
+        let _dropped = ck.capture(VmId(0), 1, &mut mem);
+        mem.write_page(1, &[2u8; 16]);
+        let c2 = ck.capture(VmId(0), 2, &mut mem);
+        assert_eq!(
+            store.apply(&c2),
+            Err(StoreError::BaseEpochMismatch {
+                vm: VmId(0),
+                expected: 1,
+                stored: 0
+            })
+        );
+    }
+
+    #[test]
+    fn bookkeeping_methods() {
+        let mut store = MaterializedStore::new();
+        assert!(store.is_empty());
+        store.insert_image(VmId(1), 4, vec![1, 2, 3]);
+        store.insert_image(VmId(2), 4, vec![4, 5]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_bytes(), 5);
+        store.remove(VmId(1));
+        assert_eq!(store.len(), 1);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn double_buffer_promotes_on_commit() {
+        let mut mem = MemoryImage::patterned(4, 16, 7);
+        let mut ck = Checkpointer::new(Mode::Incremental);
+        let mut store = DoubleBufferedStore::new();
+
+        store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
+        assert!(
+            store.committed_image(VmId(0)).is_none(),
+            "not committed yet"
+        );
+        store.commit_round();
+        let epoch0 = store.committed_image(VmId(0)).unwrap().to_vec();
+
+        mem.write_page(3, &[9u8; 16]);
+        store.apply(&ck.capture(VmId(0), 1, &mut mem)).unwrap();
+        // Before commit, the rollback target is still epoch 0.
+        assert_eq!(store.committed_image(VmId(0)).unwrap(), &epoch0[..]);
+        assert_ne!(store.current_image(VmId(0)).unwrap(), &epoch0[..]);
+        store.commit_round();
+        assert_eq!(store.committed_image(VmId(0)).unwrap(), mem.as_bytes());
+    }
+
+    #[test]
+    fn double_buffer_memory_cost_is_double() {
+        let mut mem = MemoryImage::patterned(4, 16, 7);
+        let mut ck = Checkpointer::new(Mode::Full);
+        let mut store = DoubleBufferedStore::new();
+        store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
+        store.commit_round();
+        assert_eq!(store.total_bytes(), 2 * 64);
+    }
+
+    #[test]
+    fn error_messages_name_the_vm() {
+        let e = StoreError::MissingBase { vm: VmId(3) };
+        assert!(e.to_string().contains("vm3"));
+        let e = StoreError::BaseEpochMismatch {
+            vm: VmId(3),
+            expected: 2,
+            stored: 1,
+        };
+        assert!(e.to_string().contains("epoch 2"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Binary wire format for checkpoints.
+//!
+//! DVDC ships checkpoint payloads from each node to its groups' parity
+//! holders; this module defines the frame that would actually cross that
+//! network. Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "DVDC"            4 bytes
+//! version u8                (currently 1)
+//! kind    u8                0 = full image, 1 = incremental
+//! vm      u64
+//! epoch   u64
+//! page_sz u64
+//! -- kind = 0 --
+//! img_len u64, image bytes
+//! -- kind = 1 --
+//! base_epoch u64, img_len u64, pages u64,
+//!   then per page: index u64 + page_sz bytes
+//! ```
+//!
+//! Decoding is strict: bad magic, truncation, length inconsistencies, and
+//! trailing garbage are all distinct errors, so a corrupted transfer can
+//! never materialise as a silently wrong checkpoint.
+
+use std::fmt;
+
+use bytes::Bytes;
+use dvdc_vcluster::ids::VmId;
+
+use crate::payload::{Checkpoint, CheckpointPayload, PageDelta};
+
+const MAGIC: &[u8; 4] = b"DVDC";
+const VERSION: u8 = 1;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with the `DVDC` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown payload kind byte.
+    BadKind(u8),
+    /// The frame ended before a field could be read.
+    Truncated {
+        /// What was being read.
+        field: &'static str,
+    },
+    /// Internal lengths disagree (e.g. a page index beyond the image).
+    Inconsistent {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Bytes remain after the frame's declared contents.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a DVDC checkpoint frame"),
+            WireError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown payload kind {k}"),
+            WireError::Truncated { field } => write!(f, "frame truncated while reading {field}"),
+            WireError::Inconsistent { reason } => write!(f, "inconsistent frame: {reason}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { field });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        let raw = self.take(8, field)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Serialises a checkpoint to its wire frame.
+pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ckpt.size_bytes() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    match &ckpt.payload {
+        CheckpointPayload::Full { image, page_size } => {
+            out.push(0);
+            out.extend_from_slice(&(ckpt.vm.index() as u64).to_le_bytes());
+            out.extend_from_slice(&ckpt.epoch.to_le_bytes());
+            out.extend_from_slice(&(*page_size as u64).to_le_bytes());
+            out.extend_from_slice(&(image.len() as u64).to_le_bytes());
+            out.extend_from_slice(image);
+        }
+        CheckpointPayload::Incremental {
+            base_epoch,
+            page_size,
+            image_len,
+            pages,
+        } => {
+            out.push(1);
+            out.extend_from_slice(&(ckpt.vm.index() as u64).to_le_bytes());
+            out.extend_from_slice(&ckpt.epoch.to_le_bytes());
+            out.extend_from_slice(&(*page_size as u64).to_le_bytes());
+            out.extend_from_slice(&base_epoch.to_le_bytes());
+            out.extend_from_slice(&(*image_len as u64).to_le_bytes());
+            out.extend_from_slice(&(pages.len() as u64).to_le_bytes());
+            for p in pages {
+                out.extend_from_slice(&(p.index as u64).to_le_bytes());
+                out.extend_from_slice(&p.bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a wire frame back into a checkpoint.
+pub fn decode(frame: &[u8]) -> Result<Checkpoint, WireError> {
+    let mut r = Reader { buf: frame, pos: 0 };
+    if r.take(4, "magic")? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = r.u8("kind")?;
+    let vm = VmId(r.u64("vm")? as usize);
+    let epoch = r.u64("epoch")?;
+    let page_size = r.u64("page_size")? as usize;
+
+    let payload = match kind {
+        0 => {
+            let img_len = r.u64("image length")? as usize;
+            let image = r.take(img_len, "image bytes")?.to_vec();
+            if page_size > 0 && !img_len.is_multiple_of(page_size) {
+                return Err(WireError::Inconsistent {
+                    reason: format!(
+                        "image length {img_len} not a multiple of page size {page_size}"
+                    ),
+                });
+            }
+            CheckpointPayload::Full {
+                image: Bytes::from(image),
+                page_size,
+            }
+        }
+        1 => {
+            let base_epoch = r.u64("base epoch")?;
+            let image_len = r.u64("image length")? as usize;
+            let count = r.u64("page count")? as usize;
+            if page_size == 0 && count > 0 {
+                return Err(WireError::Inconsistent {
+                    reason: "page deltas with zero page size".into(),
+                });
+            }
+            let mut pages = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                let index = r.u64("page index")? as usize;
+                let in_range = index
+                    .checked_add(1)
+                    .and_then(|i| i.checked_mul(page_size))
+                    .is_some_and(|end| end <= image_len);
+                if page_size > 0 && !in_range {
+                    return Err(WireError::Inconsistent {
+                        reason: format!("page index {index} beyond image of {image_len} bytes"),
+                    });
+                }
+                let bytes = r.take(page_size, "page bytes")?.to_vec();
+                pages.push(PageDelta {
+                    index,
+                    bytes: Bytes::from(bytes),
+                });
+            }
+            CheckpointPayload::Incremental {
+                base_epoch,
+                page_size,
+                image_len,
+                pages,
+            }
+        }
+        other => return Err(WireError::BadKind(other)),
+    };
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(Checkpoint { vm, epoch, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{Checkpointer, Mode};
+    use dvdc_vcluster::memory::MemoryImage;
+
+    fn sample_full() -> Checkpoint {
+        let mut mem = MemoryImage::patterned(8, 32, 5);
+        Checkpointer::new(Mode::Full).capture(VmId(3), 7, &mut mem)
+    }
+
+    fn sample_incremental() -> Checkpoint {
+        let mut mem = MemoryImage::patterned(8, 32, 5);
+        let mut ck = Checkpointer::new(Mode::Incremental);
+        ck.capture(VmId(3), 0, &mut mem);
+        mem.write_page(2, &[9u8; 32]);
+        mem.write_page(6, &[7u8; 32]);
+        ck.capture(VmId(3), 1, &mut mem)
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let ckpt = sample_full();
+        let frame = encode(&ckpt);
+        assert_eq!(decode(&frame).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn incremental_roundtrip() {
+        let ckpt = sample_incremental();
+        let frame = encode(&ckpt);
+        let back = decode(&frame).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.payload.page_count(), 2);
+    }
+
+    #[test]
+    fn frame_overhead_is_small() {
+        let ckpt = sample_full();
+        let frame = encode(&ckpt);
+        assert!(frame.len() <= ckpt.size_bytes() + 64);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode(&sample_full());
+        frame[0] = b'X';
+        assert_eq!(decode(&frame), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut frame = encode(&sample_full());
+        frame[4] = 99;
+        assert_eq!(decode(&frame), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut frame = encode(&sample_full());
+        frame[5] = 7;
+        assert_eq!(decode(&frame), Err(WireError::BadKind(7)));
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let frame = encode(&sample_incremental());
+        for cut in 0..frame.len() {
+            let err = decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode(&sample_full());
+        frame.push(0);
+        assert_eq!(decode(&frame), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn out_of_range_page_index_rejected() {
+        let ckpt = sample_incremental();
+        let mut frame = encode(&ckpt);
+        // Page entries start after the 54-byte header (4+1+1+8·6); smash
+        // the first page index to a huge value.
+        let idx_pos = 4 + 1 + 1 + 8 * 6;
+        frame[idx_pos..idx_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&frame),
+            Err(WireError::Inconsistent { .. }) | Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_full_image_rejected() {
+        let ckpt = Checkpoint {
+            vm: VmId(0),
+            epoch: 0,
+            payload: CheckpointPayload::Full {
+                image: Bytes::from(vec![0u8; 33]), // not a multiple of 32
+                page_size: 32,
+            },
+        };
+        let frame = encode(&ckpt);
+        assert!(matches!(
+            decode(&frame),
+            Err(WireError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(WireError::BadMagic.to_string().contains("DVDC"));
+        assert!(WireError::Truncated { field: "epoch" }
+            .to_string()
+            .contains("epoch"));
+        assert!(WireError::TrailingBytes(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Parse failures, reported with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// An option was given without a value.
+    MissingValue(String),
+    /// A positional token appeared where an option was expected.
+    UnexpectedToken(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected argument '{t}'"),
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "--{key} {value}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `tokens` (without the program name): an optional subcommand
+    /// followed by `--key value` pairs.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        if let Some(first) = it.peek() {
+            if !first.starts_with("--") {
+                args.command = it.next();
+            }
+        }
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                args.options.insert(key.to_string(), value);
+            } else {
+                return Err(ArgError::UnexpectedToken(tok));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// String option with default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// `usize` option with default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected: "an unsigned integer",
+            }),
+        }
+    }
+
+    /// `u64` option with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected: "an unsigned integer",
+            }),
+        }
+    }
+
+    /// `f64` option with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// Comma-separated `usize` list option.
+    pub fn usize_list(&self, key: &str) -> Result<Vec<usize>, ArgError> {
+        match self.get(key) {
+            None => Ok(Vec::new()),
+            Some(v) => v
+                .split(',')
+                .map(|part| {
+                    part.trim().parse().map_err(|_| ArgError::BadValue {
+                        key: key.into(),
+                        value: v.into(),
+                        expected: "a comma-separated list of integers",
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("run --nodes 8 --interval 30.5 --protocol dvdc").unwrap();
+        assert_eq!(a.command(), Some("run"));
+        assert_eq!(a.usize_or("nodes", 4).unwrap(), 8);
+        assert_eq!(a.f64_or("interval", 10.0).unwrap(), 30.5);
+        assert_eq!(a.str_or("protocol", "x"), "dvdc");
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("plan").unwrap();
+        assert_eq!(a.usize_or("nodes", 4).unwrap(), 4);
+        assert_eq!(a.f64_or("mtbf-hours", 3.0).unwrap(), 3.0);
+        assert_eq!(a.u64_or("seed", 42).unwrap(), 42);
+        assert!(a.get("anything").is_none());
+    }
+
+    #[test]
+    fn no_subcommand_is_allowed() {
+        let a = parse("--nodes 2").unwrap();
+        assert_eq!(a.command(), None);
+        assert_eq!(a.usize_or("nodes", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn list_option() {
+        let a = parse("drill --kill 0,2,3").unwrap();
+        assert_eq!(a.usize_list("kill").unwrap(), vec![0, 2, 3]);
+        assert!(a.usize_list("missing").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(
+            parse("run --nodes").unwrap_err(),
+            ArgError::MissingValue("nodes".into())
+        );
+        assert_eq!(
+            parse("run stray").unwrap_err(),
+            ArgError::UnexpectedToken("stray".into())
+        );
+        assert!(matches!(
+            parse("run --nodes four").unwrap().usize_or("nodes", 1),
+            Err(ArgError::BadValue { .. })
+        ));
+        let e = ArgError::BadValue {
+            key: "nodes".into(),
+            value: "four".into(),
+            expected: "an unsigned integer",
+        };
+        assert!(e.to_string().contains("--nodes four"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Orthogonal RAID-group placement (paper Section IV-B, Figs. 2–4).
+//!
+//! The correlation constraint: all VMs on one physical node fail together,
+//! so a RAID group may touch each node **at most once** — "for every two
+//! VMs, we must create a third parity VM and store the group of three on
+//! different nodes". That is exactly gridding RAID groups across disk
+//! controllers (Fig. 2), with physical nodes playing the controllers.
+//!
+//! The construction used here walks VMs in slot-major order so that `k`
+//! consecutive VMs always sit on `k` distinct (cyclically consecutive)
+//! nodes, and assigns each group's parity to the next node after its data
+//! span. For the paper's Fig. 4 shape (4 nodes × 3 VMs, k = 3) this
+//! reproduces the figure's layout exactly: group {A,D,G} → parity on the
+//! fourth node, and every node ends up holding parity for exactly one
+//! group — the RAID-5 balance that lets "all physical machines host
+//! working VMs".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dvdc_vcluster::cluster::Cluster;
+use dvdc_vcluster::ids::{NodeId, VmId};
+
+/// Identifier of a RAID group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub usize);
+
+impl GroupId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+/// One RAID group: `k` data VMs on distinct nodes plus `m ≥ 1` parity
+/// blocks, each on yet another distinct node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaidGroup {
+    /// The group's id.
+    pub id: GroupId,
+    /// Data members (VM ids), each hosted on a distinct node.
+    pub data: Vec<VmId>,
+    /// Nodes holding this group's parity blocks, disjoint from the data
+    /// members' nodes. One entry for XOR, `m` entries for the
+    /// Reed–Solomon extension.
+    pub parity_nodes: Vec<NodeId>,
+}
+
+impl RaidGroup {
+    /// Number of data members.
+    pub fn width(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of parity blocks (failure tolerance of the group).
+    pub fn parity_count(&self) -> usize {
+        self.parity_nodes.len()
+    }
+}
+
+/// Errors from placement construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// `k + m` exceeds the node count — groups cannot span distinct nodes.
+    GroupTooWide {
+        /// Requested data members per group.
+        k: usize,
+        /// Requested parity blocks per group.
+        m: usize,
+        /// Nodes available.
+        nodes: usize,
+    },
+    /// The VM count is not divisible by `k`, leaving a ragged group.
+    RaggedGroups {
+        /// Total VMs.
+        vms: usize,
+        /// Requested data members per group.
+        k: usize,
+    },
+    /// A group touches some node more than once (orthogonality violated).
+    NotOrthogonal {
+        /// The offending group.
+        group: GroupId,
+        /// The node touched twice.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::GroupTooWide { k, m, nodes } => write!(
+                f,
+                "group needs {k}+{m} distinct nodes but the cluster has {nodes}"
+            ),
+            PlacementError::RaggedGroups { vms, k } => {
+                write!(f, "{vms} VMs do not divide into groups of {k}")
+            }
+            PlacementError::NotOrthogonal { group, node } => {
+                write!(f, "{group} touches {node} more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A complete, validated assignment of every VM to a RAID group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlacement {
+    groups: Vec<RaidGroup>,
+    /// `group_of[vm.index()]` = the group containing that VM.
+    group_of: Vec<GroupId>,
+}
+
+impl GroupPlacement {
+    /// Builds the orthogonal placement with `k` data members and one XOR
+    /// parity block per group (the paper's configuration).
+    pub fn orthogonal(cluster: &Cluster, k: usize) -> Result<Self, PlacementError> {
+        Self::orthogonal_with_parity(cluster, k, 1)
+    }
+
+    /// Builds the orthogonal placement with `k` data members and `m`
+    /// parity blocks per group (`m = 2` gives RDP-class double-failure
+    /// tolerance via Reed–Solomon).
+    pub fn orthogonal_with_parity(
+        cluster: &Cluster,
+        k: usize,
+        m: usize,
+    ) -> Result<Self, PlacementError> {
+        assert!(k >= 1, "groups need at least one data member");
+        assert!(m >= 1, "groups need at least one parity block");
+        let n = cluster.node_count();
+        if k + m > n {
+            return Err(PlacementError::GroupTooWide { k, m, nodes: n });
+        }
+        let vms = cluster.vm_count();
+        if !vms.is_multiple_of(k) {
+            return Err(PlacementError::RaggedGroups { vms, k });
+        }
+
+        // Slot-major walk: VM (node n, slot s) visited at position s·N + n.
+        // k consecutive positions occupy k cyclically-consecutive distinct
+        // nodes; parity blocks go on the next m nodes after the data span.
+        let mut order: Vec<VmId> = Vec::with_capacity(vms);
+        let max_slots = cluster
+            .node_ids()
+            .iter()
+            .map(|&nid| cluster.vms_on(nid).len())
+            .max()
+            .unwrap_or(0);
+        for slot in 0..max_slots {
+            for nid in cluster.node_ids() {
+                if let Some(&vm) = cluster.vms_on(nid).get(slot) {
+                    order.push(vm);
+                }
+            }
+        }
+
+        let mut groups = Vec::with_capacity(vms / k);
+        let mut group_of = vec![GroupId(0); vms];
+        let mut parity_load = vec![0usize; n];
+        for (gi, chunk) in order.chunks(k).enumerate() {
+            let id = GroupId(gi);
+            let data = chunk.to_vec();
+            // Parity nodes: walk the ring from the node after the last
+            // data member, skipping group members, and pick the m
+            // least-loaded candidates (ties broken by walk order). The
+            // walk order preserves Fig. 4's layout when the choice is
+            // forced (k + m == N); the load criterion keeps parity
+            // responsibility balanced when there is slack.
+            let data_nodes: Vec<NodeId> = data.iter().map(|&v| cluster.node_of(v)).collect();
+            let start = data_nodes.last().expect("non-empty group").index();
+            let mut candidates: Vec<NodeId> = (1..=n)
+                .map(|step| NodeId((start + step) % n))
+                .filter(|cand| !data_nodes.contains(cand))
+                .collect();
+            candidates.sort_by_key(|cand| parity_load[cand.index()]);
+            let parity_nodes: Vec<NodeId> = candidates.into_iter().take(m).collect();
+            for p in &parity_nodes {
+                parity_load[p.index()] += 1;
+            }
+            for &vm in &data {
+                group_of[vm.index()] = id;
+            }
+            groups.push(RaidGroup {
+                id,
+                data,
+                parity_nodes,
+            });
+        }
+
+        let placement = GroupPlacement { groups, group_of };
+        placement.validate(cluster)?;
+        Ok(placement)
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[RaidGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group containing `vm`.
+    pub fn group_of(&self, vm: VmId) -> &RaidGroup {
+        &self.groups[self.group_of[vm.index()].index()]
+    }
+
+    /// Groups whose parity lives (partly) on `node`.
+    pub fn parity_groups_of(&self, node: NodeId) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .filter(|g| g.parity_nodes.contains(&node))
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// Verifies orthogonality against the cluster's *current* placement:
+    /// within each group, every data node and parity node is distinct.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), PlacementError> {
+        for g in &self.groups {
+            let mut seen: BTreeMap<NodeId, ()> = BTreeMap::new();
+            let nodes = g
+                .data
+                .iter()
+                .map(|&v| cluster.node_of(v))
+                .chain(g.parity_nodes.iter().copied());
+            for node in nodes {
+                if seen.insert(node, ()).is_some() {
+                    return Err(PlacementError::NotOrthogonal { group: g.id, node });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// How many members (data or parity) of each group live on `node` —
+    /// the failure-impact profile. Recoverability with `m` parity blocks
+    /// requires every entry ≤ `m`; orthogonal placement guarantees ≤ 1.
+    pub fn impact_of_node_failure(&self, cluster: &Cluster, node: NodeId) -> Vec<(GroupId, usize)> {
+        self.groups
+            .iter()
+            .map(|g| {
+                let data_hits = g
+                    .data
+                    .iter()
+                    .filter(|&&v| cluster.node_of(v) == node)
+                    .count();
+                let parity_hits = g.parity_nodes.iter().filter(|&&p| p == node).count();
+                (g.id, data_hits + parity_hits)
+            })
+            .collect()
+    }
+
+    /// Parity-block count per node — the load-balance profile the RAID-5
+    /// distribution is meant to flatten.
+    pub fn parity_load(&self, node_count: usize) -> Vec<usize> {
+        let mut load = vec![0usize; node_count];
+        for g in &self.groups {
+            for p in &g.parity_nodes {
+                load[p.index()] += 1;
+            }
+        }
+        load
+    }
+
+    /// Moves one of a group's parity blocks from `from` to `to` — the
+    /// placement side of failing over parity responsibility when its
+    /// holder dies (the protocol re-encodes the block at the new home).
+    ///
+    /// Fails with [`PlacementError::NotOrthogonal`] if `to` already hosts
+    /// one of the group's data members or another of its parity blocks.
+    ///
+    /// # Panics
+    /// Panics if the group holds no parity on `from`.
+    pub fn rehome_parity(
+        &mut self,
+        cluster: &Cluster,
+        gid: GroupId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), PlacementError> {
+        let group = &self.groups[gid.index()];
+        let occupied = group
+            .data
+            .iter()
+            .map(|&v| cluster.node_of(v))
+            .chain(group.parity_nodes.iter().copied().filter(|&p| p != from));
+        for node in occupied {
+            if node == to {
+                return Err(PlacementError::NotOrthogonal { group: gid, node });
+            }
+        }
+        let group = &mut self.groups[gid.index()];
+        let slot = group
+            .parity_nodes
+            .iter()
+            .position(|&p| p == from)
+            .unwrap_or_else(|| panic!("{gid} holds no parity on {from}"));
+        group.parity_nodes[slot] = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvdc_vcluster::cluster::ClusterBuilder;
+
+    fn cluster(nodes: usize, vms_per_node: usize) -> Cluster {
+        ClusterBuilder::new()
+            .physical_nodes(nodes)
+            .vms_per_node(vms_per_node)
+            .vm_memory(4, 16)
+            .build(0)
+    }
+
+    #[test]
+    fn fig4_layout_is_reproduced() {
+        // 4 nodes × 3 VMs, groups of 3: the paper's Fig. 4 (A XOR D XOR G
+        // on the node after G's).
+        let c = cluster(4, 3);
+        let p = GroupPlacement::orthogonal(&c, 3).unwrap();
+        assert_eq!(p.group_count(), 4);
+        // Slot 0: VMs on nodes 0,1,2 = VmIds 0,3,6 ("A,D,G"); parity node 3.
+        let g0 = &p.groups()[0];
+        assert_eq!(g0.data, vec![VmId(0), VmId(3), VmId(6)]);
+        assert_eq!(g0.parity_nodes, vec![NodeId(3)]);
+        // Every node holds parity for exactly one group.
+        assert_eq!(p.parity_load(4), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn orthogonality_holds_for_many_shapes() {
+        for (n, v, k) in [
+            (3, 2, 2),
+            (4, 3, 3),
+            (5, 4, 2),
+            (8, 2, 4),
+            (6, 6, 3),
+            (16, 4, 8),
+        ] {
+            let c = cluster(n, v);
+            let p = GroupPlacement::orthogonal(&c, k)
+                .unwrap_or_else(|e| panic!("n={n} v={v} k={k}: {e}"));
+            p.validate(&c).unwrap();
+            // Any single node failure touches each group at most once.
+            for node in c.node_ids() {
+                for (gid, hits) in p.impact_of_node_failure(&c, node) {
+                    assert!(hits <= 1, "n={n} v={v} k={k}: {gid} hit {hits}× by {node}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_vm_is_in_exactly_one_group() {
+        let c = cluster(4, 3);
+        let p = GroupPlacement::orthogonal(&c, 3).unwrap();
+        let mut counts = vec![0usize; c.vm_count()];
+        for g in p.groups() {
+            for vm in &g.data {
+                counts[vm.index()] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+        // And group_of agrees.
+        for vm in c.vm_ids() {
+            assert!(p.group_of(vm).data.contains(&vm));
+        }
+    }
+
+    #[test]
+    fn parity_load_is_balanced() {
+        for (n, v, k) in [(4, 3, 3), (5, 4, 4), (8, 4, 2)] {
+            let c = cluster(n, v);
+            let p = GroupPlacement::orthogonal(&c, k).unwrap();
+            let load = p.parity_load(n);
+            let (min, max) = (
+                load.iter().min().copied().unwrap(),
+                load.iter().max().copied().unwrap(),
+            );
+            assert!(
+                max - min <= 1,
+                "n={n} v={v} k={k}: unbalanced parity load {load:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_parity_uses_two_distinct_extra_nodes() {
+        let c = cluster(6, 2);
+        let p = GroupPlacement::orthogonal_with_parity(&c, 3, 2).unwrap();
+        for g in p.groups() {
+            assert_eq!(g.parity_count(), 2);
+            assert_ne!(g.parity_nodes[0], g.parity_nodes[1]);
+        }
+        p.validate(&c).unwrap();
+        // Any TWO node failures hit each group at most twice.
+        for a in c.node_ids() {
+            for b in c.node_ids() {
+                if a == b {
+                    continue;
+                }
+                for g in p.groups() {
+                    let hits: usize = p
+                        .impact_of_node_failure(&c, a)
+                        .iter()
+                        .chain(p.impact_of_node_failure(&c, b).iter())
+                        .filter(|(gid, _)| *gid == g.id)
+                        .map(|(_, h)| h)
+                        .sum();
+                    assert!(hits <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_wide_group_rejected() {
+        let c = cluster(3, 2);
+        assert_eq!(
+            GroupPlacement::orthogonal(&c, 3),
+            Err(PlacementError::GroupTooWide {
+                k: 3,
+                m: 1,
+                nodes: 3
+            })
+        );
+    }
+
+    #[test]
+    fn ragged_vm_count_rejected() {
+        let c = cluster(4, 1); // 4 VMs
+        assert_eq!(
+            GroupPlacement::orthogonal(&c, 3),
+            Err(PlacementError::RaggedGroups { vms: 4, k: 3 })
+        );
+    }
+
+    #[test]
+    fn validation_catches_migration_induced_violation() {
+        let mut c = cluster(4, 3);
+        let p = GroupPlacement::orthogonal(&c, 3).unwrap();
+        // Migrate VM 3 (group 0, node 1) onto node 0, colliding with VM 0.
+        c.migrate_vm(VmId(3), NodeId(0));
+        let err = p.validate(&c).unwrap_err();
+        assert!(matches!(err, PlacementError::NotOrthogonal { node, .. } if node == NodeId(0)));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = PlacementError::GroupTooWide {
+            k: 3,
+            m: 1,
+            nodes: 3,
+        };
+        assert!(e.to_string().contains("3+1"));
+        let e = PlacementError::RaggedGroups { vms: 7, k: 2 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn fig2_orthogonal_raid_analogy() {
+        // 3 "controllers" × 2 "disks" each: exhaustively, no controller
+        // failure destroys any group (Fig. 2's property).
+        let c = cluster(3, 2);
+        let p = GroupPlacement::orthogonal(&c, 2).unwrap();
+        for node in c.node_ids() {
+            for (_, hits) in p.impact_of_node_failure(&c, node) {
+                assert!(hits <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rehome_parity_moves_to_free_node() {
+        let c = cluster(6, 2);
+        let mut p = GroupPlacement::orthogonal(&c, 3).unwrap();
+        let gid = p.groups()[0].id;
+        let from = p.groups()[0].parity_nodes[0];
+        // Find a node not involved with group 0 at all.
+        let involved: Vec<NodeId> = p.groups()[0]
+            .data
+            .iter()
+            .map(|&v| c.node_of(v))
+            .chain([from])
+            .collect();
+        let to = c
+            .node_ids()
+            .into_iter()
+            .find(|n| !involved.contains(n))
+            .expect("free node exists");
+        p.rehome_parity(&c, gid, from, to).unwrap();
+        assert_eq!(p.groups()[0].parity_nodes[0], to);
+        p.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn rehome_parity_onto_data_node_rejected() {
+        let c = cluster(6, 2);
+        let mut p = GroupPlacement::orthogonal(&c, 3).unwrap();
+        let gid = p.groups()[0].id;
+        let from = p.groups()[0].parity_nodes[0];
+        let data_node = c.node_of(p.groups()[0].data[0]);
+        assert!(matches!(
+            p.rehome_parity(&c, gid, from, data_node),
+            Err(PlacementError::NotOrthogonal { .. })
+        ));
+        // Unchanged on failure.
+        assert_eq!(p.groups()[0].parity_nodes[0], from);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no parity")]
+    fn rehome_parity_from_wrong_node_panics() {
+        let c = cluster(6, 2);
+        let mut p = GroupPlacement::orthogonal(&c, 3).unwrap();
+        let gid = p.groups()[0].id;
+        let data_node = c.node_of(p.groups()[0].data[0]);
+        let _ = p.rehome_parity(&c, gid, data_node, NodeId(5));
+    }
+}

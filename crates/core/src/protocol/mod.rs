@@ -1,0 +1,204 @@
+//! Checkpoint/recovery protocols.
+//!
+//! Four protocols, mirroring the paper's narrative arc:
+//!
+//! | Protocol | Paper reference | Redundancy | Tolerates |
+//! |---|---|---|---|
+//! | [`DiskFullProtocol`] | the baseline of Fig. 5 | full images on NAS | any (disk survives) |
+//! | [`FirstShotProtocol`] | Fig. 1/3 ("first-shot") | XOR parity on a dedicated node | 1 node |
+//! | [`DvdcProtocol`] | Fig. 4 (the contribution) | distributed per-group parity | 1 node (m=1), m nodes (RS/RDP) |
+//! | [`RemusLikeProtocol`] | Section VI comparator | full replica per VM | 1 node per pair |
+//!
+//! All protocols share one contract ([`CheckpointProtocol`]): `run_round`
+//! performs a coordinated checkpoint of the whole cluster and reports its
+//! cost in the paper's overhead/latency terms; `recover` is called after
+//! `Cluster::fail_node`, rebuilds the lost state, repairs the node in
+//! place, rolls the cluster back to the last committed epoch, and reports
+//! the repair time.
+
+mod diskfull;
+mod dvdc_proto;
+mod first_shot;
+mod remus;
+
+pub use diskfull::DiskFullProtocol;
+pub use dvdc_proto::{delta_parity_update, CodeKind, DvdcProtocol};
+pub use first_shot::FirstShotProtocol;
+pub use remus::RemusLikeProtocol;
+
+use std::fmt;
+
+use dvdc_checkpoint::accounting::CheckpointCost;
+use dvdc_checkpoint::store::StoreError;
+use dvdc_parity::code::CodeError;
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::cluster::Cluster;
+use dvdc_vcluster::ids::{NodeId, VmId};
+
+use crate::placement::GroupId;
+
+/// Outcome of one coordinated checkpoint round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// The epoch this round committed.
+    pub epoch: u64,
+    /// Overhead/latency of the round.
+    pub cost: CheckpointCost,
+    /// Checkpoint payload captured across all VMs (post-compression view:
+    /// incremental rounds ship only dirty pages).
+    pub payload_bytes: usize,
+    /// Bytes that crossed the network (to NAS, parity holders, or
+    /// replicas).
+    pub network_bytes: usize,
+    /// Parity/replica bytes (re)computed this round.
+    pub redundancy_bytes: usize,
+}
+
+/// Outcome of recovering from one physical-node failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The node that failed.
+    pub failed_node: NodeId,
+    /// VMs whose state was rebuilt.
+    pub recovered_vms: Vec<VmId>,
+    /// Groups whose parity had to be recomputed (lived on the dead node).
+    pub parity_rebuilt: Vec<GroupId>,
+    /// Simulated wall-clock cost of the recovery.
+    pub repair_time: Duration,
+    /// The epoch every VM was rolled back to (`None` for protocols that
+    /// resume without a cluster-wide rollback, i.e. Remus).
+    pub rolled_back_to: Option<u64>,
+}
+
+/// Protocol failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// Recovery requested before any round committed.
+    NoCommittedCheckpoint,
+    /// A coordinated round was started while a node was down; recover
+    /// first, then checkpoint.
+    NodeDown {
+        /// The down node.
+        node: NodeId,
+    },
+    /// The failure pattern exceeds the protocol's tolerance.
+    Unrecoverable {
+        /// The node whose failure broke the protocol.
+        node: NodeId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A checkpoint store rejected an update.
+    Store(StoreError),
+    /// An erasure-code operation failed.
+    Code(CodeError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NoCommittedCheckpoint => {
+                write!(f, "no committed checkpoint to recover from")
+            }
+            ProtocolError::NodeDown { node } => {
+                write!(f, "cannot run a coordinated round while {node} is down")
+            }
+            ProtocolError::Unrecoverable { node, reason } => {
+                write!(f, "failure of {node} is unrecoverable: {reason}")
+            }
+            ProtocolError::Store(e) => write!(f, "store error: {e}"),
+            ProtocolError::Code(e) => write!(f, "erasure-code error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<StoreError> for ProtocolError {
+    fn from(e: StoreError) -> Self {
+        ProtocolError::Store(e)
+    }
+}
+
+impl From<CodeError> for ProtocolError {
+    fn from(e: CodeError) -> Self {
+        ProtocolError::Code(e)
+    }
+}
+
+/// A coordinated checkpoint/recovery protocol over a virtual cluster.
+pub trait CheckpointProtocol {
+    /// Short name for reports and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// The last fully committed epoch, if any.
+    fn committed_epoch(&self) -> Option<u64>;
+
+    /// Executes one coordinated checkpoint round over all up nodes.
+    fn run_round(&mut self, cluster: &mut Cluster) -> Result<RoundReport, ProtocolError>;
+
+    /// Recovers from the failure of `failed` (which must already be marked
+    /// down via [`Cluster::fail_node`]). On success the node is repaired
+    /// in place, lost state is rebuilt, and the cluster has rolled back to
+    /// [`CheckpointProtocol::committed_epoch`].
+    fn recover(
+        &mut self,
+        cluster: &mut Cluster,
+        failed: NodeId,
+    ) -> Result<RecoveryReport, ProtocolError>;
+
+    /// Bytes of redundant state this protocol currently holds (parity,
+    /// replicas, NAS copies) — the memory/storage cost axis of the
+    /// Remus-vs-DVDC trade-off in Section VI.
+    fn redundancy_bytes(&self) -> usize;
+
+    /// Recovers by **failing over**: lost state is rebuilt onto surviving
+    /// nodes and the dead node stays out of service. Protocols without a
+    /// failover path fall back to repair-in-place recovery.
+    fn recover_failover(
+        &mut self,
+        cluster: &mut Cluster,
+        failed: NodeId,
+    ) -> Result<RecoveryReport, ProtocolError> {
+        self.recover(cluster, failed)
+    }
+}
+
+/// Rolls the listed VMs back to the given images, clearing dirty state.
+/// VMs on down nodes are skipped (their memory does not exist to restore).
+/// Shared by all protocols' recovery paths.
+pub(crate) fn rollback_vms(cluster: &mut Cluster, images: &[(VmId, Vec<u8>)]) {
+    for (vm, img) in images {
+        let node = cluster.node_of(*vm);
+        if cluster.is_up(node) {
+            cluster.vm_mut(*vm).memory_mut().restore(img);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ProtocolError::NoCommittedCheckpoint;
+        assert!(e.to_string().contains("no committed"));
+        let e = ProtocolError::Unrecoverable {
+            node: NodeId(2),
+            reason: "double failure".into(),
+        };
+        assert!(e.to_string().contains("node2"));
+        assert!(e.to_string().contains("double failure"));
+    }
+
+    #[test]
+    fn error_conversions() {
+        let se = StoreError::MissingBase { vm: VmId(1) };
+        let pe: ProtocolError = se.clone().into();
+        assert_eq!(pe, ProtocolError::Store(se));
+        let ce = CodeError::ShardLengthMismatch;
+        let pe: ProtocolError = ce.clone().into();
+        assert_eq!(pe, ProtocolError::Code(ce));
+    }
+}

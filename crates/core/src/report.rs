@@ -1,0 +1,94 @@
+//! Serialisable experiment records, shared by the bench binaries so every
+//! figure/table regeneration can emit machine-readable JSON alongside its
+//! human-readable table.
+
+use serde::Serialize;
+
+/// One protocol's aggregate result over a simulated job (rows of the
+//  scenario tables in `dvdc-bench`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ProtocolRunRecord {
+    /// Protocol name.
+    pub protocol: String,
+    /// Physical nodes.
+    pub nodes: usize,
+    /// Total VMs.
+    pub vms: usize,
+    /// Job length, seconds.
+    pub job_secs: f64,
+    /// Checkpoint interval, seconds.
+    pub interval_secs: f64,
+    /// Realised wall-clock completion, seconds.
+    pub wall_secs: f64,
+    /// Completion ratio (wall / job).
+    pub ratio: f64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// Total checkpoint overhead, seconds.
+    pub overhead_secs: f64,
+    /// Total repair time, seconds.
+    pub repair_secs: f64,
+    /// Progress destroyed by rollbacks, seconds.
+    pub lost_work_secs: f64,
+    /// Redundant state held at the end, bytes.
+    pub redundancy_bytes: usize,
+}
+
+impl ProtocolRunRecord {
+    /// Builds a record from a job outcome.
+    pub fn from_outcome(
+        protocol: &str,
+        nodes: usize,
+        vms: usize,
+        job_secs: f64,
+        interval_secs: f64,
+        outcome: &crate::sim::JobOutcome,
+        redundancy_bytes: usize,
+    ) -> Self {
+        ProtocolRunRecord {
+            protocol: protocol.to_string(),
+            nodes,
+            vms,
+            job_secs,
+            interval_secs,
+            wall_secs: outcome.wall_time.as_secs(),
+            ratio: outcome.wall_time.as_secs() / job_secs,
+            failures: outcome.failures,
+            recoveries: outcome.recoveries,
+            overhead_secs: outcome.overhead_total.as_secs(),
+            repair_secs: outcome.repair_total.as_secs(),
+            lost_work_secs: outcome.lost_work.as_secs(),
+            redundancy_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::JobOutcome;
+    use dvdc_simcore::time::Duration;
+
+    #[test]
+    fn record_from_outcome() {
+        let out = JobOutcome {
+            wall_time: Duration::from_secs(110.0),
+            rounds: 9,
+            failures: 2,
+            recoveries: 2,
+            overhead_total: Duration::from_secs(4.0),
+            repair_total: Duration::from_secs(3.0),
+            lost_work: Duration::from_secs(3.0),
+            restarted_from_scratch: false,
+        };
+        let rec = ProtocolRunRecord::from_outcome("dvdc", 4, 12, 100.0, 10.0, &out, 1024);
+        assert_eq!(rec.protocol, "dvdc");
+        assert!((rec.ratio - 1.1).abs() < 1e-12);
+        assert_eq!(rec.failures, 2);
+        assert_eq!(rec.redundancy_bytes, 1024);
+        assert_eq!(rec.overhead_secs, 4.0);
+        assert_eq!(rec.lost_work_secs, 3.0);
+    }
+}

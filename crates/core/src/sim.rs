@@ -1,0 +1,515 @@
+//! End-to-end job simulation: a fault-free job of length `T` runs under a
+//! checkpoint protocol while physical-node failures strike per a
+//! `dvdc-faults` plan.
+//!
+//! This is the cluster-level counterpart of the paper's Section V model:
+//! progress accrues in wall-clock time, every `interval` of progress
+//! triggers a coordinated round (whose *overhead* stalls progress), and a
+//! failure destroys all progress since the last committed round, costs the
+//! protocol's recovery time, and rolls the cluster back. The realised
+//! completion times validate — and are validated by — the closed forms in
+//! `dvdc-model`.
+
+use dvdc_checkpoint::adaptive::AdaptivePolicy;
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::{Duration, SimTime};
+use dvdc_vcluster::cluster::Cluster;
+
+use dvdc_faults::injector::ClusterFaultPlan;
+
+use crate::protocol::{CheckpointProtocol, ProtocolError};
+
+/// When to take coordinated checkpoints.
+#[derive(Debug, Clone, Copy)]
+pub enum IntervalPolicy {
+    /// Every fixed span of progress — the classic interval of Section V.
+    Fixed(Duration),
+    /// The Section II-B1 adaptive trigger: checkpoint once
+    /// `t ≥ √(2·C(t)/λ)`, with the live cost `C(t)` estimated from the
+    /// cluster's current dirty set. Evaluated every `check_period` of
+    /// progress.
+    Adaptive {
+        /// Failure rate assumed by the trigger.
+        lambda: f64,
+        /// How often the trigger is re-evaluated.
+        check_period: Duration,
+    },
+}
+
+/// How to handle a failed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Rebuild lost state onto the repaired node (hardware comes back).
+    RepairInPlace,
+    /// Re-home lost state onto survivors; the dead node stays out
+    /// (falls back to repair-in-place if no legal host exists).
+    Failover,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JobRunner {
+    /// Fault-free job length.
+    pub job_length: Duration,
+    /// Checkpoint scheduling policy.
+    pub policy: IntervalPolicy,
+    /// Failure-recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// If true, VM guest workloads actually execute between rounds
+    /// (byte-level realism, slower); if false only the timing skeleton
+    /// runs (for large parameter sweeps).
+    pub drive_guests: bool,
+}
+
+/// Outcome of one simulated job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Realised wall-clock completion time.
+    pub wall_time: Duration,
+    /// Checkpoint rounds executed.
+    pub rounds: u64,
+    /// Failures that struck during the run.
+    pub failures: u64,
+    /// Successful recoveries performed.
+    pub recoveries: u64,
+    /// Total time spent suspended in checkpoint overhead.
+    pub overhead_total: Duration,
+    /// Total time spent in repair/recovery.
+    pub repair_total: Duration,
+    /// Total progress destroyed by rollbacks.
+    pub lost_work: Duration,
+    /// True if the job hit an unrecoverable failure pattern and had to
+    /// restart from scratch (counted inside `wall_time`).
+    pub restarted_from_scratch: bool,
+}
+
+impl JobOutcome {
+    /// The paper's figure-of-merit: realised time over fault-free time.
+    pub fn completion_ratio(&self, job_length: Duration) -> f64 {
+        self.wall_time.as_secs() / job_length.as_secs()
+    }
+}
+
+impl JobRunner {
+    /// Creates a fixed-interval, repair-in-place runner with guests
+    /// driven (byte-level checks on).
+    pub fn new(job_length: Duration, interval: Duration) -> Self {
+        JobRunner {
+            job_length,
+            policy: IntervalPolicy::Fixed(interval),
+            recovery: RecoveryPolicy::RepairInPlace,
+            drive_guests: true,
+        }
+    }
+
+    /// Switches to the adaptive trigger of Section II-B1.
+    pub fn with_adaptive(mut self, lambda: f64, check_period: Duration) -> Self {
+        self.policy = IntervalPolicy::Adaptive {
+            lambda,
+            check_period,
+        };
+        self
+    }
+
+    /// Switches to failover recovery.
+    pub fn with_failover(mut self) -> Self {
+        self.recovery = RecoveryPolicy::Failover;
+        self
+    }
+
+    /// Estimated cost of checkpointing right now: the base coordination
+    /// overhead plus forking the largest per-node dirty set.
+    fn cost_estimate(cluster: &Cluster) -> Duration {
+        let mut per_node = vec![0usize; cluster.node_count()];
+        for vm in cluster.vm_ids() {
+            let node = cluster.node_of(vm);
+            if cluster.is_up(node) {
+                per_node[node.index()] += cluster.vm(vm).memory().dirty_bytes();
+            }
+        }
+        let max = per_node.into_iter().max().unwrap_or(0);
+        Duration::from_millis(40.0) + cluster.fabric().memory.copy(max)
+    }
+
+    /// Runs the job to completion. `plan` supplies failure times in wall
+    /// clock; `hub` seeds guest workloads.
+    ///
+    /// Returns an error only for protocol-level failures that even a
+    /// restart cannot clear (e.g. store corruption); unrecoverable erasure
+    /// patterns are handled by restarting the job from scratch, mirroring
+    /// what an operator would do.
+    pub fn run<P: CheckpointProtocol>(
+        &self,
+        protocol: &mut P,
+        cluster: &mut Cluster,
+        plan: &ClusterFaultPlan,
+        hub: &RngHub,
+    ) -> Result<JobOutcome, ProtocolError> {
+        let mut wall = SimTime::ZERO;
+        let mut progress = Duration::ZERO;
+        let mut committed_progress = Duration::ZERO;
+        let mut next_fault_idx = 0usize;
+        let mut out = JobOutcome {
+            wall_time: Duration::ZERO,
+            rounds: 0,
+            failures: 0,
+            recoveries: 0,
+            overhead_total: Duration::ZERO,
+            repair_total: Duration::ZERO,
+            lost_work: Duration::ZERO,
+            restarted_from_scratch: false,
+        };
+
+        while progress < self.job_length {
+            // Next milestone: the next checkpoint decision point (or job
+            // end).
+            let until_decision = match self.policy {
+                IntervalPolicy::Fixed(interval) => {
+                    let until = interval - (progress - committed_progress).min(interval);
+                    if until.is_zero() {
+                        interval
+                    } else {
+                        until
+                    }
+                }
+                IntervalPolicy::Adaptive { check_period, .. } => check_period,
+            };
+            let remaining = self.job_length - progress;
+            let run_span = until_decision.min(remaining);
+            let milestone = wall + run_span;
+
+            // Does a failure strike first?
+            let fault = plan.faults().get(next_fault_idx).copied();
+            match fault {
+                Some(f) if f.at < milestone => {
+                    // Progress up to the failure instant, then lose
+                    // everything since the last commit. A fault whose
+                    // scheduled time fell inside a repair/overhead window
+                    // strikes as soon as the cluster is running again.
+                    let strike = f.at.max(wall);
+                    let ran = strike - wall;
+                    self.drive(cluster, hub, ran, out.rounds, out.failures);
+                    progress += ran;
+                    wall = strike;
+                    next_fault_idx += 1;
+                    out.failures += 1;
+
+                    let lost = progress - committed_progress;
+                    out.lost_work += lost;
+                    progress = committed_progress;
+
+                    let node = dvdc_vcluster::ids::NodeId(f.node);
+                    if !cluster.is_up(node) {
+                        // Hardware already out of service (failover mode):
+                        // nothing new fails.
+                        out.failures -= 1;
+                        progress += lost; // nothing was actually lost
+                        out.lost_work -= lost;
+                        continue;
+                    }
+                    cluster.fail_node(node);
+                    let recovery = match self.recovery {
+                        RecoveryPolicy::RepairInPlace => protocol.recover(cluster, node),
+                        RecoveryPolicy::Failover => {
+                            match protocol.recover_failover(cluster, node) {
+                                Err(ProtocolError::Unrecoverable { .. }) => {
+                                    // No legal host: fall back to waiting
+                                    // for the hardware repair.
+                                    protocol.recover(cluster, node)
+                                }
+                                other => other,
+                            }
+                        }
+                    };
+                    match recovery {
+                        Ok(rep) => {
+                            out.recoveries += 1;
+                            out.repair_total += rep.repair_time;
+                            wall += rep.repair_time + f.repair;
+                        }
+                        Err(ProtocolError::NoCommittedCheckpoint)
+                        | Err(ProtocolError::Unrecoverable { .. }) => {
+                            // Operator restart: repair hardware, wipe
+                            // progress, start over.
+                            out.restarted_from_scratch = true;
+                            for n in cluster.node_ids() {
+                                cluster.repair_node(n);
+                            }
+                            out.lost_work += committed_progress;
+                            progress = Duration::ZERO;
+                            committed_progress = Duration::ZERO;
+                            wall += f.repair;
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                _ => {
+                    // Run to the milestone.
+                    self.drive(cluster, hub, run_span, out.rounds, out.failures);
+                    progress += run_span;
+                    wall = milestone;
+                    let take = progress < self.job_length
+                        && match self.policy {
+                            IntervalPolicy::Fixed(_) => true,
+                            IntervalPolicy::Adaptive { lambda, .. } => AdaptivePolicy::new(lambda)
+                                .should_checkpoint(
+                                    progress - committed_progress,
+                                    Self::cost_estimate(cluster),
+                                ),
+                        };
+                    if take {
+                        // Coordinated checkpoint round.
+                        let report = protocol.run_round(cluster)?;
+                        out.rounds += 1;
+                        out.overhead_total += report.cost.overhead;
+                        wall += report.cost.overhead;
+                        committed_progress = progress;
+                    }
+                }
+            }
+        }
+
+        out.wall_time = wall.since(SimTime::ZERO);
+        Ok(out)
+    }
+
+    fn drive(
+        &self,
+        cluster: &mut Cluster,
+        hub: &RngHub,
+        span: Duration,
+        round: u64,
+        failures: u64,
+    ) {
+        if !self.drive_guests || span.is_zero() {
+            return;
+        }
+        // One deterministic stream per (vm, round, failures) context so
+        // reruns are bit-identical regardless of failure interleaving.
+        cluster.run_all(span, |vm| {
+            hub.subhub("drive", round * 1_000_003 + failures)
+                .stream_indexed("vm", vm.index() as u64)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::GroupPlacement;
+    use crate::protocol::{DiskFullProtocol, DvdcProtocol};
+    use dvdc_faults::dist::Deterministic;
+    use dvdc_faults::injector::{FaultInjector, NodeFault};
+    use dvdc_vcluster::cluster::ClusterBuilder;
+    use dvdc_vcluster::ids::NodeId;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .physical_nodes(4)
+            .vms_per_node(3)
+            .vm_memory(8, 32)
+            .writes_per_sec(20.0)
+            .build(0)
+    }
+
+    fn dvdc(c: &Cluster) -> DvdcProtocol {
+        DvdcProtocol::new(GroupPlacement::orthogonal(c, 3).unwrap())
+    }
+
+    #[test]
+    fn fault_free_run_pays_only_overhead() {
+        let mut c = cluster();
+        let mut p = dvdc(&c);
+        let runner = JobRunner::new(Duration::from_secs(100.0), Duration::from_secs(10.0));
+        let out = runner
+            .run(
+                &mut p,
+                &mut c,
+                &ClusterFaultPlan::default(),
+                &RngHub::new(1),
+            )
+            .unwrap();
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.rounds, 9); // checkpoints at 10..90, none at 100
+        assert_eq!(out.lost_work, Duration::ZERO);
+        assert!(out.wall_time >= Duration::from_secs(100.0));
+        assert!(
+            (out.wall_time.as_secs() - 100.0 - out.overhead_total.as_secs()).abs() < 1e-9,
+            "wall={} overhead={}",
+            out.wall_time,
+            out.overhead_total
+        );
+    }
+
+    #[test]
+    fn single_failure_costs_lost_work_and_repair() {
+        let mut c = cluster();
+        let mut p = dvdc(&c);
+        let runner = JobRunner::new(Duration::from_secs(100.0), Duration::from_secs(10.0));
+        // Node 2 dies at t=25 (wall). By then 2 rounds committed
+        // (~progress 20), so ~5s of work is lost.
+        let plan = ClusterFaultPlan::new(vec![NodeFault {
+            node: 2,
+            at: SimTime::from_secs(25.0),
+            repair: Duration::from_secs(3.0),
+        }]);
+        let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(2)).unwrap();
+        assert_eq!(out.failures, 1);
+        assert_eq!(out.recoveries, 1);
+        assert!(!out.restarted_from_scratch);
+        assert!(out.lost_work.as_secs() > 0.0 && out.lost_work.as_secs() <= 10.0);
+        assert!(out.wall_time.as_secs() > 103.0); // 100 + repair 3 + extras
+        assert!(out.repair_total.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn failure_before_first_checkpoint_restarts_from_scratch() {
+        let mut c = cluster();
+        let mut p = dvdc(&c);
+        let runner = JobRunner::new(Duration::from_secs(50.0), Duration::from_secs(20.0));
+        let plan = ClusterFaultPlan::new(vec![NodeFault {
+            node: 0,
+            at: SimTime::from_secs(5.0),
+            repair: Duration::from_secs(1.0),
+        }]);
+        let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(3)).unwrap();
+        assert!(out.restarted_from_scratch);
+        assert_eq!(out.failures, 1);
+        assert!(out.wall_time.as_secs() > 50.0);
+    }
+
+    #[test]
+    fn disk_full_and_dvdc_complete_same_job() {
+        let inj = FaultInjector::new(
+            4,
+            Deterministic::new(Duration::from_secs(37.0)),
+            Duration::from_secs(2.0),
+        );
+        let hub = RngHub::new(5);
+        let plan = inj.plan(Duration::from_secs(120.0), &hub);
+
+        let runner = JobRunner::new(Duration::from_secs(60.0), Duration::from_secs(7.0));
+        let mut c1 = cluster();
+        let mut dv = dvdc(&c1);
+        let dv_out = runner.run(&mut dv, &mut c1, &plan, &hub).unwrap();
+
+        let mut c2 = cluster();
+        let mut df = DiskFullProtocol::new();
+        let df_out = runner.run(&mut df, &mut c2, &plan, &hub).unwrap();
+
+        assert!(dv_out.failures > 0);
+        assert_eq!(dv_out.failures, df_out.failures);
+        // Both finish; diskless should not be slower (tiny images keep the
+        // difference small but the ordering must hold).
+        assert!(dv_out.wall_time <= df_out.wall_time);
+    }
+
+    #[test]
+    fn outcome_ratio_helper() {
+        let out = JobOutcome {
+            wall_time: Duration::from_secs(120.0),
+            rounds: 0,
+            failures: 0,
+            recoveries: 0,
+            overhead_total: Duration::ZERO,
+            repair_total: Duration::ZERO,
+            lost_work: Duration::ZERO,
+            restarted_from_scratch: false,
+        };
+        assert!((out.completion_ratio(Duration::from_secs(100.0)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run_once = || {
+            let mut c = cluster();
+            let mut p = dvdc(&c);
+            let runner = JobRunner::new(Duration::from_secs(40.0), Duration::from_secs(5.0));
+            let plan = ClusterFaultPlan::new(vec![NodeFault {
+                node: 1,
+                at: SimTime::from_secs(13.0),
+                repair: Duration::from_secs(1.0),
+            }]);
+            let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(11)).unwrap();
+            (out, c.vm(dvdc_vcluster::ids::VmId(5)).memory().snapshot())
+        };
+        let (a, mem_a) = run_once();
+        let (b, mem_b) = run_once();
+        assert_eq!(a, b);
+        assert_eq!(mem_a, mem_b);
+    }
+
+    #[test]
+    fn adaptive_policy_checkpoints_without_fixed_interval() {
+        let mut c = cluster();
+        let mut p = dvdc(&c);
+        // λ high enough that the ~40 ms base cost triggers within the job.
+        let runner = JobRunner::new(Duration::from_secs(120.0), Duration::from_secs(10.0))
+            .with_adaptive(1.0 / 100.0, Duration::from_secs(1.0));
+        let out = runner
+            .run(
+                &mut p,
+                &mut c,
+                &ClusterFaultPlan::default(),
+                &RngHub::new(6),
+            )
+            .unwrap();
+        assert!(out.rounds > 0, "adaptive trigger must fire");
+        // Young for the base cost alone: √(2·0.04·100) ≈ 2.8 s → dozens
+        // of rounds over 120 s (dirty cost pushes it out a little).
+        assert!(out.rounds >= 10, "rounds={}", out.rounds);
+        assert!(out.wall_time >= Duration::from_secs(120.0));
+    }
+
+    #[test]
+    fn failover_policy_keeps_running_without_the_dead_node() {
+        // 6 nodes give failover headroom (see dvdc_proto tests).
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(20.0)
+            .build(1);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        let runner =
+            JobRunner::new(Duration::from_secs(100.0), Duration::from_secs(10.0)).with_failover();
+        // Node 2 dies at t=35 and, per the plan, would die "again" at
+        // t=70 — but it is already out of service, so only one failure
+        // counts.
+        let plan = ClusterFaultPlan::new(vec![
+            NodeFault {
+                node: 2,
+                at: SimTime::from_secs(35.0),
+                repair: Duration::from_secs(2.0),
+            },
+            NodeFault {
+                node: 2,
+                at: SimTime::from_secs(70.0),
+                repair: Duration::from_secs(2.0),
+            },
+        ]);
+        let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(7)).unwrap();
+        assert_eq!(out.recoveries, 1);
+        assert!(!c.is_up(NodeId(2)), "failover leaves the node out");
+        assert!(c.vms_on(NodeId(2)).is_empty());
+        assert!(out.wall_time >= Duration::from_secs(100.0));
+    }
+
+    #[test]
+    fn failover_falls_back_to_repair_when_no_host_fits() {
+        // Fig. 4 shape: groups span all nodes, failover impossible; the
+        // runner must quietly fall back to repair-in-place.
+        let mut c = cluster();
+        let mut p = dvdc(&c);
+        let runner =
+            JobRunner::new(Duration::from_secs(60.0), Duration::from_secs(10.0)).with_failover();
+        let plan = ClusterFaultPlan::new(vec![NodeFault {
+            node: 1,
+            at: SimTime::from_secs(25.0),
+            repair: Duration::from_secs(2.0),
+        }]);
+        let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(8)).unwrap();
+        assert_eq!(out.recoveries, 1);
+        assert!(c.is_up(NodeId(1)), "repair-in-place brought the node back");
+    }
+}

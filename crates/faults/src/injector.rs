@@ -1,0 +1,253 @@
+//! Cluster-level fault injection.
+//!
+//! The paper's key correlation observation (Section IV-A): *"VM's residing
+//! on the same physical node would be subject to the same hardware faults,
+//! and thus be perfectly correlated in these types of errors."* The
+//! injector therefore schedules failures per **physical node**; whichever
+//! layer consumes the plan is responsible for failing every VM hosted on
+//! the node at that instant (see `dvdc::sim`).
+
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::{Duration, SimTime};
+
+use crate::dist::FailureDistribution;
+use crate::process::RenewalProcess;
+
+/// One scheduled physical-node failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFault {
+    /// Index of the failing physical node.
+    pub node: usize,
+    /// Instant of the failure.
+    pub at: SimTime,
+    /// How long the node stays down before rejoining (repair time).
+    pub repair: Duration,
+}
+
+/// A complete, time-ordered failure schedule for a cluster over a horizon.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterFaultPlan {
+    faults: Vec<NodeFault>,
+}
+
+impl ClusterFaultPlan {
+    /// Builds a plan from unordered faults, sorting by time (ties broken by
+    /// node index so plans are deterministic).
+    pub fn new(mut faults: Vec<NodeFault>) -> Self {
+        faults.sort_by(|a, b| a.at.cmp(&b.at).then(a.node.cmp(&b.node)));
+        ClusterFaultPlan { faults }
+    }
+
+    /// All faults in time order.
+    pub fn faults(&self) -> &[NodeFault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The first fault at or after `t`, if any.
+    pub fn next_at_or_after(&self, t: SimTime) -> Option<&NodeFault> {
+        self.faults.iter().find(|f| f.at >= t)
+    }
+
+    /// Faults affecting a specific node.
+    pub fn for_node(&self, node: usize) -> impl Iterator<Item = &NodeFault> {
+        self.faults.iter().filter(move |f| f.node == node)
+    }
+
+    /// True if two faults (on different nodes) overlap in downtime — i.e.
+    /// the second strikes before the first node's repair completes. A
+    /// single-parity scheme cannot recover from such a window.
+    pub fn has_overlapping_downtime(&self) -> bool {
+        for (i, a) in self.faults.iter().enumerate() {
+            let a_end = a.at + a.repair;
+            for b in &self.faults[i + 1..] {
+                if b.at >= a_end {
+                    break;
+                }
+                if b.node != a.node {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Generates [`ClusterFaultPlan`]s by running one independent renewal
+/// process per physical node.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<D> {
+    per_node: RenewalProcess<D>,
+    repair: Duration,
+    nodes: usize,
+}
+
+impl<D: FailureDistribution + Clone> FaultInjector<D> {
+    /// Creates an injector where each of `nodes` physical nodes fails
+    /// according to `dist` and takes `repair` to come back.
+    pub fn new(nodes: usize, dist: D, repair: Duration) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        FaultInjector {
+            per_node: RenewalProcess::with_repair(dist.clone(), repair),
+            repair,
+            nodes,
+        }
+    }
+
+    /// Number of physical nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Generates the failure schedule over `[0, horizon)`. Node `i` draws
+    /// from the RNG stream `("node-faults", i)` of `hub`, so per-node
+    /// schedules are independent and adding nodes never perturbs existing
+    /// ones.
+    pub fn plan(&self, horizon: Duration, hub: &RngHub) -> ClusterFaultPlan {
+        let mut faults = Vec::new();
+        for node in 0..self.nodes {
+            let mut rng = hub.stream_indexed("node-faults", node as u64);
+            for at in self.per_node.failures_within(horizon, &mut rng) {
+                faults.push(NodeFault {
+                    node,
+                    at,
+                    repair: self.repair,
+                });
+            }
+        }
+        ClusterFaultPlan::new(faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Deterministic, Exponential};
+
+    #[test]
+    fn plan_is_time_ordered() {
+        let inj = FaultInjector::new(
+            8,
+            Exponential::from_mtbf(Duration::from_secs(100.0)),
+            Duration::from_secs(10.0),
+        );
+        let hub = RngHub::new(21);
+        let plan = inj.plan(Duration::from_secs(2_000.0), &hub);
+        assert!(!plan.is_empty());
+        for w in plan.faults().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn plan_is_reproducible() {
+        let inj = FaultInjector::new(
+            4,
+            Exponential::from_mtbf(Duration::from_secs(50.0)),
+            Duration::ZERO,
+        );
+        let hub = RngHub::new(77);
+        let a = inj.plan(Duration::from_secs(500.0), &hub);
+        let b = inj.plan(Duration::from_secs(500.0), &hub);
+        assert_eq!(a.faults(), b.faults());
+    }
+
+    #[test]
+    fn adding_nodes_preserves_existing_schedules() {
+        let hub = RngHub::new(13);
+        let horizon = Duration::from_secs(1_000.0);
+        let dist = Exponential::from_mtbf(Duration::from_secs(100.0));
+        let small = FaultInjector::new(2, dist, Duration::ZERO).plan(horizon, &hub);
+        let large = FaultInjector::new(4, dist, Duration::ZERO).plan(horizon, &hub);
+        for node in 0..2 {
+            let s: Vec<_> = small.for_node(node).copied().collect();
+            let l: Vec<_> = large.for_node(node).copied().collect();
+            assert_eq!(s, l, "node {node} schedule changed when cluster grew");
+        }
+    }
+
+    #[test]
+    fn per_node_rates_are_uniform() {
+        let inj = FaultInjector::new(
+            4,
+            Exponential::from_mtbf(Duration::from_secs(100.0)),
+            Duration::ZERO,
+        );
+        let hub = RngHub::new(99);
+        let plan = inj.plan(Duration::from_secs(100_000.0), &hub);
+        // E[count/node] = 1000; all four nodes should land within ±15 %.
+        for node in 0..4 {
+            let count = plan.for_node(node).count();
+            assert!(
+                (850..=1150).contains(&count),
+                "node {node} had {count} faults"
+            );
+        }
+    }
+
+    #[test]
+    fn next_at_or_after_scans_forward() {
+        let plan = ClusterFaultPlan::new(vec![
+            NodeFault {
+                node: 1,
+                at: SimTime::from_secs(10.0),
+                repair: Duration::ZERO,
+            },
+            NodeFault {
+                node: 0,
+                at: SimTime::from_secs(5.0),
+                repair: Duration::ZERO,
+            },
+        ]);
+        assert_eq!(
+            plan.next_at_or_after(SimTime::from_secs(6.0)).unwrap().node,
+            1
+        );
+        assert_eq!(
+            plan.next_at_or_after(SimTime::from_secs(5.0)).unwrap().node,
+            0
+        );
+        assert!(plan.next_at_or_after(SimTime::from_secs(11.0)).is_none());
+    }
+
+    #[test]
+    fn overlapping_downtime_detection() {
+        let mk = |node, at, repair| NodeFault {
+            node,
+            at: SimTime::from_secs(at),
+            repair: Duration::from_secs(repair),
+        };
+        // Node 1 fails while node 0 is still down → overlap.
+        let overlapping = ClusterFaultPlan::new(vec![mk(0, 10.0, 20.0), mk(1, 15.0, 5.0)]);
+        assert!(overlapping.has_overlapping_downtime());
+        // Sequential failures → no overlap.
+        let sequential = ClusterFaultPlan::new(vec![mk(0, 10.0, 4.0), mk(1, 15.0, 4.0)]);
+        assert!(!sequential.has_overlapping_downtime());
+        // Same node failing twice in a row is not a double failure.
+        let same_node = ClusterFaultPlan::new(vec![mk(0, 10.0, 20.0), mk(0, 25.0, 5.0)]);
+        assert!(!same_node.has_overlapping_downtime());
+    }
+
+    #[test]
+    fn deterministic_dist_gives_synchronized_plan() {
+        let inj = FaultInjector::new(
+            3,
+            Deterministic::new(Duration::from_secs(40.0)),
+            Duration::ZERO,
+        );
+        let hub = RngHub::new(0);
+        let plan = inj.plan(Duration::from_secs(100.0), &hub);
+        // Each node fails at t=40 and t=80 → 6 faults.
+        assert_eq!(plan.len(), 6);
+        assert!(!plan.has_overlapping_downtime());
+    }
+}

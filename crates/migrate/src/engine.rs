@@ -1,0 +1,120 @@
+//! Cluster-level migration: timing from the VM's real state, placement
+//! change on the cluster.
+
+use dvdc_vcluster::cluster::Cluster;
+use dvdc_vcluster::ids::{NodeId, VmId};
+
+use crate::pagehash::PageHashIndex;
+use crate::precopy::{simulate, MigrationStats, PreCopyConfig};
+
+/// Result of migrating one VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationOutcome {
+    /// The VM moved.
+    pub vm: VmId,
+    /// Where it came from.
+    pub from: NodeId,
+    /// Where it now runs.
+    pub to: NodeId,
+    /// Pre-copy timing.
+    pub stats: MigrationStats,
+    /// Bytes saved by page-hash dedup (0 without an index).
+    pub deduped_bytes: usize,
+}
+
+/// Migrates `vm` to `to`, returning the timing outcome.
+///
+/// The dirty rate is taken from the VM's workload (writes/s × page size);
+/// bandwidth from the cluster fabric. If `dedup` is given (the §VII
+/// page-hash extension), pages already present at the destination are
+/// subtracted from the first-round transfer.
+///
+/// # Panics
+/// Panics if the destination node is down (same contract as
+/// [`Cluster::migrate_vm`]).
+pub fn migrate_vm(
+    cluster: &mut Cluster,
+    vm: VmId,
+    to: NodeId,
+    cfg: &PreCopyConfig,
+    dedup: Option<&PageHashIndex>,
+) -> MigrationOutcome {
+    let from = cluster.node_of(vm);
+    let (image_bytes, deduped_bytes, dirty_rate) = {
+        let v = cluster.vm(vm);
+        let full = v.memory().size_bytes();
+        let deduped = dedup
+            .map(|idx| idx.dedup_transfer(v.memory()).deduped_bytes)
+            .unwrap_or(0);
+        let rate = v.workload().writes_per_sec() * v.memory().page_size() as f64;
+        (full, deduped, rate)
+    };
+    let effective_image = image_bytes - deduped_bytes;
+    let bandwidth = cluster.fabric().network.link_bandwidth;
+    let stats = simulate(effective_image, dirty_rate, bandwidth, cfg);
+    cluster.migrate_vm(vm, to);
+    MigrationOutcome {
+        vm,
+        from,
+        to,
+        stats,
+        deduped_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvdc_vcluster::cluster::ClusterBuilder;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .physical_nodes(3)
+            .vms_per_node(2)
+            .vm_memory(64, 256)
+            .writes_per_sec(10.0)
+            .build(0)
+    }
+
+    #[test]
+    fn migration_moves_placement_and_times() {
+        let mut c = cluster();
+        let out = migrate_vm(&mut c, VmId(0), NodeId(2), &PreCopyConfig::default(), None);
+        assert_eq!(out.from, NodeId(0));
+        assert_eq!(out.to, NodeId(2));
+        assert_eq!(c.node_of(VmId(0)), NodeId(2));
+        assert!(out.stats.total_time.as_secs() > 0.0);
+        assert_eq!(out.deduped_bytes, 0);
+    }
+
+    #[test]
+    fn dedup_index_shrinks_transfer() {
+        let mut c = cluster();
+        // Destination already hosts an identical twin image: index VM 4's
+        // memory, then migrate VM 0 after cloning VM 4's contents into it.
+        let twin = c.vm(VmId(4)).memory().snapshot();
+        c.vm_mut(VmId(0)).memory_mut().restore(&twin);
+        let mut idx = PageHashIndex::new();
+        idx.index_image(c.vm(VmId(4)).memory());
+
+        let plain = migrate_vm(&mut c, VmId(1), NodeId(2), &PreCopyConfig::default(), None);
+        let deduped = migrate_vm(
+            &mut c,
+            VmId(0),
+            NodeId(2),
+            &PreCopyConfig::default(),
+            Some(&idx),
+        );
+        assert_eq!(deduped.deduped_bytes, 64 * 256);
+        assert!(deduped.stats.bytes_sent < plain.stats.bytes_sent);
+        assert!(deduped.stats.total_time < plain.stats.total_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "down node")]
+    fn migrating_to_down_node_panics() {
+        let mut c = cluster();
+        c.fail_node(NodeId(1));
+        migrate_vm(&mut c, VmId(0), NodeId(1), &PreCopyConfig::default(), None);
+    }
+}

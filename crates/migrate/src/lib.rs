@@ -1,0 +1,45 @@
+//! # dvdc-migrate
+//!
+//! Live migration for the DVDC reproduction.
+//!
+//! Section IV-C of the paper observes that Remus "is simply using live
+//! migration as a convenient method through which to implement efficient
+//! incremental checkpointing", and proposes to drive diskless
+//! checkpointing with the same machinery. Section VII's future work adds
+//! "page hashes to speed up live migration when similar VMs reside at the
+//! host destination". This crate implements both:
+//!
+//! * [`precopy`] — the iterative pre-copy algorithm of Clark et al.
+//!   (cited as \[7\]): ship the whole image while the guest runs, then ship
+//!   what got dirtied meanwhile, round after round, until the residue is
+//!   small enough for a brief stop-and-copy. Produces the
+//!   total-time/downtime split the paper quotes ("total migration time is
+//!   in minutes and downtime is in milliseconds").
+//! * [`engine`] — applies a migration to a `dvdc-vcluster` cluster:
+//!   computes the timing from the VM's actual memory and workload, then
+//!   moves the placement.
+//! * [`pagehash`] — content-hash dedup: pages whose hash already exists at
+//!   the destination are not transferred.
+//!
+//! ## Example
+//!
+//! ```
+//! use dvdc_migrate::precopy::{PreCopyConfig, simulate};
+//!
+//! // 1 GiB VM, 10 MB/s dirty rate, gigabit link.
+//! let stats = simulate(1 << 30, 10e6, 125e6, &PreCopyConfig::default());
+//! assert!(stats.converged);
+//! assert!(stats.downtime.as_millis() < 1000.0);
+//! assert!(stats.total_time.as_secs() > 8.0); // at least one full image pass
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pagehash;
+pub mod precopy;
+
+pub use engine::{migrate_vm, MigrationOutcome};
+pub use pagehash::PageHashIndex;
+pub use precopy::{simulate, MigrationStats, PreCopyConfig};

@@ -1,0 +1,194 @@
+//! The Figure 5 experiment.
+//!
+//! "To compare our proposed method with a normal checkpointing system, we
+//! ran an analysis, varying the checkpoint interval, to find the optimal
+//! checkpoint times in both systems. … The X marks indicate minima. …
+//! Under the sample scenario, diskless checkpointing reduces estimated
+//! time to completion by 18 % over disk-based checkpointing, with 1 %
+//! overhead ratio from T_base."
+
+use serde::Serialize;
+
+use crate::analytic::completion_ratio;
+use crate::optimize::minimize_log_bracketed;
+use crate::overhead::{cost, ProtocolKind};
+use crate::params::Fig5Params;
+
+/// One sample of a Figure 5 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig5Point {
+    /// Checkpoint interval `T_int` in seconds (x-axis).
+    pub interval: f64,
+    /// Expected-time ratio `E[T]/T` (y-axis).
+    pub ratio: f64,
+}
+
+/// One protocol's curve plus its optimum (the X mark).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Curve {
+    /// Legend label.
+    pub label: String,
+    /// Per-round overhead used, seconds.
+    pub overhead_secs: f64,
+    /// Repair time used, seconds.
+    pub repair_secs: f64,
+    /// Sampled curve, ascending interval.
+    pub points: Vec<Fig5Point>,
+    /// Optimal interval (seconds).
+    pub optimal_interval: f64,
+    /// Ratio at the optimum.
+    pub optimal_ratio: f64,
+}
+
+/// The complete Figure 5 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Result {
+    /// The diskless (DVDC) curve.
+    pub diskless: Fig5Curve,
+    /// The disk-full baseline curve.
+    pub disk_full: Fig5Curve,
+    /// Headline: relative reduction in expected completion time at the
+    /// optima — the paper reports 18 %.
+    pub reduction_at_optima: f64,
+    /// Headline: diskless overhead ratio above the fault-free baseline —
+    /// the paper reports ~1 %.
+    pub diskless_overhead_ratio: f64,
+    /// Disk-full overhead ratio above fault-free (the paper: "nearly 20 %").
+    pub disk_full_overhead_ratio: f64,
+}
+
+fn sweep_curve(kind: ProtocolKind, p: &Fig5Params, intervals: &[f64]) -> Fig5Curve {
+    let c = cost(kind, p);
+    let (ov, rep) = (c.overhead.as_secs(), c.repair.as_secs());
+    let t = p.total_work.as_secs();
+    let ratio = |n: f64| completion_ratio(p.lambda, t, n, ov, rep);
+    let points = intervals
+        .iter()
+        .map(|&n| Fig5Point {
+            interval: n,
+            ratio: ratio(n),
+        })
+        .collect();
+    let lo = intervals.first().copied().unwrap_or(1.0);
+    let hi = intervals.last().copied().unwrap_or(t);
+    let min = minimize_log_bracketed(ratio, lo, hi, 1e-9);
+    Fig5Curve {
+        label: kind.label().to_string(),
+        overhead_secs: ov,
+        repair_secs: rep,
+        points,
+        optimal_interval: min.x,
+        optimal_ratio: min.value,
+    }
+}
+
+/// Log-spaced interval grid from `lo` to `hi` with `n` samples.
+pub fn log_intervals(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && lo > 0.0 && hi > lo, "bad grid spec");
+    let step = (hi / lo).ln() / (n - 1) as f64;
+    (0..n).map(|i| lo * (step * i as f64).exp()).collect()
+}
+
+/// Runs the full Figure 5 analysis: both curves over `intervals` (or the
+/// default 10 s – 12 h grid), minima, and the headline comparisons.
+pub fn run(p: &Fig5Params) -> Fig5Result {
+    let intervals = log_intervals(10.0, 12.0 * 3600.0, 200);
+    run_with_intervals(p, &intervals)
+}
+
+/// As [`run`] but with a caller-supplied interval grid.
+pub fn run_with_intervals(p: &Fig5Params, intervals: &[f64]) -> Fig5Result {
+    let diskless = sweep_curve(ProtocolKind::Diskless, p, intervals);
+    let disk_full = sweep_curve(ProtocolKind::DiskFull, p, intervals);
+    let reduction = (disk_full.optimal_ratio - diskless.optimal_ratio) / disk_full.optimal_ratio;
+    Fig5Result {
+        diskless_overhead_ratio: diskless.optimal_ratio - 1.0,
+        disk_full_overhead_ratio: disk_full.optimal_ratio - 1.0,
+        reduction_at_optima: reduction,
+        diskless,
+        disk_full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_grid_is_monotone_and_bounded() {
+        let g = log_intervals(10.0, 1000.0, 50);
+        assert_eq!(g.len(), 50);
+        assert!((g[0] - 10.0).abs() < 1e-9);
+        assert!((g[49] - 1000.0).abs() < 1e-6);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fig5_shape_diskless_wins_everywhere_it_matters() {
+        let r = run(&Fig5Params::default());
+        // At every sampled interval the diskless ratio is ≤ disk-full's
+        // (same λ, strictly smaller overhead and repair).
+        for (d, f) in r.diskless.points.iter().zip(&r.disk_full.points) {
+            assert!(d.ratio <= f.ratio + 1e-12, "at {}", d.interval);
+        }
+    }
+
+    #[test]
+    fn fig5_headline_numbers_are_in_the_paper_ballpark() {
+        let r = run(&Fig5Params::default());
+        // Paper: diskless ≈ 1 % overhead ratio at optimum.
+        assert!(
+            r.diskless_overhead_ratio > 0.002 && r.diskless_overhead_ratio < 0.03,
+            "diskless overhead ratio = {}",
+            r.diskless_overhead_ratio
+        );
+        // Paper: traditional "adds nearly 20 % to the total execution time".
+        assert!(
+            r.disk_full_overhead_ratio > 0.10 && r.disk_full_overhead_ratio < 0.35,
+            "disk-full overhead ratio = {}",
+            r.disk_full_overhead_ratio
+        );
+        // Paper: 18 % reduction in expected completion time.
+        assert!(
+            r.reduction_at_optima > 0.08 && r.reduction_at_optima < 0.30,
+            "reduction = {}",
+            r.reduction_at_optima
+        );
+    }
+
+    #[test]
+    fn optima_are_interior_minima() {
+        let r = run(&Fig5Params::default());
+        for curve in [&r.diskless, &r.disk_full] {
+            let first = curve.points.first().unwrap();
+            let last = curve.points.last().unwrap();
+            assert!(curve.optimal_ratio <= first.ratio, "{}", curve.label);
+            assert!(curve.optimal_ratio <= last.ratio, "{}", curve.label);
+            assert!(curve.optimal_interval > first.interval);
+            assert!(curve.optimal_interval < last.interval);
+        }
+    }
+
+    #[test]
+    fn disk_full_optimum_is_later_than_diskless() {
+        // Higher per-round cost pushes the optimal interval out
+        // (N* ~ sqrt(2·T_ov/λ)).
+        let r = run(&Fig5Params::default());
+        assert!(r.disk_full.optimal_interval > r.diskless.optimal_interval);
+    }
+
+    #[test]
+    fn optimum_matches_young_first_order() {
+        let r = run(&Fig5Params::default());
+        for curve in [&r.diskless, &r.disk_full] {
+            let young = (2.0 * curve.overhead_secs / 9.26e-5).sqrt();
+            let rel = (curve.optimal_interval - young).abs() / young;
+            assert!(
+                rel < 0.35,
+                "{}: N*={} young={young}",
+                curve.label,
+                curve.optimal_interval
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # dvdc-model
+//!
+//! The paper's Section V analytical model: expected time-to-completion of
+//! a long-running job under Poisson failures, with and without
+//! checkpointing, plus the overhead models that distinguish disk-full from
+//! diskless checkpointing, the interval optimiser, and the Figure 5 sweep.
+//!
+//! Modules:
+//!
+//! * [`analytic`] — Eqs. (1)–(3) and the overhead-aware expectation, in
+//!   numerically careful form, with the paper's typos corrected (see
+//!   `DESIGN.md`, "Paper errata").
+//! * [`overhead`] — per-protocol checkpoint overhead/latency/repair models
+//!   built from the `dvdc-vcluster` fabric constants: the shared-NAS
+//!   bottleneck of the disk-full baseline vs. the distributed links +
+//!   in-memory XOR of DVDC (Section V-B's "two important differences").
+//! * [`optimize`] — golden-section search for the optimal checkpoint
+//!   interval (the X marks in Fig. 5).
+//! * [`fig5`] — the Figure 5 experiment: sweep the interval, emit both
+//!   curves, locate minima, and compute the headline numbers (the paper
+//!   reports an 18 % reduction in expected completion time and a 1 %
+//!   overhead ratio for diskless at the optimum).
+//! * [`montecarlo`] — simulation of the same stochastic process, used to
+//!   validate the closed forms (the paper's model is theory-only; we
+//!   check it).
+//! * [`params`] — the paper's published constants (λ = 9.26e-5 /s, T = 2
+//!   days, 40 ms base overhead, 4 nodes × 3 VMs).
+//!
+//! ## Example: expected slowdown with and without checkpointing
+//!
+//! ```
+//! use dvdc_model::analytic;
+//!
+//! let lambda = 9.26e-5;          // 3 h MTBF
+//! let t = 2.0 * 86_400.0;        // 2-day job
+//! let no_ckpt = analytic::expected_time_no_checkpoint(lambda, t);
+//! let with_ckpt = analytic::expected_time_checkpoint(lambda, t, 1800.0);
+//! assert!(no_ckpt > 100.0 * t);  // hopeless without checkpoints
+//! assert!(with_ckpt < 1.2 * t);  // tame with a 30-minute interval
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod fig5;
+pub mod montecarlo;
+pub mod optimize;
+pub mod overhead;
+pub mod params;
+
+pub use fig5::{Fig5Point, Fig5Result};
+pub use overhead::{CostBreakdown, ProtocolKind};
+pub use params::Fig5Params;

@@ -1,0 +1,169 @@
+//! Optimal-checkpoint-interval search.
+//!
+//! The expected-time curve in the interval is unimodal (overhead term
+//! falls as ~1/N, lost-work term rises as ~N), so golden-section search
+//! converges; a coarse log-grid pass first brackets the minimum robustly.
+
+/// Daly's higher-order closed-form approximation of the optimal
+/// checkpoint interval (an improvement on Young's `√(2·T_ov/λ)` when the
+/// interval is not small relative to the MTBF):
+///
+/// `N* ≈ √(2·T_ov·M) · [1 + ⅓·√(T_ov/2M) + (T_ov/2M)/9] − T_ov`,  M = 1/λ,
+///
+/// valid for `T_ov < 2M`; beyond that Daly prescribes `N* = M`.
+pub fn daly_interval(lambda: f64, overhead: f64) -> f64 {
+    assert!(lambda > 0.0 && overhead >= 0.0, "need λ>0, overhead≥0");
+    let m = 1.0 / lambda;
+    if overhead >= 2.0 * m {
+        return m;
+    }
+    let x = (overhead / (2.0 * m)).sqrt();
+    (2.0 * overhead * m).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) - overhead
+}
+
+/// Result of a 1-D minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Argmin.
+    pub x: f64,
+    /// f(argmin).
+    pub value: f64,
+}
+
+/// Minimises `f` over `[lo, hi]` (both > 0): a 64-point logarithmic grid
+/// brackets the minimum, then golden-section search refines it to relative
+/// tolerance `tol`.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi` and `tol > 0`.
+pub fn minimize_log_bracketed<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> Minimum {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(tol > 0.0, "tolerance must be positive");
+
+    // Coarse pass on a log grid.
+    const GRID: usize = 64;
+    let ratio = (hi / lo).ln() / (GRID - 1) as f64;
+    let mut best_i = 0;
+    let mut best_v = f64::INFINITY;
+    for i in 0..GRID {
+        let x = lo * (ratio * i as f64).exp();
+        let v = f(x);
+        if v < best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let bracket_lo = lo * (ratio * best_i.saturating_sub(1) as f64).exp();
+    let bracket_hi = lo * (ratio * (best_i + 1).min(GRID - 1) as f64).exp();
+
+    // Golden-section refinement.
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (bracket_lo, bracket_hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    while (b - a) / a.max(1e-30) > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = (a + b) / 2.0;
+    Minimum { x, value: f(x) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let m = minimize_log_bracketed(|x| (x - 100.0).powi(2) + 3.0, 1.0, 10_000.0, 1e-10);
+        assert!((m.x - 100.0).abs() < 0.01, "x={}", m.x);
+        assert!((m.value - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn finds_checkpoint_style_minimum() {
+        // f(N) = a/N + b·N has minimum at sqrt(a/b).
+        let (a, b) = (5000.0, 0.002);
+        let m = minimize_log_bracketed(|n| a / n + b * n, 1.0, 1e7, 1e-10);
+        let expect = (a / b).sqrt();
+        assert!(
+            (m.x - expect).abs() / expect < 1e-4,
+            "x={} expect={expect}",
+            m.x
+        );
+    }
+
+    #[test]
+    fn handles_minimum_at_boundary() {
+        // Monotone decreasing → minimum at hi.
+        let m = minimize_log_bracketed(|x| 1.0 / x, 1.0, 1000.0, 1e-9);
+        assert!(m.x > 900.0, "x={}", m.x);
+        // Monotone increasing → minimum at lo.
+        let m = minimize_log_bracketed(|x| x, 1.0, 1000.0, 1e-9);
+        assert!(m.x < 1.2, "x={}", m.x);
+    }
+
+    #[test]
+    fn respects_tolerance() {
+        let tight = minimize_log_bracketed(|x| (x.ln() - 3.0).powi(2), 0.1, 1e4, 1e-12);
+        assert!((tight.x - 3f64.exp()).abs() / 3f64.exp() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn rejects_bad_bounds() {
+        let _ = minimize_log_bracketed(|x| x, 10.0, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn daly_tracks_exact_optimum() {
+        // Against the numerically-found optimum of the full expectation,
+        // Daly must land within a few percent across regimes.
+        use crate::analytic::expected_time_checkpoint_overhead;
+        let lambda = 9.26e-5;
+        let total = 172_800.0;
+        for overhead in [0.44, 10.0, 172.0] {
+            let exact = minimize_log_bracketed(
+                |n| expected_time_checkpoint_overhead(lambda, total, n, overhead, 0.0),
+                1.0,
+                86_400.0,
+                1e-10,
+            )
+            .x;
+            let daly = daly_interval(lambda, overhead);
+            let rel = (daly - exact).abs() / exact;
+            assert!(rel < 0.05, "overhead={overhead}: daly {daly} exact {exact}");
+        }
+    }
+
+    #[test]
+    fn daly_beats_young_at_large_overheads() {
+        use crate::analytic::expected_time_checkpoint_overhead;
+        let lambda = 9.26e-5;
+        let total = 172_800.0;
+        let overhead = 500.0f64; // large relative to the 3 h MTBF
+        let young = (2.0 * overhead / lambda).sqrt();
+        let daly = daly_interval(lambda, overhead);
+        let f = |n: f64| expected_time_checkpoint_overhead(lambda, total, n, overhead, 0.0);
+        assert!(f(daly) <= f(young), "daly {} young {}", f(daly), f(young));
+    }
+
+    #[test]
+    fn daly_saturates_at_mtbf() {
+        let lambda = 1e-3;
+        let m = 1.0 / lambda;
+        assert_eq!(daly_interval(lambda, 3.0 * m), m);
+    }
+}

@@ -1,0 +1,174 @@
+//! The erasure-code abstraction shared by all codes in this crate.
+
+use std::fmt;
+
+/// Errors returned by [`ErasureCode::reconstruct`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// More shards were lost than the code can tolerate.
+    TooManyErasures {
+        /// Number of missing shards.
+        missing: usize,
+        /// Maximum number of missing shards the code can repair.
+        tolerance: usize,
+    },
+    /// The shard vector has the wrong number of entries for this code.
+    WrongShardCount {
+        /// Number of shards supplied.
+        got: usize,
+        /// Number of shards the code expects (`k + m`).
+        expected: usize,
+    },
+    /// Present shards have inconsistent lengths.
+    ShardLengthMismatch,
+    /// Shard length is invalid for this code (e.g. RDP needs a multiple of
+    /// `p-1` sub-blocks).
+    BadShardLength {
+        /// The offending length in bytes.
+        len: usize,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::TooManyErasures { missing, tolerance } => write!(
+                f,
+                "{missing} shards missing but code only tolerates {tolerance}"
+            ),
+            CodeError::WrongShardCount { got, expected } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            CodeError::ShardLengthMismatch => write!(f, "present shards differ in length"),
+            CodeError::BadShardLength { len, constraint } => {
+                write!(f, "shard length {len} invalid: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A systematic erasure code over byte blocks: `data_shards()` data blocks
+/// are protected by `parity_shards()` parity blocks, and any
+/// `parity_shards()` losses among the `total_shards()` blocks are
+/// repairable.
+pub trait ErasureCode {
+    /// Number of data shards `k`.
+    fn data_shards(&self) -> usize;
+
+    /// Number of parity shards `m` (also the erasure tolerance).
+    fn parity_shards(&self) -> usize;
+
+    /// Total shards `k + m`.
+    fn total_shards(&self) -> usize {
+        self.data_shards() + self.parity_shards()
+    }
+
+    /// Computes the parity shards for `data` (must contain exactly
+    /// `data_shards()` equal-length blocks).
+    fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>>;
+
+    /// Repairs missing shards in place. `shards` must hold
+    /// `total_shards()` entries ordered data-then-parity; `None` marks an
+    /// erased shard. On success every entry is `Some` and data shards hold
+    /// their original contents.
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError>;
+
+    /// Convenience: true if the erasure pattern in `shards` is repairable
+    /// by this code (count of `None` ≤ tolerance and shape is right).
+    fn can_reconstruct(&self, shards: &[Option<Vec<u8>>]) -> bool {
+        shards.len() == self.total_shards()
+            && shards.iter().filter(|s| s.is_none()).count() <= self.parity_shards()
+    }
+}
+
+/// Validates the common preconditions shared by all codes: shard count,
+/// erasure count, and equal lengths of present shards. Returns the common
+/// shard length.
+pub(crate) fn validate_shards(
+    shards: &[Option<Vec<u8>>],
+    expected: usize,
+    tolerance: usize,
+) -> Result<usize, CodeError> {
+    if shards.len() != expected {
+        return Err(CodeError::WrongShardCount {
+            got: shards.len(),
+            expected,
+        });
+    }
+    let missing = shards.iter().filter(|s| s.is_none()).count();
+    if missing > tolerance {
+        return Err(CodeError::TooManyErasures { missing, tolerance });
+    }
+    let mut len = None;
+    for s in shards.iter().flatten() {
+        match len {
+            None => len = Some(s.len()),
+            Some(l) if l != s.len() => return Err(CodeError::ShardLengthMismatch),
+            _ => {}
+        }
+    }
+    // missing ≤ tolerance < expected, so at least one shard is present.
+    Ok(len.expect("at least one shard present"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_good_shards() {
+        let shards = vec![Some(vec![1, 2]), None, Some(vec![3, 4])];
+        assert_eq!(validate_shards(&shards, 3, 1), Ok(2));
+    }
+
+    #[test]
+    fn validate_rejects_too_many_erasures() {
+        let shards = vec![None, None, Some(vec![1])];
+        assert_eq!(
+            validate_shards(&shards, 3, 1),
+            Err(CodeError::TooManyErasures {
+                missing: 2,
+                tolerance: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_count() {
+        let shards = vec![Some(vec![1])];
+        assert_eq!(
+            validate_shards(&shards, 3, 1),
+            Err(CodeError::WrongShardCount {
+                got: 1,
+                expected: 3
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_ragged_lengths() {
+        let shards = vec![Some(vec![1, 2]), Some(vec![3])];
+        assert_eq!(
+            validate_shards(&shards, 2, 1),
+            Err(CodeError::ShardLengthMismatch)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodeError::TooManyErasures {
+            missing: 3,
+            tolerance: 1,
+        };
+        assert!(e.to_string().contains("3 shards missing"));
+        let e = CodeError::BadShardLength {
+            len: 10,
+            constraint: "must be a multiple of p-1",
+        };
+        assert!(e.to_string().contains("multiple of p-1"));
+    }
+}

@@ -1,0 +1,261 @@
+//! GF(2⁸) arithmetic for the Reed–Solomon extension.
+//!
+//! The field is GF(2)\[x\]/(x⁸+x⁴+x³+x²+1) (0x11D), the conventional choice
+//! for storage codes. Multiplication and division go through log/exp
+//! tables built once at startup; addition is XOR.
+
+/// The irreducible polynomial generating the field.
+pub const POLY: u16 = 0x11D;
+
+/// The multiplicative generator used for the tables.
+pub const GENERATOR: u8 = 0x02;
+
+/// Precomputed log/exp tables.
+#[derive(Debug)]
+pub struct Tables {
+    /// exp[i] = g^i, duplicated to 512 entries so `exp[log a + log b]`
+    /// needs no modular reduction.
+    exp: [u8; 512],
+    /// log[a] for a != 0; log[0] is a sentinel never read.
+    log: [u16; 256],
+}
+
+impl Tables {
+    /// Builds the tables by repeated multiplication by the generator.
+    #[allow(clippy::needless_range_loop)] // i is the exponent, not just an index
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    }
+
+    /// Field addition (= subtraction): XOR.
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "GF(256) division by zero");
+        if a == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + 255 - self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics for zero.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        self.div(1, a)
+    }
+
+    /// `a` raised to the power `e`.
+    pub fn pow(&self, a: u8, e: u32) -> u8 {
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let l = (self.log[a as usize] as u64 * e as u64) % 255;
+        self.exp[l as usize]
+    }
+
+    /// Multiply-accumulate over a block: `dst[i] ^= coeff * src[i]`.
+    ///
+    /// This is the inner loop of RS encoding; a 64 KiB-block of it shows up
+    /// in `benches/parity_kernels.rs`.
+    pub fn mul_acc(&self, dst: &mut [u8], src: &[u8], coeff: u8) {
+        assert_eq!(dst.len(), src.len(), "mul_acc operands must match");
+        if coeff == 0 {
+            return;
+        }
+        if coeff == 1 {
+            crate::xor::xor_into(dst, src);
+            return;
+        }
+        let log_c = self.log[coeff as usize];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            if s != 0 {
+                *d ^= self.exp[(log_c + self.log[s as usize]) as usize];
+            }
+        }
+    }
+}
+
+impl Default for Tables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tables {
+        Tables::new()
+    }
+
+    /// Slow reference multiplication (Russian peasant) to validate tables.
+    fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= (POLY & 0xFF) as u8;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn table_mul_matches_reference() {
+        let t = t();
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 7, 91, 128, 200, 255] {
+                assert_eq!(t.mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let t = t();
+        for a in 0..=255u8 {
+            assert_eq!(t.mul(a, 1), a);
+            assert_eq!(t.mul(a, 0), 0);
+            assert_eq!(t.mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let t = t();
+        let samples = [1u8, 2, 5, 17, 99, 180, 254, 255];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(t.mul(a, b), t.mul(b, a));
+                for &c in &samples {
+                    assert_eq!(t.mul(t.mul(a, b), c), t.mul(a, t.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law() {
+        let t = t();
+        for a in [3u8, 50, 200] {
+            for b in [7u8, 99, 255] {
+                for c in [1u8, 2, 128] {
+                    assert_eq!(t.mul(a, t.add(b, c)), t.add(t.mul(a, b), t.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_has_inverse() {
+        let t = t();
+        for a in 1..=255u8 {
+            let inv = t.inv(a);
+            assert_eq!(t.mul(a, inv), 1, "a={a} inv={inv}");
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        let t = t();
+        for a in [0u8, 1, 42, 255] {
+            for b in [1u8, 3, 77, 254] {
+                assert_eq!(t.div(a, b), t.mul(a, t.inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        t().div(5, 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let t = t();
+        for a in [2u8, 3, 19, 200] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(t.pow(a, e), acc, "a={a} e={e}");
+                acc = t.mul(acc, a);
+            }
+        }
+        assert_eq!(t.pow(0, 0), 1);
+        assert_eq!(t.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g^i for i in 0..255 must enumerate all nonzero elements.
+        let t = t();
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = t.pow(GENERATOR, i);
+            assert!(!seen[v as usize], "repeat at i={i}");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar() {
+        let t = t();
+        let src: Vec<u8> = (0..100).map(|i| (i * 7 + 3) as u8).collect();
+        for coeff in [0u8, 1, 2, 77, 255] {
+            let mut dst: Vec<u8> = (0..100).map(|i| (i * 13) as u8).collect();
+            let expect: Vec<u8> = dst
+                .iter()
+                .zip(&src)
+                .map(|(&d, &s)| d ^ t.mul(coeff, s))
+                .collect();
+            t.mul_acc(&mut dst, &src, coeff);
+            assert_eq!(dst, expect, "coeff={coeff}");
+        }
+    }
+}

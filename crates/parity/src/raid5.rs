@@ -1,0 +1,236 @@
+//! Single-parity XOR code and the RAID-5 rotated-parity layout.
+//!
+//! Two pieces of the paper live here:
+//!
+//! * [`XorCode`] — "parity taken from each checkpoint (e.g. A XOR B XOR C
+//!   for ABC)" (Fig. 3): one parity block protects a group against any
+//!   single loss.
+//! * [`Raid5Layout`] — "we can distribute the responsibility of parity
+//!   upkeep among the nodes in a RAID5 fashion" (Section IV-B): which group
+//!   member holds parity rotates per checkpoint epoch (stripe), so no node
+//!   becomes the dedicated checkpoint processor.
+
+use crate::code::{validate_shards, CodeError, ErasureCode};
+use crate::xor::{xor_all, xor_into};
+
+/// XOR single-parity code: `k` data shards, one parity shard, tolerates one
+/// erasure. The code underlying every RAID-5 group in DVDC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorCode {
+    k: usize,
+}
+
+impl XorCode {
+    /// Creates a code over `k` data shards.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "XOR code needs at least one data shard");
+        XorCode { k }
+    }
+}
+
+impl ErasureCode for XorCode {
+    fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    fn parity_shards(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
+        vec![xor_all(data)]
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let len = validate_shards(shards, self.k + 1, 1)?;
+        let missing = match shards.iter().position(|s| s.is_none()) {
+            Some(i) => i,
+            None => return Ok(()), // nothing to repair
+        };
+        let mut acc = vec![0u8; len];
+        for s in shards.iter().flatten() {
+            xor_into(&mut acc, s);
+        }
+        shards[missing] = Some(acc);
+        Ok(())
+    }
+}
+
+/// The RAID-5 left-symmetric rotation: for checkpoint epoch (stripe) `e` in
+/// a group of `width` members, member `parity_member(e)` holds parity and
+/// the rest hold data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Raid5Layout {
+    width: usize,
+}
+
+impl Raid5Layout {
+    /// Creates a layout for groups of `width` members (data + parity).
+    ///
+    /// # Panics
+    /// Panics if `width < 2` (one data + one parity is the minimum group).
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 2, "RAID-5 group needs at least 2 members");
+        Raid5Layout { width }
+    }
+
+    /// Group width (members per stripe).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The member index holding parity in stripe/epoch `e`.
+    ///
+    /// Left-symmetric rotation: parity walks backwards one member per
+    /// stripe, the layout used by most RAID-5 implementations.
+    pub fn parity_member(&self, epoch: u64) -> usize {
+        let w = self.width as u64;
+        ((w - 1) - (epoch % w)) as usize
+    }
+
+    /// True if `member` holds data (not parity) in epoch `e`.
+    pub fn is_data_member(&self, epoch: u64, member: usize) -> bool {
+        member < self.width && member != self.parity_member(epoch)
+    }
+
+    /// The data members of epoch `e`, in index order.
+    pub fn data_members(&self, epoch: u64) -> impl Iterator<Item = usize> + '_ {
+        let p = self.parity_member(epoch);
+        (0..self.width).filter(move |&m| m != p)
+    }
+
+    /// Number of epochs in one full rotation (after which the pattern
+    /// repeats).
+    pub fn rotation_period(&self) -> u64 {
+        self.width as u64
+    }
+
+    /// Fraction of epochs for which a given member holds parity — exactly
+    /// `1/width` for every member, which is the load-balance property the
+    /// paper exploits ("each node contribute\[s\] equally to parity
+    /// checkpointing").
+    pub fn parity_share(&self) -> f64 {
+        1.0 / self.width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_lose_each_shard_in_turn() {
+        let code = XorCode::new(4);
+        let data: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i * 17 + 1; 33]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = code.encode(&refs);
+        assert_eq!(parity.len(), 1);
+
+        for lost in 0..5 {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(std::iter::once(Some(parity[0].clone())))
+                .collect();
+            shards[lost] = None;
+            code.reconstruct(&mut shards).unwrap();
+            for (i, d) in data.iter().enumerate() {
+                assert_eq!(shards[i].as_ref().unwrap(), d, "lost={lost} shard={i}");
+            }
+            assert_eq!(shards[4].as_ref().unwrap(), &parity[0], "lost={lost}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_with_nothing_missing_is_noop() {
+        let code = XorCode::new(2);
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 8];
+        let p = code.encode(&[&a, &b]).remove(0);
+        let mut shards = vec![Some(a.clone()), Some(b.clone()), Some(p)];
+        let before = shards.clone();
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards, before);
+    }
+
+    #[test]
+    fn two_erasures_rejected() {
+        let code = XorCode::new(3);
+        let mut shards = vec![None, None, Some(vec![0u8; 4]), Some(vec![0u8; 4])];
+        assert_eq!(
+            code.reconstruct(&mut shards),
+            Err(CodeError::TooManyErasures {
+                missing: 2,
+                tolerance: 1
+            })
+        );
+    }
+
+    #[test]
+    fn tolerances_reported() {
+        let code = XorCode::new(5);
+        assert_eq!(code.data_shards(), 5);
+        assert_eq!(code.parity_shards(), 1);
+        assert_eq!(code.total_shards(), 6);
+        assert!(!code.can_reconstruct(&vec![None; 0][..]));
+    }
+
+    #[test]
+    fn empty_blocks_are_legal() {
+        let code = XorCode::new(2);
+        let parity = code.encode(&[&[], &[]]);
+        assert!(parity[0].is_empty());
+        let mut shards = vec![Some(vec![]), None, Some(vec![])];
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[1].as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn rotation_covers_every_member_equally() {
+        for width in 2..=8 {
+            let layout = Raid5Layout::new(width);
+            let mut counts = vec![0u32; width];
+            for epoch in 0..(width as u64 * 10) {
+                counts[layout.parity_member(epoch)] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == 10),
+                "width={width} counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_is_left_symmetric() {
+        let layout = Raid5Layout::new(4);
+        // Parity walks backwards: member 3, 2, 1, 0, 3, ...
+        let seq: Vec<usize> = (0..8).map(|e| layout.parity_member(e)).collect();
+        assert_eq!(seq, vec![3, 2, 1, 0, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn data_members_exclude_parity() {
+        let layout = Raid5Layout::new(3);
+        for epoch in 0..6 {
+            let p = layout.parity_member(epoch);
+            let data: Vec<usize> = layout.data_members(epoch).collect();
+            assert_eq!(data.len(), 2);
+            assert!(!data.contains(&p));
+            assert!(!layout.is_data_member(epoch, p));
+            for &d in &data {
+                assert!(layout.is_data_member(epoch, d));
+            }
+        }
+    }
+
+    #[test]
+    fn parity_share_is_uniform() {
+        assert_eq!(Raid5Layout::new(4).parity_share(), 0.25);
+        assert_eq!(Raid5Layout::new(4).rotation_period(), 4);
+    }
+}

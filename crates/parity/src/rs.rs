@@ -1,0 +1,347 @@
+//! Systematic Vandermonde Reed–Solomon code over GF(2⁸).
+//!
+//! The general `m`-failure extension beyond the paper's single-parity XOR
+//! (m = 1) and RDP (m = 2). Construction follows Plank's tutorial: start
+//! from an `(k+m) × k` Vandermonde matrix with distinct evaluation points,
+//! column-reduce so the top `k × k` block is the identity (column
+//! operations multiply every `k`-row minor by the same nonzero factor, so
+//! the "any k rows are invertible" MDS property is preserved), and use the
+//! bottom `m` rows as the parity generator.
+
+use crate::code::{validate_shards, CodeError, ErasureCode};
+use crate::gf256::Tables;
+
+/// Reed–Solomon erasure code with `k` data shards and `m` parity shards.
+/// Tolerates any `m` erasures. Requires `k + m ≤ 256`.
+#[derive(Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    tables: Tables,
+    /// `m × k` parity generator rows (systematic part omitted).
+    parity_rows: Vec<Vec<u8>>,
+}
+
+impl ReedSolomon {
+    /// Creates a code with `k` data and `m` parity shards.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m == 0`, or `k + m > 256`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k > 0, "need at least one data shard");
+        assert!(m > 0, "need at least one parity shard");
+        assert!(k + m <= 256, "GF(256) supports at most 256 total shards");
+        let tables = Tables::new();
+
+        // Vandermonde: V[i][j] = i^j for i in 0..k+m (distinct points).
+        let n = k + m;
+        let mut v: Vec<Vec<u8>> = (0..n)
+            .map(|i| (0..k).map(|j| tables.pow(i as u8, j as u32)).collect())
+            .collect();
+
+        // Column-reduce so the top k×k block becomes the identity.
+        for col in 0..k {
+            // The pivot v[col][col] is nonzero: rows 0..k of a Vandermonde
+            // with distinct points are linearly independent, and previous
+            // steps preserved that.
+            if v[col][col] == 0 {
+                // Swap in a later column with a nonzero entry in this row.
+                let swap = (col + 1..k)
+                    .find(|&c| v[col][c] != 0)
+                    .expect("Vandermonde top block must be invertible");
+                for row in v.iter_mut() {
+                    row.swap(col, swap);
+                }
+            }
+            let inv = tables.inv(v[col][col]);
+            if inv != 1 {
+                for row in v.iter_mut() {
+                    row[col] = tables.mul(row[col], inv);
+                }
+            }
+            for other in 0..k {
+                if other != col && v[col][other] != 0 {
+                    let factor = v[col][other];
+                    for row in v.iter_mut() {
+                        let sub = tables.mul(factor, row[col]);
+                        row[other] ^= sub;
+                    }
+                }
+            }
+        }
+
+        let parity_rows = v.split_off(k);
+        ReedSolomon {
+            k,
+            m,
+            tables,
+            parity_rows,
+        }
+    }
+
+    /// The parity generator coefficient for parity row `r`, data column `c`.
+    pub fn coefficient(&self, r: usize, c: usize) -> u8 {
+        self.parity_rows[r][c]
+    }
+
+    /// Solves `A·x = b` over GF(256) by Gaussian elimination, where `A` is
+    /// `k × k` and `b` is a matrix of `k` block rows. Returns `x` blocks.
+    fn solve(&self, mut a: Vec<Vec<u8>>, mut b: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let k = self.k;
+        let t = &self.tables;
+        for col in 0..k {
+            // Partial pivot.
+            let pivot = (col..k)
+                .find(|&r| a[r][col] != 0)
+                .expect("decoding matrix is invertible for any k surviving shards");
+            a.swap(col, pivot);
+            b.swap(col, pivot);
+            let inv = t.inv(a[col][col]);
+            if inv != 1 {
+                for x in a[col].iter_mut() {
+                    *x = t.mul(*x, inv);
+                }
+                let row = std::mem::take(&mut b[col]);
+                let mut scaled = row;
+                for x in scaled.iter_mut() {
+                    *x = t.mul(*x, inv);
+                }
+                b[col] = scaled;
+            }
+            for r in 0..k {
+                if r != col && a[r][col] != 0 {
+                    let factor = a[r][col];
+                    let (pivot_a, pivot_b) = (a[col].clone(), b[col].clone());
+                    for (x, &p) in a[r].iter_mut().zip(&pivot_a) {
+                        *x ^= t.mul(factor, p);
+                    }
+                    t.mul_acc(&mut b[r], &pivot_b, factor);
+                }
+            }
+        }
+        b
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
+        let len = data.first().map(|d| d.len()).unwrap_or(0);
+        assert!(
+            data.iter().all(|d| d.len() == len),
+            "data shards must have equal length"
+        );
+        self.parity_rows
+            .iter()
+            .map(|row| {
+                let mut out = vec![0u8; len];
+                for (c, shard) in data.iter().enumerate() {
+                    self.tables.mul_acc(&mut out, shard, row[c]);
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let len = validate_shards(shards, self.k + self.m, self.m)?;
+        if shards.iter().all(|s| s.is_some()) {
+            return Ok(());
+        }
+
+        // Build the decoding system from the first k surviving shards:
+        // generator row for shard i is e_i (data) or parity_rows[i-k].
+        let survivors: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .take(self.k)
+            .collect();
+        debug_assert_eq!(survivors.len(), self.k);
+
+        let a: Vec<Vec<u8>> = survivors
+            .iter()
+            .map(|&i| {
+                if i < self.k {
+                    let mut row = vec![0u8; self.k];
+                    row[i] = 1;
+                    row
+                } else {
+                    self.parity_rows[i - self.k].clone()
+                }
+            })
+            .collect();
+        let b: Vec<Vec<u8>> = survivors
+            .iter()
+            .map(|&i| shards[i].clone().expect("survivor present"))
+            .collect();
+
+        let data = self.solve(a, b);
+        debug_assert!(data.iter().all(|d| d.len() == len));
+
+        // Restore missing data shards, then re-encode missing parity.
+        for i in 0..self.k {
+            if shards[i].is_none() {
+                shards[i] = Some(data[i].clone());
+            }
+        }
+        let missing_parity: Vec<usize> = (self.k..self.k + self.m)
+            .filter(|&i| shards[i].is_none())
+            .collect();
+        if !missing_parity.is_empty() {
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = self.encode(&refs);
+            for i in missing_parity {
+                shards[i] = Some(parity[i - self.k].clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|c| {
+                (0..len)
+                    .map(|i| ((i * 31 + c * 101 + 7) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn roundtrip(k: usize, m: usize, len: usize, lost: &[usize]) {
+        let code = ReedSolomon::new(k, m);
+        let data = sample(k, len);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        let originals = shards.clone();
+        for &l in lost {
+            shards[l] = None;
+        }
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards, originals, "k={k} m={m} lost={lost:?}");
+    }
+
+    #[test]
+    fn single_parity_behaves_like_xor() {
+        // RS with m=1 must also fix any single loss.
+        for lost in 0..4 {
+            roundtrip(3, 1, 20, &[lost]);
+        }
+    }
+
+    #[test]
+    fn all_double_losses_with_two_parity() {
+        let total = 5 + 2;
+        for a in 0..total {
+            for b in (a + 1)..total {
+                roundtrip(5, 2, 16, &[a, b]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_triple_losses_with_three_parity() {
+        let total = 4 + 3;
+        for a in 0..total {
+            for b in (a + 1)..total {
+                for c in (b + 1)..total {
+                    roundtrip(4, 3, 8, &[a, b, c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_losses_rejected() {
+        let code = ReedSolomon::new(3, 2);
+        let data = sample(3, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(
+            code.reconstruct(&mut shards),
+            Err(CodeError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn systematic_property() {
+        // Parity rows must reproduce data untouched: encoding must not
+        // depend on parity of the identity part.
+        let code = ReedSolomon::new(4, 2);
+        // Encoding all-zero data gives all-zero parity.
+        let zeros = vec![vec![0u8; 10]; 4];
+        let refs: Vec<&[u8]> = zeros.iter().map(|v| v.as_slice()).collect();
+        assert!(code.encode(&refs).iter().all(|p| p.iter().all(|&b| b == 0)));
+    }
+
+    #[test]
+    fn linearity_of_encoding() {
+        // encode(a ^ b) == encode(a) ^ encode(b) — GF(2) linearity.
+        let code = ReedSolomon::new(3, 2);
+        let a = sample(3, 12);
+        let b: Vec<Vec<u8>> = sample(3, 12)
+            .into_iter()
+            .map(|v| v.into_iter().map(|x| x.wrapping_mul(3)).collect())
+            .collect();
+        let xor: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let enc = |d: &[Vec<u8>]| {
+            let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();
+            code.encode(&refs)
+        };
+        let pa = enc(&a);
+        let pb = enc(&b);
+        let pxor = enc(&xor);
+        for i in 0..2 {
+            let manual: Vec<u8> = pa[i].iter().zip(&pb[i]).map(|(x, y)| x ^ y).collect();
+            assert_eq!(pxor[i], manual);
+        }
+    }
+
+    #[test]
+    fn max_geometry_accepted() {
+        let code = ReedSolomon::new(200, 56);
+        assert_eq!(code.total_shards(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256")]
+    fn oversized_geometry_rejected() {
+        let _ = ReedSolomon::new(250, 10);
+    }
+
+    #[test]
+    fn wide_code_roundtrip() {
+        roundtrip(20, 4, 8, &[0, 7, 21, 23]);
+    }
+}

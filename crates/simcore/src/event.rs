@@ -1,0 +1,220 @@
+//! Stable-priority event queue.
+//!
+//! A discrete-event simulation is only reproducible if simultaneous events
+//! are delivered in a deterministic order. [`EventQueue`] pairs every
+//! scheduled event with a monotonically increasing sequence number and
+//! orders by `(time, sequence)`, so two events at the same instant pop in
+//! the order they were scheduled — on every run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Internal heap entry. Ordered by `(time, seq)` via `Reverse` for a
+/// min-heap.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// The queue also tracks the simulation clock: [`EventQueue::pop`] advances
+/// [`EventQueue::now`] to the popped event's timestamp, and scheduling in
+/// the past panics (a classic DES causality bug that is much cheaper to
+/// catch at the source).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at t=0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` to fire `delay` after the current clock.
+    pub fn schedule_after(&mut self, delay: crate::time::Duration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap yielded an event in the past");
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Drains events strictly before `horizon`, in order.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            out.push(self.pop().expect("peeked event must pop"));
+        }
+        out
+    }
+
+    /// Discards all pending events without moving the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), "c");
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10.0), "first");
+        q.pop();
+        q.schedule_after(Duration::from_secs(5.0), "second");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(15.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10.0), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5.0), ());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        for i in 1..=5 {
+            q.schedule(SimTime::from_secs(i as f64), i);
+        }
+        let drained = q.pop_until(SimTime::from_secs(3.0));
+        assert_eq!(
+            drained.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(q.len(), 3);
+        // Horizon is exclusive: event at exactly t=3 remains.
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3.0)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,126 @@
+//! Monte-Carlo trial driver.
+//!
+//! Runs many independent trials of a stochastic experiment, each with its
+//! own derived [`RngHub`], and summarises the scalar outcome. Used by
+//! `dvdc-model` to validate the paper's closed-form expectations (Section V)
+//! against simulation.
+
+use crate::rng::RngHub;
+use crate::stats::Welford;
+
+/// Outcome summary of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct McSummary {
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Sample mean of the trial outcomes.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval on the mean.
+    pub ci95: f64,
+    /// Smallest outcome observed.
+    pub min: f64,
+    /// Largest outcome observed.
+    pub max: f64,
+}
+
+impl McSummary {
+    /// True if `value` lies within the 95 % confidence interval of the mean.
+    pub fn ci95_contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95
+    }
+
+    /// Relative error of the sample mean against a reference value.
+    pub fn relative_error(&self, reference: f64) -> f64 {
+        if reference == 0.0 {
+            self.mean.abs()
+        } else {
+            (self.mean - reference).abs() / reference.abs()
+        }
+    }
+}
+
+/// Runs `trials` independent executions of `trial`, each receiving a
+/// trial-specific [`RngHub`], and summarises the returned scalars.
+///
+/// Trials are independent by construction: trial *i* draws from
+/// `hub.subhub("mc-trial", i)`, so inserting extra draws inside one trial
+/// never perturbs another.
+pub fn run<F>(hub: &RngHub, trials: u64, mut trial: F) -> McSummary
+where
+    F: FnMut(&RngHub) -> f64,
+{
+    assert!(trials > 0, "at least one trial is required");
+    let mut acc = Welford::new();
+    for i in 0..trials {
+        let sub = hub.subhub("mc-trial", i);
+        let outcome = trial(&sub);
+        assert!(outcome.is_finite(), "trial {i} returned non-finite outcome");
+        acc.push(outcome);
+    }
+    McSummary {
+        trials,
+        mean: acc.mean(),
+        std_dev: acc.std_dev(),
+        ci95: acc.ci95_half_width(),
+        min: acc.min(),
+        max: acc.max(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let hub = RngHub::new(11);
+        let f = |h: &RngHub| h.stream("x").random::<f64>();
+        let a = run(&hub, 100, f);
+        let b = run(&hub, 100, f);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let hub = RngHub::new(5);
+        let s = run(&hub, 20_000, |h| h.stream("u").random::<f64>());
+        assert!(s.ci95_contains(0.5), "mean={} ci95={}", s.mean, s.ci95);
+        assert!(s.relative_error(0.5) < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        // Inverse-CDF sampling of Exp(λ=2): mean should be 0.5.
+        let hub = RngHub::new(5);
+        let s = run(&hub, 20_000, |h| {
+            let u: f64 = h.stream("e").random();
+            -(1.0 - u).ln() / 2.0
+        });
+        assert!((s.mean - 0.5).abs() < 0.02, "mean={}", s.mean);
+    }
+
+    #[test]
+    fn trials_are_independent_of_extra_draws() {
+        // Drawing extra numbers from an unrelated stream inside a trial must
+        // not change what another stream produces.
+        let hub = RngHub::new(3);
+        let base = run(&hub, 50, |h| h.stream("signal").random::<f64>());
+        let with_noise = run(&hub, 50, |h| {
+            let _noise: u64 = h.stream("noise").random();
+            h.stream("signal").random::<f64>()
+        });
+        assert_eq!(base.mean, with_noise.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let hub = RngHub::new(0);
+        run(&hub, 0, |_| 0.0);
+    }
+}

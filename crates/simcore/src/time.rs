@@ -1,0 +1,351 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is an absolute instant on the simulation clock and
+//! [`Duration`] is a span between instants. Both are `f64` seconds under the
+//! hood — the analytical model in the paper works in continuous time, so an
+//! integer tick would force arbitrary quantisation. The types enforce the
+//! two invariants a `f64` clock needs to be safe in a DES:
+//!
+//! 1. values are always finite (constructors panic on NaN/∞), and
+//! 2. ordering is total ([`f64::total_cmp`]), so they can key a priority
+//!    queue.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in seconds since t=0.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+/// A span of simulated time, in seconds. May not be negative.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Duration(f64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant `secs` seconds after t=0.
+    ///
+    /// # Panics
+    /// Panics if `secs` is not finite or is negative.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "SimTime must be finite, got {secs}");
+        assert!(secs >= 0.0, "SimTime must be non-negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since t=0.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The elapsed span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_secs(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a span of `secs` seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is not finite or is negative.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "Duration must be finite, got {secs}");
+        assert!(secs >= 0.0, "Duration must be non-negative, got {secs}");
+        Duration(secs)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Duration::from_secs(ms / 1e3)
+    }
+
+    /// Creates a span of `us` microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Duration::from_secs(us / 1e6)
+    }
+
+    /// Creates a span of `h` hours.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Duration::from_secs(h * 3600.0)
+    }
+
+    /// Creates a span of `d` days.
+    #[inline]
+    pub fn from_days(d: f64) -> Self {
+        Duration::from_secs(d * 86_400.0)
+    }
+
+    /// Length in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Length in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Length in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// True if the span is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The shorter of two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Eq for Duration {}
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for Duration {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: f64) -> Duration {
+        Duration::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 3600.0 {
+            write!(f, "{:.3}h", self.as_hours())
+        } else if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else {
+            write!(f, "{:.3}ms", self.as_millis())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_secs(10.0) + Duration::from_secs(5.0);
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!((t - SimTime::from_secs(10.0)).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Duration::from_millis(40.0).as_secs(), 0.04);
+        assert_eq!(Duration::from_hours(3.0).as_secs(), 10_800.0);
+        assert_eq!(Duration::from_days(2.0).as_secs(), 172_800.0);
+        assert_eq!(Duration::from_micros(1_000_000.0).as_secs(), 1.0);
+        assert_eq!(Duration::from_hours(1.0).as_hours(), 1.0);
+        assert_eq!(Duration::from_secs(0.25).as_millis(), 250.0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_secs(10.0);
+        assert_eq!((d * 2.0).as_secs(), 20.0);
+        assert_eq!((d / 4.0).as_secs(), 2.5);
+        assert_eq!(d / Duration::from_secs(2.0), 5.0);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = (1..=4).map(|i| Duration::from_secs(i as f64)).sum();
+        assert_eq!(total.as_secs(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = Duration::from_secs(1.0) - Duration::from_secs(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Duration::from_millis(40.0)), "40.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(2.0)), "2.000s");
+        assert_eq!(format!("{}", Duration::from_hours(3.0)), "3.000h");
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic page-write workloads.
+//!
+//! "The principle of locality dictates that certain regions of memory be
+//! 'hot' or 'cold' during most types of computation" (Section II-B1) —
+//! that skew is what makes incremental checkpointing and pre-copy live
+//! migration converge. Each workload decides *which* page the next guest
+//! write lands on; [`DirtyRateModel`] decides *how many* writes happen per
+//! unit of simulated time.
+
+use rand::Rng;
+
+use crate::memory::MemoryImage;
+use dvdc_simcore::time::Duration;
+
+/// Chooses the target page of each guest write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Every page equally likely — the adversarial case for incremental
+    /// checkpointing (working set = whole image).
+    Uniform,
+    /// A fraction of pages is "hot" and absorbs most writes.
+    HotCold {
+        /// Fraction of the image that is hot, in (0, 1].
+        hot_fraction: f64,
+        /// Probability that a write hits the hot region, in [0, 1].
+        hot_probability: f64,
+    },
+    /// Pages are written in address order, wrapping — a streaming kernel.
+    Sequential,
+}
+
+impl AccessPattern {
+    /// A conventional 90/10 working-set skew.
+    pub fn ninety_ten() -> Self {
+        AccessPattern::HotCold {
+            hot_fraction: 0.1,
+            hot_probability: 0.9,
+        }
+    }
+}
+
+/// Stateful per-VM workload: an access pattern plus a write rate.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pattern: AccessPattern,
+    rate: DirtyRateModel,
+    /// Cursor for the sequential pattern.
+    cursor: usize,
+    /// Monotonically increasing value mixed into written pages so repeated
+    /// writes change content.
+    write_counter: u64,
+}
+
+impl Workload {
+    /// Creates a workload writing `writes_per_sec` pages per second with
+    /// the given pattern.
+    pub fn new(pattern: AccessPattern, writes_per_sec: f64) -> Self {
+        Workload {
+            pattern,
+            rate: DirtyRateModel::new(writes_per_sec),
+            cursor: 0,
+            write_counter: 0,
+        }
+    }
+
+    /// The access pattern.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// The configured write rate (pages/second).
+    pub fn writes_per_sec(&self) -> f64 {
+        self.rate.writes_per_sec()
+    }
+
+    /// Advances the workload by `dt`, applying the generated writes to
+    /// `mem`. Returns the number of writes performed.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        mem: &mut MemoryImage,
+        dt: Duration,
+        rng: &mut R,
+    ) -> u64 {
+        let writes = self.rate.writes_in(dt);
+        for _ in 0..writes {
+            let page = self.next_page(mem.page_count(), rng);
+            self.write_counter += 1;
+            mem.touch_page(page, self.write_counter);
+        }
+        writes
+    }
+
+    /// Picks the page for the next write.
+    pub fn next_page<R: Rng + ?Sized>(&mut self, page_count: usize, rng: &mut R) -> usize {
+        match self.pattern {
+            AccessPattern::Uniform => rng.random_range(0..page_count),
+            AccessPattern::HotCold {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_pages =
+                    ((page_count as f64 * hot_fraction).ceil() as usize).clamp(1, page_count);
+                if rng.random::<f64>() < hot_probability {
+                    rng.random_range(0..hot_pages)
+                } else if hot_pages < page_count {
+                    rng.random_range(hot_pages..page_count)
+                } else {
+                    rng.random_range(0..page_count)
+                }
+            }
+            AccessPattern::Sequential => {
+                let page = self.cursor % page_count;
+                self.cursor = self.cursor.wrapping_add(1);
+                page
+            }
+        }
+    }
+}
+
+/// Converts elapsed simulated time into an integer number of page writes,
+/// carrying the fractional remainder so long-run rates are exact.
+#[derive(Debug, Clone)]
+pub struct DirtyRateModel {
+    writes_per_sec: f64,
+    carry: f64,
+}
+
+impl DirtyRateModel {
+    /// Creates a model with the given rate.
+    ///
+    /// # Panics
+    /// Panics if the rate is negative or non-finite.
+    pub fn new(writes_per_sec: f64) -> Self {
+        assert!(
+            writes_per_sec.is_finite() && writes_per_sec >= 0.0,
+            "rate must be non-negative, got {writes_per_sec}"
+        );
+        DirtyRateModel {
+            writes_per_sec,
+            carry: 0.0,
+        }
+    }
+
+    /// The configured rate.
+    pub fn writes_per_sec(&self) -> f64 {
+        self.writes_per_sec
+    }
+
+    /// Number of writes in an interval of length `dt`.
+    pub fn writes_in(&mut self, dt: Duration) -> u64 {
+        let exact = self.writes_per_sec * dt.as_secs() + self.carry;
+        let whole = exact.floor();
+        self.carry = exact - whole;
+        whole as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvdc_simcore::rng::RngHub;
+
+    #[test]
+    fn dirty_rate_long_run_exact() {
+        let mut m = DirtyRateModel::new(3.7);
+        let mut total = 0u64;
+        for _ in 0..1000 {
+            total += m.writes_in(Duration::from_secs(0.1));
+        }
+        // 3.7 * 100s = 370 writes exactly (carry preserves the fraction).
+        assert_eq!(total, 370);
+    }
+
+    #[test]
+    fn zero_rate_never_writes() {
+        let mut m = DirtyRateModel::new(0.0);
+        assert_eq!(m.writes_in(Duration::from_hours(10.0)), 0);
+    }
+
+    #[test]
+    fn uniform_pattern_covers_pages() {
+        let hub = RngHub::new(8);
+        let mut rng = hub.stream("u");
+        let mut w = Workload::new(AccessPattern::Uniform, 1.0);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[w.next_page(16, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hot_cold_concentrates_writes() {
+        let hub = RngHub::new(8);
+        let mut rng = hub.stream("hc");
+        let mut w = Workload::new(AccessPattern::ninety_ten(), 1.0);
+        let pages = 100;
+        let mut hot_hits = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if w.next_page(pages, &mut rng) < 10 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction={frac}");
+    }
+
+    #[test]
+    fn sequential_pattern_wraps() {
+        let hub = RngHub::new(8);
+        let mut rng = hub.stream("s");
+        let mut w = Workload::new(AccessPattern::Sequential, 1.0);
+        let seq: Vec<usize> = (0..7).map(|_| w.next_page(3, &mut rng)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn run_applies_writes_and_dirties() {
+        let hub = RngHub::new(8);
+        let mut rng = hub.stream("run");
+        let mut mem = MemoryImage::zeroed(64, 16);
+        let mut w = Workload::new(AccessPattern::Uniform, 100.0);
+        let writes = w.run(&mut mem, Duration::from_secs(1.0), &mut rng);
+        assert_eq!(writes, 100);
+        assert!(mem.dirty_count() > 0);
+        assert!(mem.dirty_count() <= 64);
+    }
+
+    #[test]
+    fn repeated_writes_to_same_page_change_content() {
+        let hub = RngHub::new(8);
+        let mut rng = hub.stream("rw");
+        let mut mem = MemoryImage::zeroed(1, 16);
+        let mut w = Workload::new(AccessPattern::Sequential, 1.0);
+        let p0 = mem.page(crate::ids::PageIndex(0)).to_vec();
+        w.run(&mut mem, Duration::from_secs(1.0), &mut rng);
+        let p1 = mem.page(crate::ids::PageIndex(0)).to_vec();
+        mem.clear_dirty();
+        w.run(&mut mem, Duration::from_secs(1.0), &mut rng);
+        let p2 = mem.page(crate::ids::PageIndex(0)).to_vec();
+        assert_ne!(p0, p1);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn hot_fraction_of_one_is_uniform() {
+        let hub = RngHub::new(8);
+        let mut rng = hub.stream("edge");
+        let mut w = Workload::new(
+            AccessPattern::HotCold {
+                hot_fraction: 1.0,
+                hot_probability: 0.5,
+            },
+            1.0,
+        );
+        for _ in 0..100 {
+            let p = w.next_page(10, &mut rng);
+            assert!(p < 10);
+        }
+    }
+}

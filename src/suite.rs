@@ -1,0 +1,1 @@
+//! Workspace umbrella crate; the library code lives in the member crates.

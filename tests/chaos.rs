@@ -1,0 +1,159 @@
+//! Chaos testing: long random sequences of guest activity, checkpoint
+//! rounds, node failures, recoveries (repair-in-place *and* failover),
+//! and migrations — with byte-exact state verification after every
+//! recovery. The goal is to shake out interactions no scripted scenario
+//! covers.
+
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::{CheckpointProtocol, DvdcProtocol, ProtocolError};
+use dvdc_checkpoint::strategy::Mode;
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
+use dvdc_vcluster::ids::NodeId;
+use rand::Rng;
+
+fn snapshots(c: &Cluster) -> Vec<Vec<u8>> {
+    c.vm_ids()
+        .iter()
+        .map(|&v| c.vm(v).memory().snapshot())
+        .collect()
+}
+
+/// One chaos run: random interleavings of work, rounds, and failures.
+fn chaos_run(seed: u64, nodes: usize, vms: usize, k: usize, m: usize, steps: usize) {
+    let mut cluster = ClusterBuilder::new()
+        .physical_nodes(nodes)
+        .vms_per_node(vms)
+        .vm_memory(8, 32)
+        .writes_per_sec(300.0)
+        .build(seed);
+    let placement = GroupPlacement::orthogonal_with_parity(&cluster, k, m).unwrap();
+    let mut protocol = DvdcProtocol::with_options(
+        placement,
+        Mode::Incremental,
+        true,
+        Duration::from_millis(40.0),
+    );
+    let hub = RngHub::new(seed);
+    let mut rng = hub.stream("chaos");
+
+    // Committed reference state (what a rollback must restore).
+    protocol.run_round(&mut cluster).unwrap();
+    let mut committed = snapshots(&cluster);
+
+    for step in 0..steps {
+        match rng.random_range(0..12u8) {
+            // Guest work (50 %).
+            0..=5 => {
+                let span = Duration::from_secs(rng.random_range(0.1..2.0));
+                cluster.run_all(span, |vm| {
+                    hub.subhub("work", step as u64)
+                        .stream_indexed("vm", vm.index() as u64)
+                });
+            }
+            // Checkpoint round (20 %).
+            6..=7 => {
+                if cluster.node_ids().iter().all(|&n| cluster.is_up(n)) {
+                    protocol.run_round(&mut cluster).unwrap();
+                    committed = snapshots(&cluster);
+                }
+            }
+            // Orthogonality-preserving migration (~17 %).
+            8..=9 => {
+                let vm = {
+                    let ids = cluster.vm_ids();
+                    ids[rng.random_range(0..ids.len())]
+                };
+                if !cluster.is_up(cluster.node_of(vm)) {
+                    continue;
+                }
+                let group = protocol.placement().group_of(vm).clone();
+                let forbidden: Vec<NodeId> = group
+                    .data
+                    .iter()
+                    .filter(|&&m| m != vm)
+                    .map(|&m| cluster.node_of(m))
+                    .chain(group.parity_nodes.iter().copied())
+                    .collect();
+                let dest = cluster
+                    .node_ids()
+                    .into_iter()
+                    .filter(|&n| cluster.is_up(n) && !forbidden.contains(&n))
+                    .min_by_key(|&n| cluster.vms_on(n).len());
+                if let Some(dest) = dest {
+                    let from = cluster.node_of(vm);
+                    cluster.migrate_vm(vm, dest);
+                    protocol.on_migrate(&cluster, vm, from);
+                    protocol
+                        .placement()
+                        .validate(&cluster)
+                        .expect("migration preserved orthogonality");
+                }
+            }
+            // Failure + recovery (~17 %).
+            _ => {
+                let up: Vec<NodeId> = cluster
+                    .node_ids()
+                    .into_iter()
+                    .filter(|&n| cluster.is_up(n) && !cluster.vms_on(n).is_empty())
+                    .collect();
+                if up.len() <= k {
+                    continue; // not enough survivors for a decode
+                }
+                let victim = up[rng.random_range(0..up.len())];
+                cluster.fail_node(victim);
+                let use_failover = rng.random_bool(0.4);
+                let result = if use_failover {
+                    match protocol.recover_failover(&mut cluster, victim) {
+                        Err(ProtocolError::Unrecoverable { .. }) => {
+                            protocol.recover(&mut cluster, victim)
+                        }
+                        other => other,
+                    }
+                } else {
+                    protocol.recover(&mut cluster, victim)
+                };
+                result.unwrap_or_else(|e| panic!("seed={seed} step={step} victim={victim}: {e}"));
+                // Byte-exact rollback of every live VM.
+                for (i, vm) in cluster.vm_ids().into_iter().enumerate() {
+                    if cluster.is_up(cluster.node_of(vm)) {
+                        assert_eq!(
+                            cluster.vm(vm).memory().snapshot(),
+                            committed[i],
+                            "seed={seed} step={step} victim={victim} vm={vm}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_xor_parity_fig4_shape() {
+    for seed in 0..4 {
+        chaos_run(seed, 4, 3, 3, 1, 80);
+    }
+}
+
+#[test]
+fn chaos_xor_parity_roomy_cluster() {
+    for seed in 10..14 {
+        chaos_run(seed, 6, 2, 3, 1, 80);
+    }
+}
+
+#[test]
+fn chaos_double_parity() {
+    for seed in 20..23 {
+        chaos_run(seed, 6, 2, 3, 2, 60);
+    }
+}
+
+#[test]
+fn chaos_wide_groups() {
+    for seed in 30..32 {
+        chaos_run(seed, 8, 2, 4, 1, 60);
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 5 / Table A shape assertions — the quantitative claims of the
+//! paper's Section V-B, checked against the reproduction's model:
+//!
+//! * "diskless checkpointing reduces estimated time to completion by 18%
+//!   over disk-based checkpointing" — we accept 8–30 %.
+//! * "with 1% overhead ratio from T_base" — we accept 0.2–3 %.
+//! * "the traditional checkpointing, even at an optimal interval, adds
+//!   nearly 20% to the total execution time" — we accept 10–35 %.
+//! * the curves are unimodal with interior minima (the X marks), and the
+//!   disk-full optimum sits at a longer interval.
+
+use dvdc_model::fig5;
+use dvdc_model::Fig5Params;
+
+#[test]
+fn headline_numbers_match_paper_bands() {
+    let r = fig5::run(&Fig5Params::default());
+    assert!(
+        (0.08..0.30).contains(&r.reduction_at_optima),
+        "reduction {}",
+        r.reduction_at_optima
+    );
+    assert!(
+        (0.002..0.03).contains(&r.diskless_overhead_ratio),
+        "diskless overhead {}",
+        r.diskless_overhead_ratio
+    );
+    assert!(
+        (0.10..0.35).contains(&r.disk_full_overhead_ratio),
+        "disk-full overhead {}",
+        r.disk_full_overhead_ratio
+    );
+}
+
+#[test]
+fn curves_have_interior_unimodal_minima() {
+    let r = fig5::run(&Fig5Params::default());
+    for curve in [&r.diskless, &r.disk_full] {
+        // Interior.
+        assert!(curve.optimal_interval > curve.points.first().unwrap().interval);
+        assert!(curve.optimal_interval < curve.points.last().unwrap().interval);
+        // Unimodal along the sampled grid: descending then ascending.
+        let ratios: Vec<f64> = curve.points.iter().map(|p| p.ratio).collect();
+        let min_idx = ratios
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        for w in ratios[..=min_idx].windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "{}: not descending before min",
+                curve.label
+            );
+        }
+        for w in ratios[min_idx..].windows(2) {
+            assert!(
+                w[0] <= w[1] + 1e-12,
+                "{}: not ascending after min",
+                curve.label
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_full_optimum_interval_is_longer() {
+    let r = fig5::run(&Fig5Params::default());
+    assert!(r.disk_full.optimal_interval > 3.0 * r.diskless.optimal_interval);
+}
+
+#[test]
+fn diskless_dominates_across_the_whole_sweep() {
+    let r = fig5::run(&Fig5Params::default());
+    for (d, f) in r.diskless.points.iter().zip(&r.disk_full.points) {
+        assert!(d.ratio <= f.ratio + 1e-12, "at interval {}", d.interval);
+    }
+}
+
+#[test]
+fn worse_mtbf_hurts_disk_full_more() {
+    // At Google's 1.2 h MTBF (paper Section I), the gap widens.
+    let worse = Fig5Params {
+        lambda: 1.0 / (1.2 * 3600.0),
+        ..Fig5Params::default()
+    };
+    let bad = fig5::run(&worse);
+    let base = fig5::run(&Fig5Params::default());
+    assert!(bad.reduction_at_optima > base.reduction_at_optima);
+    assert!(bad.disk_full.optimal_ratio > base.disk_full.optimal_ratio);
+}
+
+#[test]
+fn better_mtbf_shrinks_everything() {
+    // A gentle 24 h MTBF: both systems near fault-free performance.
+    let gentle = Fig5Params {
+        lambda: 1.0 / (24.0 * 3600.0),
+        ..Fig5Params::default()
+    };
+    let r = fig5::run(&gentle);
+    assert!(r.diskless.optimal_ratio < 1.005);
+    assert!(r.disk_full.optimal_ratio < 1.10);
+}
+
+#[test]
+fn bigger_images_push_both_optima_out() {
+    let big = Fig5Params {
+        vm_image_bytes: 4 << 30,
+        ..Fig5Params::default()
+    };
+    let b = fig5::run(&big);
+    let s = fig5::run(&Fig5Params::default());
+    assert!(b.disk_full.optimal_interval > s.disk_full.optimal_interval);
+    assert!(b.diskless.optimal_interval >= s.diskless.optimal_interval * 0.9);
+}

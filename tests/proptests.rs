@@ -1,0 +1,447 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! erasure codes, delta compression, placement orthogonality, the
+//! incremental parity update, the dirty-rate model, page-hash dedup, and
+//! the analytical model's structural properties.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::delta_parity_update;
+use dvdc_checkpoint::delta::{change_fraction, compress, decompress};
+use dvdc_migrate::pagehash::PageHashIndex;
+use dvdc_model::analytic;
+use dvdc_parity::code::ErasureCode;
+use dvdc_parity::raid5::{Raid5Layout, XorCode};
+use dvdc_parity::rdp::RdpCode;
+use dvdc_parity::rs::ReedSolomon;
+use dvdc_parity::xor::{is_zero, xor_all};
+use dvdc_vcluster::cluster::ClusterBuilder;
+use dvdc_vcluster::memory::MemoryImage;
+use dvdc_vcluster::workload::DirtyRateModel;
+
+// ---------- erasure codes ----------
+
+fn shards_strategy(k: usize, len: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    vec(vec(any::<u8>(), len), k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xor_code_recovers_any_single_erasure(
+        data in shards_strategy(4, 48),
+        lost in 0usize..5,
+    ) {
+        let code = XorCode::new(4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let originals = shards.clone();
+        shards[lost] = None;
+        code.reconstruct(&mut shards).unwrap();
+        prop_assert_eq!(shards, originals);
+    }
+
+    #[test]
+    fn xor_group_with_parity_xors_to_zero(data in shards_strategy(5, 32)) {
+        let code = XorCode::new(5);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).remove(0);
+        let mut all_refs: Vec<&[u8]> = refs.clone();
+        all_refs.push(&parity);
+        prop_assert!(is_zero(&xor_all(&all_refs)));
+    }
+
+    #[test]
+    fn rdp_recovers_any_double_erasure(
+        data in shards_strategy(4, 16), // p = 5: rows = 4, len 16 = 4 rows × 4
+        a in 0usize..6,
+        b in 0usize..6,
+    ) {
+        prop_assume!(a != b);
+        let code = RdpCode::new(5);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let originals = shards.clone();
+        shards[a] = None;
+        shards[b] = None;
+        code.reconstruct(&mut shards).unwrap();
+        prop_assert_eq!(shards, originals);
+    }
+
+    #[test]
+    fn rs_recovers_any_m_erasures(
+        data in shards_strategy(5, 24),
+        lost in proptest::sample::subsequence(vec![0usize,1,2,3,4,5,6,7], 3),
+    ) {
+        let code = ReedSolomon::new(5, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let originals = shards.clone();
+        for &l in &lost {
+            shards[l] = None;
+        }
+        code.reconstruct(&mut shards).unwrap();
+        prop_assert_eq!(shards, originals);
+    }
+
+    #[test]
+    fn raid5_rotation_is_a_permutation(width in 2usize..9, base in 0u64..1000) {
+        let layout = Raid5Layout::new(width);
+        let mut seen = vec![false; width];
+        for e in base..base + width as u64 {
+            let p = layout.parity_member(e);
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    // ---------- delta compression ----------
+
+    #[test]
+    fn delta_codec_roundtrips(
+        old in vec(any::<u8>(), 0..512),
+        mask in vec(any::<u8>(), 0..512),
+    ) {
+        let n = old.len().min(mask.len());
+        let old = &old[..n];
+        let new: Vec<u8> = old.iter().zip(&mask[..n]).map(|(o, m)| o ^ m).collect();
+        let d = compress(old, &new);
+        prop_assert_eq!(decompress(old, &d), new);
+    }
+
+    #[test]
+    fn delta_size_bounded_by_change(
+        old in vec(any::<u8>(), 64..256),
+        flips in vec(any::<prop::sample::Index>(), 0..16),
+    ) {
+        let mut new = old.clone();
+        for f in &flips {
+            let i = f.index(new.len());
+            new[i] ^= 0xFF;
+        }
+        let d = compress(&old, &new);
+        // Each changed byte costs at most 1 literal + sometimes a 4-byte
+        // header; plus one trailing header.
+        let changed = (change_fraction(&old, &new) * old.len() as f64).round() as usize;
+        prop_assert!(d.compressed_len() <= changed * 5 + 8,
+            "len {} changed {}", d.compressed_len(), changed);
+    }
+
+    // ---------- incremental parity update ----------
+
+    #[test]
+    fn delta_parity_update_matches_reencode(
+        group in shards_strategy(3, 64),
+        page in 0usize..4,
+        new_page in vec(any::<u8>(), 16),
+    ) {
+        let code = XorCode::new(3);
+        let refs: Vec<&[u8]> = group.iter().map(|d| d.as_slice()).collect();
+        let mut parity = code.encode(&refs).remove(0);
+
+        // Member 1 rewrites one 16-byte "page".
+        let off = page * 16;
+        let mut updated = group.clone();
+        updated[1][off..off + 16].copy_from_slice(&new_page);
+        delta_parity_update(&mut parity, off, &group[1][off..off + 16], &new_page);
+
+        let refs2: Vec<&[u8]> = updated.iter().map(|d| d.as_slice()).collect();
+        prop_assert_eq!(parity, code.encode(&refs2).remove(0));
+    }
+
+    // ---------- placement ----------
+
+    #[test]
+    fn orthogonal_placement_never_doubles_up(
+        nodes in 3usize..10,
+        vms in 1usize..5,
+        k in 2usize..6,
+    ) {
+        prop_assume!(k < nodes);
+        prop_assume!((nodes * vms) % k == 0);
+        let cluster = ClusterBuilder::new()
+            .physical_nodes(nodes)
+            .vms_per_node(vms)
+            .vm_memory(2, 8)
+            .build(1);
+        let placement = GroupPlacement::orthogonal(&cluster, k).unwrap();
+        placement.validate(&cluster).unwrap();
+        for node in cluster.node_ids() {
+            for (_, hits) in placement.impact_of_node_failure(&cluster, node) {
+                prop_assert!(hits <= 1);
+            }
+        }
+        // Parity balance within 1.
+        let load = placement.parity_load(nodes);
+        let (mn, mx) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1, "load {:?}", load);
+    }
+
+    // ---------- dirty-rate model ----------
+
+    #[test]
+    fn dirty_rate_is_exact_over_any_partition(
+        rate in 0.0f64..500.0,
+        cuts in vec(0.001f64..2.0, 1..40),
+    ) {
+        let mut m = DirtyRateModel::new(rate);
+        let total_time: f64 = cuts.iter().sum();
+        let mut total_writes = 0u64;
+        for dt in &cuts {
+            total_writes += m.writes_in(dvdc_simcore::time::Duration::from_secs(*dt));
+        }
+        let expect = rate * total_time;
+        prop_assert!((total_writes as f64 - expect).abs() <= 1.0 + 1e-6,
+            "writes {} expect {}", total_writes, expect);
+    }
+
+    // ---------- page-hash dedup ----------
+
+    #[test]
+    fn dedup_accounting_is_conserved(pages in 1usize..32, shared in 0usize..32) {
+        let shared = shared.min(pages);
+        let migrating = MemoryImage::patterned(pages, 32, 1);
+        let mut resident = MemoryImage::patterned(pages, 32, 2);
+        for p in 0..shared {
+            let bytes = migrating.page(dvdc_vcluster::ids::PageIndex(p)).to_vec();
+            resident.write_page(p, &bytes);
+        }
+        let mut idx = PageHashIndex::new();
+        idx.index_image(&resident);
+        let rep = idx.dedup_transfer(&migrating);
+        prop_assert_eq!(rep.transfer_bytes + rep.deduped_bytes, pages * 32);
+        prop_assert!(rep.deduped_bytes >= shared * 32);
+    }
+
+    // ---------- analytical model ----------
+
+    #[test]
+    fn expected_time_exceeds_fault_free(
+        lambda in 1e-7f64..1e-3,
+        total in 1_000.0f64..200_000.0,
+        interval in 10.0f64..5_000.0,
+        overhead in 0.0f64..100.0,
+        repair in 0.0f64..500.0,
+    ) {
+        prop_assume!(interval < total);
+        let e = analytic::expected_time_checkpoint_overhead(
+            lambda, total, interval, overhead, repair);
+        prop_assert!(e >= total, "E[T]={e} < T={total}");
+        prop_assert!(e.is_finite());
+    }
+
+    #[test]
+    fn expected_time_monotone_in_lambda(
+        total in 10_000.0f64..100_000.0,
+        interval in 60.0f64..2_000.0,
+        overhead in 0.0f64..60.0,
+    ) {
+        let e1 = analytic::expected_time_checkpoint_overhead(1e-5, total, interval, overhead, 0.0);
+        let e2 = analytic::expected_time_checkpoint_overhead(1e-4, total, interval, overhead, 0.0);
+        prop_assert!(e2 >= e1);
+    }
+
+    #[test]
+    fn checkpointing_never_hurts_at_matched_overhead(
+        lambda in 1e-5f64..1e-3,
+        total in 20_000.0f64..100_000.0,
+    ) {
+        // Zero-overhead checkpointing every T/10 beats no checkpointing.
+        let chk = analytic::expected_time_checkpoint(lambda, total, total / 10.0);
+        let none = analytic::expected_time_no_checkpoint(lambda, total);
+        prop_assert!(chk <= none * (1.0 + 1e-9));
+    }
+}
+
+// ---------- coordinated snapshots (Chandy–Lamport) ----------
+
+use dvdc::snapshot::{snapshot_total, BankApp, SnapshotCoordinator};
+use dvdc_simcore::rng::RngHub;
+use dvdc_vcluster::ids::VmId;
+use dvdc_vcluster::messaging::MessageFabric;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chandy_lamport_conserves_value_under_any_interleaving(
+        seed in any::<u64>(),
+        vms in 2usize..6,
+        warmup in 0usize..40,
+    ) {
+        let ids: Vec<VmId> = (0..vms).map(VmId).collect();
+        let mut fabric = MessageFabric::fully_connected(&ids);
+        let mut app = BankApp::new(vms, 500);
+        let total = app.total_in_accounts();
+        let hub = RngHub::new(seed);
+        let mut rng = hub.stream("prop-cl");
+
+        for _ in 0..warmup {
+            let from = VmId(rng.random_range(0..vms));
+            let to = VmId(rng.random_range(0..vms));
+            if from != to {
+                let amt = app.debit(from, rng.random_range(1..40));
+                fabric.send(from, to, amt);
+            }
+        }
+
+        let initiator = VmId(rng.random_range(0..vms));
+        let mut coord = SnapshotCoordinator::start(1, &mut fabric, &ids, initiator, |v| {
+            app.balance(v)
+        });
+        let mut guard = 0;
+        while !coord.is_complete() {
+            guard += 1;
+            prop_assert!(guard < 200_000, "snapshot must terminate");
+            if rng.random_range(0..3u8) == 0 {
+                let from = VmId(rng.random_range(0..vms));
+                let to = VmId(rng.random_range(0..vms));
+                if from != to {
+                    let amt = app.debit(from, rng.random_range(1..40));
+                    fabric.send(from, to, amt);
+                }
+            } else {
+                let channels: Vec<(VmId, VmId)> = fabric
+                    .channel_ids()
+                    .into_iter()
+                    .filter(|&(f, t)| fabric.in_flight(f, t) > 0)
+                    .collect();
+                if channels.is_empty() {
+                    continue;
+                }
+                let (from, to) = channels[rng.random_range(0..channels.len())];
+                let item = fabric.deliver(from, to).expect("nonempty");
+                if let Some(amount) =
+                    coord.deliver(&mut fabric, from, to, item, &|v| app.balance(v))
+                {
+                    app.credit(to, amount);
+                }
+            }
+        }
+        let snap = coord.finish();
+        prop_assert_eq!(snapshot_total(&snap), total);
+        // Live value is also conserved (independent sanity on the app).
+        let live: u64 = (0..vms).map(|v| app.balance(VmId(v))).sum::<u64>()
+            + fabric
+                .channel_ids()
+                .into_iter()
+                .flat_map(|(f, t)| fabric.peek_all(f, t))
+                .filter_map(|item| match item {
+                    dvdc_vcluster::messaging::ChannelItem::Msg(m) => Some(m.payload),
+                    _ => None,
+                })
+                .sum::<u64>();
+        prop_assert_eq!(live, total);
+    }
+}
+
+// ---------- checkpoint wire format ----------
+
+use bytes::Bytes;
+use dvdc_checkpoint::payload::{Checkpoint, CheckpointPayload, PageDelta};
+use dvdc_checkpoint::wire;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrips_full_frames(
+        vm in 0usize..1000,
+        epoch in any::<u64>(),
+        pages in 0usize..8,
+    ) {
+        let page_size = 16;
+        let image: Vec<u8> = (0..pages * page_size).map(|i| (i % 255) as u8).collect();
+        let ckpt = Checkpoint {
+            vm: VmId(vm),
+            epoch,
+            payload: CheckpointPayload::Full {
+                image: Bytes::from(image),
+                page_size,
+            },
+        };
+        let frame = wire::encode(&ckpt);
+        prop_assert_eq!(wire::decode(&frame).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn wire_roundtrips_incremental_frames(
+        vm in 0usize..1000,
+        epoch in 1u64..1_000_000,
+        idxs in proptest::collection::btree_set(0usize..32, 0..8),
+    ) {
+        let page_size = 16;
+        let image_len = 32 * page_size;
+        let pages: Vec<PageDelta> = idxs
+            .into_iter()
+            .map(|index| PageDelta {
+                index,
+                bytes: Bytes::from(vec![(index % 250) as u8 + 1; page_size]),
+            })
+            .collect();
+        let ckpt = Checkpoint {
+            vm: VmId(vm),
+            epoch,
+            payload: CheckpointPayload::Incremental {
+                base_epoch: epoch - 1,
+                page_size,
+                image_len,
+                pages,
+            },
+        };
+        let frame = wire::encode(&ckpt);
+        prop_assert_eq!(wire::decode(&frame).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        // Any input: decode must return Ok or a typed error, never panic.
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_mutated_frames(
+        flips in vec((any::<prop::sample::Index>(), any::<u8>()), 1..6),
+    ) {
+        let ckpt = Checkpoint {
+            vm: VmId(1),
+            epoch: 9,
+            payload: CheckpointPayload::Incremental {
+                base_epoch: 8,
+                page_size: 8,
+                image_len: 64,
+                pages: vec![PageDelta {
+                    index: 3,
+                    bytes: Bytes::from(vec![5u8; 8]),
+                }],
+            },
+        };
+        let mut frame = wire::encode(&ckpt);
+        for (at, val) in flips {
+            let i = at.index(frame.len());
+            frame[i] = val;
+        }
+        let _ = wire::decode(&frame);
+    }
+}
