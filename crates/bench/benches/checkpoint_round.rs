@@ -43,6 +43,23 @@ fn bench_round(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("dvdc_incremental_no_delta_parity", |b| {
+        // Same dirty-page capture, but parity holders re-encode whole
+        // blocks instead of folding XOR deltas — isolates the delta
+        // transport's contribution.
+        let mut cl = cluster();
+        let placement = GroupPlacement::orthogonal(&cl, 3).unwrap();
+        let mut p = DvdcProtocol::new(placement).with_incremental_parity(false);
+        p.run_round(&mut cl).unwrap();
+        let hub = RngHub::new(1);
+        let mut round = 0u64;
+        b.iter(|| {
+            dirty_some(&mut cl, &hub, round);
+            round += 1;
+            black_box(p.run_round(&mut cl).unwrap())
+        })
+    });
+
     g.bench_function("dvdc_full_capture", |b| {
         let mut cl = cluster();
         let placement = GroupPlacement::orthogonal(&cl, 3).unwrap();

@@ -1,8 +1,9 @@
 //! Double-failure ablation — Section II-B2 notes that "Wang et al.
 //! recently implemented RDP codes, which tolerate up to two simultaneous
 //! failures, and found favorable results". DVDC generalises the same way:
-//! `m = 2` parity blocks per group (Reed–Solomon here, RDP-class
-//! tolerance) survive any two concurrent node failures.
+//! `m = 2` parity blocks per group (the zero-padded RDP code, the
+//! protocol's default for m = 2) survive any two concurrent node
+//! failures.
 //!
 //! The experiment compares m=1 (XOR) vs m=2 on: round payload/parity
 //! cost, redundant memory, and exhaustive double-node-failure survival.
@@ -123,7 +124,7 @@ fn drill(m: usize) -> RdpRecord {
 }
 
 fn main() {
-    println!("Double-failure ablation — XOR (m=1) vs RDP-class (m=2, Reed–Solomon)\n");
+    println!("Double-failure ablation — XOR (m=1) vs RDP (m=2)\n");
     println!("cluster: 6 nodes × 2 VMs, groups of k=3\n");
 
     let records: Vec<RdpRecord> = [1, 2].into_iter().map(drill).collect();

@@ -127,8 +127,8 @@ impl GroupPlacement {
     }
 
     /// Builds the orthogonal placement with `k` data members and `m`
-    /// parity blocks per group (`m = 2` gives RDP-class double-failure
-    /// tolerance via Reed–Solomon).
+    /// parity blocks per group (`m = 2` gives double-failure tolerance
+    /// via RDP by default; Reed–Solomon handles `m ≥ 3`).
     pub fn orthogonal_with_parity(
         cluster: &Cluster,
         k: usize,

@@ -119,6 +119,7 @@ impl CheckpointProtocol for DiskFullProtocol {
             payload_bytes,
             network_bytes: payload_bytes,
             redundancy_bytes: payload_bytes,
+            parity_update_bytes: payload_bytes,
         })
     }
 

@@ -5,8 +5,15 @@
 //! additionally holds the parity blocks of the RAID groups assigned to it
 //! by the orthogonal placement. A coordinated round captures every VM,
 //! ships (only) the checkpoint payload to the groups' parity holders, and
-//! recomputes group parity — an in-memory XOR, never a disk write. With
-//! the Section IV-C copy-on-write transport, only the capture suspends the
+//! updates group parity — an in-memory XOR, never a disk write. In steady
+//! state the update is *incremental*: each parity holder folds the
+//! `old ⊕ new` XOR runs of the dirtied pages straight into its standing
+//! block ([`dvdc_parity::code::ErasureCode::apply_delta`]), so both the
+//! wire and the XOR engine are charged by dirty bytes, not image bytes.
+//! A group falls back to a full re-encode whenever the standing parity is
+//! not a valid delta base: the first round, a full (or stale-base)
+//! capture from any member, or a post-recovery rollback. With the
+//! Section IV-C copy-on-write transport, only the capture suspends the
 //! guests; transfer and parity happen in the background (latency, not
 //! overhead).
 //!
@@ -21,6 +28,8 @@
 use std::collections::BTreeMap;
 
 use dvdc_checkpoint::accounting::CheckpointCost;
+use dvdc_checkpoint::delta::{xor_runs, XorRun};
+use dvdc_checkpoint::payload::CheckpointPayload;
 use dvdc_checkpoint::store::DoubleBufferedStore;
 use dvdc_checkpoint::strategy::{Checkpointer, Mode};
 use dvdc_parity::code::{CodeError, ErasureCode};
@@ -58,10 +67,24 @@ enum GroupCode {
 
 impl GroupCode {
     fn new(k: usize, m: usize) -> GroupCode {
-        if m == 1 {
-            GroupCode::Xor(XorCode::new(k))
-        } else {
-            GroupCode::Rs(Box::new(ReedSolomon::new(k, m)))
+        match m {
+            1 => GroupCode::Xor(XorCode::new(k)),
+            // The paper's double-failure configuration cites RDP (Wang et
+            // al.), so m = 2 defaults to it rather than silently upgrading
+            // to Reed–Solomon. Image lengths the RDP row count rejects are
+            // handled lazily: `DvdcProtocol::resolve_code_for` swaps a
+            // defaulted (not pinned) RDP for Reed–Solomon at the first
+            // round.
+            2 => GroupCode::Rdp(ZeroPaddedRdp::new(k)),
+            _ => GroupCode::Rs(Box::new(ReedSolomon::new(k, m))),
+        }
+    }
+
+    fn kind(&self) -> CodeKind {
+        match self {
+            GroupCode::Xor(_) => CodeKind::Xor,
+            GroupCode::Rdp(_) => CodeKind::Rdp,
+            GroupCode::Rs(_) => CodeKind::ReedSolomon,
         }
     }
 
@@ -94,17 +117,34 @@ impl GroupCode {
             GroupCode::Rs(c) => c.reconstruct(shards),
         }
     }
+
+    fn apply_delta(
+        &self,
+        parity_index: usize,
+        parity: &mut [u8],
+        data_index: usize,
+        offset: usize,
+        delta: &[u8],
+    ) {
+        match self {
+            GroupCode::Xor(c) => c.apply_delta(parity_index, parity, data_index, offset, delta),
+            GroupCode::Rdp(c) => c.apply_delta(parity_index, parity, data_index, offset, delta),
+            GroupCode::Rs(c) => c.apply_delta(parity_index, parity, data_index, offset, delta),
+        }
+    }
 }
 
 /// Applies an incremental parity update in place:
 /// `parity[offset..] ^= old_page ^ new_page`.
 ///
-/// This is the mechanism a real DVDC deployment uses so parity holders
-/// never need full images — only the XOR of each dirtied page's before and
-/// after contents. The protocol below recomputes parity from materialized
-/// images (simpler and byte-identical, as the property test in this module
-/// shows); this function exists to demonstrate and verify the incremental
-/// path.
+/// This is the single-parity (XOR, m = 1) special case of the transport
+/// [`DvdcProtocol::run_round`] actually rides on: parity holders never
+/// need full images — only the XOR of each dirtied page's before and
+/// after contents. The general, per-code form (RDP's diagonal bookkeeping,
+/// Reed–Solomon's GF(256) coefficients) lives in
+/// [`dvdc_parity::code::ErasureCode::apply_delta`]; this free function
+/// remains as the minimal didactic kernel and is property-tested against a
+/// full re-encode.
 ///
 /// # Panics
 /// Panics if the pages differ in length or overrun the parity block.
@@ -132,6 +172,18 @@ pub struct DvdcProtocol {
     parity_committed: BTreeMap<(GroupId, usize), Vec<u8>>,
     /// In-progress parity for the current round.
     parity_current: BTreeMap<(GroupId, usize), Vec<u8>>,
+    /// The epoch `parity_current` reflects, when it is a valid base for
+    /// incremental delta application. `None` forces the next round onto
+    /// the full re-encode path (first round, or after a rollback).
+    parity_epoch: Option<u64>,
+    /// Whether rounds may use the incremental delta-parity transport.
+    /// `false` re-encodes every group from full images each round — the
+    /// A/B baseline and escape hatch.
+    incremental_parity: bool,
+    /// `true` once the caller pinned the code via [`DvdcProtocol::with_code`];
+    /// defaulted codes may still be swapped at the first round if the
+    /// image length is incompatible (RDP's row-count constraint).
+    explicit_code: bool,
     base_overhead: Duration,
     /// Whether transfer+parity run in the background (Section IV-C
     /// transport). `true` is the paper's headline configuration.
@@ -156,7 +208,9 @@ impl DvdcProtocol {
     }
 
     /// Full control over capture mode, parity asynchrony, and base
-    /// overhead.
+    /// overhead. The code family follows the placement's parity count:
+    /// m = 1 → XOR, m = 2 → the paper-cited RDP, m ≥ 3 → Reed–Solomon
+    /// (override with [`DvdcProtocol::with_code`]).
     pub fn with_options(
         placement: GroupPlacement,
         mode: Mode,
@@ -187,6 +241,9 @@ impl DvdcProtocol {
             node_stores: Vec::new(),
             parity_committed: BTreeMap::new(),
             parity_current: BTreeMap::new(),
+            parity_epoch: None,
+            incremental_parity: true,
+            explicit_code: false,
             base_overhead,
             async_parity,
             committed_epoch: None,
@@ -249,9 +306,23 @@ impl DvdcProtocol {
         }
     }
 
-    /// Replaces the group erasure code (e.g. [`CodeKind::Rdp`] for the
-    /// paper-cited Row-Diagonal Parity instead of the default
-    /// Reed–Solomon at m = 2). Call before the first round.
+    /// The erasure-code family currently protecting the groups.
+    pub fn code_kind(&self) -> CodeKind {
+        self.code.kind()
+    }
+
+    /// Enables or disables the incremental delta-parity transport (on by
+    /// default). With it off, every round re-encodes parity from the
+    /// members' full materialized images — useful as the before/after
+    /// baseline in benchmarks and as an operational escape hatch.
+    pub fn with_incremental_parity(mut self, enabled: bool) -> Self {
+        self.incremental_parity = enabled;
+        self
+    }
+
+    /// Replaces the group erasure code (e.g. [`CodeKind::ReedSolomon`]
+    /// instead of the default Row-Diagonal Parity at m = 2, for image
+    /// lengths the RDP row count rejects). Call before the first round.
     ///
     /// # Panics
     /// Panics if the kind's tolerance does not match the placement's
@@ -262,7 +333,33 @@ impl DvdcProtocol {
             "code must be chosen before the first round"
         );
         self.code = GroupCode::of_kind(kind, self.group_width, self.parity_blocks);
+        self.explicit_code = true;
         self
+    }
+
+    /// Swaps a *defaulted* RDP code for Reed–Solomon when the cluster's
+    /// image length is incompatible with RDP's row constraint (shard
+    /// length must divide by p−1). Codes pinned via
+    /// [`DvdcProtocol::with_code`] are never swapped — misuse stays a
+    /// panic there, as documented.
+    fn resolve_code_for(&mut self, cluster: &Cluster) {
+        if self.explicit_code {
+            return;
+        }
+        if let GroupCode::Rdp(rdp) = &self.code {
+            let rows = rdp.p() - 1;
+            let len = cluster
+                .vm_ids()
+                .first()
+                .map(|&vm| cluster.vm(vm).memory().size_bytes())
+                .unwrap_or(0);
+            if !len.is_multiple_of(rows) {
+                self.code = GroupCode::Rs(Box::new(ReedSolomon::new(
+                    self.group_width,
+                    self.parity_blocks,
+                )));
+            }
+        }
     }
 
     fn ensure_node_stores(&mut self, nodes: usize) {
@@ -414,6 +511,12 @@ impl DvdcProtocol {
         }
         rollback_vms(cluster, &restore);
         self.checkpointer.reset_all();
+        // Any in-progress parity (including deltas partially applied by a
+        // round that died mid-flight) no longer matches a capture stream:
+        // discard it and force the next round onto the full re-encode
+        // path.
+        self.parity_current = self.parity_committed.clone();
+        self.parity_epoch = None;
     }
 
     /// Simulated recovery wall-clock: survivors fan their images into the
@@ -478,20 +581,37 @@ impl CheckpointProtocol for DvdcProtocol {
             return Err(ProtocolError::NodeDown { node: down });
         }
         self.ensure_node_stores(cluster.node_count());
+        self.resolve_code_for(cluster);
         let epoch = self.next_epoch;
 
-        // Phase 1: capture every VM into its host node's current buffer.
+        // Phase 1: capture every VM into its host node's current buffer,
+        // extracting the parity-ready XOR runs (`old ⊕ new` over the
+        // dirtied pages) *before* the capture is folded in — afterwards
+        // the old bytes are gone.
         let mut payload_bytes = 0usize;
         let mut outbound = vec![0usize; cluster.node_count()];
+        let mut vm_deltas: BTreeMap<VmId, (u64, Vec<XorRun>)> = BTreeMap::new();
         for vm in cluster.vm_ids() {
             let node = cluster.node_of(vm);
             let mut ckpt = {
                 let mem = cluster.vm_mut(vm).memory_mut();
                 self.checkpointer.capture(vm, epoch, mem)
             };
+            if let CheckpointPayload::Incremental { base_epoch, .. } = &ckpt.payload {
+                let store = self.node_stores[node.index()].current();
+                if store.epoch(vm) == Some(*base_epoch) {
+                    if let Some(old) = store.image(vm) {
+                        if let Some(delta) = xor_runs(&ckpt.payload, old) {
+                            vm_deltas.insert(vm, delta);
+                        }
+                    }
+                }
+            }
             if self.node_stores[node.index()].apply(&ckpt).is_err() {
                 // Stale base (e.g. after an aborted recovery wiped this
-                // node's store): fall back to a full capture.
+                // node's store): fall back to a full capture. Any delta
+                // extracted above no longer applies.
+                vm_deltas.remove(&vm);
                 self.checkpointer.reset_vm(vm);
                 ckpt = {
                     let mem = cluster.vm_mut(vm).memory_mut();
@@ -504,33 +624,82 @@ impl CheckpointProtocol for DvdcProtocol {
             outbound[node.index()] += ckpt.size_bytes() * self.parity_blocks;
         }
 
-        // Phase 2: recompute each group's parity from the members' current
-        // materialized images (byte-identical to the incremental
-        // delta-XOR update, see `delta_parity_update`).
+        // Phase 2: update each group's parity. Steady state is the
+        // incremental transport: every member shipped XOR runs against
+        // the epoch the standing parity reflects, so each holder folds
+        // `old ⊕ new` into its block in place and is charged by dirty
+        // bytes. A group whose preconditions fail — first round, a full
+        // (or recaptured) member payload, a base-epoch mismatch, or a
+        // missing standing block — re-encodes from full images instead.
         let mut redundancy_bytes = 0usize;
+        let mut parity_update_bytes = 0usize;
         let mut parity_inbound = vec![0usize; cluster.node_count()];
         let mut parity_xor = vec![0usize; cluster.node_count()];
         let group_ids: Vec<GroupId> = self.placement.groups().iter().map(|g| g.id).collect();
+        // The standing parity is a valid delta base only if it reflects
+        // exactly the committed epoch (on the first round neither exists).
+        let delta_base = match (self.parity_epoch, self.committed_epoch) {
+            (Some(pe), Some(ce)) if pe == ce && self.incremental_parity => Some(pe),
+            _ => None,
+        };
         for gid in group_ids {
             let group = self.placement.groups()[gid.index()].clone();
-            let images: Vec<&[u8]> = group
-                .data
-                .iter()
-                .map(|&vm| {
-                    let node = cluster.node_of(vm);
-                    self.node_stores[node.index()]
-                        .current_image(vm)
-                        .expect("VM captured this round must have a current image")
-                })
-                .collect();
-            let parity = self.code.encode(&images);
-            let image_len = images.first().map(|i| i.len()).unwrap_or(0);
-            for (j, block) in parity.into_iter().enumerate() {
-                redundancy_bytes += block.len();
-                let holder = group.parity_nodes[j];
-                parity_inbound[holder.index()] += image_len * group.data.len();
-                parity_xor[holder.index()] += image_len * group.data.len();
-                self.parity_current.insert((gid, j), block);
+            let member_runs: Option<Vec<(usize, &Vec<XorRun>)>> = delta_base.and_then(|base| {
+                let mut all = Vec::with_capacity(group.data.len());
+                for (pos, vm) in group.data.iter().enumerate() {
+                    match vm_deltas.get(vm) {
+                        Some((b, runs)) if *b == base => all.push((pos, runs)),
+                        _ => return None, // full capture or stale base
+                    }
+                }
+                let complete =
+                    (0..self.parity_blocks).all(|j| self.parity_current.contains_key(&(gid, j)));
+                complete.then_some(all)
+            });
+
+            if let Some(member_runs) = member_runs {
+                let dirty: usize = member_runs
+                    .iter()
+                    .map(|(_, runs)| runs.iter().map(|r| r.len()).sum::<usize>())
+                    .sum();
+                for j in 0..self.parity_blocks {
+                    let holder = group.parity_nodes[j];
+                    let block = self
+                        .parity_current
+                        .get_mut(&(gid, j))
+                        .expect("presence checked above");
+                    for (pos, runs) in &member_runs {
+                        for run in runs.iter() {
+                            self.code
+                                .apply_delta(j, block, *pos, run.offset, &run.bytes);
+                        }
+                    }
+                    redundancy_bytes += block.len();
+                    parity_inbound[holder.index()] += dirty;
+                    parity_xor[holder.index()] += dirty;
+                    parity_update_bytes += dirty;
+                }
+            } else {
+                let images: Vec<&[u8]> = group
+                    .data
+                    .iter()
+                    .map(|&vm| {
+                        let node = cluster.node_of(vm);
+                        self.node_stores[node.index()]
+                            .current_image(vm)
+                            .expect("VM captured this round must have a current image")
+                    })
+                    .collect();
+                let parity = self.code.encode(&images);
+                let image_len = images.first().map(|i| i.len()).unwrap_or(0);
+                for (j, block) in parity.into_iter().enumerate() {
+                    redundancy_bytes += block.len();
+                    parity_update_bytes += block.len();
+                    let holder = group.parity_nodes[j];
+                    parity_inbound[holder.index()] += image_len * group.data.len();
+                    parity_xor[holder.index()] += image_len * group.data.len();
+                    self.parity_current.insert((gid, j), block);
+                }
             }
         }
 
@@ -540,6 +709,7 @@ impl CheckpointProtocol for DvdcProtocol {
         }
         self.parity_committed = self.parity_current.clone();
         self.committed_epoch = Some(epoch);
+        self.parity_epoch = Some(epoch);
         self.next_epoch += 1;
 
         // Timing. Nodes work in parallel: the slowest link/XOR engine
@@ -585,6 +755,7 @@ impl CheckpointProtocol for DvdcProtocol {
             payload_bytes,
             network_bytes,
             redundancy_bytes,
+            parity_update_bytes,
         })
     }
 
@@ -764,11 +935,208 @@ mod tests {
         let mut c = fig4_cluster();
         let mut p = fig4_protocol(&c);
         let full = p.run_round(&mut c).unwrap();
+        // First round re-encodes every block from scratch.
+        assert_eq!(full.parity_update_bytes, full.redundancy_bytes);
         // Dirty a single page on one VM.
         c.vm_mut(VmId(0)).memory_mut().write_page(2, &[9u8; 32]);
         let inc = p.run_round(&mut c).unwrap();
         assert_eq!(inc.payload_bytes, 32);
         assert!(inc.payload_bytes < full.payload_bytes / 10);
+        // The steady-state round charges parity work by dirty bytes (one
+        // 32-byte page × m = 1), not by image bytes.
+        assert_eq!(inc.parity_update_bytes, 32);
+    }
+
+    /// Every parity block the incremental transport maintains must be
+    /// byte-identical to a from-scratch re-encode of the members' current
+    /// images — across several dirty rounds and all three code families.
+    fn assert_incremental_matches_reencode(kind: CodeKind, m: usize) {
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(300.0)
+            .build(3);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, m).unwrap();
+        let mut p = DvdcProtocol::with_options(
+            placement,
+            Mode::Incremental,
+            true,
+            Duration::from_millis(40.0),
+        )
+        .with_code(kind);
+        let first = p.run_round(&mut c).unwrap();
+        assert_eq!(first.parity_update_bytes, first.redundancy_bytes);
+
+        let hub = RngHub::new(17);
+        for round in 1..5u64 {
+            c.run_all(Duration::from_secs(0.5), |vm| {
+                hub.subhub("inc", round)
+                    .stream_indexed("vm", vm.index() as u64)
+            });
+            let r = p.run_round(&mut c).unwrap();
+            // Steady state: parity work charged by dirty bytes — each
+            // payload byte is folded into all m blocks of its group.
+            assert_eq!(
+                r.parity_update_bytes,
+                r.payload_bytes * m,
+                "{kind:?} round {round}"
+            );
+            for g in p.placement.groups().to_vec() {
+                let images: Vec<Vec<u8>> = g
+                    .data
+                    .iter()
+                    .map(|&vm| {
+                        let node = c.node_of(vm);
+                        p.node_stores[node.index()]
+                            .current_image(vm)
+                            .unwrap()
+                            .to_vec()
+                    })
+                    .collect();
+                let refs: Vec<&[u8]> = images.iter().map(|i| i.as_slice()).collect();
+                for (j, want) in p.code.encode(&refs).into_iter().enumerate() {
+                    assert_eq!(
+                        p.parity_current.get(&(g.id, j)),
+                        Some(&want),
+                        "{kind:?} round {round} {} block {j}",
+                        g.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parity_matches_reencode_xor() {
+        assert_incremental_matches_reencode(CodeKind::Xor, 1);
+    }
+
+    #[test]
+    fn incremental_parity_matches_reencode_rdp() {
+        assert_incremental_matches_reencode(CodeKind::Rdp, 2);
+    }
+
+    #[test]
+    fn incremental_parity_matches_reencode_rs() {
+        assert_incremental_matches_reencode(CodeKind::ReedSolomon, 2);
+    }
+
+    #[test]
+    fn disabled_incremental_transport_reencodes_every_round() {
+        let mut c = fig4_cluster();
+        let mut p = fig4_protocol(&c).with_incremental_parity(false);
+        p.run_round(&mut c).unwrap();
+        c.vm_mut(VmId(0)).memory_mut().write_page(2, &[9u8; 32]);
+        let r = p.run_round(&mut c).unwrap();
+        // Payload still shrinks (captures are incremental) but parity is
+        // recomputed from whole images.
+        assert_eq!(r.payload_bytes, 32);
+        assert_eq!(r.parity_update_bytes, r.redundancy_bytes);
+    }
+
+    /// After N incremental rounds, recovery must still be byte-exact for
+    /// every choice of victim — the committed parity a failure decodes
+    /// from was produced purely by delta application.
+    #[test]
+    fn recovery_after_incremental_rounds_is_byte_exact() {
+        for victim in 0..4 {
+            let mut c = fig4_cluster();
+            let mut p = fig4_protocol(&c);
+            p.run_round(&mut c).unwrap();
+            let hub = RngHub::new(23);
+            let mut last = None;
+            for round in 1..6u64 {
+                c.run_all(Duration::from_secs(0.7), |vm| {
+                    hub.subhub("nrounds", round)
+                        .stream_indexed("vm", vm.index() as u64)
+                });
+                last = Some(p.run_round(&mut c).unwrap());
+            }
+            let last = last.unwrap();
+            // The follow-up rounds took the delta path: at m = 1 every
+            // shipped dirty byte is folded into exactly one parity block.
+            assert_eq!(last.parity_update_bytes, last.payload_bytes);
+            let want = snapshots_of(&c);
+
+            // Progress past the checkpoint, then lose a node.
+            c.run_all(Duration::from_secs(1.0), |vm| {
+                hub.subhub("after", 0)
+                    .stream_indexed("vm", vm.index() as u64)
+            });
+            c.fail_node(NodeId(victim));
+            let rep = p.recover(&mut c, NodeId(victim)).unwrap();
+            assert_eq!(rep.rolled_back_to, Some(last.epoch), "victim={victim}");
+            for (i, vm) in c.vm_ids().into_iter().enumerate() {
+                assert_eq!(
+                    c.vm(vm).memory().snapshot(),
+                    want[i],
+                    "victim={victim} vm={vm}"
+                );
+            }
+        }
+    }
+
+    /// A node dying mid-round — after captures landed in current stores
+    /// and some parity deltas were folded in, but before the commit —
+    /// must roll back to the committed epoch byte-exactly, and the
+    /// polluted in-progress parity must never leak into later rounds.
+    #[test]
+    fn mid_round_failure_rolls_back_to_committed_epoch() {
+        let mut c = fig4_cluster();
+        let mut p = fig4_protocol(&c);
+        p.run_round(&mut c).unwrap();
+        let committed_want = snapshots_of(&c);
+
+        // Guests progress, then a round starts and dies part-way: every
+        // capture reached its host's current store, and the first group's
+        // parity holder applied a delta, but no commit happened.
+        let hub = RngHub::new(31);
+        c.run_all(Duration::from_secs(1.0), |vm| {
+            hub.stream_indexed("mid", vm.index() as u64)
+        });
+        let doomed_epoch = p.next_epoch;
+        for vm in c.vm_ids() {
+            let node = c.node_of(vm);
+            let ckpt = {
+                let mem = c.vm_mut(vm).memory_mut();
+                p.checkpointer.capture(vm, doomed_epoch, mem)
+            };
+            p.node_stores[node.index()].apply(&ckpt).unwrap();
+        }
+        let g0 = p.placement.groups()[0].id;
+        let block = p.parity_current.get_mut(&(g0, 0)).unwrap();
+        block[0] ^= 0x5A; // a partially applied delta
+        assert_ne!(p.parity_current, p.parity_committed);
+
+        // Now a node fails. Recovery must ignore everything the doomed
+        // round wrote and restore the committed epoch.
+        c.fail_node(NodeId(2));
+        let rep = p.recover(&mut c, NodeId(2)).unwrap();
+        assert_eq!(rep.rolled_back_to, Some(0));
+        for (i, vm) in c.vm_ids().into_iter().enumerate() {
+            assert_eq!(c.vm(vm).memory().snapshot(), committed_want[i], "{vm}");
+        }
+        // The rollback discarded the partial parity and invalidated the
+        // delta base, so the next round re-encodes from scratch…
+        assert_eq!(p.parity_current, p.parity_committed);
+        assert_eq!(p.parity_epoch, None);
+        let r = p.run_round(&mut c).unwrap();
+        assert_eq!(r.parity_update_bytes, r.redundancy_bytes);
+        // …after which a further incremental round and another failure
+        // still recover byte-exactly.
+        c.run_all(Duration::from_secs(0.5), |vm| {
+            hub.stream_indexed("post", vm.index() as u64)
+        });
+        let r2 = p.run_round(&mut c).unwrap();
+        assert_eq!(r2.parity_update_bytes, r2.payload_bytes);
+        let want2 = snapshots_of(&c);
+        c.fail_node(NodeId(0));
+        let rep2 = p.recover(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep2.rolled_back_to, Some(r2.epoch));
+        for (i, vm) in c.vm_ids().into_iter().enumerate() {
+            assert_eq!(c.vm(vm).memory().snapshot(), want2[i], "{vm}");
+        }
     }
 
     #[test]
@@ -887,8 +1255,10 @@ mod tests {
             Mode::Incremental,
             true,
             Duration::from_millis(40.0),
-        );
+        )
+        .with_code(CodeKind::ReedSolomon);
         assert_eq!(p.failure_tolerance(), 2);
+        assert_eq!(p.code_kind(), CodeKind::ReedSolomon);
         p.run_round(&mut c).unwrap();
         let want: Vec<Vec<u8>> = c
             .vm_ids()
@@ -936,6 +1306,72 @@ mod tests {
         for (i, vm) in c.vm_ids().into_iter().enumerate() {
             assert_eq!(c.vm(vm).memory().snapshot(), want[i], "{vm}");
         }
+    }
+
+    #[test]
+    fn default_code_family_tracks_parity_count() {
+        // m = 1 → XOR; m = 2 → the paper-cited RDP (regression: this used
+        // to silently select Reed–Solomon); m ≥ 3 → Reed–Solomon.
+        let c = fig4_cluster();
+        assert_eq!(fig4_protocol(&c).code_kind(), CodeKind::Xor);
+
+        let c6 = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .build(0);
+        let placement = GroupPlacement::orthogonal_with_parity(&c6, 3, 2).unwrap();
+        let p = DvdcProtocol::new(placement);
+        assert_eq!(p.code_kind(), CodeKind::Rdp);
+
+        assert_eq!(GroupCode::new(4, 3).kind(), CodeKind::ReedSolomon);
+    }
+
+    #[test]
+    fn defaulted_rdp_falls_back_to_rs_on_incompatible_image_length() {
+        // 5 pages × 2 bytes = 10 bytes per image; k = 3 RDP shards must
+        // be a multiple of p−1 = 4. A *defaulted* m = 2 code degrades to
+        // Reed–Solomon (same tolerance) at the first round instead of
+        // panicking on the geometry.
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(5, 2)
+            .writes_per_sec(50.0)
+            .build(13);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 2).unwrap();
+        let mut p = DvdcProtocol::new(placement);
+        assert_eq!(p.code_kind(), CodeKind::Rdp);
+        p.run_round(&mut c).unwrap();
+        assert_eq!(p.code_kind(), CodeKind::ReedSolomon);
+
+        let want: Vec<Vec<u8>> = c
+            .vm_ids()
+            .iter()
+            .map(|&v| c.vm(v).memory().snapshot())
+            .collect();
+        c.fail_node(NodeId(1));
+        c.fail_node(NodeId(4));
+        p.recover(&mut c, NodeId(1)).unwrap();
+        p.recover(&mut c, NodeId(4)).unwrap();
+        for (i, vm) in c.vm_ids().into_iter().enumerate() {
+            assert_eq!(c.vm(vm).memory().snapshot(), want[i], "{vm}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of p-1")]
+    fn pinned_rdp_with_incompatible_image_length_still_panics() {
+        // `with_code` is an explicit pin: no silent fallback, misuse
+        // stays loud.
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(5, 2)
+            .build(13);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 2).unwrap();
+        let mut p = DvdcProtocol::new(placement).with_code(CodeKind::Rdp);
+        let _ = p.run_round(&mut c);
     }
 
     #[test]

@@ -181,6 +181,8 @@ impl CheckpointProtocol for FirstShotProtocol {
             payload_bytes,
             network_bytes: payload_bytes,
             redundancy_bytes,
+            // The dedicated node re-XORs every slot from scratch.
+            parity_update_bytes: redundancy_bytes,
         })
     }
 

@@ -52,6 +52,12 @@ pub struct RoundReport {
     pub network_bytes: usize,
     /// Parity/replica bytes (re)computed this round.
     pub redundancy_bytes: usize,
+    /// Bytes of redundant state (parity blocks, replicas, NAS images)
+    /// actually *rewritten* this round. On DVDC's incremental transport
+    /// this is the dirty-byte XOR charge — proportional to the pages
+    /// dirtied, not to the image size — while a full re-encode charges
+    /// whole blocks.
+    pub parity_update_bytes: usize,
 }
 
 /// Outcome of recovering from one physical-node failure.

@@ -120,6 +120,8 @@ impl CheckpointProtocol for RemusLikeProtocol {
             payload_bytes,
             network_bytes: payload_bytes,
             redundancy_bytes,
+            // Replicas fold in exactly the shipped dirty pages.
+            parity_update_bytes: payload_bytes,
         })
     }
 

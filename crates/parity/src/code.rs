@@ -77,12 +77,63 @@ pub trait ErasureCode {
     /// their original contents.
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError>;
 
+    /// Applies an incremental data update to one parity shard in place.
+    ///
+    /// `delta` must be `old ⊕ new` over bytes `[offset, offset + delta.len())`
+    /// of data shard `data_index`. Because every code in this crate is
+    /// GF(2)-linear, updating each parity shard this way yields byte-for-byte
+    /// the shard `encode` would produce from the updated data — without
+    /// touching the other `k − 1` data shards. This is the transport the
+    /// paper's incremental checkpointing rides on: parity holders fold in
+    /// `old ⊕ new` for just the dirtied pages instead of re-encoding whole
+    /// images.
+    ///
+    /// # Panics
+    /// Panics if `parity_index ≥ parity_shards()`, `data_index ≥
+    /// data_shards()`, the delta overruns the shard, or the shard length is
+    /// invalid for the code (mirroring `encode`'s shape panics).
+    fn apply_delta(
+        &self,
+        parity_index: usize,
+        parity: &mut [u8],
+        data_index: usize,
+        offset: usize,
+        delta: &[u8],
+    );
+
     /// Convenience: true if the erasure pattern in `shards` is repairable
     /// by this code (count of `None` ≤ tolerance and shape is right).
     fn can_reconstruct(&self, shards: &[Option<Vec<u8>>]) -> bool {
         shards.len() == self.total_shards()
             && shards.iter().filter(|s| s.is_none()).count() <= self.parity_shards()
     }
+}
+
+/// Validates the shared `apply_delta` preconditions. Panics (like
+/// `encode`'s shape assertions) rather than returning an error: a bad
+/// index or overrunning delta is a caller bug, not a runtime condition.
+pub(crate) fn validate_delta(
+    parity_index: usize,
+    m: usize,
+    parity_len: usize,
+    data_index: usize,
+    k: usize,
+    offset: usize,
+    delta_len: usize,
+) {
+    assert!(
+        parity_index < m,
+        "parity index {parity_index} out of range (code has {m} parity shards)"
+    );
+    assert!(
+        data_index < k,
+        "data index {data_index} out of range (code has {k} data shards)"
+    );
+    assert!(
+        offset + delta_len <= parity_len,
+        "delta [{offset}, {}) overruns shard of {parity_len} bytes",
+        offset + delta_len
+    );
 }
 
 /// Validates the common preconditions shared by all codes: shard count,
@@ -113,6 +164,60 @@ pub(crate) fn validate_shards(
     }
     // missing ≤ tolerance < expected, so at least one shard is present.
     Ok(len.expect("at least one shard present"))
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::ErasureCode;
+
+    /// Asserts that folding `old ⊕ new` deltas into encoded parity matches
+    /// a from-scratch re-encode, across a spread of update shapes: a short
+    /// prefix patch, an unaligned mid-shard patch, a single tail byte, and
+    /// a whole-shard rewrite. `len` must be at least 8 (and satisfy the
+    /// code's own length constraints).
+    pub(crate) fn assert_delta_matches_reencode(code: &dyn ErasureCode, len: usize) {
+        assert!(len >= 8, "helper expects non-trivial shards");
+        let k = code.data_shards();
+        let mut data: Vec<Vec<u8>> = (0..k)
+            .map(|c| {
+                (0..len)
+                    .map(|i| ((i * 37 + c * 101 + 11) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut parity = code.encode(&refs);
+
+        let updates = [
+            (0, 0, 3),
+            (k - 1, len / 3, (len / 4).max(1)),
+            (k / 2, len - 1, 1),
+            (0, 0, len),
+        ];
+        for (round, (shard, offset, n)) in updates.into_iter().enumerate() {
+            let old = data[shard][offset..offset + n].to_vec();
+            for (i, b) in data[shard][offset..offset + n].iter_mut().enumerate() {
+                *b = b
+                    .wrapping_mul(3)
+                    .wrapping_add((i + round) as u8)
+                    .wrapping_add(1);
+            }
+            let delta: Vec<u8> = old
+                .iter()
+                .zip(&data[shard][offset..offset + n])
+                .map(|(o, n)| o ^ n)
+                .collect();
+            for (j, block) in parity.iter_mut().enumerate() {
+                code.apply_delta(j, block, shard, offset, &delta);
+            }
+        }
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(
+            parity,
+            code.encode(&refs),
+            "incrementally updated parity diverged from re-encode"
+        );
+    }
 }
 
 #[cfg(test)]

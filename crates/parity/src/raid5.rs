@@ -10,8 +10,8 @@
 //!   member holds parity rotates per checkpoint epoch (stripe), so no node
 //!   becomes the dedicated checkpoint processor.
 
-use crate::code::{validate_shards, CodeError, ErasureCode};
-use crate::xor::{xor_all, xor_into};
+use crate::code::{validate_delta, validate_shards, CodeError, ErasureCode};
+use crate::xor::{xor_all, xor_into, xor_into_auto};
 
 /// XOR single-parity code: `k` data shards, one parity shard, tolerates one
 /// erasure. The code underlying every RAID-5 group in DVDC.
@@ -57,6 +57,28 @@ impl ErasureCode for XorCode {
         }
         shards[missing] = Some(acc);
         Ok(())
+    }
+
+    fn apply_delta(
+        &self,
+        parity_index: usize,
+        parity: &mut [u8],
+        data_index: usize,
+        offset: usize,
+        delta: &[u8],
+    ) {
+        validate_delta(
+            parity_index,
+            1,
+            parity.len(),
+            data_index,
+            self.k,
+            offset,
+            delta.len(),
+        );
+        // Single parity is the plain XOR of all data shards, so the update
+        // is the delta folded straight in at the same offset.
+        xor_into_auto(&mut parity[offset..offset + delta.len()], delta);
     }
 }
 
@@ -121,6 +143,30 @@ impl Raid5Layout {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_update_matches_reencode() {
+        use crate::code::test_util::assert_delta_matches_reencode;
+        assert_delta_matches_reencode(&XorCode::new(3), 24);
+        // Large enough to push xor_into_auto onto the parallel kernel.
+        assert_delta_matches_reencode(&XorCode::new(2), crate::xor::MIN_PARALLEL + 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns shard")]
+    fn delta_overrun_panics() {
+        let code = XorCode::new(2);
+        let mut parity = vec![0u8; 16];
+        code.apply_delta(0, &mut parity, 0, 10, &[0u8; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity index")]
+    fn delta_bad_parity_index_panics() {
+        let code = XorCode::new(2);
+        let mut parity = vec![0u8; 16];
+        code.apply_delta(1, &mut parity, 0, 0, &[0u8; 4]);
+    }
 
     #[test]
     fn encode_then_lose_each_shard_in_turn() {

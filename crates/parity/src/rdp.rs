@@ -18,8 +18,8 @@
 //! chain the original paper walks, just expressed as "repair any equation
 //! with exactly one unknown until done".
 
-use crate::code::{validate_shards, CodeError, ErasureCode};
-use crate::xor::xor_into;
+use crate::code::{validate_delta, validate_shards, CodeError, ErasureCode};
+use crate::xor::{xor_into, xor_into_auto};
 
 /// RDP double-erasure code with prime parameter `p`.
 ///
@@ -249,6 +249,59 @@ impl ErasureCode for RdpCode {
         }
         Ok(())
     }
+
+    fn apply_delta(
+        &self,
+        parity_index: usize,
+        parity: &mut [u8],
+        data_index: usize,
+        offset: usize,
+        delta: &[u8],
+    ) {
+        validate_delta(
+            parity_index,
+            2,
+            parity.len(),
+            data_index,
+            self.data_shards(),
+            offset,
+            delta.len(),
+        );
+        if delta.is_empty() {
+            return;
+        }
+        let row = self
+            .row_size(parity.len())
+            .expect("shard length must be a multiple of p-1");
+        if parity_index == 0 {
+            // Row parity is a plain XOR across data columns.
+            xor_into_auto(&mut parity[offset..offset + delta.len()], delta);
+            return;
+        }
+        // Diagonal parity. Two things changed in the RAID-4 array: data
+        // column `data_index` (by `delta`) and the row-parity column `p-1`
+        // (also by `delta`, per the row-parity update above). Each block
+        // (r, c) feeds diagonal (r + c) mod p, except the missing diagonal
+        // p-1; fold both contributions in, splitting `delta` at row
+        // boundaries since a diagonal is row-granular.
+        let p = self.p;
+        let end = offset + delta.len();
+        let mut pos = offset;
+        while pos < end {
+            let r = pos / row;
+            let col = pos % row;
+            let seg_end = end.min((r + 1) * row);
+            let seg = &delta[pos - offset..seg_end - offset];
+            for c in [data_index, p - 1] {
+                let d = (r + c) % p;
+                if d != p - 1 {
+                    let dst = d * row + col;
+                    xor_into(&mut parity[dst..dst + seg.len()], seg);
+                }
+            }
+            pos = seg_end;
+        }
+    }
 }
 
 /// RDP adapted to an arbitrary data-shard count `k` by padding the array
@@ -336,6 +389,26 @@ impl ErasureCode for ZeroPaddedRdp {
             }
         }
         Ok(())
+    }
+
+    fn apply_delta(
+        &self,
+        parity_index: usize,
+        parity: &mut [u8],
+        data_index: usize,
+        offset: usize,
+        delta: &[u8],
+    ) {
+        assert!(
+            data_index < self.k,
+            "data index {data_index} out of range (code has {} data shards)",
+            self.k
+        );
+        // Real data occupies RAID-4 columns 0..k; the virtual zero columns
+        // sit between them and the parity and never change, so the column
+        // index passes straight through to the inner geometry.
+        self.inner
+            .apply_delta(parity_index, parity, data_index, offset, delta);
     }
 }
 
@@ -518,6 +591,57 @@ mod tests {
             code.reconstruct(&mut shards),
             Err(CodeError::TooManyErasures { .. })
         ));
+    }
+
+    #[test]
+    fn delta_update_matches_reencode() {
+        use crate::code::test_util::assert_delta_matches_reencode;
+        // p = 5 → 4 rows; lengths must be multiples of 4. The helper's
+        // unaligned mid-shard patches cross row boundaries, exercising the
+        // diagonal split.
+        assert_delta_matches_reencode(&RdpCode::new(5), 32);
+        assert_delta_matches_reencode(&RdpCode::new(7), 36);
+        assert_delta_matches_reencode(&RdpCode::new(3), 16);
+    }
+
+    #[test]
+    fn zero_padded_delta_update_matches_reencode() {
+        use crate::code::test_util::assert_delta_matches_reencode;
+        assert_delta_matches_reencode(&ZeroPaddedRdp::new(3), 32);
+        assert_delta_matches_reencode(&ZeroPaddedRdp::new(6), 24);
+    }
+
+    #[test]
+    fn delta_update_every_column_and_row() {
+        // Exhaustively: one-byte delta at every (shard, byte) position must
+        // match a re-encode — pins the diagonal index arithmetic including
+        // the missing-diagonal skips for both contributions.
+        let code = RdpCode::new(5);
+        let data = sample_data(5, 4); // 4 rows × 4 bytes
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let base_parity = code.encode(&refs);
+        for shard in 0..code.data_shards() {
+            for pos in 0..16 {
+                let mut data2 = data.clone();
+                data2[shard][pos] ^= 0xA7;
+                let mut parity = base_parity.clone();
+                for (j, block) in parity.iter_mut().enumerate() {
+                    code.apply_delta(j, block, shard, pos, &[0xA7]);
+                }
+                let refs2: Vec<&[u8]> = data2.iter().map(|v| v.as_slice()).collect();
+                assert_eq!(parity, code.encode(&refs2), "shard={shard} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data index")]
+    fn zero_padded_delta_rejects_virtual_column() {
+        // k = 3 inside p = 5: column 3 exists in the inner geometry but is
+        // a virtual zero shard — callers must never update it.
+        let code = ZeroPaddedRdp::new(3);
+        let mut parity = vec![0u8; 32];
+        code.apply_delta(0, &mut parity, 3, 0, &[1u8; 4]);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! the "any k rows are invertible" MDS property is preserved), and use the
 //! bottom `m` rows as the parity generator.
 
-use crate::code::{validate_shards, CodeError, ErasureCode};
+use crate::code::{validate_delta, validate_shards, CodeError, ErasureCode};
 use crate::gf256::Tables;
+use crate::xor::xor_into_auto;
 
 /// Reed–Solomon erasure code with `k` data shards and `m` parity shards.
 /// Tolerates any `m` erasures. Requires `k + m ≤ 256`.
@@ -205,6 +206,35 @@ impl ErasureCode for ReedSolomon {
         }
         Ok(())
     }
+
+    fn apply_delta(
+        &self,
+        parity_index: usize,
+        parity: &mut [u8],
+        data_index: usize,
+        offset: usize,
+        delta: &[u8],
+    ) {
+        validate_delta(
+            parity_index,
+            self.m,
+            parity.len(),
+            data_index,
+            self.k,
+            offset,
+            delta.len(),
+        );
+        // Each parity row is a GF(256)-linear combination of the data
+        // shards, so a data delta scales by that row's coefficient and
+        // accumulates positionally: P_r' = P_r ⊕ coeff·(old ⊕ new).
+        let coeff = self.parity_rows[parity_index][data_index];
+        let dst = &mut parity[offset..offset + delta.len()];
+        if coeff == 1 {
+            xor_into_auto(dst, delta);
+        } else {
+            self.tables.mul_acc(dst, delta, coeff);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,5 +373,40 @@ mod tests {
     #[test]
     fn wide_code_roundtrip() {
         roundtrip(20, 4, 8, &[0, 7, 21, 23]);
+    }
+
+    #[test]
+    fn delta_update_matches_reencode() {
+        use crate::code::test_util::assert_delta_matches_reencode;
+        assert_delta_matches_reencode(&ReedSolomon::new(3, 2), 32);
+        assert_delta_matches_reencode(&ReedSolomon::new(5, 3), 40);
+        assert_delta_matches_reencode(&ReedSolomon::new(1, 1), 16);
+    }
+
+    #[test]
+    fn delta_update_then_reconstruct_roundtrips() {
+        // End to end: incremental parity must still decode the data.
+        let code = ReedSolomon::new(4, 2);
+        let mut data = sample(4, 24);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut parity = code.encode(&refs);
+        for b in &mut data[2][5..17] {
+            *b ^= 0x5A;
+        }
+        let delta = vec![0x5Au8; 12]; // old ⊕ new for the patched range
+        for (j, block) in parity.iter_mut().enumerate() {
+            code.apply_delta(j, block, 2, 5, &delta);
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[2] = None;
+        shards[0] = None;
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[2].as_deref(), Some(data[2].as_slice()));
+        assert_eq!(shards[0].as_deref(), Some(data[0].as_slice()));
     }
 }

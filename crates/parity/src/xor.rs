@@ -8,6 +8,10 @@
 //! we care about. For multi-gigabyte VM images, [`xor_into_parallel`]
 //! splits the buffers across scoped threads.
 
+/// Buffers at least this large are worth splitting across threads; below
+/// it, spawn overhead dominates and the scalar kernel wins.
+pub const MIN_PARALLEL: usize = 1 << 16;
+
 /// XORs `src` into `dst` element-wise: `dst[i] ^= src[i]`.
 ///
 /// # Panics
@@ -64,9 +68,6 @@ pub fn xor_all(sources: &[&[u8]]) -> Vec<u8> {
 pub fn xor_into_parallel(dst: &mut [u8], src: &[u8], threads: usize) {
     assert_eq!(dst.len(), src.len(), "xor operands must have equal length");
     assert!(threads > 0, "need at least one thread");
-    // Below this size, thread spawn overhead dominates; fall through to the
-    // scalar kernel.
-    const MIN_PARALLEL: usize = 1 << 16;
     if threads == 1 || dst.len() < MIN_PARALLEL {
         xor_into(dst, src);
         return;
@@ -78,6 +79,24 @@ pub fn xor_into_parallel(dst: &mut [u8], src: &[u8], threads: usize) {
         }
     })
     .expect("xor worker thread panicked");
+}
+
+/// [`xor_into`] that engages the parallel kernel automatically for buffers
+/// of at least [`MIN_PARALLEL`] bytes, using the machine's available cores
+/// (capped at 8 — XOR saturates memory bandwidth long before that).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn xor_into_auto(dst: &mut [u8], src: &[u8]) {
+    if dst.len() < MIN_PARALLEL {
+        xor_into(dst, src);
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    xor_into_parallel(dst, src, threads);
 }
 
 /// Returns true if `buf` is all zeroes — the post-recovery sanity check
@@ -169,6 +188,74 @@ mod tests {
         let b = vec![2u8; 100];
         xor_into_parallel(&mut a, &b, 8);
         assert!(a.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn parallel_non_word_lengths_match_scalar() {
+        // Lengths straddling the parallel threshold that are not multiples
+        // of 8: per-thread chunks then have ragged tails, which must land
+        // in the scalar remainder loop, not get dropped.
+        for len in [
+            MIN_PARALLEL - 1,
+            MIN_PARALLEL,
+            MIN_PARALLEL + 1,
+            MIN_PARALLEL + 7,
+            MIN_PARALLEL + 13,
+            3 * MIN_PARALLEL + 5,
+        ] {
+            let a: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i % 239 + 1) as u8).collect();
+            let mut scalar = a.clone();
+            xor_into(&mut scalar, &b);
+            for threads in [2, 3, 5] {
+                let mut par = a.clone();
+                xor_into_parallel(&mut par, &b, threads);
+                assert_eq!(par, scalar, "len={len} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_more_threads_than_bytes() {
+        // threads > len: chunks_mut(div_ceil) yields fewer chunks than
+        // threads; the spare workers simply never spawn.
+        let mut a: Vec<u8> = (0..7u8).collect();
+        let b = vec![0xFFu8; 7];
+        xor_into_parallel(&mut a, &b, 64);
+        let want: Vec<u8> = (0..7u8).map(|i| i ^ 0xFF).collect();
+        assert_eq!(a, want);
+        // And at exactly the parallel threshold with an absurd count.
+        let mut big = vec![0x55u8; MIN_PARALLEL];
+        let key = vec![0xAAu8; MIN_PARALLEL];
+        xor_into_parallel(&mut big, &key, MIN_PARALLEL * 2);
+        assert!(big.iter().all(|&x| x == 0xFF));
+    }
+
+    #[test]
+    fn parallel_empty_input_is_noop() {
+        let mut a: Vec<u8> = Vec::new();
+        xor_into_parallel(&mut a, &[], 4);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn auto_kernel_matches_scalar_across_threshold() {
+        for len in [
+            0usize,
+            1,
+            100,
+            MIN_PARALLEL - 1,
+            MIN_PARALLEL,
+            MIN_PARALLEL + 9,
+        ] {
+            let a: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i % 247 + 2) as u8).collect();
+            let mut scalar = a.clone();
+            xor_into(&mut scalar, &b);
+            let mut auto = a.clone();
+            xor_into_auto(&mut auto, &b);
+            assert_eq!(auto, scalar, "len={len}");
+        }
     }
 
     #[test]

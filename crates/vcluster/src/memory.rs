@@ -149,6 +149,22 @@ impl MemoryImage {
         out
     }
 
+    /// Coalesced runs of dirty pages as `(first_page, page_count)` pairs,
+    /// ascending. Contiguous dirty regions — the common case for guest
+    /// working sets — surface as single runs, which is what lets the
+    /// incremental parity transport feed long slices to the XOR kernels
+    /// instead of one page at a time.
+    pub fn dirty_page_runs(&self) -> Vec<(usize, usize)> {
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        for idx in self.dirty_pages() {
+            match runs.last_mut() {
+                Some((start, count)) if *start + *count == idx => *count += 1,
+                _ => runs.push((idx, 1)),
+            }
+        }
+        runs
+    }
+
     /// Resets the dirty bitmap — called when a checkpoint epoch completes
     /// (the write-protect of incremental checkpointing is re-armed).
     pub fn clear_dirty(&mut self) {
@@ -246,6 +262,22 @@ mod tests {
         img.restore(&saved);
         assert_eq!(img.as_bytes(), &saved[..]);
         assert_eq!(img.dirty_count(), 0, "rollback clears dirty state");
+    }
+
+    #[test]
+    fn dirty_page_runs_coalesce() {
+        let mut img = MemoryImage::zeroed(140, 4);
+        assert!(img.dirty_page_runs().is_empty());
+        for idx in [0, 1, 2, 5, 63, 64, 65, 139] {
+            img.mark_dirty(idx);
+        }
+        // Runs cross u64 bitmap word boundaries (63/64/65) seamlessly.
+        assert_eq!(
+            img.dirty_page_runs(),
+            vec![(0, 3), (5, 1), (63, 3), (139, 1)]
+        );
+        let pages: usize = img.dirty_page_runs().iter().map(|(_, n)| n).sum();
+        assert_eq!(pages, img.dirty_count());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use dvdc_migrate::pagehash::PageHashIndex;
 use dvdc_model::analytic;
 use dvdc_parity::code::ErasureCode;
 use dvdc_parity::raid5::{Raid5Layout, XorCode};
-use dvdc_parity::rdp::RdpCode;
+use dvdc_parity::rdp::{RdpCode, ZeroPaddedRdp};
 use dvdc_parity::rs::ReedSolomon;
 use dvdc_parity::xor::{is_zero, xor_all};
 use dvdc_vcluster::cluster::ClusterBuilder;
@@ -170,6 +170,45 @@ proptest! {
         prop_assert_eq!(parity, code.encode(&refs2).remove(0));
     }
 
+    #[test]
+    fn apply_delta_matches_reencode_for_all_codes(
+        data in shards_strategy(4, 24), // RDP p=5: rows 4, 24 = 4 × 6
+        member in 0usize..4,
+        off in 0usize..24,
+        mask in vec(any::<u8>(), 1..12),
+    ) {
+        // An in-place update at [off, off+dlen) on one member, expressed
+        // as the XOR delta old ⊕ new — the unit the DVDC incremental
+        // transport ships to parity holders.
+        let dlen = mask.len().min(24 - off);
+        prop_assume!(dlen > 0);
+        let delta = &mask[..dlen];
+        let mut updated = data.clone();
+        for (i, d) in delta.iter().enumerate() {
+            updated[member][off + i] ^= d;
+        }
+
+        let codes: Vec<Box<dyn ErasureCode>> = vec![
+            Box::new(XorCode::new(4)),
+            Box::new(RdpCode::new(5)),
+            Box::new(ZeroPaddedRdp::new(4)),
+            Box::new(ReedSolomon::new(4, 2)),
+        ];
+        for code in &codes {
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let mut parity = code.encode(&refs);
+            for (j, block) in parity.iter_mut().enumerate() {
+                code.apply_delta(j, block, member, off, delta);
+            }
+            let refs2: Vec<&[u8]> = updated.iter().map(|d| d.as_slice()).collect();
+            prop_assert_eq!(
+                &parity,
+                &code.encode(&refs2),
+                "k={} m={}", code.data_shards(), code.parity_shards()
+            );
+        }
+    }
+
     // ---------- placement ----------
 
     #[test]
@@ -280,6 +319,7 @@ use dvdc::snapshot::{snapshot_total, BankApp, SnapshotCoordinator};
 use dvdc_simcore::rng::RngHub;
 use dvdc_vcluster::ids::VmId;
 use dvdc_vcluster::messaging::MessageFabric;
+use rand::Rng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `bytes` crate: just [`Bytes`], an immutable,
+//! cheaply cloneable (`Arc`-backed) byte buffer with slice ergonomics.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. Cloning is O(1).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes { data: s.into() }
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes {
+            data: s.as_bytes().into(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                0x20..=0x7E => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data[..] == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.data[..] == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data.cmp(&other.data)
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.as_ref(), &[1u8, 2, 3][..]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(&[9u8; 1000]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(Arc::strong_count(&a.data), 2);
+    }
+
+    #[test]
+    fn copy_from_slice_detaches() {
+        let mut src = vec![1u8, 2, 3];
+        let b = Bytes::copy_from_slice(&src);
+        src[0] = 9;
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_renders_printable_and_hex() {
+        let b = Bytes::from(vec![b'a', 0x00, b'"']);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\\\"\"");
+    }
+
+    #[test]
+    fn equality_across_types() {
+        let b = Bytes::from(vec![5u8; 4]);
+        assert_eq!(b, vec![5u8; 4]);
+        assert_eq!(b, [5u8; 4][..]);
+    }
+}

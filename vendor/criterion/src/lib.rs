@@ -1,0 +1,308 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the criterion API surface the workspace's benches compile
+//! against (`Criterion`, groups, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) but replaces the statistical engine with a
+//! plain wall-clock loop: a short calibration pass sizes the iteration
+//! count, a measurement pass times it, and one line per benchmark is
+//! printed (`<id> ... <time>/iter [<throughput>]`). Good enough to
+//! compare kernels and protocol variants; not a statistics suite.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported so `black_box(x)` call sites keep
+/// defeating constant folding.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Target wall-clock time for one measurement pass.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Upper bound on iterations, so trivially fast bodies don't spin long.
+const MAX_ITERS: u64 = 10_000_000;
+
+/// Declared throughput of a benchmark, used to derive a rate line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost (ignored by the stand-in
+/// beyond API compatibility — setup is always excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter*` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over an adaptively sized iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: double until the body takes a visible slice.
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= MEASURE_TARGET / 10 || n >= MAX_ITERS {
+                // Scale up to the measurement target and do the real pass.
+                let scale = (MEASURE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                    .clamp(1.0, 100.0);
+                let m = ((n as f64 * scale) as u64).clamp(1, MAX_ITERS);
+                let t = Instant::now();
+                for _ in 0..m {
+                    hint::black_box(routine());
+                }
+                self.ns_per_iter = t.elapsed().as_nanos() as f64 / m as f64;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                hint::black_box(routine(input));
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= MEASURE_TARGET / 4 || n >= 100_000 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib_s = b as f64 / ns_per_iter; // bytes/ns == GB/s
+            format!("  [{gib_s:.3} GB/s]")
+        }
+        Some(Throughput::Elements(e)) => {
+            let me_s = e as f64 / ns_per_iter * 1e3;
+            format!("  [{me_s:.3} Melem/s]")
+        }
+        None => String::new(),
+    };
+    println!("{id:<48} {:>12}/iter{rate}", fmt_time(ns_per_iter));
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for subsequent benches in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    report(id, b.ns_per_iter, throughput);
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), None, f);
+        self
+    }
+
+    /// Runs one stand-alone benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), None, |b| f(b, input));
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("scalar", 64).to_string(), "scalar/64");
+        assert_eq!(BenchmarkId::from_parameter("8MBps").to_string(), "8MBps");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(12.0), "12.0 ns");
+        assert_eq!(fmt_time(2_500.0), "2.50 µs");
+        assert_eq!(fmt_time(3_000_000.0), "3.00 ms");
+    }
+}

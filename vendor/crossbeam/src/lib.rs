@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`, covering only `crossbeam::thread`.
+//!
+//! Since Rust 1.63 the standard library provides scoped threads, so the
+//! stand-in is a thin adapter that preserves crossbeam's call shape:
+//! `scope(|s| { s.spawn(|_| …); }).expect(…)`. One semantic difference:
+//! a panicking child thread propagates its panic out of [`thread::scope`]
+//! (std behaviour) instead of surfacing as `Err`; for the workspace's
+//! fork-join XOR kernels both behaviours abort the computation loudly.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 call shape.
+
+    use std::any::Any;
+
+    /// A handle for spawning threads scoped to an enclosing [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// workers can spawn nested workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins all spawned threads
+    /// before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let mut data = vec![0u32; 64];
+            scope(|s| {
+                for chunk in data.chunks_mut(16) {
+                    s.spawn(move |_| {
+                        for v in chunk {
+                            *v += 1;
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert!(data.iter().all(|&v| v == 1));
+        }
+
+        #[test]
+        fn scope_returns_closure_value() {
+            let r = scope(|_| 42).unwrap();
+            assert_eq!(r, 42);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let total = std::sync::atomic::AtomicU32::new(0);
+            scope(|s| {
+                s.spawn(|inner| {
+                    inner.spawn(|_| {
+                        total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+        }
+    }
+}

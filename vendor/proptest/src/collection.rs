@@ -1,0 +1,154 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Admissible collection sizes, half-open (`lo..hi`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    /// Samples a size uniformly from the range.
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+
+    pub(crate) fn min(&self) -> usize {
+        self.lo
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// comes from `size` (an exact `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates ordered sets with a target size drawn from `size`. If the
+/// element space is too small to reach the target (duplicates), the set
+/// may come out smaller — but never below what a bounded retry budget can
+/// reach, mirroring proptest's best-effort behaviour.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 16 + 64 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = TestRng::seeded(1);
+        assert_eq!(vec(any::<u8>(), 5).generate(&mut rng).len(), 5);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategy() {
+        let mut rng = TestRng::seeded(2);
+        let v = vec(vec(any::<u8>(), 3), 4).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|inner| inner.len() == 3));
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_space_allows() {
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..50 {
+            let s = btree_set(0usize..1000, 4..8).generate(&mut rng);
+            assert!((4..8).contains(&s.len()), "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_tolerates_tiny_domains() {
+        let mut rng = TestRng::seeded(4);
+        let s = btree_set(0usize..2, 5).generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn size_range_min_respected() {
+        assert_eq!(SizeRange::from(3usize).min(), 3);
+        assert_eq!(SizeRange::from(1..40usize).min(), 1);
+    }
+}

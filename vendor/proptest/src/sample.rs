@@ -1,0 +1,120 @@
+//! Sampling strategies: `Index` (a deferred index into a runtime-sized
+//! collection) and `subsequence`.
+
+use crate::collection::SizeRange;
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// A random index resolved against a collection length at use time
+/// (`idx.index(len)`), so strategies don't need to know lengths upfront.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Maps this sample onto `[0, len)`. Panics if `len == 0`, like the
+    /// real proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.raw as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}
+
+/// Strategy generating order-preserving subsequences of `items`.
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+/// Generates subsequences of `items` whose length is drawn from `size`
+/// (exact `usize` or `Range<usize>`), preserving the original order.
+pub fn subsequence<T: Clone + Debug>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    let size = size.into();
+    assert!(
+        size.min() <= items.len(),
+        "subsequence size exceeds item count"
+    );
+    Subsequence { items, size }
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.size.sample(rng).min(self.items.len());
+        // Partial Fisher–Yates over the index space, then restore order.
+        let mut idxs: Vec<usize> = (0..self.items.len()).collect();
+        for i in 0..n {
+            let j = i + rng.below((idxs.len() - i) as u64) as usize;
+            idxs.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = idxs[..n].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn index_is_always_in_bounds() {
+        let mut rng = TestRng::seeded(7);
+        for _ in 0..1000 {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(13) < 13);
+            assert!(idx.index(1) == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn index_panics_on_zero_len() {
+        Index { raw: 0 }.index(0);
+    }
+
+    #[test]
+    fn subsequence_has_exact_size_and_order() {
+        let mut rng = TestRng::seeded(8);
+        let items = vec![0usize, 1, 2, 3, 4, 5, 6, 7];
+        for _ in 0..200 {
+            let sub = subsequence(items.clone(), 3).generate(&mut rng);
+            assert_eq!(sub.len(), 3);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "unordered: {sub:?}");
+            assert!(sub.iter().all(|v| items.contains(v)));
+        }
+    }
+
+    #[test]
+    fn subsequence_covers_all_elements_eventually() {
+        let mut rng = TestRng::seeded(9);
+        let items = vec![0usize, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            for v in subsequence(items.clone(), 2).generate(&mut rng) {
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_strategy_via_any() {
+        let mut rng = TestRng::seeded(10);
+        let pairs = crate::collection::vec((any::<Index>(), any::<u8>()), 1..6);
+        let v = pairs.generate(&mut rng);
+        assert!((1..6).contains(&v.len()));
+    }
+}

@@ -1,0 +1,185 @@
+//! Case runner and deterministic RNG for the proptest stand-in.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Run configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case, produced by the `prop_assert!` /
+/// `prop_assume!` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; generate a replacement.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejected (skipped) outcome.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64 over a seed derived
+/// from the test name and case number — stable across runs and platforms).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Crate-internal constructor for unit tests of strategies.
+    #[cfg(test)]
+    pub(crate) fn seeded(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, then mix in the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 uniform bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)` (top 53 bits).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property test: keeps generating cases until `config.cases`
+/// have been accepted, panicking on the first failure with the generated
+/// inputs. Rejections (from `prop_assume!`) are skipped, with a cap so a
+/// never-satisfiable assumption cannot loop forever.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let max_rejects = config.cases as u64 * 32 + 1024;
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let mut case_no = 0u64;
+    while accepted < config.cases {
+        case_no += 1;
+        let mut rng = TestRng::for_case(test_name, case_no);
+        let mut dbg = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut dbg)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{test_name}`: gave up after {rejected} rejected cases \
+                         (assumption too strict?)"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest `{test_name}` failed at case #{case_no}\n{msg}\ninputs: {dbg}");
+            }
+            Err(payload) => {
+                eprintln!("proptest `{test_name}` panicked at case #{case_no}\ninputs: {dbg}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a = TestRng::for_case("t", 1).next_u64();
+        let b = TestRng::for_case("t", 1).next_u64();
+        let c = TestRng::for_case("t", 2).next_u64();
+        let d = TestRng::for_case("u", 1).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = TestRng::for_case("bounds", 3);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn runner_counts_accepted_not_rejected() {
+        let mut calls = 0u32;
+        run_cases(ProptestConfig::with_cases(10), "counts", |rng, _| {
+            calls += 1;
+            if rng.below(2) == 0 {
+                Err(TestCaseError::reject("coin".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run_cases(ProptestConfig::with_cases(5), "fails", |_, _| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn runner_gives_up_on_endless_rejection() {
+        run_cases(ProptestConfig::with_cases(1), "rejects", |_, _| {
+            Err(TestCaseError::reject("never".into()))
+        });
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the exact API surface it consumes: [`RngCore`]/[`SeedableRng`] (under
+//! [`rand_core`], mirroring the real crate layout), the [`Rng`] extension
+//! trait with `random`, `random_range`, `random_bool` and `random_iter`,
+//! and the [`Distribution`]/[`StandardUniform`] sampling plumbing those
+//! methods are defined in terms of.
+//!
+//! Numeric conventions match rand 0.9 (`f64` takes the top 53 bits of a
+//! `u64`; ranges use 128-bit widening multiply) so a future swap back to
+//! the real crate does not perturb simulation streams.
+
+#![forbid(unsafe_code)]
+
+pub mod rand_core {
+    //! Core RNG traits (stand-in for the `rand_core` crate).
+
+    /// A source of uniformly random 64-bit words.
+    pub trait RngCore {
+        /// Returns the next random `u64`.
+        fn next_u64(&mut self) -> u64;
+
+        /// Returns the next random `u32` (low half of a `u64` by default).
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        /// Fills `dest` with random bytes.
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let word = self.next_u64().to_le_bytes();
+                rem.copy_from_slice(&word[..rem.len()]);
+            }
+        }
+    }
+
+    impl<R: RngCore + ?Sized> RngCore for &mut R {
+        fn next_u64(&mut self) -> u64 {
+            (**self).next_u64()
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (**self).next_u32()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            (**self).fill_bytes(dest)
+        }
+    }
+
+    /// An RNG constructible from a fixed-size seed.
+    pub trait SeedableRng: Sized {
+        /// Seed byte array type (e.g. `[u8; 32]`).
+        type Seed: Default + AsMut<[u8]>;
+
+        /// Builds the RNG from a full seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Builds the RNG by expanding a `u64` through SplitMix64.
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut seed = Self::Seed::default();
+            for chunk in seed.as_mut().chunks_mut(8) {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = state;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                let bytes = x.to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// A distribution that can produce values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The uniform "whole domain" distribution behind [`Rng::random`]:
+/// all values equally likely for integers, `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Top 53 bits → [0, 1), matching rand 0.9's StandardUniform.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64 as u128;
+                // Widening multiply maps a u64 onto [0, span) near-uniformly.
+                let off = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                self.start.wrapping_add(off as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: f64 = StandardUniform.sample(rng);
+                self.start + (u as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+/// Iterator over independent draws, returned by [`Rng::random_iter`].
+pub struct Iter<R, T> {
+    rng: R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<R: RngCore, T> Iterator for Iter<R, T>
+where
+    StandardUniform: Distribution<T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(StandardUniform.sample(&mut self.rng))
+    }
+}
+
+/// Extension methods every `RngCore` gets (rand 0.9 naming).
+pub trait Rng: RngCore {
+    /// Uniform value over `T`'s whole domain (`[0, 1)` for floats).
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Uniform value in `range`.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.random::<f64>() < p
+    }
+
+    /// Endless iterator of independent draws.
+    fn random_iter<T>(self) -> Iter<Self, T>
+    where
+        Self: Sized,
+        StandardUniform: Distribution<T>,
+    {
+        Iter {
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence: fine for API-shape tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = self.0;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i: u8 = rng.random_range(0..=255);
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_unit() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_endpoints() {
+        let mut rng = Counter(3);
+        assert!(!rng.random_bool(0.0));
+        // p = 1.0 can only fail if random() returns exactly 1.0, which
+        // the 53-bit construction cannot produce.
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = Counter(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_usable_through_reference() {
+        fn takes_generic<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = Counter(4);
+        let v = takes_generic(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

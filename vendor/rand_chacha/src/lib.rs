@@ -1,0 +1,183 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements the actual ChaCha stream cipher keystream (D. J. Bernstein)
+//! as an RNG — not a toy generator — so stream quality matches the real
+//! crate. Only the conventions the workspace relies on are promised:
+//! `from_seed` keys the cipher with the 32-byte seed, the keystream is
+//! emitted as sequential little-endian words, and `next_u64` consumes two
+//! consecutive words (low then high).
+
+#![forbid(unsafe_code)]
+
+pub use rand::rand_core;
+
+use rand::rand_core::{RngCore, SeedableRng};
+
+/// `"expand 32-byte k"` — the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// A ChaCha keystream RNG with a compile-time round count.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key words (seed), kept to rebuild each block.
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    word_idx: usize,
+}
+
+/// 8-round variant.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// 12-round variant (the workspace default via `RngHub`).
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// 20-round variant.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: one keystream per seed.
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.word_idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.word_idx == 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word_idx: 16,
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc7539_first_block() {
+        // RFC 7539 §2.3.2 test vector: key 00 01 02 … 1f, but with zero
+        // nonce/counter conventions we can only check determinism against
+        // the keystream structure; instead verify the quarter round vector
+        // from §2.1.1.
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = ChaCha12Rng::from_seed([7u8; 32]);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha12Rng::from_seed([7u8; 32]);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: u64 = ChaCha12Rng::from_seed([8u8; 32]).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn seed_from_u64_expands() {
+        let a = ChaCha12Rng::seed_from_u64(1).next_u64();
+        let b = ChaCha12Rng::seed_from_u64(2).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_mean_is_uniformish() {
+        let mut r = ChaCha12Rng::from_seed([42u8; 32]);
+        let n = 10_000;
+        let mean = (0..n)
+            .map(|_| (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn round_counts_differ() {
+        let a = ChaCha8Rng::from_seed([1u8; 32]).next_u64();
+        let b = ChaCha12Rng::from_seed([1u8; 32]).next_u64();
+        let c = ChaCha20Rng::from_seed([1u8; 32]).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based `Serializer` machinery, this stand-in
+//! serialises through an owned [`Value`] tree: `Serialize::to_value`
+//! produces a `Value`, and `serde_json` renders it. This covers the
+//! workspace's needs — `#[derive(Serialize)]` on named-field structs plus
+//! `serde_json::to_string_pretty` — with the same call sites compiling
+//! unchanged.
+
+#![forbid(unsafe_code)]
+
+// Lets the derive macro's emitted `serde::` paths resolve even when the
+// derive is used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+/// Derive macro: implements [`Serialize`] for named-field structs.
+pub use serde_derive::Serialize;
+
+/// A serialised value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also used for absent options and non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value map (field declaration order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be serialised to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into an owned [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::U64(3));
+        assert_eq!((-3i32).to_value(), Value::I64(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn containers_recurse() {
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)])
+        );
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(Some(7u8).to_value(), Value::U64(7));
+    }
+
+    #[test]
+    fn derive_produces_ordered_object() {
+        #[derive(Serialize)]
+        struct Rec {
+            /// Doc comments must be tolerated by the derive parser.
+            name: String,
+            count: usize,
+            ratio: f64,
+        }
+        let v = Rec {
+            name: "a".into(),
+            count: 2,
+            ratio: 0.5,
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("name".into(), Value::Str("a".into())),
+                ("count".into(), Value::U64(2)),
+                ("ratio".into(), Value::F64(0.5)),
+            ])
+        );
+    }
+}

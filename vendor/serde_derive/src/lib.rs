@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` macro for
+//! named-field structs, implemented directly on `proc_macro::TokenStream`
+//! (no `syn`/`quote`, which are unavailable offline).
+//!
+//! The parser only needs field *names*: the generated impl defers every
+//! field to `serde::Serialize::to_value(&self.field)`, so types are skipped
+//! token-by-token (tracking angle-bracket depth so `Vec<(u32, u32)>` style
+//! types don't confuse the `,` field separator).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        other => panic!(
+            "#[derive(Serialize)] stand-in supports only structs, found {:?}",
+            other.map(|t| t.to_string())
+        ),
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!(
+            "expected struct name, found {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+
+    // Generic structs would need the parameter list replayed on the impl;
+    // the workspace derives only on concrete structs, so reject loudly
+    // rather than generate a wrong impl.
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("#[derive(Serialize)] stand-in does not support generic structs ({name})");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "#[derive(Serialize)] stand-in supports only named-field structs, found {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+
+    let fields = parse_field_names(body);
+
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),\n"
+        ));
+    }
+    let impl_src = format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{\n\
+         \t\tserde::Value::Object(vec![\n{pushes}\t\t])\n\
+         \t}}\n\
+         }}\n"
+    );
+    impl_src
+        .parse()
+        .expect("generated Serialize impl should tokenise")
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+                ) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // 'pub'
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break; // trailing comma / end of body
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "expected ':' after field `{}`, found {:?}",
+                fields.last().unwrap(),
+                other.map(|t| t.to_string())
+            ),
+        }
+        // Skip the type: consume until a ',' at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_json`: renders the stand-in `serde::Value`
+//! tree as JSON text. Mirrors serde_json conventions where they matter:
+//! two-space pretty indentation, shortest-roundtrip float formatting (via
+//! Rust's own `Display`), `null` for non-finite floats, and `\u00XX`
+//! escapes for control characters.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialisation error (the stand-in renderer is total, so this only
+/// exists to keep `Result`-shaped call sites compiling).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Renders one value. `indent == None` means compact output.
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.len(),
+            indent,
+            level,
+            '[',
+            ']',
+            |out, i, ind, lvl| write_value(out, &items[i], ind, lvl),
+        ),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.len(),
+            indent,
+            level,
+            '{',
+            '}',
+            |out, i, ind, lvl| {
+                let (k, val) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, ind, lvl)
+            },
+        ),
+    }
+}
+
+/// Shared layout for arrays and objects: handles commas, newlines, and
+/// indentation so both composite forms format identically.
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<&str>,
+    level: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize, Option<&str>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = indent {
+            out.push('\n');
+            for _ in 0..=level {
+                out.push_str(ind);
+            }
+        }
+        write_item(out, i, indent, level + 1);
+    }
+    if let Some(ind) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(ind);
+        }
+    }
+    out.push(close);
+}
+
+/// serde_json convention: non-finite floats render as `null`; finite
+/// floats use Rust's shortest-roundtrip `Display`, with a `.0` appended to
+/// integral values so they read back as floats.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_scalars() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&-2i64).unwrap(), "-2");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn pretty_struct_layout() {
+        #[derive(serde::Serialize)]
+        struct Rec {
+            label: String,
+            points: Vec<f64>,
+        }
+        let r = Rec {
+            label: "dvdc".into(),
+            points: vec![1.0, 2.5],
+        };
+        assert_eq!(
+            to_string_pretty(&r).unwrap(),
+            "{\n  \"label\": \"dvdc\",\n  \"points\": [\n    1.0,\n    2.5\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn empty_composites_stay_inline() {
+        let v: Vec<u8> = vec![];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}
