@@ -10,9 +10,15 @@
 //!
 //! Run: `cargo run -p dvdc-bench --bin availability_analysis`
 
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::{run_round_with_faults, DvdcProtocol, PhasedOutcome};
 use dvdc_bench::{render_table, write_json};
 use dvdc_faults::mttdl::MttdlParams;
-use dvdc_simcore::time::Duration;
+use dvdc_faults::{ClusterFaultPlan, NodeFault, PlanCursor};
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::{Duration, SimTime};
+use dvdc_vcluster::cluster::ClusterBuilder;
+use rand::Rng;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -92,4 +98,141 @@ fn main() {
         .iter()
         .all(|r| r.mttdl_double_years > r.mttdl_single_years));
     write_json("availability_analysis", &records);
+
+    simulated_mid_round_availability();
+}
+
+#[derive(Serialize)]
+struct MidRoundRow {
+    parity_blocks: usize,
+    faults_planned: usize,
+    faults_fired: usize,
+    rounds: usize,
+    committed: usize,
+    rolled_back: usize,
+    nodes_recovered: usize,
+    commit_fraction: f64,
+}
+
+/// The honest availability numbers the analytic MTTDL table can't give:
+/// phased rounds driven as discrete events with faults injected at their
+/// scheduled instants — *including mid-round*, the window the atomic
+/// `run_round` could never expose. Counts how many rounds commit versus
+/// roll back under increasing fault pressure.
+fn simulated_mid_round_availability() {
+    println!("\nSimulated mid-round availability — 6 nodes x 2 VMs, k = 3, 120 rounds\n");
+    const ROUNDS: usize = 120;
+    const HORIZON_SECS: f64 = 1200.0;
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for m in [1usize, 2] {
+        for faults_planned in [4usize, 16, 48] {
+            let seed = 1000 + 10 * m as u64 + faults_planned as u64;
+            let mut cluster = ClusterBuilder::new()
+                .physical_nodes(6)
+                .vms_per_node(2)
+                .vm_memory(8, 32)
+                .writes_per_sec(200.0)
+                .build(seed);
+            let placement = GroupPlacement::orthogonal_with_parity(&cluster, 3, m)
+                .expect("6x2 supports k=3 with m parity");
+            let mut protocol = DvdcProtocol::new(placement);
+
+            let hub = RngHub::new(seed);
+            let mut frng = hub.stream("faults");
+            let mut at: Vec<f64> = (0..faults_planned)
+                .map(|_| frng.random_range(0.0..HORIZON_SECS))
+                .collect();
+            at.sort_by(f64::total_cmp);
+            let faults: Vec<NodeFault> = at
+                .into_iter()
+                .map(|t| NodeFault {
+                    node: frng.random_range(0..6),
+                    at: SimTime::from_secs(t),
+                    repair: Duration::ZERO,
+                })
+                .collect();
+            let plan = ClusterFaultPlan::new(faults);
+            let mut cursor = PlanCursor::new(&plan);
+
+            let (mut committed, mut rolled_back, mut recovered) = (0usize, 0usize, 0usize);
+            let mut now = SimTime::ZERO;
+            for round in 0..ROUNDS {
+                cluster.run_all(Duration::from_secs(HORIZON_SECS / ROUNDS as f64), |vm| {
+                    hub.subhub("work", round as u64)
+                        .stream_indexed("vm", vm.index() as u64)
+                });
+                now += Duration::from_secs(HORIZON_SECS / ROUNDS as f64);
+                let (outcome, end) =
+                    run_round_with_faults(&mut protocol, &mut cluster, &mut cursor, now)
+                        .expect("round either commits or recovers");
+                now = end;
+                match outcome {
+                    PhasedOutcome::Committed { recovered: r, .. } => {
+                        committed += 1;
+                        recovered += r.len();
+                    }
+                    PhasedOutcome::RolledBack { recoveries, .. } => {
+                        rolled_back += 1;
+                        recovered += recoveries.len();
+                    }
+                }
+                assert!(
+                    cluster.node_ids().iter().all(|&n| cluster.is_up(n)),
+                    "every outcome ends fully repaired"
+                );
+            }
+
+            let fired = faults_planned - cursor.remaining();
+            let fraction = committed as f64 / ROUNDS as f64;
+            rows.push(vec![
+                format!("{m}"),
+                faults_planned.to_string(),
+                fired.to_string(),
+                committed.to_string(),
+                rolled_back.to_string(),
+                recovered.to_string(),
+                format!("{fraction:.3}"),
+            ]);
+            records.push(MidRoundRow {
+                parity_blocks: m,
+                faults_planned,
+                faults_fired: fired,
+                rounds: ROUNDS,
+                committed,
+                rolled_back,
+                nodes_recovered: recovered,
+                commit_fraction: fraction,
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "m",
+                "faults planned",
+                "fired",
+                "committed",
+                "rolled back",
+                "recovered",
+                "commit fraction",
+            ],
+            &rows
+        )
+    );
+    println!("every interruption rolled back to the last committed epoch and the");
+    println!("victim was rebuilt from survivors; availability under fault pressure");
+    println!("is the commit fraction, not an assumption of atomic rounds.\n");
+
+    // Structural checks: fault pressure must cost commits, never safety.
+    for w in records.chunks(3) {
+        assert!(w[0].committed >= w[2].committed);
+        assert!(w[2].rolled_back > 0, "48 planned faults must interrupt");
+    }
+    assert!(records
+        .iter()
+        .all(|r| r.committed + r.rolled_back == r.rounds));
+    write_json("availability_midround", &records);
 }

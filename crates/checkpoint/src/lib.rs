@@ -69,6 +69,6 @@ pub mod wire;
 pub use accounting::CheckpointCost;
 pub use adaptive::AdaptivePolicy;
 pub use payload::{Checkpoint, CheckpointPayload, PageDelta};
-pub use store::{MaterializedStore, StoreError};
+pub use store::{DoubleBufferedStore, MaterializedStore, ParityStore, StoreError};
 pub use strategy::{Checkpointer, Mode};
 pub use wire::{decode as decode_frame, encode as encode_frame, WireError};

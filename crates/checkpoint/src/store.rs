@@ -178,6 +178,15 @@ impl DoubleBufferedStore {
         self.previous = self.current.clone();
     }
 
+    /// Aborts the round: the current buffer rolls back to the committed
+    /// one, discarding every capture applied since the last
+    /// [`DoubleBufferedStore::commit_round`]. The local-store half of the
+    /// two-phase commit — without it, a later wholesale commit would
+    /// promote captures of an abandoned round into the rollback target.
+    pub fn discard_round(&mut self) {
+        self.current = self.previous.clone();
+    }
+
     /// The committed (previous-round) image for `vm` — the rollback
     /// target if the current round is interrupted.
     pub fn committed_image(&self, vm: VmId) -> Option<&[u8]> {
@@ -214,6 +223,141 @@ impl DoubleBufferedStore {
     /// current + previous that the paper accepts for safety.
     pub fn total_bytes(&self) -> usize {
         self.current.total_bytes() + self.previous.total_bytes()
+    }
+}
+
+/// Double-buffered parity generations keyed by an arbitrary block key.
+///
+/// The parity-side twin of [`DoubleBufferedStore`]: a parity holder keeps
+/// the *committed* generation (what recovery reads) and a *current*
+/// generation being built this round. The commit is two-phase — the new
+/// generation only replaces the old one at [`ParityStore::promote`], and
+/// an interrupted round discards the working generation wholesale via
+/// [`ParityStore::rollback`], so a torn round can never leak half-updated
+/// parity into recovery.
+///
+/// Generic over the key so the checkpoint layer stays independent of the
+/// protocol layer's group identifiers.
+#[derive(Debug, Clone)]
+pub struct ParityStore<K: Ord + Copy> {
+    committed: BTreeMap<K, Vec<u8>>,
+    current: BTreeMap<K, Vec<u8>>,
+    /// Epoch the *current* generation's delta base corresponds to: the
+    /// epoch of the last promote, cleared by rollback/invalidation. When
+    /// this matches the protocol's committed epoch, incremental delta
+    /// folding is sound; otherwise a full re-encode is required.
+    current_epoch: Option<u64>,
+}
+
+impl<K: Ord + Copy> Default for ParityStore<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> ParityStore<K> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParityStore {
+            committed: BTreeMap::new(),
+            current: BTreeMap::new(),
+            current_epoch: None,
+        }
+    }
+
+    /// The committed block for `key` — what recovery reads.
+    pub fn committed(&self, key: K) -> Option<&[u8]> {
+        self.committed.get(&key).map(|b| b.as_slice())
+    }
+
+    /// The working block for `key` (this round's generation).
+    pub fn current(&self, key: K) -> Option<&[u8]> {
+        self.current.get(&key).map(|b| b.as_slice())
+    }
+
+    /// Mutable access to the working block for `key`, if present.
+    pub fn current_mut(&mut self, key: K) -> Option<&mut Vec<u8>> {
+        self.current.get_mut(&key)
+    }
+
+    /// Writes `block` into the working generation.
+    pub fn stage(&mut self, key: K, block: Vec<u8>) {
+        self.current.insert(key, block);
+    }
+
+    /// Writes `block` into both generations at once — recovery rebuilds a
+    /// lost holder's parity to the committed state, which is by definition
+    /// also the correct working base for the next round.
+    pub fn seed(&mut self, key: K, block: Vec<u8>) {
+        self.committed.insert(key, block.clone());
+        self.current.insert(key, block);
+    }
+
+    /// Drops `key` from both generations (its holder left the group).
+    pub fn evict(&mut self, key: K) {
+        self.committed.remove(&key);
+        self.current.remove(&key);
+    }
+
+    /// Promotes the working generation to committed — the second phase of
+    /// the two-phase commit, called only after every holder has acked its
+    /// staged blocks. Records `epoch` as the new delta base.
+    pub fn promote(&mut self, epoch: u64) {
+        self.committed = self.current.clone();
+        self.current_epoch = Some(epoch);
+    }
+
+    /// Discards the working generation, restoring it from committed, and
+    /// clears the delta base (the next round must full re-encode). The
+    /// abort path of the two-phase commit.
+    pub fn rollback(&mut self) {
+        self.current = self.committed.clone();
+        self.current_epoch = None;
+    }
+
+    /// The epoch whose images the working generation is based on, if the
+    /// incremental delta path is currently sound.
+    pub fn delta_base(&self) -> Option<u64> {
+        self.current_epoch
+    }
+
+    /// True when the working generation is byte-identical to the
+    /// committed one — no partially staged round in progress.
+    pub fn current_matches_committed(&self) -> bool {
+        self.current == self.committed
+    }
+
+    /// Forgets the delta base without touching blocks (e.g. membership
+    /// changed under the store).
+    pub fn invalidate_delta_base(&mut self) {
+        self.current_epoch = None;
+    }
+
+    /// Keys present in the committed generation, in order.
+    pub fn committed_keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.committed.keys().copied()
+    }
+
+    /// Iterates the working generation's `(key, block)` pairs in order.
+    pub fn current_iter(&self) -> impl Iterator<Item = (K, &[u8])> {
+        self.current.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of blocks in the working generation.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True if the working generation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Bytes across both generations — the double-buffering memory cost a
+    /// parity holder pays for interruptibility.
+    pub fn total_bytes(&self) -> usize {
+        self.committed.values().map(Vec::len).sum::<usize>()
+            + self.current.values().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -318,6 +462,25 @@ mod tests {
     }
 
     #[test]
+    fn double_buffer_discard_rolls_current_back() {
+        let mut mem = MemoryImage::patterned(4, 16, 7);
+        let mut ck = Checkpointer::new(Mode::Full);
+        let mut store = DoubleBufferedStore::new();
+        store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
+        store.commit_round();
+        let epoch0 = store.committed_image(VmId(0)).unwrap().to_vec();
+
+        // An aborted round's capture must not survive the abort: a later
+        // commit would otherwise promote it into the rollback target.
+        mem.write_page(1, &[7u8; 16]);
+        store.apply(&ck.capture(VmId(0), 1, &mut mem)).unwrap();
+        store.discard_round();
+        assert_eq!(store.current_image(VmId(0)).unwrap(), &epoch0[..]);
+        store.commit_round();
+        assert_eq!(store.committed_image(VmId(0)).unwrap(), &epoch0[..]);
+    }
+
+    #[test]
     fn double_buffer_memory_cost_is_double() {
         let mut mem = MemoryImage::patterned(4, 16, 7);
         let mut ck = Checkpointer::new(Mode::Full);
@@ -325,6 +488,49 @@ mod tests {
         store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
         store.commit_round();
         assert_eq!(store.total_bytes(), 2 * 64);
+    }
+
+    #[test]
+    fn parity_store_two_phase_commit() {
+        let mut p: ParityStore<(u32, usize)> = ParityStore::new();
+        assert!(p.delta_base().is_none());
+        p.stage((0, 0), vec![1, 1]);
+        p.stage((1, 0), vec![2, 2]);
+        // Nothing committed until promote.
+        assert!(p.committed((0, 0)).is_none());
+        p.promote(0);
+        assert_eq!(p.committed((0, 0)), Some(&[1u8, 1][..]));
+        assert_eq!(p.delta_base(), Some(0));
+
+        // A second round updates in place…
+        p.current_mut((0, 0)).unwrap()[0] = 9;
+        assert_eq!(p.committed((0, 0)), Some(&[1u8, 1][..]), "still old gen");
+        // …but the round is interrupted: rollback restores the working
+        // generation from committed and kills the delta base.
+        p.rollback();
+        assert_eq!(p.current((0, 0)), Some(&[1u8, 1][..]));
+        assert!(p.delta_base().is_none());
+
+        // A clean round then promotes the new generation.
+        p.current_mut((1, 0)).unwrap()[1] = 7;
+        p.promote(1);
+        assert_eq!(p.committed((1, 0)), Some(&[2u8, 7][..]));
+        assert_eq!(p.delta_base(), Some(1));
+    }
+
+    #[test]
+    fn parity_store_seed_and_bookkeeping() {
+        let mut p: ParityStore<usize> = ParityStore::new();
+        p.seed(3, vec![5; 4]);
+        assert_eq!(p.committed(3), Some(&[5u8; 4][..]));
+        assert_eq!(p.current(3), Some(&[5u8; 4][..]));
+        assert_eq!(p.total_bytes(), 8);
+        assert_eq!(p.committed_keys().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(p.current_iter().count(), 1);
+        assert_eq!(p.len(), 1);
+        p.evict(3);
+        assert!(p.is_empty());
+        assert_eq!(p.total_bytes(), 0);
     }
 
     #[test]

@@ -25,20 +25,21 @@
 //! (Reed–Solomon, standing in for the RDP codes of Section II-B2), any
 //! `m` concurrent node failures are survivable.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use dvdc_checkpoint::accounting::CheckpointCost;
 use dvdc_checkpoint::delta::{xor_runs, XorRun};
 use dvdc_checkpoint::payload::CheckpointPayload;
-use dvdc_checkpoint::store::DoubleBufferedStore;
+use dvdc_checkpoint::store::{DoubleBufferedStore, ParityStore};
 use dvdc_checkpoint::strategy::{Checkpointer, Mode};
 use dvdc_parity::code::{CodeError, ErasureCode};
 use dvdc_parity::raid5::XorCode;
-use dvdc_parity::rdp::ZeroPaddedRdp;
+use dvdc_parity::rdp::{RdpCode, ZeroPaddedRdp};
 use dvdc_parity::rs::ReedSolomon;
 use dvdc_simcore::time::Duration;
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::{NodeId, VmId};
+use dvdc_vcluster::messaging::TransferLedger;
 
 use crate::placement::{GroupId, GroupPlacement};
 
@@ -50,9 +51,14 @@ pub enum CodeKind {
     /// XOR single parity (m must be 1) — the paper's configuration.
     Xor,
     /// Row-Diagonal Parity (m must be 2) — the double-erasure code the
-    /// paper cites from Wang et al. Shard lengths must be a multiple of
+    /// paper cites from Wang et al., zero-padded in shard *count* so any
+    /// k fits the prime geometry. Shard lengths must be a multiple of
     /// the RDP row count (automatic for page-aligned images).
     Rdp,
+    /// Exact Row-Diagonal Parity (m must be 2, k must equal p−1 for a
+    /// prime p) — the unpadded array code, for geometries that already
+    /// fit. Shard lengths must be a multiple of p−1.
+    RdpExact,
     /// Systematic Reed–Solomon over GF(256) — any m.
     ReedSolomon,
 }
@@ -62,6 +68,7 @@ pub enum CodeKind {
 enum GroupCode {
     Xor(XorCode),
     Rdp(ZeroPaddedRdp),
+    RdpExact(RdpCode),
     Rs(Box<ReedSolomon>),
 }
 
@@ -84,6 +91,7 @@ impl GroupCode {
         match self {
             GroupCode::Xor(_) => CodeKind::Xor,
             GroupCode::Rdp(_) => CodeKind::Rdp,
+            GroupCode::RdpExact(_) => CodeKind::RdpExact,
             GroupCode::Rs(_) => CodeKind::ReedSolomon,
         }
     }
@@ -98,6 +106,12 @@ impl GroupCode {
                 assert_eq!(m, 2, "RDP is a double-erasure code");
                 GroupCode::Rdp(ZeroPaddedRdp::new(k))
             }
+            CodeKind::RdpExact => {
+                assert_eq!(m, 2, "RDP is a double-erasure code");
+                // Exact RDP hosts exactly p−1 data shards: k+1 must be
+                // prime (RdpCode::new panics loudly otherwise).
+                GroupCode::RdpExact(RdpCode::new(k + 1))
+            }
             CodeKind::ReedSolomon => GroupCode::Rs(Box::new(ReedSolomon::new(k, m))),
         }
     }
@@ -106,6 +120,7 @@ impl GroupCode {
         match self {
             GroupCode::Xor(c) => c.encode(data),
             GroupCode::Rdp(c) => c.encode(data),
+            GroupCode::RdpExact(c) => c.encode(data),
             GroupCode::Rs(c) => c.encode(data),
         }
     }
@@ -114,6 +129,7 @@ impl GroupCode {
         match self {
             GroupCode::Xor(c) => c.reconstruct(shards),
             GroupCode::Rdp(c) => c.reconstruct(shards),
+            GroupCode::RdpExact(c) => c.reconstruct(shards),
             GroupCode::Rs(c) => c.reconstruct(shards),
         }
     }
@@ -129,6 +145,9 @@ impl GroupCode {
         match self {
             GroupCode::Xor(c) => c.apply_delta(parity_index, parity, data_index, offset, delta),
             GroupCode::Rdp(c) => c.apply_delta(parity_index, parity, data_index, offset, delta),
+            GroupCode::RdpExact(c) => {
+                c.apply_delta(parity_index, parity, data_index, offset, delta)
+            }
             GroupCode::Rs(c) => c.apply_delta(parity_index, parity, data_index, offset, delta),
         }
     }
@@ -159,6 +178,104 @@ pub fn delta_parity_update(parity: &mut [u8], offset: usize, old_page: &[u8], ne
     }
 }
 
+/// The four phases of a DVDC round, in execution order.
+///
+/// A round is a sequence of discrete steps grouped into phases; a node
+/// failure can strike between any two steps (or mid-transfer), and the
+/// protocol must either abort back to the committed epoch or complete
+/// degraded. The `Ord` impl follows execution order, so tests can express
+/// "interrupt once the round has reached phase X".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RoundPhase {
+    /// Guests pause and each VM's checkpoint lands in its host node's
+    /// current buffer (deltas extracted for the incremental transport).
+    Capture,
+    /// Checkpoint payloads travel from host nodes to parity holders; each
+    /// shipment is individually tracked so a failure can strike with
+    /// bytes on the wire.
+    Transfer,
+    /// Parity holders fold the received deltas into (or re-encode) their
+    /// working-generation blocks.
+    Fold,
+    /// Two-phase commit: every parity holder acks its staged generation,
+    /// then local stores and parity promote atomically.
+    Commit,
+}
+
+/// Result of one [`DvdcProtocol::step_round`] call.
+#[derive(Debug)]
+pub enum RoundStep {
+    /// One unit of work completed; the round continues.
+    Progress {
+        /// Phase the step executed in.
+        phase: RoundPhase,
+        /// Simulated wall-clock the step took (drives event scheduling).
+        took: Duration,
+    },
+    /// The final promote ran; the round is committed.
+    Committed(RoundReport),
+}
+
+/// An in-flight DVDC round, advanced one discrete step at a time.
+///
+/// Created by [`DvdcProtocol::begin_round`]; driven by
+/// [`DvdcProtocol::step_round`] until it returns
+/// [`RoundStep::Committed`], or discarded via
+/// [`DvdcProtocol::abort_round`] when a failure interrupts it.
+#[derive(Debug)]
+pub struct PhasedRound {
+    epoch: u64,
+    phase: RoundPhase,
+    // Capture.
+    capture_queue: VecDeque<VmId>,
+    vm_deltas: BTreeMap<VmId, (u64, Vec<XorRun>)>,
+    // Transfer: (source host, parity holder, payload bytes).
+    transfer_queue: VecDeque<(NodeId, NodeId, usize)>,
+    ledger: TransferLedger,
+    in_flight: Option<u64>,
+    // Fold.
+    fold_queue: VecDeque<GroupId>,
+    delta_base: Option<u64>,
+    delta_base_resolved: bool,
+    // Commit.
+    ack_queue: VecDeque<NodeId>,
+    // Accounting (identical to the monolithic round's).
+    payload_bytes: usize,
+    outbound: Vec<usize>,
+    parity_inbound: Vec<usize>,
+    parity_xor: Vec<usize>,
+    redundancy_bytes: usize,
+    parity_update_bytes: usize,
+}
+
+impl PhasedRound {
+    /// The epoch this round is building.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The phase the next step will execute in.
+    pub fn phase(&self) -> RoundPhase {
+        self.phase
+    }
+
+    /// In-flight transfer accounting for this round.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Steps remaining before the phase queues drain (the promote step
+    /// itself adds one more). Useful for "interrupt at a random point".
+    pub fn steps_remaining_hint(&self) -> usize {
+        self.capture_queue.len()
+            + 2 * self.transfer_queue.len()
+            + usize::from(self.in_flight.is_some())
+            + self.fold_queue.len()
+            + self.ack_queue.len()
+            + 1
+    }
+}
+
 /// The DVDC protocol state.
 #[derive(Debug)]
 pub struct DvdcProtocol {
@@ -167,15 +284,13 @@ pub struct DvdcProtocol {
     checkpointer: Checkpointer,
     /// Per-node local checkpoint memory (dies with the node).
     node_stores: Vec<DoubleBufferedStore>,
-    /// Committed parity: `(group, parity index) → block`. Physically the
-    /// entry lives on `placement.groups()[g].parity_nodes[j]`.
-    parity_committed: BTreeMap<(GroupId, usize), Vec<u8>>,
-    /// In-progress parity for the current round.
-    parity_current: BTreeMap<(GroupId, usize), Vec<u8>>,
-    /// The epoch `parity_current` reflects, when it is a valid base for
-    /// incremental delta application. `None` forces the next round onto
-    /// the full re-encode path (first round, or after a rollback).
-    parity_epoch: Option<u64>,
+    /// Double-buffered parity generations keyed by `(group, parity
+    /// index)`. Physically the entry lives on
+    /// `placement.groups()[g].parity_nodes[j]`. The committed generation
+    /// is what recovery reads; the working generation is promoted only at
+    /// the two-phase commit, so an interrupted round can always discard
+    /// it wholesale.
+    parity: ParityStore<(GroupId, usize)>,
     /// Whether rounds may use the incremental delta-parity transport.
     /// `false` re-encodes every group from full images each round — the
     /// A/B baseline and escape hatch.
@@ -239,9 +354,7 @@ impl DvdcProtocol {
             placement,
             checkpointer: Checkpointer::new(mode),
             node_stores: Vec::new(),
-            parity_committed: BTreeMap::new(),
-            parity_current: BTreeMap::new(),
-            parity_epoch: None,
+            parity: ParityStore::new(),
             incremental_parity: true,
             explicit_code: false,
             base_overhead,
@@ -401,8 +514,7 @@ impl DvdcProtocol {
                 let group = &self.placement.groups()[gid.index()];
                 for j in 0..self.parity_blocks {
                     if group.parity_nodes[j] == d {
-                        self.parity_committed.remove(&(gid, j));
-                        self.parity_current.remove(&(gid, j));
+                        self.parity.evict((gid, j));
                     }
                 }
             }
@@ -442,7 +554,7 @@ impl DvdcProtocol {
                 let shard = if is_down(group.parity_nodes[j]) {
                     None
                 } else {
-                    self.parity_committed.get(&(group.id, j)).cloned()
+                    self.parity.committed((group.id, j)).map(|b| b.to_vec())
                 };
                 shards.push(shard);
             }
@@ -514,9 +626,12 @@ impl DvdcProtocol {
         // Any in-progress parity (including deltas partially applied by a
         // round that died mid-flight) no longer matches a capture stream:
         // discard it and force the next round onto the full re-encode
-        // path.
-        self.parity_current = self.parity_committed.clone();
-        self.parity_epoch = None;
+        // path. Same for in-progress captures in the local stores — they
+        // belong to the round that just died.
+        self.parity.rollback();
+        for store in &mut self.node_stores {
+            store.discard_round();
+        }
     }
 
     /// Simulated recovery wall-clock: survivors fan their images into the
@@ -548,6 +663,340 @@ impl DvdcProtocol {
         let restore = fabric.memory.copy(rebuilt_bytes);
         fan_in + decode + ship_back + restore
     }
+
+    /// Opens a phase-interruptible round. The returned [`PhasedRound`] is
+    /// advanced one discrete step at a time via
+    /// [`DvdcProtocol::step_round`]; [`CheckpointProtocol::run_round`] is
+    /// exactly this followed by stepping to completion.
+    ///
+    /// Fails with [`ProtocolError::NodeDown`] if a down node still hosts
+    /// VMs or parity (an evacuated corpse is fine — the round proceeds
+    /// degraded without it).
+    pub fn begin_round(&mut self, cluster: &Cluster) -> Result<PhasedRound, ProtocolError> {
+        if let Some(&down) = cluster.node_ids().iter().find(|&&n| {
+            !cluster.is_up(n)
+                && (!cluster.vms_on(n).is_empty() || !self.placement.parity_groups_of(n).is_empty())
+        }) {
+            return Err(ProtocolError::NodeDown { node: down });
+        }
+        self.ensure_node_stores(cluster.node_count());
+        self.resolve_code_for(cluster);
+        Ok(PhasedRound {
+            epoch: self.next_epoch,
+            phase: RoundPhase::Capture,
+            capture_queue: cluster.vm_ids().into(),
+            vm_deltas: BTreeMap::new(),
+            transfer_queue: VecDeque::new(),
+            ledger: TransferLedger::new(),
+            in_flight: None,
+            fold_queue: self.placement.groups().iter().map(|g| g.id).collect(),
+            delta_base: None,
+            delta_base_resolved: false,
+            ack_queue: VecDeque::new(),
+            payload_bytes: 0,
+            outbound: vec![0; cluster.node_count()],
+            parity_inbound: vec![0; cluster.node_count()],
+            parity_xor: vec![0; cluster.node_count()],
+            redundancy_bytes: 0,
+            parity_update_bytes: 0,
+        })
+    }
+
+    /// Executes one discrete unit of round work: one VM capture, one
+    /// transfer launch or arrival, one group's parity fold, one commit
+    /// ack, or the final promote. Phase transitions happen when the
+    /// current phase's queue drains.
+    pub fn step_round(
+        &mut self,
+        cluster: &mut Cluster,
+        round: &mut PhasedRound,
+    ) -> Result<RoundStep, ProtocolError> {
+        loop {
+            match round.phase {
+                RoundPhase::Capture => {
+                    let Some(vm) = round.capture_queue.pop_front() else {
+                        round.phase = RoundPhase::Transfer;
+                        continue;
+                    };
+                    let node = cluster.node_of(vm);
+                    let mut ckpt = {
+                        let mem = cluster.vm_mut(vm).memory_mut();
+                        self.checkpointer.capture(vm, round.epoch, mem)
+                    };
+                    // Extract the parity-ready `old ⊕ new` runs *before*
+                    // folding the capture in — afterwards the old bytes
+                    // are gone.
+                    if let CheckpointPayload::Incremental { base_epoch, .. } = &ckpt.payload {
+                        let store = self.node_stores[node.index()].current();
+                        if store.epoch(vm) == Some(*base_epoch) {
+                            if let Some(old) = store.image(vm) {
+                                if let Some(delta) = xor_runs(&ckpt.payload, old) {
+                                    round.vm_deltas.insert(vm, delta);
+                                }
+                            }
+                        }
+                    }
+                    if self.node_stores[node.index()].apply(&ckpt).is_err() {
+                        // Stale base (e.g. after an aborted recovery wiped
+                        // this node's store): fall back to a full capture.
+                        // Any delta extracted above no longer applies.
+                        round.vm_deltas.remove(&vm);
+                        self.checkpointer.reset_vm(vm);
+                        ckpt = {
+                            let mem = cluster.vm_mut(vm).memory_mut();
+                            self.checkpointer.capture(vm, round.epoch, mem)
+                        };
+                        self.node_stores[node.index()].apply(&ckpt)?;
+                    }
+                    round.payload_bytes += ckpt.size_bytes();
+                    // The payload (delta) travels to each parity holder.
+                    round.outbound[node.index()] += ckpt.size_bytes() * self.parity_blocks;
+                    if ckpt.size_bytes() > 0 {
+                        let holders = self.placement.group_of(vm).parity_nodes.clone();
+                        for holder in holders {
+                            round
+                                .transfer_queue
+                                .push_back((node, holder, ckpt.size_bytes()));
+                        }
+                    }
+                    let took = cluster.fabric().memory.copy(ckpt.size_bytes());
+                    return Ok(RoundStep::Progress {
+                        phase: RoundPhase::Capture,
+                        took,
+                    });
+                }
+                RoundPhase::Transfer => {
+                    // Each shipment is two steps — launch, then arrival —
+                    // so a fault event can land with the bytes on the
+                    // wire (the ledger then reports the victim involved).
+                    if let Some(id) = round.in_flight.take() {
+                        let t = round
+                            .ledger
+                            .complete(id)
+                            .expect("launched transfer is open");
+                        let took = cluster.fabric().network.link_transfer(t.bytes);
+                        return Ok(RoundStep::Progress {
+                            phase: RoundPhase::Transfer,
+                            took,
+                        });
+                    }
+                    let Some((from, to, bytes)) = round.transfer_queue.pop_front() else {
+                        round.phase = RoundPhase::Fold;
+                        continue;
+                    };
+                    round.in_flight = Some(round.ledger.begin(from, to, bytes));
+                    return Ok(RoundStep::Progress {
+                        phase: RoundPhase::Transfer,
+                        took: Duration::ZERO,
+                    });
+                }
+                RoundPhase::Fold => {
+                    if !round.delta_base_resolved {
+                        // The standing parity is a valid delta base only
+                        // if it reflects exactly the committed epoch (on
+                        // the first round neither exists).
+                        round.delta_base = match (self.parity.delta_base(), self.committed_epoch) {
+                            (Some(pe), Some(ce)) if pe == ce && self.incremental_parity => Some(pe),
+                            _ => None,
+                        };
+                        round.delta_base_resolved = true;
+                    }
+                    let Some(gid) = round.fold_queue.pop_front() else {
+                        let mut holders: Vec<NodeId> = self
+                            .placement
+                            .groups()
+                            .iter()
+                            .flat_map(|g| g.parity_nodes.iter().copied())
+                            .collect();
+                        holders.sort();
+                        holders.dedup();
+                        round.ack_queue = holders.into();
+                        round.phase = RoundPhase::Commit;
+                        continue;
+                    };
+                    let took = self.fold_group(cluster, round, gid);
+                    return Ok(RoundStep::Progress {
+                        phase: RoundPhase::Fold,
+                        took,
+                    });
+                }
+                RoundPhase::Commit => {
+                    if round.ack_queue.pop_front().is_some() {
+                        // First commit phase: the holder acks that its
+                        // working generation is fully staged. The old
+                        // generation stays authoritative until *every*
+                        // holder has acked.
+                        let took = cluster.fabric().network.link_transfer(64);
+                        return Ok(RoundStep::Progress {
+                            phase: RoundPhase::Commit,
+                            took,
+                        });
+                    }
+                    return Ok(RoundStep::Committed(self.promote_round(cluster, round)));
+                }
+            }
+        }
+    }
+
+    /// Folds one group's parity: the incremental delta path when every
+    /// member shipped runs against the standing base and all blocks are
+    /// present, a full re-encode otherwise. Returns the simulated step
+    /// duration (the slowest holder's XOR time).
+    fn fold_group(&mut self, cluster: &Cluster, round: &mut PhasedRound, gid: GroupId) -> Duration {
+        let group = self.placement.groups()[gid.index()].clone();
+        let member_runs: Option<Vec<(usize, &Vec<XorRun>)>> = round.delta_base.and_then(|base| {
+            let mut all = Vec::with_capacity(group.data.len());
+            for (pos, vm) in group.data.iter().enumerate() {
+                match round.vm_deltas.get(vm) {
+                    Some((b, runs)) if *b == base => all.push((pos, runs)),
+                    _ => return None, // full capture or stale base
+                }
+            }
+            let complete = (0..self.parity_blocks).all(|j| self.parity.current((gid, j)).is_some());
+            complete.then_some(all)
+        });
+
+        if let Some(member_runs) = member_runs {
+            let dirty: usize = member_runs
+                .iter()
+                .map(|(_, runs)| runs.iter().map(|r| r.len()).sum::<usize>())
+                .sum();
+            for j in 0..self.parity_blocks {
+                let holder = group.parity_nodes[j];
+                let block = self
+                    .parity
+                    .current_mut((gid, j))
+                    .expect("presence checked above");
+                for (pos, runs) in &member_runs {
+                    for run in runs.iter() {
+                        self.code
+                            .apply_delta(j, block, *pos, run.offset, &run.bytes);
+                    }
+                }
+                round.redundancy_bytes += block.len();
+                round.parity_inbound[holder.index()] += dirty;
+                round.parity_xor[holder.index()] += dirty;
+                round.parity_update_bytes += dirty;
+            }
+            cluster.fabric().memory.xor(dirty, 1)
+        } else {
+            let images: Vec<&[u8]> = group
+                .data
+                .iter()
+                .map(|&vm| {
+                    let node = cluster.node_of(vm);
+                    self.node_stores[node.index()]
+                        .current_image(vm)
+                        .expect("VM captured this round must have a current image")
+                })
+                .collect();
+            let parity = self.code.encode(&images);
+            let image_len = images.first().map(|i| i.len()).unwrap_or(0);
+            for (j, block) in parity.into_iter().enumerate() {
+                round.redundancy_bytes += block.len();
+                round.parity_update_bytes += block.len();
+                let holder = group.parity_nodes[j];
+                round.parity_inbound[holder.index()] += image_len * group.data.len();
+                round.parity_xor[holder.index()] += image_len * group.data.len();
+                self.parity.stage((gid, j), block);
+            }
+            cluster.fabric().memory.xor(image_len * group.data.len(), 1)
+        }
+    }
+
+    /// The second commit phase: every holder has acked, so the working
+    /// generation atomically becomes the committed one, local stores
+    /// promote, and the round's accounting becomes the report.
+    fn promote_round(&mut self, cluster: &Cluster, round: &mut PhasedRound) -> RoundReport {
+        for store in &mut self.node_stores {
+            store.commit_round();
+        }
+        self.parity.promote(round.epoch);
+        self.committed_epoch = Some(round.epoch);
+        self.next_epoch = round.epoch + 1;
+
+        // Timing. Nodes work in parallel: the slowest link/XOR engine
+        // bounds the round.
+        let fabric = cluster.fabric();
+        let max_capture = round
+            .outbound
+            .iter()
+            .map(|&b| b / self.parity_blocks)
+            .max()
+            .unwrap_or(0);
+        let capture = fabric.memory.copy(max_capture);
+        let max_wire = round
+            .outbound
+            .iter()
+            .chain(round.parity_inbound.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let transfer = fabric.network.link_transfer(max_wire);
+        let xor = Duration::from_secs(
+            round
+                .parity_xor
+                .iter()
+                .map(|&b| fabric.memory.xor(b, 1).as_secs())
+                .fold(0.0, f64::max),
+        );
+        // Forked (COW) capture copies pages lazily: the guest pauses only
+        // for the fork itself, and the copy joins the background work
+        // (Section II-B2's overhead-for-latency trade).
+        let (sync_part, background) = if self.checkpointer.mode().pauses_guest() {
+            (self.base_overhead + capture, transfer + xor)
+        } else {
+            (self.base_overhead, capture + transfer + xor)
+        };
+        let cost = if self.async_parity {
+            CheckpointCost::new(sync_part, sync_part + background)
+        } else {
+            CheckpointCost::synchronous(sync_part + background)
+        };
+
+        RoundReport {
+            epoch: round.epoch,
+            cost,
+            payload_bytes: round.payload_bytes,
+            network_bytes: round.outbound.iter().sum(),
+            redundancy_bytes: round.redundancy_bytes,
+            parity_update_bytes: round.parity_update_bytes,
+        }
+    }
+
+    /// Abandons an interrupted round: the capture engine resets (the next
+    /// round re-captures full images), and the parity working generation
+    /// rolls back to committed with the delta base invalidated. VM
+    /// memories are *not* touched — a failure-driven abort is followed by
+    /// [`CheckpointProtocol::recover`], which performs the coordinated
+    /// rollback; a voluntary abort simply discards checkpoint progress.
+    ///
+    /// The epoch counter does not advance: the aborted epoch number is
+    /// reused by the next round, which never observes the difference
+    /// because nothing of the aborted round survives.
+    pub fn abort_round(&mut self, round: PhasedRound) {
+        drop(round);
+        self.checkpointer.reset_all();
+        self.parity.rollback();
+        // Discard the aborted round's captures from every local store;
+        // a later commit (e.g. failover re-homing images elsewhere into
+        // the same store) must never promote them.
+        for store in &mut self.node_stores {
+            store.discard_round();
+        }
+    }
+
+    /// Whether `node` holds pending state of this round: it hosts VMs
+    /// (their captures live only in its local store), holds parity blocks
+    /// (its working generation is part of the two-phase commit), or is an
+    /// endpoint of an in-flight transfer. A failure of an involved node
+    /// forces an abort; an uninvolved node (fully evacuated) can die
+    /// without stopping the round.
+    pub fn round_involves(&self, cluster: &Cluster, round: &PhasedRound, node: NodeId) -> bool {
+        !cluster.vms_on(node).is_empty()
+            || !self.placement.parity_groups_of(node).is_empty()
+            || round.ledger.involves(node)
+    }
 }
 
 /// Output of [`DvdcProtocol::decode_lost_state`].
@@ -570,193 +1019,16 @@ impl CheckpointProtocol for DvdcProtocol {
         self.committed_epoch
     }
 
+    /// One atomic round = a phased round stepped to completion with no
+    /// interruption: capture → transfer → fold → two-phase commit.
     fn run_round(&mut self, cluster: &mut Cluster) -> Result<RoundReport, ProtocolError> {
-        // A down node blocks the round only if the protocol still depends
-        // on it — it hosts VMs or holds parity. After a failover recovery
-        // the dead node is fully evacuated and rounds proceed without it.
-        if let Some(&down) = cluster.node_ids().iter().find(|&&n| {
-            !cluster.is_up(n)
-                && (!cluster.vms_on(n).is_empty() || !self.placement.parity_groups_of(n).is_empty())
-        }) {
-            return Err(ProtocolError::NodeDown { node: down });
-        }
-        self.ensure_node_stores(cluster.node_count());
-        self.resolve_code_for(cluster);
-        let epoch = self.next_epoch;
-
-        // Phase 1: capture every VM into its host node's current buffer,
-        // extracting the parity-ready XOR runs (`old ⊕ new` over the
-        // dirtied pages) *before* the capture is folded in — afterwards
-        // the old bytes are gone.
-        let mut payload_bytes = 0usize;
-        let mut outbound = vec![0usize; cluster.node_count()];
-        let mut vm_deltas: BTreeMap<VmId, (u64, Vec<XorRun>)> = BTreeMap::new();
-        for vm in cluster.vm_ids() {
-            let node = cluster.node_of(vm);
-            let mut ckpt = {
-                let mem = cluster.vm_mut(vm).memory_mut();
-                self.checkpointer.capture(vm, epoch, mem)
-            };
-            if let CheckpointPayload::Incremental { base_epoch, .. } = &ckpt.payload {
-                let store = self.node_stores[node.index()].current();
-                if store.epoch(vm) == Some(*base_epoch) {
-                    if let Some(old) = store.image(vm) {
-                        if let Some(delta) = xor_runs(&ckpt.payload, old) {
-                            vm_deltas.insert(vm, delta);
-                        }
-                    }
-                }
-            }
-            if self.node_stores[node.index()].apply(&ckpt).is_err() {
-                // Stale base (e.g. after an aborted recovery wiped this
-                // node's store): fall back to a full capture. Any delta
-                // extracted above no longer applies.
-                vm_deltas.remove(&vm);
-                self.checkpointer.reset_vm(vm);
-                ckpt = {
-                    let mem = cluster.vm_mut(vm).memory_mut();
-                    self.checkpointer.capture(vm, epoch, mem)
-                };
-                self.node_stores[node.index()].apply(&ckpt)?;
-            }
-            payload_bytes += ckpt.size_bytes();
-            // The payload (delta) travels to each parity holder.
-            outbound[node.index()] += ckpt.size_bytes() * self.parity_blocks;
-        }
-
-        // Phase 2: update each group's parity. Steady state is the
-        // incremental transport: every member shipped XOR runs against
-        // the epoch the standing parity reflects, so each holder folds
-        // `old ⊕ new` into its block in place and is charged by dirty
-        // bytes. A group whose preconditions fail — first round, a full
-        // (or recaptured) member payload, a base-epoch mismatch, or a
-        // missing standing block — re-encodes from full images instead.
-        let mut redundancy_bytes = 0usize;
-        let mut parity_update_bytes = 0usize;
-        let mut parity_inbound = vec![0usize; cluster.node_count()];
-        let mut parity_xor = vec![0usize; cluster.node_count()];
-        let group_ids: Vec<GroupId> = self.placement.groups().iter().map(|g| g.id).collect();
-        // The standing parity is a valid delta base only if it reflects
-        // exactly the committed epoch (on the first round neither exists).
-        let delta_base = match (self.parity_epoch, self.committed_epoch) {
-            (Some(pe), Some(ce)) if pe == ce && self.incremental_parity => Some(pe),
-            _ => None,
-        };
-        for gid in group_ids {
-            let group = self.placement.groups()[gid.index()].clone();
-            let member_runs: Option<Vec<(usize, &Vec<XorRun>)>> = delta_base.and_then(|base| {
-                let mut all = Vec::with_capacity(group.data.len());
-                for (pos, vm) in group.data.iter().enumerate() {
-                    match vm_deltas.get(vm) {
-                        Some((b, runs)) if *b == base => all.push((pos, runs)),
-                        _ => return None, // full capture or stale base
-                    }
-                }
-                let complete =
-                    (0..self.parity_blocks).all(|j| self.parity_current.contains_key(&(gid, j)));
-                complete.then_some(all)
-            });
-
-            if let Some(member_runs) = member_runs {
-                let dirty: usize = member_runs
-                    .iter()
-                    .map(|(_, runs)| runs.iter().map(|r| r.len()).sum::<usize>())
-                    .sum();
-                for j in 0..self.parity_blocks {
-                    let holder = group.parity_nodes[j];
-                    let block = self
-                        .parity_current
-                        .get_mut(&(gid, j))
-                        .expect("presence checked above");
-                    for (pos, runs) in &member_runs {
-                        for run in runs.iter() {
-                            self.code
-                                .apply_delta(j, block, *pos, run.offset, &run.bytes);
-                        }
-                    }
-                    redundancy_bytes += block.len();
-                    parity_inbound[holder.index()] += dirty;
-                    parity_xor[holder.index()] += dirty;
-                    parity_update_bytes += dirty;
-                }
-            } else {
-                let images: Vec<&[u8]> = group
-                    .data
-                    .iter()
-                    .map(|&vm| {
-                        let node = cluster.node_of(vm);
-                        self.node_stores[node.index()]
-                            .current_image(vm)
-                            .expect("VM captured this round must have a current image")
-                    })
-                    .collect();
-                let parity = self.code.encode(&images);
-                let image_len = images.first().map(|i| i.len()).unwrap_or(0);
-                for (j, block) in parity.into_iter().enumerate() {
-                    redundancy_bytes += block.len();
-                    parity_update_bytes += block.len();
-                    let holder = group.parity_nodes[j];
-                    parity_inbound[holder.index()] += image_len * group.data.len();
-                    parity_xor[holder.index()] += image_len * group.data.len();
-                    self.parity_current.insert((gid, j), block);
-                }
+        let mut round = self.begin_round(cluster)?;
+        loop {
+            match self.step_round(cluster, &mut round)? {
+                RoundStep::Progress { .. } => {}
+                RoundStep::Committed(report) => return Ok(report),
             }
         }
-
-        // Phase 3: commit — current becomes the recovery target.
-        for store in &mut self.node_stores {
-            store.commit_round();
-        }
-        self.parity_committed = self.parity_current.clone();
-        self.committed_epoch = Some(epoch);
-        self.parity_epoch = Some(epoch);
-        self.next_epoch += 1;
-
-        // Timing. Nodes work in parallel: the slowest link/XOR engine
-        // bounds the round.
-        let fabric = cluster.fabric();
-        let max_capture = outbound
-            .iter()
-            .map(|&b| b / self.parity_blocks)
-            .max()
-            .unwrap_or(0);
-        let capture = fabric.memory.copy(max_capture);
-        let max_wire = outbound
-            .iter()
-            .chain(parity_inbound.iter())
-            .copied()
-            .max()
-            .unwrap_or(0);
-        let transfer = fabric.network.link_transfer(max_wire);
-        let xor = Duration::from_secs(
-            parity_xor
-                .iter()
-                .map(|&b| fabric.memory.xor(b, 1).as_secs())
-                .fold(0.0, f64::max),
-        );
-        // Forked (COW) capture copies pages lazily: the guest pauses only
-        // for the fork itself, and the copy joins the background work
-        // (Section II-B2's overhead-for-latency trade).
-        let (sync_part, background) = if self.checkpointer.mode().pauses_guest() {
-            (self.base_overhead + capture, transfer + xor)
-        } else {
-            (self.base_overhead, capture + transfer + xor)
-        };
-        let cost = if self.async_parity {
-            CheckpointCost::new(sync_part, sync_part + background)
-        } else {
-            CheckpointCost::synchronous(sync_part + background)
-        };
-
-        let network_bytes: usize = outbound.iter().sum();
-        Ok(RoundReport {
-            epoch,
-            cost,
-            payload_bytes,
-            network_bytes,
-            redundancy_bytes,
-            parity_update_bytes,
-        })
     }
 
     fn recover(
@@ -771,17 +1043,20 @@ impl CheckpointProtocol for DvdcProtocol {
         let decoded = self.decode_lost_state(cluster, failed)?;
 
         // Bring the node back; reseed its local store and parity blocks.
+        // Seeding writes both buffers directly — a wholesale commit here
+        // would promote unrelated in-progress captures.
         cluster.repair_node(failed);
         {
             let store = &mut self.node_stores[failed.index()];
             for (vm, image) in &decoded.reconstructed {
                 store.current_mut().insert_image(*vm, epoch, image.clone());
+                store
+                    .committed_mut()
+                    .insert_image(*vm, epoch, image.clone());
             }
-            store.commit_round();
         }
         for (gid, j, block) in &decoded.rebuilt_parity {
-            self.parity_committed.insert((*gid, *j), block.clone());
-            self.parity_current.insert((*gid, *j), block.clone());
+            self.parity.seed((*gid, *j), block.clone());
         }
 
         self.rollback_to_committed(cluster);
@@ -820,7 +1095,6 @@ impl CheckpointProtocol for DvdcProtocol {
 
         // Re-home each lost VM: an up node hosting no member (data or
         // parity) of its group, preferring the least-loaded.
-        let mut touched_stores: Vec<usize> = Vec::new();
         for (vm, image) in &decoded.reconstructed {
             let group = self.placement.group_of(*vm).clone();
             let dest = cluster
@@ -840,13 +1114,13 @@ impl CheckpointProtocol for DvdcProtocol {
                     reason: format!("no orthogonality-preserving host for {vm}"),
                 })?;
             cluster.migrate_vm(*vm, dest);
-            self.node_stores[dest.index()]
-                .current_mut()
+            // Seed both buffers directly: committing the whole dest store
+            // would promote any in-progress captures it happens to hold.
+            let store = &mut self.node_stores[dest.index()];
+            store.current_mut().insert_image(*vm, epoch, image.clone());
+            store
+                .committed_mut()
                 .insert_image(*vm, epoch, image.clone());
-            touched_stores.push(dest.index());
-        }
-        for idx in touched_stores {
-            self.node_stores[idx].commit_round();
         }
 
         // Re-home the dead node's parity blocks the same way.
@@ -871,8 +1145,7 @@ impl CheckpointProtocol for DvdcProtocol {
                     node: failed,
                     reason: e.to_string(),
                 })?;
-            self.parity_committed.insert((*gid, *j), block.clone());
-            self.parity_current.insert((*gid, *j), block.clone());
+            self.parity.seed((*gid, *j), block.clone());
         }
 
         self.rollback_to_committed(cluster);
@@ -887,12 +1160,7 @@ impl CheckpointProtocol for DvdcProtocol {
         })
     }
     fn redundancy_bytes(&self) -> usize {
-        let parity: usize = self
-            .parity_committed
-            .values()
-            .chain(self.parity_current.values())
-            .map(|b| b.len())
-            .sum();
+        let parity = self.parity.total_bytes();
         let local: usize = self.node_stores.iter().map(|s| s.total_bytes()).sum();
         parity + local
     }
@@ -997,8 +1265,8 @@ mod tests {
                 let refs: Vec<&[u8]> = images.iter().map(|i| i.as_slice()).collect();
                 for (j, want) in p.code.encode(&refs).into_iter().enumerate() {
                     assert_eq!(
-                        p.parity_current.get(&(g.id, j)),
-                        Some(&want),
+                        p.parity.current((g.id, j)),
+                        Some(want.as_slice()),
                         "{kind:?} round {round} {} block {j}",
                         g.id
                     );
@@ -1077,6 +1345,57 @@ mod tests {
         }
     }
 
+    /// Regression: an aborted round's captures sit in the stores'
+    /// current buffers; a later failover that re-homes images into those
+    /// same stores must not promote the stale captures into the
+    /// committed (rollback-target) buffer.
+    #[test]
+    fn aborted_captures_never_leak_into_failover_commit() {
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(200.0)
+            .build(5);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+        let want: Vec<Vec<u8>> = c
+            .vm_ids()
+            .iter()
+            .map(|&v| c.vm(v).memory().snapshot())
+            .collect();
+
+        let hub = RngHub::new(9);
+        c.run_all(Duration::from_secs(0.5), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+
+        // Interrupt a round after every capture landed in a current
+        // buffer; abort and repair the victim in place.
+        let mut round = p.begin_round(&c).unwrap();
+        while round.phase() < RoundPhase::Transfer {
+            p.step_round(&mut c, &mut round).unwrap();
+        }
+        c.fail_node(NodeId(1));
+        p.abort_round(round);
+        p.recover(&mut c, NodeId(1)).unwrap();
+
+        // Failover of a second node seeds reconstructed images into
+        // survivor stores. Before the two-phase store discipline this
+        // promoted the aborted captures alongside them.
+        c.fail_node(NodeId(2));
+        p.recover_failover(&mut c, NodeId(2)).unwrap();
+        for (i, vm) in c.vm_ids().into_iter().enumerate() {
+            if c.is_up(c.node_of(vm)) {
+                assert_eq!(
+                    c.vm(vm).memory().snapshot(),
+                    want[i],
+                    "{vm}: rollback target polluted by aborted round"
+                );
+            }
+        }
+    }
+
     /// A node dying mid-round — after captures landed in current stores
     /// and some parity deltas were folded in, but before the commit —
     /// must roll back to the committed epoch byte-exactly, and the
@@ -1089,29 +1408,26 @@ mod tests {
         let committed_want = snapshots_of(&c);
 
         // Guests progress, then a round starts and dies part-way: every
-        // capture reached its host's current store, and the first group's
-        // parity holder applied a delta, but no commit happened.
+        // capture and transfer completed, and the first group's parity
+        // holder folded its delta, but no commit happened.
         let hub = RngHub::new(31);
         c.run_all(Duration::from_secs(1.0), |vm| {
             hub.stream_indexed("mid", vm.index() as u64)
         });
-        let doomed_epoch = p.next_epoch;
-        for vm in c.vm_ids() {
-            let node = c.node_of(vm);
-            let ckpt = {
-                let mem = c.vm_mut(vm).memory_mut();
-                p.checkpointer.capture(vm, doomed_epoch, mem)
-            };
-            p.node_stores[node.index()].apply(&ckpt).unwrap();
+        let mut round = p.begin_round(&c).unwrap();
+        while round.phase() < RoundPhase::Fold {
+            p.step_round(&mut c, &mut round).unwrap();
         }
-        let g0 = p.placement.groups()[0].id;
-        let block = p.parity_current.get_mut(&(g0, 0)).unwrap();
-        block[0] ^= 0x5A; // a partially applied delta
-        assert_ne!(p.parity_current, p.parity_committed);
+        // The step that entered Fold already folded the first group: the
+        // working parity generation has diverged from committed.
+        assert!(!p.parity.current_matches_committed());
 
-        // Now a node fails. Recovery must ignore everything the doomed
-        // round wrote and restore the committed epoch.
+        // Now a node fails mid-round. It holds pending state, so the
+        // round must abort; recovery then ignores everything the doomed
+        // round wrote and restores the committed epoch.
         c.fail_node(NodeId(2));
+        assert!(p.round_involves(&c, &round, NodeId(2)));
+        p.abort_round(round);
         let rep = p.recover(&mut c, NodeId(2)).unwrap();
         assert_eq!(rep.rolled_back_to, Some(0));
         for (i, vm) in c.vm_ids().into_iter().enumerate() {
@@ -1119,8 +1435,8 @@ mod tests {
         }
         // The rollback discarded the partial parity and invalidated the
         // delta base, so the next round re-encodes from scratch…
-        assert_eq!(p.parity_current, p.parity_committed);
-        assert_eq!(p.parity_epoch, None);
+        assert!(p.parity.current_matches_committed());
+        assert_eq!(p.parity.delta_base(), None);
         let r = p.run_round(&mut c).unwrap();
         assert_eq!(r.parity_update_bytes, r.redundancy_bytes);
         // …after which a further incremental round and another failure

@@ -19,11 +19,15 @@
 mod diskfull;
 mod dvdc_proto;
 mod first_shot;
+mod phased;
 mod remus;
 
 pub use diskfull::DiskFullProtocol;
-pub use dvdc_proto::{delta_parity_update, CodeKind, DvdcProtocol};
+pub use dvdc_proto::{
+    delta_parity_update, CodeKind, DvdcProtocol, PhasedRound, RoundPhase, RoundStep,
+};
 pub use first_shot::FirstShotProtocol;
+pub use phased::{run_round_with_faults, PhasedOutcome};
 pub use remus::RemusLikeProtocol;
 
 use std::fmt;

@@ -1,0 +1,372 @@
+//! Fault-driven execution of phase-interruptible DVDC rounds.
+//!
+//! [`run_round_with_faults`] drives one [`DvdcProtocol`] round as discrete
+//! events on the `simcore` engine — one event per capture, transfer
+//! launch/arrival, parity fold, and commit ack — with the next fault of a
+//! [`ClusterFaultPlan`] scheduled alongside them. A fault that fires
+//! mid-round kills its node at exactly that microstate:
+//!
+//! * If the victim holds pending round state (it hosts VMs, holds parity,
+//!   or is an endpoint of an in-flight transfer), the round's remaining
+//!   step events are cancelled, the round aborts (two-phase commit: the
+//!   old parity generation was retained, so nothing torn survives), and
+//!   the victim is recovered from survivors — the cluster rolls back to
+//!   the last *committed* epoch, byte-exact.
+//! * If the victim is fully evacuated, the round completes *degraded*
+//!   and the victim is repaired afterwards.
+//!
+//! This is the honest-availability harness: the dangerous window the
+//! atomic `run_round` could never exercise — a node dying with captures
+//! and parity transfers in flight — becomes an ordinary schedulable
+//! event.
+//!
+//! [`ClusterFaultPlan`]: dvdc_faults::ClusterFaultPlan
+
+use dvdc_faults::{NodeFault, PlanCursor};
+use dvdc_simcore::engine::Simulation;
+use dvdc_simcore::time::SimTime;
+use dvdc_vcluster::cluster::Cluster;
+use dvdc_vcluster::ids::NodeId;
+
+use super::dvdc_proto::{DvdcProtocol, PhasedRound, RoundPhase, RoundStep};
+use super::{CheckpointProtocol, ProtocolError, RecoveryReport, RoundReport};
+
+/// How a fault-driven round ended.
+#[derive(Debug)]
+pub enum PhasedOutcome {
+    /// The round committed. If uninvolved (evacuated) nodes failed while
+    /// it ran, it completed degraded and they were recovered afterwards.
+    Committed {
+        /// The committed round's report.
+        report: RoundReport,
+        /// Post-commit recoveries of nodes that failed mid-round without
+        /// holding round state.
+        recovered: Vec<RecoveryReport>,
+    },
+    /// A fault killed a node holding pending round state: the round
+    /// aborted at `phase` and the cluster rolled back to the previous
+    /// committed epoch.
+    RolledBack {
+        /// The node whose failure aborted the round.
+        victim: NodeId,
+        /// Phase the round had reached when the fault fired.
+        phase: RoundPhase,
+        /// Recoveries performed after the abort — the victim's first,
+        /// then any other node that went down during the round.
+        recoveries: Vec<RecoveryReport>,
+    },
+}
+
+impl PhasedOutcome {
+    /// True if the round committed (possibly degraded).
+    pub fn committed(&self) -> bool {
+        matches!(self, PhasedOutcome::Committed { .. })
+    }
+}
+
+/// Discrete events of one fault-exposed round.
+#[derive(Debug)]
+enum Ev {
+    /// Advance the round by one protocol step.
+    Step,
+    /// A scheduled node failure fires.
+    Fault(NodeFault),
+}
+
+struct Driver<'a, 'p> {
+    protocol: &'a mut DvdcProtocol,
+    cluster: &'a mut Cluster,
+    cursor: &'a mut PlanCursor<'p>,
+    round: Option<PhasedRound>,
+    report: Option<RoundReport>,
+    /// Set when an involved node died: `(victim, phase at abort)`.
+    aborted: Option<(NodeId, RoundPhase)>,
+    /// Uninvolved nodes that went down while the round ran.
+    bystanders: Vec<NodeId>,
+    error: Option<ProtocolError>,
+}
+
+/// Runs one DVDC round starting at `start` with the plan faults of
+/// `cursor` injected at their scheduled instants. Only faults that
+/// actually fire are consumed from the cursor; a fault the committed
+/// round never reached stays pending for the caller's next round.
+/// Faults already overdue at `start` fire immediately at `start`.
+///
+/// Returns the outcome and the simulated instant the round (including
+/// any recovery decision, excluding repair wall-clock) ended.
+pub fn run_round_with_faults(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    cursor: &mut PlanCursor<'_>,
+    start: SimTime,
+) -> Result<(PhasedOutcome, SimTime), ProtocolError> {
+    let round = protocol.begin_round(cluster)?;
+    let first_fault = cursor.peek().copied();
+    let mut sim = Simulation::new(Driver {
+        protocol,
+        cluster,
+        cursor,
+        round: Some(round),
+        report: None,
+        aborted: None,
+        bystanders: Vec::new(),
+        error: None,
+    });
+    sim.schedule(start, Ev::Step);
+    if let Some(f) = first_fault {
+        sim.schedule(f.at.max(start), Ev::Fault(f));
+    }
+
+    sim.run_to_completion(|w, sched, ev| match ev {
+        Ev::Step => {
+            let Some(round) = w.round.as_mut() else {
+                return; // round already gone (races cannot happen — steps are cancelled on abort)
+            };
+            match w.protocol.step_round(w.cluster, round) {
+                Ok(RoundStep::Progress { took, .. }) => sched.after(took, Ev::Step),
+                Ok(RoundStep::Committed(report)) => {
+                    w.report = Some(report);
+                    w.round = None;
+                    // Unfired fault events are NOT consumed from the
+                    // cursor; they belong to the inter-round window.
+                    sched.cancel_where(|_| true);
+                }
+                Err(e) => {
+                    w.error = Some(e);
+                    sched.cancel_where(|_| true);
+                }
+            }
+        }
+        Ev::Fault(f) => {
+            // The fault fires now: consume it and line up the next one.
+            w.cursor.advance();
+            if let Some(next) = w.cursor.peek() {
+                sched.at(next.at.max(sched.now()), Ev::Fault(*next));
+            }
+            let node = NodeId(f.node);
+            if !w.cluster.is_up(node) {
+                return; // already down — nothing new fails
+            }
+            w.cluster.fail_node(node);
+            let involved = w
+                .round
+                .as_ref()
+                .is_some_and(|r| w.protocol.round_involves(w.cluster, r, node));
+            if involved {
+                let phase = w.round.as_ref().expect("involved implies round").phase();
+                w.aborted = Some((node, phase));
+                // Retract every remaining event of the doomed round —
+                // steps and later faults alike; the caller replays
+                // unconsumed faults against the recovered cluster.
+                sched.cancel_where(|_| true);
+            } else {
+                w.bystanders.push(node);
+            }
+        }
+    });
+
+    let end = sim.now();
+    let Driver {
+        round,
+        report,
+        aborted,
+        bystanders,
+        error,
+        ..
+    } = sim.world;
+    if let Some(e) = error {
+        return Err(e);
+    }
+
+    if let Some((victim, phase)) = aborted {
+        let round = round.expect("aborted round is still held");
+        protocol.abort_round(round);
+        let mut recoveries = vec![protocol.recover(cluster, victim)?];
+        for other in bystanders {
+            if !cluster.is_up(other) {
+                recoveries.push(protocol.recover(cluster, other)?);
+            }
+        }
+        return Ok((
+            PhasedOutcome::RolledBack {
+                victim,
+                phase,
+                recoveries,
+            },
+            end,
+        ));
+    }
+
+    let report = report.expect("round either commits or aborts");
+    let mut recovered = Vec::new();
+    for node in bystanders {
+        if !cluster.is_up(node) {
+            recovered.push(protocol.recover(cluster, node)?);
+        }
+    }
+    Ok((PhasedOutcome::Committed { report, recovered }, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::GroupPlacement;
+    use crate::protocol::CheckpointProtocol;
+    use dvdc_faults::ClusterFaultPlan;
+    use dvdc_simcore::rng::RngHub;
+    use dvdc_simcore::time::Duration;
+    use dvdc_vcluster::cluster::ClusterBuilder;
+
+    fn build(nodes: usize, vms: usize) -> Cluster {
+        ClusterBuilder::new()
+            .physical_nodes(nodes)
+            .vms_per_node(vms)
+            .vm_memory(8, 32)
+            .writes_per_sec(200.0)
+            .build(11)
+    }
+
+    fn snapshots(c: &Cluster) -> Vec<Vec<u8>> {
+        c.vm_ids()
+            .iter()
+            .map(|&v| c.vm(v).memory().snapshot())
+            .collect()
+    }
+
+    fn fault(node: usize, at_secs: f64) -> NodeFault {
+        NodeFault {
+            node,
+            at: SimTime::from_secs(at_secs),
+            repair: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn empty_plan_commits_identically_to_atomic_round() {
+        let mut c1 = build(4, 3);
+        let mut c2 = build(4, 3);
+        let mut p1 = DvdcProtocol::new(GroupPlacement::orthogonal(&c1, 3).unwrap());
+        let mut p2 = DvdcProtocol::new(GroupPlacement::orthogonal(&c2, 3).unwrap());
+        let want = p1.run_round(&mut c1).unwrap();
+
+        let plan = ClusterFaultPlan::default();
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, end) =
+            run_round_with_faults(&mut p2, &mut c2, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::Committed { report, recovered } => {
+                assert_eq!(report, want, "event-driven round must equal atomic round");
+                assert!(recovered.is_empty());
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert!(end > SimTime::ZERO, "steps must consume simulated time");
+    }
+
+    #[test]
+    fn mid_round_fault_rolls_back_byte_exactly() {
+        let mut c = build(4, 3);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+
+        let hub = RngHub::new(2);
+        c.run_all(Duration::from_secs(0.5), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+
+        // Strike early enough that the round is guaranteed in flight.
+        let plan = ClusterFaultPlan::new(vec![fault(1, 1e-7)]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::RolledBack {
+                victim, recoveries, ..
+            } => {
+                assert_eq!(victim, NodeId(1));
+                assert_eq!(recoveries.len(), 1);
+                assert_eq!(recoveries[0].rolled_back_to, Some(0));
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        assert_eq!(cursor.remaining(), 0, "fired fault must be consumed");
+        assert_eq!(snapshots(&c), want, "rollback must be byte-exact");
+
+        // The cluster keeps working: the next fault-free round commits.
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        assert!(outcome.committed());
+    }
+
+    #[test]
+    fn fault_beyond_round_end_is_left_for_the_caller() {
+        let mut c = build(4, 3);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        let plan = ClusterFaultPlan::new(vec![fault(2, 1e9)]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        assert!(outcome.committed());
+        assert!(end < SimTime::from_secs(1e9));
+        assert_eq!(
+            cursor.remaining(),
+            1,
+            "unfired fault must stay in the plan for the inter-round window"
+        );
+    }
+
+    #[test]
+    fn evacuated_victim_completes_round_degraded() {
+        // 6×2, k=3: failover evacuates node 0 entirely; a later fault on
+        // the corpse (or on a node that holds nothing) must not abort the
+        // round. We arrange the evacuated case via recover_failover.
+        let mut c = build(6, 2);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+        c.fail_node(NodeId(0));
+        p.recover_failover(&mut c, NodeId(0)).unwrap();
+        // Node 0 is down and fully evacuated; a fault re-striking it
+        // mid-round is a no-op for the round.
+        let plan = ClusterFaultPlan::new(vec![fault(0, 1e-7)]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::Committed { recovered, .. } => {
+                assert!(recovered.is_empty(), "already-down node needs no recovery");
+            }
+            other => panic!("expected degraded commit, got {other:?}"),
+        }
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn consecutive_faults_in_one_round_both_fire() {
+        // m = 2 Reed–Solomon tolerates both victims; both faults strike
+        // mid-round, the first aborts, and recovery handles both nodes.
+        let mut c = build(6, 2);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 2).unwrap();
+        let mut p = DvdcProtocol::new(placement);
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+
+        let plan = ClusterFaultPlan::new(vec![fault(1, 1e-7), fault(3, 2e-7)]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::RolledBack {
+                victim, recoveries, ..
+            } => {
+                assert_eq!(victim, NodeId(1));
+                // The second fault was cancelled with the round: it
+                // stays for the caller.
+                assert_eq!(cursor.remaining(), 1);
+                assert_eq!(recoveries.len(), 1);
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        assert_eq!(snapshots(&c), want);
+    }
+}

@@ -63,6 +63,14 @@ impl ClusterFaultPlan {
         self.faults.iter().filter(move |f| f.node == node)
     }
 
+    /// Faults with `start <= at < end`, in time order — the faults that can
+    /// strike inside one protocol round's execution window.
+    pub fn in_window(&self, start: SimTime, end: SimTime) -> impl Iterator<Item = &NodeFault> {
+        self.faults
+            .iter()
+            .filter(move |f| f.at >= start && f.at < end)
+    }
+
     /// True if two faults (on different nodes) overlap in downtime — i.e.
     /// the second strikes before the first node's repair completes. A
     /// single-parity scheme cannot recover from such a window.
@@ -79,6 +87,60 @@ impl ClusterFaultPlan {
             }
         }
         false
+    }
+}
+
+/// A consuming cursor over a [`ClusterFaultPlan`] — the bridge between a
+/// precomputed failure schedule and an event-driven executor that injects
+/// faults *mid-round*.
+///
+/// The executor peeks at the next unconsumed fault, schedules it as a
+/// discrete event alongside the round's phase steps, and advances the
+/// cursor when the fault actually fires. Each fault is delivered exactly
+/// once, no matter how many rounds peek at it.
+#[derive(Debug, Clone)]
+pub struct PlanCursor<'a> {
+    plan: &'a ClusterFaultPlan,
+    next: usize,
+}
+
+impl<'a> PlanCursor<'a> {
+    /// Creates a cursor at the start of the plan.
+    pub fn new(plan: &'a ClusterFaultPlan) -> Self {
+        PlanCursor { plan, next: 0 }
+    }
+
+    /// The next unconsumed fault, if any, without consuming it.
+    pub fn peek(&self) -> Option<&'a NodeFault> {
+        self.plan.faults().get(self.next)
+    }
+
+    /// The next unconsumed fault if it strikes strictly before `end`,
+    /// without consuming it.
+    pub fn peek_before(&self, end: SimTime) -> Option<&'a NodeFault> {
+        self.peek().filter(|f| f.at < end)
+    }
+
+    /// Consumes and returns the next fault.
+    pub fn advance(&mut self) -> Option<&'a NodeFault> {
+        let f = self.plan.faults().get(self.next)?;
+        self.next += 1;
+        Some(f)
+    }
+
+    /// Skips every fault strictly before `t` (already in the past for the
+    /// caller), returning how many were skipped.
+    pub fn skip_before(&mut self, t: SimTime) -> usize {
+        let start = self.next;
+        while self.peek().is_some_and(|f| f.at < t) {
+            self.next += 1;
+        }
+        self.next - start
+    }
+
+    /// Faults not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.plan.len() - self.next
     }
 }
 
@@ -217,6 +279,45 @@ mod tests {
             0
         );
         assert!(plan.next_at_or_after(SimTime::from_secs(11.0)).is_none());
+    }
+
+    #[test]
+    fn in_window_is_half_open() {
+        let mk = |node, at| NodeFault {
+            node,
+            at: SimTime::from_secs(at),
+            repair: Duration::ZERO,
+        };
+        let plan = ClusterFaultPlan::new(vec![mk(0, 1.0), mk(1, 2.0), mk(2, 3.0)]);
+        let hits: Vec<usize> = plan
+            .in_window(SimTime::from_secs(2.0), SimTime::from_secs(3.0))
+            .map(|f| f.node)
+            .collect();
+        // start inclusive, end exclusive.
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn cursor_delivers_each_fault_exactly_once() {
+        let mk = |node, at| NodeFault {
+            node,
+            at: SimTime::from_secs(at),
+            repair: Duration::ZERO,
+        };
+        let plan = ClusterFaultPlan::new(vec![mk(0, 1.0), mk(1, 5.0), mk(2, 9.0)]);
+        let mut cur = PlanCursor::new(&plan);
+        assert_eq!(cur.remaining(), 3);
+        assert_eq!(cur.peek().unwrap().node, 0);
+        // Peeking repeatedly never consumes.
+        assert_eq!(cur.peek().unwrap().node, 0);
+        assert_eq!(cur.advance().unwrap().node, 0);
+        // peek_before honours the bound.
+        assert!(cur.peek_before(SimTime::from_secs(5.0)).is_none());
+        assert_eq!(cur.peek_before(SimTime::from_secs(6.0)).unwrap().node, 1);
+        assert_eq!(cur.skip_before(SimTime::from_secs(9.0)), 1);
+        assert_eq!(cur.advance().unwrap().node, 2);
+        assert!(cur.advance().is_none());
+        assert_eq!(cur.remaining(), 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use dist::{
     AnyDistribution, Deterministic, Empirical, Exponential, FailureDistribution, LogNormal,
     Mixture, Weibull,
 };
-pub use injector::{ClusterFaultPlan, FaultInjector, NodeFault};
+pub use injector::{ClusterFaultPlan, FaultInjector, NodeFault, PlanCursor};
 pub use mttdl::MttdlParams;
 pub use process::RenewalProcess;
 pub use trace::{parse_trace, render_trace};

@@ -13,12 +13,25 @@
 use crate::event::EventQueue;
 use crate::time::{Duration, SimTime};
 
+/// A buffered cancellation predicate (see [`Scheduler::cancel_where`]).
+type CancelPredicate<E> = Box<dyn FnMut(&E) -> bool>;
+
 /// Event-scheduling proxy handed to handlers. New events are buffered and
 /// committed to the queue when the handler returns.
-#[derive(Debug)]
 pub struct Scheduler<E> {
     now: SimTime,
     pending: Vec<(SimTime, E)>,
+    cancellations: Vec<CancelPredicate<E>>,
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .field("cancellations", &self.cancellations.len())
+            .finish()
+    }
 }
 
 impl<E> Scheduler<E> {
@@ -39,6 +52,18 @@ impl<E> Scheduler<E> {
     /// Schedules an event `delay` from now.
     pub fn after(&mut self, delay: Duration, event: E) {
         self.at(self.now + delay, event);
+    }
+
+    /// Cancels every pending event matching `doomed` — both events
+    /// already in the queue and events this handler scheduled earlier in
+    /// the same invocation. Applied when the handler returns; surviving
+    /// events keep their relative order.
+    ///
+    /// This is how an interrupting event (a node fault) retracts the
+    /// follow-up work of whatever it interrupted (the phase steps of an
+    /// in-flight checkpoint round).
+    pub fn cancel_where<F: FnMut(&E) -> bool + 'static>(&mut self, doomed: F) {
+        self.cancellations.push(Box::new(doomed));
     }
 }
 
@@ -74,6 +99,14 @@ impl<W, E> Simulation<W, E> {
         self.queue.schedule(at, event);
     }
 
+    /// Drops every pending event matching `doomed` without disturbing the
+    /// relative order of survivors. The out-of-handler counterpart of
+    /// [`Scheduler::cancel_where`], for callers that interleave their own
+    /// logic between `run_until` windows.
+    pub fn cancel_where<F: FnMut(&E) -> bool>(&mut self, mut doomed: F) {
+        self.queue.retain(|e| !doomed(e));
+    }
+
     /// Runs events until the queue drains or an event at or beyond
     /// `horizon` would fire (events exactly at the horizon are not
     /// delivered). Returns the number of events processed.
@@ -90,9 +123,19 @@ impl<W, E> Simulation<W, E> {
             let mut scheduler = Scheduler {
                 now,
                 pending: Vec::new(),
+                cancellations: Vec::new(),
             };
             handler(&mut self.world, &mut scheduler, event);
-            for (at, e) in scheduler.pending {
+            let Scheduler {
+                mut pending,
+                mut cancellations,
+                ..
+            } = scheduler;
+            for doomed in &mut cancellations {
+                self.queue.retain(|e| !doomed(e));
+                pending.retain(|(_, e)| !doomed(e));
+            }
+            for (at, e) in pending {
                 self.queue.schedule(at, e);
             }
             processed += 1;
@@ -211,6 +254,46 @@ mod tests {
             (mean_l - 4.0).abs() < 0.4,
             "M/M/1 mean in system {mean_l} vs theory 4.0"
         );
+    }
+
+    #[test]
+    fn handler_cancellation_retracts_queued_and_pending_events() {
+        #[derive(Debug, PartialEq, Clone, Copy)]
+        enum Ev {
+            Step(u32),
+            Fault,
+        }
+        let mut sim = Simulation::new(Vec::new());
+        for i in 0..4 {
+            sim.schedule(SimTime::from_secs(1.0 + i as f64), Ev::Step(i));
+        }
+        sim.schedule(SimTime::from_secs(2.5), Ev::Fault);
+        sim.run_to_completion(|log: &mut Vec<Ev>, sched, ev| {
+            log.push(ev);
+            if let Ev::Fault = ev {
+                // Even an event the fault handler itself just scheduled
+                // must not survive the cancellation.
+                sched.after(Duration::from_secs(1.0), Ev::Step(99));
+                sched.cancel_where(|e| matches!(e, Ev::Step(_)));
+            }
+        });
+        assert_eq!(
+            sim.world,
+            vec![Ev::Step(0), Ev::Step(1), Ev::Fault],
+            "steps after the fault must have been cancelled"
+        );
+    }
+
+    #[test]
+    fn simulation_cancel_where_between_windows() {
+        let mut sim = Simulation::new(());
+        for i in 0..5 {
+            sim.schedule(SimTime::from_secs(i as f64 + 1.0), i);
+        }
+        sim.cancel_where(|&e| e >= 3);
+        assert_eq!(sim.pending(), 3);
+        let n = sim.run_to_completion(|_, _, _| {});
+        assert_eq!(n, 3);
     }
 
     #[test]

@@ -135,6 +135,21 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Keeps only the pending events for which `keep` returns true,
+    /// preserving each survivor's original `(time, sequence)` position —
+    /// the relative order of surviving events is unchanged.
+    ///
+    /// This is the cancellation primitive interruptible protocols need: a
+    /// fault handler can drop the phase events of an aborted round without
+    /// disturbing unrelated events.
+    pub fn retain<F: FnMut(&E) -> bool>(&mut self, mut keep: F) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse(e)| keep(&e.event))
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +219,34 @@ mod tests {
         assert_eq!(q.len(), 3);
         // Horizon is exclusive: event at exactly t=3 remains.
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(3.0)));
+    }
+
+    #[test]
+    fn retain_cancels_without_reordering_survivors() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2.0);
+        for i in 0..6 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_secs(1.0), 100);
+        q.retain(|&e| e % 2 == 0);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![100, 0, 2, 4]);
+    }
+
+    #[test]
+    fn retain_keeps_clock_and_sequence_discipline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        q.pop();
+        q.retain(|_| true);
+        assert_eq!(q.now(), SimTime::from_secs(1.0));
+        // New events scheduled after a retain still pop after survivors
+        // at the same instant.
+        q.schedule(SimTime::from_secs(2.0), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["b", "c"]);
     }
 
     #[test]

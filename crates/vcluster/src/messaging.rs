@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::ids::VmId;
+use crate::ids::{NodeId, VmId};
 
 /// An application message: an opaque 64-bit payload plus a sequence
 /// number unique per channel.
@@ -158,6 +158,108 @@ impl MessageFabric {
     }
 }
 
+/// One node-to-node bulk transfer (a checkpoint delta or parity update
+/// travelling between physical nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTransfer {
+    /// Sending physical node.
+    pub from: NodeId,
+    /// Receiving physical node.
+    pub to: NodeId,
+    /// Payload size.
+    pub bytes: usize,
+}
+
+/// In-flight accounting for node-level bulk transfers.
+///
+/// A diskless-checkpoint round ships deltas from VM hosts to parity
+/// holders; a node failing *mid-transfer* leaves bytes on the wire that
+/// never arrived. The ledger tracks exactly which transfers are open at
+/// any instant so an interruptible protocol can (a) decide whether a
+/// failing node was involved in the round, and (b) account for the bytes
+/// it has to discard when it aborts.
+#[derive(Debug, Clone, Default)]
+pub struct TransferLedger {
+    open: BTreeMap<u64, NodeTransfer>,
+    next_id: u64,
+    completed_bytes: usize,
+    dropped_bytes: usize,
+}
+
+impl TransferLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a transfer and returns its handle.
+    pub fn begin(&mut self, from: NodeId, to: NodeId, bytes: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.insert(id, NodeTransfer { from, to, bytes });
+        id
+    }
+
+    /// Marks a transfer delivered. Returns it, or `None` if the handle is
+    /// unknown (already completed or dropped).
+    pub fn complete(&mut self, id: u64) -> Option<NodeTransfer> {
+        let t = self.open.remove(&id)?;
+        self.completed_bytes += t.bytes;
+        Some(t)
+    }
+
+    /// True if `node` is an endpoint of any open transfer.
+    pub fn involves(&self, node: NodeId) -> bool {
+        self.open.values().any(|t| t.from == node || t.to == node)
+    }
+
+    /// Number of open transfers.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Bytes currently on the wire.
+    pub fn in_flight_bytes(&self) -> usize {
+        self.open.values().map(|t| t.bytes).sum()
+    }
+
+    /// Drops every open transfer touching `node` (its link went dark),
+    /// returning the casualties in handle order.
+    pub fn drop_involving(&mut self, node: NodeId) -> Vec<NodeTransfer> {
+        let doomed: Vec<u64> = self
+            .open
+            .iter()
+            .filter(|(_, t)| t.from == node || t.to == node)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::with_capacity(doomed.len());
+        for id in doomed {
+            let t = self.open.remove(&id).expect("listed id is open");
+            self.dropped_bytes += t.bytes;
+            out.push(t);
+        }
+        out
+    }
+
+    /// Drops every open transfer (the whole round was abandoned).
+    pub fn drop_all(&mut self) -> usize {
+        let n = self.open.len();
+        self.dropped_bytes += self.in_flight_bytes();
+        self.open.clear();
+        n
+    }
+
+    /// Total bytes of transfers that completed.
+    pub fn completed_bytes(&self) -> usize {
+        self.completed_bytes
+    }
+
+    /// Total bytes of transfers that were dropped mid-flight.
+    pub fn dropped_bytes(&self) -> usize {
+        self.dropped_bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +323,49 @@ mod tests {
         f.deliver(VmId(0), VmId(1));
         assert_eq!(f.total_in_flight(), 1);
         assert_eq!(f.peek_all(VmId(1), VmId(2)).len(), 1);
+    }
+
+    #[test]
+    fn ledger_tracks_open_and_completed_transfers() {
+        let mut l = TransferLedger::new();
+        let a = l.begin(NodeId(0), NodeId(1), 100);
+        let b = l.begin(NodeId(2), NodeId(1), 50);
+        assert_eq!(l.open_count(), 2);
+        assert_eq!(l.in_flight_bytes(), 150);
+        assert!(l.involves(NodeId(1)));
+        assert!(!l.involves(NodeId(3)));
+        assert_eq!(
+            l.complete(a),
+            Some(NodeTransfer {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 100
+            })
+        );
+        assert_eq!(l.complete(a), None, "double-complete must be a no-op");
+        assert_eq!(l.completed_bytes(), 100);
+        assert_eq!(l.in_flight_bytes(), 50);
+        l.complete(b);
+        assert!(!l.involves(NodeId(1)));
+    }
+
+    #[test]
+    fn ledger_drops_a_dead_nodes_transfers() {
+        let mut l = TransferLedger::new();
+        l.begin(NodeId(0), NodeId(1), 10);
+        let keep = l.begin(NodeId(2), NodeId(3), 20);
+        l.begin(NodeId(1), NodeId(2), 30);
+        // Node 1 dies as sender of one transfer and receiver of another.
+        let dropped = l.drop_involving(NodeId(1));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(l.dropped_bytes(), 40);
+        assert_eq!(l.open_count(), 1);
+        assert!(l.complete(keep).is_some());
+        // Abandoning the rest drains the ledger.
+        l.begin(NodeId(0), NodeId(3), 5);
+        assert_eq!(l.drop_all(), 1);
+        assert_eq!(l.dropped_bytes(), 45);
+        assert_eq!(l.in_flight_bytes(), 0);
     }
 
     #[test]

@@ -396,6 +396,87 @@ proptest! {
     }
 }
 
+// ---------- phase-interruptible rounds ----------
+
+use dvdc::protocol::{CheckpointProtocol, DvdcProtocol, RoundStep};
+use dvdc_checkpoint::strategy::Mode;
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::cluster::Cluster;
+use dvdc_vcluster::ids::NodeId;
+
+fn cluster_snapshots(c: &Cluster) -> Vec<Vec<u8>> {
+    c.vm_ids()
+        .iter()
+        .map(|&v| c.vm(v).memory().snapshot())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stopping a round after ANY event prefix and killing ANY node must
+    /// leave the cluster recoverable to exactly the committed state: the
+    /// pre-round epoch if the prefix ended mid-round, the new epoch if
+    /// the prefix happened to reach the commit.
+    #[test]
+    fn any_event_prefix_of_interrupted_round_recovers_committed_state(
+        seed in any::<u64>(),
+        cut in 0usize..220,
+        victim in 0usize..6,
+        m in 1usize..3,
+    ) {
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(250.0)
+            .build(seed);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, m).unwrap();
+        let mut p = DvdcProtocol::with_options(
+            placement,
+            Mode::Incremental,
+            true,
+            Duration::from_millis(40.0),
+        );
+
+        // Commit a baseline epoch, then guest progress the next round
+        // tries (and fails) to protect.
+        p.run_round(&mut c).unwrap();
+        let mut want = cluster_snapshots(&c);
+        let hub = RngHub::new(seed ^ 0x9E37_79B9);
+        c.run_all(Duration::from_secs(0.5), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+
+        let mut round = p.begin_round(&c).unwrap();
+        let mut committed_mid = false;
+        for _ in 0..cut {
+            match p.step_round(&mut c, &mut round).unwrap() {
+                RoundStep::Progress { .. } => {}
+                RoundStep::Committed(_) => {
+                    committed_mid = true;
+                    break;
+                }
+            }
+        }
+        if committed_mid {
+            // The prefix covered the whole round: the commit moved the
+            // recovery point forward.
+            want = cluster_snapshots(&c);
+        }
+
+        let victim = NodeId(victim);
+        c.fail_node(victim);
+        if !committed_mid {
+            // Every node hosts VMs here, so any victim holds round state.
+            prop_assert!(p.round_involves(&c, &round, victim));
+            p.abort_round(round);
+        }
+        p.recover(&mut c, victim).unwrap();
+        prop_assert_eq!(cluster_snapshots(&c), want);
+    }
+}
+
 // ---------- checkpoint wire format ----------
 
 use bytes::Bytes;

@@ -3,7 +3,9 @@
 //! byte-for-byte.
 
 use dvdc::placement::GroupPlacement;
-use dvdc::protocol::{CheckpointProtocol, DvdcProtocol, FirstShotProtocol};
+use dvdc::protocol::{
+    CheckpointProtocol, CodeKind, DvdcProtocol, FirstShotProtocol, RoundPhase, RoundStep,
+};
 use dvdc_checkpoint::strategy::Mode;
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::Duration;
@@ -177,6 +179,168 @@ fn default_double_parity_survives_all_node_pairs() {
             p.recover(&mut c, NodeId(b))
                 .unwrap_or_else(|e| panic!("pair ({a},{b}) second: {e}"));
             assert_state(&c, &want, &format!("pair ({a},{b})"));
+        }
+    }
+}
+
+/// The four code families the mid-round matrix sweeps: label, kind, k,
+/// m, and a cluster shape whose placement supports them. Image length is
+/// 8 × 32 = 256 bytes, compatible with every family's row constraint
+/// (RDP-exact k=4 → p=5, rows=4; zero-padded RDP k=3 → p=5, rows=4).
+const MID_ROUND_FAMILIES: [(&str, CodeKind, usize, usize, usize, usize); 4] = [
+    ("xor", CodeKind::Xor, 3, 1, 6, 2),
+    ("rdp-exact", CodeKind::RdpExact, 4, 2, 8, 2),
+    ("rdp-padded", CodeKind::Rdp, 3, 2, 6, 2),
+    ("rs", CodeKind::ReedSolomon, 3, 2, 6, 2),
+];
+
+/// Mid-round failure matrix: (phase × code family × victim role). A node
+/// dies after the round reached each phase — captures staged, transfers
+/// in flight, parity partially folded, commit acks collecting — and
+/// recovery must restore the last *committed* epoch byte-exactly, never
+/// a torn mix. The victim is either a data-holder of group 0 or its
+/// first parity holder.
+#[test]
+fn dvdc_mid_round_matrix_phase_family_victim() {
+    let phases = [
+        RoundPhase::Capture,
+        RoundPhase::Transfer,
+        RoundPhase::Fold,
+        RoundPhase::Commit,
+    ];
+    for (family, kind, k, m, nodes, vms) in MID_ROUND_FAMILIES {
+        for phase in phases {
+            for parity_victim in [false, true] {
+                let mut c = build(nodes, vms);
+                let placement = GroupPlacement::orthogonal_with_parity(&c, k, m)
+                    .unwrap_or_else(|e| panic!("{family}: {e}"));
+                let group0 = placement.groups()[0].clone();
+                let victim = if parity_victim {
+                    group0.parity_nodes[0]
+                } else {
+                    c.node_of(group0.data[0])
+                };
+                let mut p = DvdcProtocol::with_options(
+                    placement,
+                    Mode::Incremental,
+                    true,
+                    Duration::from_millis(40.0),
+                )
+                .with_code(kind);
+                let ctx = format!(
+                    "family={family} phase={phase:?} victim={victim} parity_victim={parity_victim}"
+                );
+                let hub = RngHub::new(97 * k as u64 + m as u64);
+
+                // Two committed rounds so the interrupted one runs the
+                // steady-state incremental transport, not the first-round
+                // full encode.
+                p.run_round(&mut c).unwrap();
+                c.run_all(Duration::from_secs(0.4), |vm| {
+                    hub.stream_indexed("w1", vm.index() as u64)
+                });
+                p.run_round(&mut c).unwrap();
+                let want = snapshots(&c);
+
+                // Uncommitted guest progress the rollback must discard.
+                c.run_all(Duration::from_secs(0.4), |vm| {
+                    hub.stream_indexed("w2", vm.index() as u64)
+                });
+
+                let mut round = p.begin_round(&c).unwrap();
+                while round.phase() < phase {
+                    match p
+                        .step_round(&mut c, &mut round)
+                        .unwrap_or_else(|e| panic!("{ctx}: step failed: {e}"))
+                    {
+                        RoundStep::Progress { .. } => {}
+                        RoundStep::Committed(_) => {
+                            panic!("{ctx}: round committed before reaching {phase:?}")
+                        }
+                    }
+                }
+                assert_eq!(round.phase(), phase, "{ctx}");
+
+                c.fail_node(victim);
+                assert!(
+                    p.round_involves(&c, &round, victim),
+                    "{ctx}: chosen victim must hold round state"
+                );
+                p.abort_round(round);
+                let report = p
+                    .recover(&mut c, victim)
+                    .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+                assert_eq!(report.rolled_back_to, Some(1), "{ctx}");
+                assert_state(&c, &want, &ctx);
+
+                // The epoch number of the aborted round is reused and the
+                // cluster keeps protecting state: commit one more round
+                // and survive one more failure.
+                c.run_all(Duration::from_secs(0.3), |vm| {
+                    hub.stream_indexed("w3", vm.index() as u64)
+                });
+                let r = p.run_round(&mut c).unwrap();
+                assert_eq!(r.epoch, 2, "{ctx}: aborted epoch must be reused");
+                let want2 = snapshots(&c);
+                c.fail_node(victim);
+                p.recover(&mut c, victim)
+                    .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+                assert_state(&c, &want2, &format!("{ctx} second recovery"));
+            }
+        }
+    }
+}
+
+/// Failure in the instant *after* the promote: the new epoch is
+/// committed, so recovery restores it — not the previous one.
+#[test]
+fn dvdc_failure_right_after_commit_recovers_new_epoch() {
+    for (family, kind, k, m, nodes, vms) in MID_ROUND_FAMILIES {
+        for parity_victim in [false, true] {
+            let mut c = build(nodes, vms);
+            let placement = GroupPlacement::orthogonal_with_parity(&c, k, m).unwrap();
+            let group0 = placement.groups()[0].clone();
+            let victim = if parity_victim {
+                group0.parity_nodes[0]
+            } else {
+                c.node_of(group0.data[0])
+            };
+            let mut p = DvdcProtocol::with_options(
+                placement,
+                Mode::Incremental,
+                true,
+                Duration::from_millis(40.0),
+            )
+            .with_code(kind);
+            let ctx = format!("family={family} victim={victim} parity_victim={parity_victim}");
+            let hub = RngHub::new(5 + m as u64);
+
+            p.run_round(&mut c).unwrap();
+            c.run_all(Duration::from_secs(0.4), |vm| {
+                hub.stream_indexed("w", vm.index() as u64)
+            });
+            let mut round = p.begin_round(&c).unwrap();
+            loop {
+                match p.step_round(&mut c, &mut round).unwrap() {
+                    RoundStep::Progress { .. } => {}
+                    RoundStep::Committed(report) => {
+                        assert_eq!(report.epoch, 1, "{ctx}");
+                        break;
+                    }
+                }
+            }
+            let want = snapshots(&c);
+
+            c.fail_node(victim);
+            let report = p
+                .recover(&mut c, victim)
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert_eq!(
+                report.rolled_back_to,
+                Some(1),
+                "{ctx}: promote preceded the failure"
+            );
+            assert_state(&c, &want, &ctx);
         }
     }
 }
