@@ -1,0 +1,241 @@
+//! Detection-latency sweep — how fast can the in-band detector be before
+//! it starts lying?
+//!
+//! The paper assumes an oracle announces failures; DVDC's phased runner
+//! instead confirms them through missed heartbeats. That trades latency
+//! (the repair clock starts `timeout + confirm_grace` after the silence
+//! begins, up to a heartbeat interval later) against accuracy (a hang
+//! shorter than the window heals invisibly; a longer one draws a false
+//! failover that must be fenced and resynced). This sweep quantifies both
+//! sides across heartbeat interval × suspicion timeout, under a fixed
+//! fault mix of crashes and transient hangs.
+//!
+//! Run: `cargo run -p dvdc-bench --bin detection_latency`
+
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::{run_round_with_detection, DvdcProtocol};
+use dvdc_bench::{render_table, write_json};
+use dvdc_faults::{ClusterFaultPlan, DetectorConfig, NodeFault, PlanCursor};
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::{Duration, SimTime};
+use dvdc_vcluster::cluster::ClusterBuilder;
+use rand::Rng;
+use serde::Serialize;
+
+const ROUNDS: usize = 60;
+const HORIZON_SECS: f64 = 600.0;
+const FAULTS: usize = 24;
+
+#[derive(Serialize)]
+struct SweepRow {
+    heartbeat_ms: f64,
+    timeout_ms: f64,
+    confirm_grace_ms: f64,
+    worst_case_ms: f64,
+    mean_detection_ms: Option<f64>,
+    max_detection_ms: Option<f64>,
+    confirmations: u64,
+    suspicions: u64,
+    false_suspicions: u64,
+    false_failovers: u64,
+    resyncs: u64,
+    committed: usize,
+    rolled_back: usize,
+}
+
+/// Runs the fixed fault mix under one detector configuration and returns
+/// the aggregated row. `m = 2` parity so overlapping failures stay inside
+/// the code's tolerance — the sweep measures detection, not data loss.
+fn run_config(config: &DetectorConfig, seed: u64) -> SweepRow {
+    config.validate();
+    let mut cluster = ClusterBuilder::new()
+        .physical_nodes(6)
+        .vms_per_node(2)
+        .vm_memory(8, 32)
+        .writes_per_sec(200.0)
+        .build(seed);
+    let placement =
+        GroupPlacement::orthogonal_with_parity(&cluster, 3, 2).expect("6x2 supports k=3, m=2");
+    let mut protocol = DvdcProtocol::new(placement);
+
+    let hub = RngHub::new(seed);
+    let mut frng = hub.stream("faults");
+    let mut at: Vec<f64> = (0..FAULTS)
+        .map(|_| frng.random_range(0.0..HORIZON_SECS))
+        .collect();
+    at.sort_by(f64::total_cmp);
+    // Half crashes, half hangs whose spans straddle every configuration's
+    // confirmation window (5–250 ms): the same plan exercises both the
+    // true-positive latency and the false-positive rate of each config.
+    let faults: Vec<NodeFault> = at
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let node = frng.random_range(0..6);
+            let when = SimTime::from_secs(t);
+            if i % 2 == 0 {
+                NodeFault::crash(node, when, Duration::ZERO)
+            } else {
+                let span = Duration::from_millis(frng.random_range(5.0..250.0));
+                NodeFault::hang(node, when, span)
+            }
+        })
+        .collect();
+    let plan = ClusterFaultPlan::new(faults);
+    let mut cursor = PlanCursor::new(&plan);
+
+    let (mut committed, mut rolled_back) = (0usize, 0usize);
+    let (mut confirmations, mut suspicions) = (0u64, 0u64);
+    let (mut false_suspicions, mut false_failovers, mut resyncs) = (0u64, 0u64, 0u64);
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut now = SimTime::ZERO;
+    for round in 0..ROUNDS {
+        cluster.run_all(Duration::from_secs(HORIZON_SECS / ROUNDS as f64), |vm| {
+            hub.subhub("work", round as u64)
+                .stream_indexed("vm", vm.index() as u64)
+        });
+        now += Duration::from_secs(HORIZON_SECS / ROUNDS as f64);
+        let (outcome, end) =
+            run_round_with_detection(&mut protocol, &mut cluster, &mut cursor, now, config)
+                .expect("m=2 tolerates this plan");
+        now = end;
+        let det = outcome.detection();
+        confirmations += det.confirmations;
+        suspicions += det.suspicions;
+        false_suspicions += det.false_suspicions;
+        false_failovers += det.false_failovers;
+        resyncs += det.resyncs;
+        if let Some(lat) = det.first_detection_latency {
+            latencies.push(lat.as_millis());
+        }
+        if outcome.committed() {
+            committed += 1;
+        } else {
+            rolled_back += 1;
+        }
+    }
+
+    let mean =
+        (!latencies.is_empty()).then(|| latencies.iter().sum::<f64>() / latencies.len() as f64);
+    let max = latencies.iter().copied().reduce(f64::max);
+    SweepRow {
+        heartbeat_ms: config.heartbeat_interval.as_millis(),
+        timeout_ms: config.timeout.as_millis(),
+        confirm_grace_ms: config.confirm_grace.as_millis(),
+        worst_case_ms: config.worst_case_detection().as_millis(),
+        mean_detection_ms: mean,
+        max_detection_ms: max,
+        confirmations,
+        suspicions,
+        false_suspicions,
+        false_failovers,
+        resyncs,
+        committed,
+        rolled_back,
+    }
+}
+
+fn main() {
+    println!("Detection-latency sweep — 6 nodes x 2 VMs, k = 3, m = 2, {ROUNDS} rounds,");
+    println!("{FAULTS} faults (half crashes, half 5-250 ms hangs) per configuration\n");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for hb_ms in [5.0f64, 10.0, 20.0, 50.0] {
+        for timeout_mult in [2.5f64, 3.5, 5.0] {
+            let config = DetectorConfig {
+                heartbeat_interval: Duration::from_millis(hb_ms),
+                timeout: Duration::from_millis(hb_ms * timeout_mult),
+                confirm_grace: Duration::from_millis(hb_ms * 2.5),
+            };
+            let row = run_config(&config, 4242);
+            rows.push(vec![
+                format!("{:.0}", row.heartbeat_ms),
+                format!("{:.1}", row.timeout_ms),
+                format!("{:.1}", row.confirm_grace_ms),
+                format!("{:.1}", row.worst_case_ms),
+                row.mean_detection_ms
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                row.max_detection_ms
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                row.confirmations.to_string(),
+                row.false_suspicions.to_string(),
+                format!("{}/{}", row.false_failovers, row.resyncs),
+                format!("{}/{}", row.committed, row.rolled_back),
+            ]);
+            records.push(row);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "hb (ms)",
+                "timeout",
+                "grace",
+                "worst case",
+                "mean det",
+                "max det",
+                "confirmed",
+                "false susp",
+                "false-fo/resync",
+                "commit/rollback",
+            ],
+            &rows
+        )
+    );
+
+    println!("faster heartbeats shrink time-to-detection toward the timeout+grace");
+    println!("floor, but tighter windows reclassify more transient hangs as deaths:");
+    println!("false suspicions turn into false failovers, each costing a fence and");
+    println!("a resync. The detector never corrupts committed state either way —");
+    println!("the knobs trade repair-clock latency against wasted evacuations.\n");
+
+    // Structural checks.
+    for r in &records {
+        // Measured latency respects the analytic envelope (heartbeat
+        // transit adds sub-millisecond slack on top of the worst case).
+        if let Some(max) = r.max_detection_ms {
+            assert!(
+                max <= r.worst_case_ms + 1.0,
+                "hb={} timeout={}: max {max} ms breaches worst case {} ms",
+                r.heartbeat_ms,
+                r.timeout_ms,
+                r.worst_case_ms
+            );
+        }
+        let floor = r.timeout_ms + r.confirm_grace_ms;
+        if let Some(mean) = r.mean_detection_ms {
+            assert!(
+                mean + 1.0 >= floor,
+                "hb={} timeout={}: mean {mean} ms under the {floor} ms floor",
+                r.heartbeat_ms,
+                r.timeout_ms
+            );
+        }
+        assert!(r.suspicions >= r.confirmations);
+        // A false failover normally resyncs; when no orthogonal host can
+        // take the evacuees the runner repairs in place instead, so the
+        // resync count may fall short but never without a confirmation.
+        assert!(r.confirmations >= r.false_failovers);
+        assert_eq!(r.committed + r.rolled_back, ROUNDS);
+    }
+    // The headline trade-off must be visible in the data: the tightest
+    // windows flag more live nodes than the widest.
+    let tight: u64 = records[..3]
+        .iter()
+        .map(|r| r.false_suspicions + r.false_failovers)
+        .sum();
+    let wide: u64 = records[9..]
+        .iter()
+        .map(|r| r.false_suspicions + r.false_failovers)
+        .sum();
+    assert!(
+        tight >= wide,
+        "tight windows should misjudge at least as often as wide ones ({tight} < {wide})"
+    );
+
+    write_json("detection_latency", &records);
+}

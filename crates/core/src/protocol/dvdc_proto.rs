@@ -39,7 +39,7 @@ use dvdc_parity::rs::ReedSolomon;
 use dvdc_simcore::time::Duration;
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::{NodeId, VmId};
-use dvdc_vcluster::messaging::TransferLedger;
+use dvdc_vcluster::messaging::{FenceRegistry, FenceToken, LedgerError, TransferLedger};
 
 use crate::placement::{GroupId, GroupPlacement};
 
@@ -307,6 +307,11 @@ pub struct DvdcProtocol {
     next_epoch: u64,
     parity_blocks: usize,
     group_width: usize,
+    /// Epoch fencing: every transfer a node launches is stamped with its
+    /// current fence token; a detector-confirmed failover fences the
+    /// victim so anything it sent pre-fence — or tries to send after
+    /// waking from a false suspicion — is rejected until it resyncs.
+    fences: FenceRegistry,
 }
 
 impl DvdcProtocol {
@@ -363,7 +368,13 @@ impl DvdcProtocol {
             next_epoch: 0,
             parity_blocks,
             group_width,
+            fences: FenceRegistry::new(),
         }
+    }
+
+    /// The fence registry guarding transfers and rejoin attempts.
+    pub fn fences(&self) -> &FenceRegistry {
+        &self.fences
     }
 
     /// The placement this protocol protects.
@@ -770,11 +781,16 @@ impl DvdcProtocol {
                     // so a fault event can land with the bytes on the
                     // wire (the ledger then reports the victim involved).
                     if let Some(id) = round.in_flight.take() {
-                        let t = round
-                            .ledger
-                            .complete(id)
-                            .expect("launched transfer is open");
-                        let took = cluster.fabric().network.link_transfer(t.bytes);
+                        let took = match round.ledger.try_complete(id, &self.fences) {
+                            Ok(t) => cluster.fabric().network.link_transfer(t.bytes),
+                            // Fenced sender: the bytes crossed the wire but
+                            // the receiver discards them (they still cost
+                            // their transfer time). Unknown handle: the
+                            // transfer was already dropped when a node went
+                            // dark — nothing to deliver.
+                            Err(LedgerError::Fenced { .. })
+                            | Err(LedgerError::UnknownTransfer { .. }) => Duration::ZERO,
+                        };
                         return Ok(RoundStep::Progress {
                             phase: RoundPhase::Transfer,
                             took,
@@ -784,7 +800,14 @@ impl DvdcProtocol {
                         round.phase = RoundPhase::Fold;
                         continue;
                     };
-                    round.in_flight = Some(round.ledger.begin(from, to, bytes));
+                    // A fenced sender gets a never-valid token: the ledger
+                    // still tracks the transfer for involvement/abort
+                    // accounting, but its payload is rejected at arrival.
+                    let token = self.fences.token(from).unwrap_or(FenceToken {
+                        node: from,
+                        epoch: u64::MAX,
+                    });
+                    round.in_flight = Some(round.ledger.begin_with_token(from, to, bytes, token));
                     return Ok(RoundStep::Progress {
                         phase: RoundPhase::Transfer,
                         took: Duration::ZERO,
@@ -997,6 +1020,55 @@ impl DvdcProtocol {
             || !self.placement.parity_groups_of(node).is_empty()
             || round.ledger.involves(node)
     }
+
+    /// Fences `node` immediately: its outstanding tokens go stale and it
+    /// cannot launch new transfers until readmitted. Used when a detector
+    /// confirms a node dead but there is no state to re-home (the node
+    /// was already evacuated) — [`CheckpointProtocol::recover_failover`]
+    /// fences internally for the state-holding case.
+    pub fn fence_node(&mut self, node: NodeId) {
+        self.fences.fence(node);
+    }
+
+    /// Rejoin path for a node that was wrongly failed over: it was hung
+    /// or partitioned when the detector confirmed it dead, the cluster
+    /// fenced it and re-homed its state, and now it has woken up holding
+    /// a stale view of a round that no longer exists. Its memory is
+    /// discarded wholesale (the failover already rebuilt everything it
+    /// held from parity), it is readmitted to the fence registry under
+    /// its post-fence epoch, and it rejoins as an empty host ready to
+    /// receive migrated VMs or re-homed parity. Returns the committed
+    /// epoch it resynced to.
+    ///
+    /// Fails with [`ProtocolError::Unrecoverable`] if the node still
+    /// holds VMs or parity responsibilities — that means no failover
+    /// re-homed them and the caller wants [`CheckpointProtocol::recover`]
+    /// instead.
+    pub fn resync_node(
+        &mut self,
+        cluster: &mut Cluster,
+        node: NodeId,
+    ) -> Result<u64, ProtocolError> {
+        let epoch = self
+            .committed_epoch
+            .ok_or(ProtocolError::NoCommittedCheckpoint)?;
+        if !cluster.vms_on(node).is_empty() || !self.placement.parity_groups_of(node).is_empty() {
+            return Err(ProtocolError::Unrecoverable {
+                node,
+                reason: "resync requires an evacuated node; use recover for one holding state"
+                    .into(),
+            });
+        }
+        if !cluster.is_up(node) {
+            cluster.repair_node(node);
+        }
+        if let Some(store) = self.node_stores.get_mut(node.index()) {
+            store.current_mut().clear();
+            store.committed_mut().clear();
+        }
+        self.fences.readmit(node);
+        Ok(epoch)
+    }
 }
 
 /// Output of [`DvdcProtocol::decode_lost_state`].
@@ -1041,6 +1113,12 @@ impl CheckpointProtocol for DvdcProtocol {
             .ok_or(ProtocolError::NoCommittedCheckpoint)?;
 
         let decoded = self.decode_lost_state(cluster, failed)?;
+
+        // Rotate the node's fence epoch before it rejoins: anything it
+        // launched pre-failure is invalidated, then the repaired node is
+        // immediately readmitted under the new epoch.
+        self.fences.fence(failed);
+        self.fences.readmit(failed);
 
         // Bring the node back; reseed its local store and parity blocks.
         // Seeding writes both buffers directly — a wholesale commit here
@@ -1092,6 +1170,13 @@ impl CheckpointProtocol for DvdcProtocol {
             .ok_or(ProtocolError::NoCommittedCheckpoint)?;
 
         let decoded = self.decode_lost_state(cluster, failed)?;
+
+        // Fence the victim *before* failover — and leave it fenced. If
+        // the detector was right the node is dead and the fence is moot;
+        // if it was wrong (hang/partition) the node will wake holding
+        // stale round state, find every stale token rejected, and must go
+        // through [`DvdcProtocol::resync_node`] to rejoin.
+        self.fences.fence(failed);
 
         // Re-home each lost VM: an up node hosting no member (data or
         // parity) of its group, preferring the least-loaded.

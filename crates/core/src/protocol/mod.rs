@@ -27,7 +27,7 @@ pub use dvdc_proto::{
     delta_parity_update, CodeKind, DvdcProtocol, PhasedRound, RoundPhase, RoundStep,
 };
 pub use first_shot::FirstShotProtocol;
-pub use phased::{run_round_with_faults, PhasedOutcome};
+pub use phased::{run_round_with_detection, run_round_with_faults, DetectionReport, PhasedOutcome};
 pub use remus::RemusLikeProtocol;
 
 use std::fmt;

@@ -1,37 +1,91 @@
-//! Fault-driven execution of phase-interruptible DVDC rounds.
+//! Detector-driven execution of phase-interruptible DVDC rounds.
 //!
-//! [`run_round_with_faults`] drives one [`DvdcProtocol`] round as discrete
-//! events on the `simcore` engine — one event per capture, transfer
-//! launch/arrival, parity fold, and commit ack — with the next fault of a
-//! [`ClusterFaultPlan`] scheduled alongside them. A fault that fires
-//! mid-round kills its node at exactly that microstate:
+//! [`run_round_with_detection`] drives one [`DvdcProtocol`] round as
+//! discrete events on the `simcore` engine — one event per capture,
+//! transfer launch/arrival, parity fold, and commit ack — **plus** the
+//! in-band failure detector's traffic: every monitored node heartbeats at
+//! the configured interval (each heartbeat charged through the cluster's
+//! network timing model), and deadline events escalate silence to
+//! `Suspected`, then `Confirmed`.
 //!
-//! * If the victim holds pending round state (it hosts VMs, holds parity,
-//!   or is an endpoint of an in-flight transfer), the round's remaining
-//!   step events are cancelled, the round aborts (two-phase commit: the
-//!   old parity generation was retained, so nothing torn survives), and
-//!   the victim is recovered from survivors — the cluster rolls back to
-//!   the last *committed* epoch, byte-exact.
-//! * If the victim is fully evacuated, the round completes *degraded*
-//!   and the victim is repaired afterwards.
+//! The fault plan drives only the *injector*. A [`NodeFault`] firing
+//! mid-round impairs the node — a [`FaultKind::Crash`] kills it, a
+//! [`FaultKind::TransientHang`] or [`FaultKind::Partition`] merely
+//! silences it — and, if the victim holds pending round state, the round
+//! *stalls* (a coordinated checkpoint cannot progress past an
+//! unresponsive member). Nothing recovers until the **detector** rules:
 //!
-//! This is the honest-availability harness: the dangerous window the
-//! atomic `run_round` could never exercise — a node dying with captures
-//! and parity transfers in flight — becomes an ordinary schedulable
-//! event.
+//! * **Confirmed, node really dead** — the round aborts (two-phase
+//!   commit: the old parity generation was retained, nothing torn
+//!   survives) and the victim is rebuilt from survivors. The time from
+//!   injection to confirmation is real detection latency; it elapses on
+//!   the simulated clock before any recovery begins.
+//! * **Confirmed, node actually alive** (the hang/partition outlasted the
+//!   confirmation window) — a **false failover**: the node is fenced and
+//!   excommunicated, its state re-homed from parity. When it later wakes
+//!   holding stale round state, every stale token is rejected and it must
+//!   [`DvdcProtocol::resync_node`] from the committed epoch to rejoin.
+//! * **Healed before confirmation** — the node resumes, a standing
+//!   suspicion is refuted (a counted *false suspicion*), and the stalled
+//!   round picks up where it left off, having paid the impairment span
+//!   as delay.
 //!
-//! [`ClusterFaultPlan`]: dvdc_faults::ClusterFaultPlan
+//! [`run_round_with_faults`] is the same harness with the default
+//! [`DetectorConfig`] — the drop-in successor of the old oracle-driven
+//! runner, which handed the protocol the exact failure instant for free.
+//!
+//! One simplification is deliberate: the detector is an abstract monitor
+//! observing through the same links as everyone else, so *any* partition
+//! of a node silences its heartbeats (we do not model per-peer
+//! observability quorums).
+//!
+//! [`NodeFault`]: dvdc_faults::NodeFault
+//! [`FaultKind::Crash`]: dvdc_faults::FaultKind::Crash
+//! [`FaultKind::TransientHang`]: dvdc_faults::FaultKind::TransientHang
+//! [`FaultKind::Partition`]: dvdc_faults::FaultKind::Partition
 
-use dvdc_faults::{NodeFault, PlanCursor};
+use std::collections::{BTreeMap, BTreeSet};
+
+use dvdc_faults::detector::{DetectorConfig, FailureDetector, Verdict};
+use dvdc_faults::{FaultKind, NodeFault, PlanCursor};
 use dvdc_simcore::engine::Simulation;
-use dvdc_simcore::time::SimTime;
+use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::NodeId;
 
 use super::dvdc_proto::{DvdcProtocol, PhasedRound, RoundPhase, RoundStep};
 use super::{CheckpointProtocol, ProtocolError, RecoveryReport, RoundReport};
 
-/// How a fault-driven round ended.
+/// Size of one heartbeat message on the wire.
+const HEARTBEAT_BYTES: usize = 64;
+
+/// What the failure detector saw and did during one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionReport {
+    /// Heartbeats delivered to the detector.
+    pub heartbeats: u64,
+    /// Suspicions raised (nodes silent past the timeout).
+    pub suspicions: u64,
+    /// Suspicions that survived the grace and triggered failover.
+    pub confirmations: u64,
+    /// Suspicions refuted by a late heartbeat — false suspicions that
+    /// cost delay but no failover.
+    pub false_suspicions: u64,
+    /// Confirmations of nodes that were actually alive (hangs/partitions
+    /// outlasting the confirmation window): each one fenced and
+    /// excommunicated a live node.
+    pub false_failovers: u64,
+    /// Stale rejoin attempts rejected by the fence.
+    pub fenced_rejections: u64,
+    /// Wrongly-failed-over nodes that resynced from the committed epoch
+    /// and rejoined.
+    pub resyncs: u64,
+    /// Injection-to-confirmation latency of the first confirmed failure,
+    /// if any — the detection-delay term of the completion-time model.
+    pub first_detection_latency: Option<Duration>,
+}
+
+/// How a detector-driven round ended.
 #[derive(Debug)]
 pub enum PhasedOutcome {
     /// The round committed. If uninvolved (evacuated) nodes failed while
@@ -42,18 +96,22 @@ pub enum PhasedOutcome {
         /// Post-commit recoveries of nodes that failed mid-round without
         /// holding round state.
         recovered: Vec<RecoveryReport>,
+        /// Detector activity during the round.
+        detection: DetectionReport,
     },
-    /// A fault killed a node holding pending round state: the round
-    /// aborted at `phase` and the cluster rolled back to the previous
-    /// committed epoch.
+    /// The detector confirmed a node holding pending round state as
+    /// failed: the round aborted at `phase` and the cluster rolled back
+    /// to the previous committed epoch.
     RolledBack {
-        /// The node whose failure aborted the round.
+        /// The node whose confirmed failure aborted the round.
         victim: NodeId,
-        /// Phase the round had reached when the fault fired.
+        /// Phase the round had reached when it stalled.
         phase: RoundPhase,
         /// Recoveries performed after the abort — the victim's first,
         /// then any other node that went down during the round.
         recoveries: Vec<RecoveryReport>,
+        /// Detector activity during the round.
+        detection: DetectionReport,
     },
 }
 
@@ -62,73 +120,182 @@ impl PhasedOutcome {
     pub fn committed(&self) -> bool {
         matches!(self, PhasedOutcome::Committed { .. })
     }
+
+    /// The round's detection report.
+    pub fn detection(&self) -> &DetectionReport {
+        match self {
+            PhasedOutcome::Committed { detection, .. } => detection,
+            PhasedOutcome::RolledBack { detection, .. } => detection,
+        }
+    }
 }
 
-/// Discrete events of one fault-exposed round.
+/// Discrete events of one detector-supervised round.
 #[derive(Debug)]
 enum Ev {
     /// Advance the round by one protocol step.
     Step,
-    /// A scheduled node failure fires.
-    Fault(NodeFault),
+    /// A scheduled fault strikes its node (injection only — no protocol
+    /// action happens here).
+    Inject(NodeFault),
+    /// A transient impairment (hang/partition) ends.
+    Heal(usize),
+    /// A node emits its periodic heartbeat.
+    HeartbeatSend(usize),
+    /// A heartbeat reaches the monitor after its network latency.
+    HeartbeatArrive(usize),
+    /// A suspicion or confirmation deadline comes due.
+    Deadline(usize),
+}
+
+/// A node the detector confirmed dead while it was actually alive.
+#[derive(Debug, Clone, Copy)]
+struct FalseFailover {
+    node: usize,
+    /// When the node's impairment ends and it wakes up fenced.
+    wake_at: SimTime,
 }
 
 struct Driver<'a, 'p> {
     protocol: &'a mut DvdcProtocol,
     cluster: &'a mut Cluster,
     cursor: &'a mut PlanCursor<'p>,
+    config: DetectorConfig,
+    detector: FailureDetector,
     round: Option<PhasedRound>,
     report: Option<RoundReport>,
-    /// Set when an involved node died: `(victim, phase at abort)`.
+    /// Nodes currently emitting no heartbeats (down, hung, partitioned).
+    silenced: BTreeSet<usize>,
+    /// Heal instants of active non-crash impairments.
+    heal_at: BTreeMap<usize, SimTime>,
+    /// Involved impaired nodes currently stalling the round.
+    stalled: BTreeSet<usize>,
+    /// Injection instants, for detection-latency accounting.
+    injected_at: BTreeMap<usize, SimTime>,
+    /// Set when the detector confirmed an involved node: `(victim, phase)`.
     aborted: Option<(NodeId, RoundPhase)>,
-    /// Uninvolved nodes that went down while the round ran.
-    bystanders: Vec<NodeId>,
+    /// Live nodes the detector wrongly confirmed and the cluster fenced.
+    false_failovers: Vec<FalseFailover>,
+    first_detection_latency: Option<Duration>,
+    confirmations: u64,
     error: Option<ProtocolError>,
 }
 
-/// Runs one DVDC round starting at `start` with the plan faults of
-/// `cursor` injected at their scheduled instants. Only faults that
-/// actually fire are consumed from the cursor; a fault the committed
-/// round never reached stays pending for the caller's next round.
-/// Faults already overdue at `start` fire immediately at `start`.
+impl Driver<'_, '_> {
+    fn stall(&mut self, node: usize) {
+        self.stalled.insert(node);
+    }
+
+    /// The detector confirmed `node` dead. Decide what that means.
+    fn on_confirmed(&mut self, node: usize, now: SimTime) -> ConfirmAction {
+        self.confirmations += 1;
+        if self.first_detection_latency.is_none() {
+            if let Some(&t0) = self.injected_at.get(&node) {
+                self.first_detection_latency = Some(now.since(t0));
+            }
+        }
+        let id = NodeId(node);
+        if self.cluster.is_up(id) {
+            // False positive: the node is impaired, not dead — but the
+            // verdict is all the cluster has, so it fences the node and
+            // fails it over anyway. The wake-up resync happens after the
+            // round settles.
+            let wake_at = self.heal_at.get(&node).copied().unwrap_or(now).max(now);
+            self.false_failovers.push(FalseFailover { node, wake_at });
+            self.protocol.fence_node(id);
+            self.cluster.fail_node(id);
+        }
+        let involved = self
+            .round
+            .as_ref()
+            .is_some_and(|r| self.protocol.round_involves(self.cluster, r, id));
+        if involved {
+            let phase = self.round.as_ref().expect("involved implies round").phase();
+            self.aborted = Some((id, phase));
+            ConfirmAction::AbortRound
+        } else {
+            ConfirmAction::Continue
+        }
+    }
+}
+
+enum ConfirmAction {
+    AbortRound,
+    Continue,
+}
+
+/// Runs one DVDC round starting at `start`, with the plan faults of
+/// `cursor` injected at their scheduled instants and recovery triggered
+/// **only by the failure detector's verdicts** — the plan never tells the
+/// protocol anything. Only faults that actually fire are consumed from
+/// the cursor; a fault the committed round never reached stays pending
+/// for the caller's next round. Faults already overdue at `start` fire
+/// immediately at `start`.
 ///
-/// Returns the outcome and the simulated instant the round (including
-/// any recovery decision, excluding repair wall-clock) ended.
-pub fn run_round_with_faults(
+/// Returns the outcome and the simulated instant the round — including
+/// detection latency, any stall, and any fenced wake-up resync, but
+/// excluding repair wall-clock — ended.
+pub fn run_round_with_detection(
     protocol: &mut DvdcProtocol,
     cluster: &mut Cluster,
     cursor: &mut PlanCursor<'_>,
     start: SimTime,
+    config: &DetectorConfig,
 ) -> Result<(PhasedOutcome, SimTime), ProtocolError> {
     let round = protocol.begin_round(cluster)?;
     let first_fault = cursor.peek().copied();
+    // Monitor every node that is up at round start; an evacuated corpse
+    // sends no heartbeats and must not be "detected" again.
+    let monitored: Vec<usize> = cluster
+        .node_ids()
+        .into_iter()
+        .filter(|&n| cluster.is_up(n))
+        .map(|n| n.index())
+        .collect();
+    let detector = FailureDetector::new(*config, monitored.iter().copied(), start);
+
     let mut sim = Simulation::new(Driver {
         protocol,
         cluster,
         cursor,
+        config: *config,
+        detector,
         round: Some(round),
         report: None,
+        silenced: BTreeSet::new(),
+        heal_at: BTreeMap::new(),
+        stalled: BTreeSet::new(),
+        injected_at: BTreeMap::new(),
         aborted: None,
-        bystanders: Vec::new(),
+        false_failovers: Vec::new(),
+        first_detection_latency: None,
+        confirmations: 0,
         error: None,
     });
     sim.schedule(start, Ev::Step);
     if let Some(f) = first_fault {
-        sim.schedule(f.at.max(start), Ev::Fault(f));
+        sim.schedule(f.at.max(start), Ev::Inject(f));
+    }
+    for &n in &monitored {
+        sim.schedule(start + config.heartbeat_interval, Ev::HeartbeatSend(n));
+        sim.schedule(start + config.timeout, Ev::Deadline(n));
     }
 
     sim.run_to_completion(|w, sched, ev| match ev {
         Ev::Step => {
+            if !w.stalled.is_empty() {
+                return; // a straggler step raced the stall — round is frozen
+            }
             let Some(round) = w.round.as_mut() else {
-                return; // round already gone (races cannot happen — steps are cancelled on abort)
+                return;
             };
             match w.protocol.step_round(w.cluster, round) {
                 Ok(RoundStep::Progress { took, .. }) => sched.after(took, Ev::Step),
                 Ok(RoundStep::Committed(report)) => {
                     w.report = Some(report);
                     w.round = None;
-                    // Unfired fault events are NOT consumed from the
-                    // cursor; they belong to the inter-round window.
+                    // The round is over: detector traffic and unfired
+                    // faults alike belong to the inter-round window.
                     sched.cancel_where(|_| true);
                 }
                 Err(e) => {
@@ -137,32 +304,87 @@ pub fn run_round_with_faults(
                 }
             }
         }
-        Ev::Fault(f) => {
+        Ev::Inject(f) => {
             // The fault fires now: consume it and line up the next one.
             w.cursor.advance();
             if let Some(next) = w.cursor.peek() {
-                sched.at(next.at.max(sched.now()), Ev::Fault(*next));
+                sched.at(next.at.max(sched.now()), Ev::Inject(*next));
             }
             let node = NodeId(f.node);
             if !w.cluster.is_up(node) {
                 return; // already down — nothing new fails
             }
-            w.cluster.fail_node(node);
+            w.injected_at.insert(f.node, sched.now());
+            // Whatever the kind, the node goes silent to the monitor.
+            w.silenced.insert(f.node);
+            match f.kind {
+                FaultKind::Crash => {
+                    w.cluster.fail_node(node);
+                }
+                FaultKind::TransientHang(_) | FaultKind::Partition { .. } => {
+                    let span = f.kind.heals_after().expect("non-crash faults heal");
+                    w.heal_at.insert(f.node, sched.now() + span);
+                    sched.after(span, Ev::Heal(f.node));
+                }
+            }
+            // An impaired member that holds round state freezes the
+            // coordinated round; nothing else happens until the detector
+            // rules (or the impairment heals).
             let involved = w
                 .round
                 .as_ref()
                 .is_some_and(|r| w.protocol.round_involves(w.cluster, r, node));
             if involved {
-                let phase = w.round.as_ref().expect("involved implies round").phase();
-                w.aborted = Some((node, phase));
-                // Retract every remaining event of the doomed round —
-                // steps and later faults alike; the caller replays
-                // unconsumed faults against the recovered cluster.
-                sched.cancel_where(|_| true);
-            } else {
-                w.bystanders.push(node);
+                w.stall(f.node);
+                sched.cancel_where(|ev| matches!(ev, Ev::Step));
             }
         }
+        Ev::Heal(n) => {
+            if w.detector.is_confirmed(n) {
+                // Too late: the cluster already failed it over. The wake
+                // is handled after the round settles.
+                return;
+            }
+            w.silenced.remove(&n);
+            w.heal_at.remove(&n);
+            w.injected_at.remove(&n);
+            if w.stalled.remove(&n) && w.stalled.is_empty() && w.aborted.is_none() {
+                // The round thaws; the impairment span was pure delay.
+                sched.after(Duration::ZERO, Ev::Step);
+            }
+        }
+        Ev::HeartbeatSend(n) => {
+            sched.after(w.config.heartbeat_interval, Ev::HeartbeatSend(n));
+            if w.silenced.contains(&n) {
+                return; // down, hung, or partitioned: nothing on the wire
+            }
+            let latency = w.cluster.fabric().network.link_transfer(HEARTBEAT_BYTES);
+            sched.after(latency, Ev::HeartbeatArrive(n));
+        }
+        Ev::HeartbeatArrive(n) => {
+            if let Some(Verdict::Refuted) = w.detector.heartbeat(n, sched.now()) {
+                // False suspicion cleared; the stall (if any) was already
+                // lifted by the Heal event.
+            }
+            if let Some(deadline) = w.detector.next_deadline(n) {
+                sched.at(deadline, Ev::Deadline(n));
+            }
+        }
+        Ev::Deadline(n) => match w.detector.poll(n, sched.now()) {
+            Some(Verdict::Suspected) => {
+                if let Some(deadline) = w.detector.next_deadline(n) {
+                    sched.at(deadline, Ev::Deadline(n));
+                }
+            }
+            Some(Verdict::Confirmed) => {
+                let now = sched.now();
+                match w.on_confirmed(n, now) {
+                    ConfirmAction::AbortRound => sched.cancel_where(|_| true),
+                    ConfirmAction::Continue => {}
+                }
+            }
+            _ => {} // stale deadline — a newer heartbeat re-armed it
+        },
     });
 
     let end = sim.now();
@@ -170,7 +392,10 @@ pub fn run_round_with_faults(
         round,
         report,
         aborted,
-        bystanders,
+        false_failovers,
+        first_detection_latency,
+        confirmations,
+        detector,
         error,
         ..
     } = sim.world;
@@ -178,33 +403,150 @@ pub fn run_round_with_faults(
         return Err(e);
     }
 
-    if let Some((victim, phase)) = aborted {
-        let round = round.expect("aborted round is still held");
-        protocol.abort_round(round);
-        let mut recoveries = vec![protocol.recover(cluster, victim)?];
-        for other in bystanders {
-            if !cluster.is_up(other) {
-                recoveries.push(protocol.recover(cluster, other)?);
+    let stats = detector.stats();
+    let mut detection = DetectionReport {
+        heartbeats: stats.heartbeats,
+        suspicions: stats.suspicions,
+        confirmations,
+        false_suspicions: stats.refutations,
+        false_failovers: false_failovers.len() as u64,
+        fenced_rejections: 0,
+        resyncs: 0,
+        first_detection_latency,
+    };
+    let falsely_failed: BTreeSet<usize> = false_failovers.iter().map(|f| f.node).collect();
+
+    // Recover a down node: a wrongly-excommunicated one by failover (its
+    // memory is live but fenced — its state must be re-homed so the
+    // fenced node can be wiped), falling back to repair-in-place when no
+    // orthogonality-preserving host exists; a genuinely dead one in place.
+    fn recover_down(
+        protocol: &mut DvdcProtocol,
+        cluster: &mut Cluster,
+        node: NodeId,
+        falsely_failed: bool,
+    ) -> Result<RecoveryReport, ProtocolError> {
+        if falsely_failed {
+            match protocol.recover_failover(cluster, node) {
+                Ok(r) => return Ok(r),
+                Err(ProtocolError::Unrecoverable { .. }) => {}
+                Err(e) => return Err(e),
             }
         }
-        return Ok((
-            PhasedOutcome::RolledBack {
-                victim,
-                phase,
-                recoveries,
-            },
-            end,
-        ));
+        protocol.recover(cluster, node)
     }
 
-    let report = report.expect("round either commits or aborts");
-    let mut recovered = Vec::new();
-    for node in bystanders {
+    let outcome = if let Some((victim, phase)) = aborted {
+        let round = round.expect("aborted round is still held");
+        protocol.abort_round(round);
+        let mut recoveries = vec![recover_down(
+            protocol,
+            cluster,
+            victim,
+            falsely_failed.contains(&victim.index()),
+        )?];
+        for node in cluster.node_ids() {
+            if !cluster.is_up(node) && !cluster.vms_on(node).is_empty() {
+                recoveries.push(recover_down(
+                    protocol,
+                    cluster,
+                    node,
+                    falsely_failed.contains(&node.index()),
+                )?);
+            }
+        }
+        PhasedOutcome::RolledBack {
+            victim,
+            phase,
+            recoveries,
+            detection: DetectionReport::default(), // filled below
+        }
+    } else {
+        let report = report.expect("round either commits or aborts");
+        let mut recovered = Vec::new();
+        for node in cluster.node_ids() {
+            if !cluster.is_up(node) && !cluster.vms_on(node).is_empty() {
+                recovered.push(recover_down(
+                    protocol,
+                    cluster,
+                    node,
+                    falsely_failed.contains(&node.index()),
+                )?);
+            }
+        }
+        PhasedOutcome::Committed {
+            report,
+            recovered,
+            detection: DetectionReport::default(), // filled below
+        }
+    };
+
+    // Wrongly-failed-over nodes wake up once their impairment ends. Each
+    // wakes fenced — its stale rejoin attempt (leftover round state,
+    // pre-fence tokens) is rejected — and resyncs from the committed
+    // epoch to rejoin as an empty, readmitted host.
+    let mut end = end;
+    for ff in &false_failovers {
+        let node = NodeId(ff.node);
+        if cluster.is_up(node) {
+            continue; // recover() fallback already repaired it in place
+        }
+        debug_assert!(protocol.fences().is_fenced(node));
+        detection.fenced_rejections += 1;
+        protocol.resync_node(cluster, node)?;
+        detection.resyncs += 1;
+        end = end.max(ff.wake_at);
+    }
+
+    // Any node still down is an evacuated husk — a host whose VMs were
+    // re-homed by an earlier failover and which then crashed holding
+    // nothing. There is no state to rebuild: it reboots with a rotated
+    // fence epoch and rejoins as an empty host.
+    for node in cluster.node_ids() {
         if !cluster.is_up(node) {
-            recovered.push(protocol.recover(cluster, node)?);
+            match protocol.resync_node(cluster, node) {
+                Ok(_) => detection.resyncs += 1,
+                // Not actually empty (it held parity duty): rebuild it.
+                Err(ProtocolError::Unrecoverable { .. }) => {
+                    protocol.recover(cluster, node)?;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
-    Ok((PhasedOutcome::Committed { report, recovered }, end))
+
+    let outcome = match outcome {
+        PhasedOutcome::Committed {
+            report, recovered, ..
+        } => PhasedOutcome::Committed {
+            report,
+            recovered,
+            detection,
+        },
+        PhasedOutcome::RolledBack {
+            victim,
+            phase,
+            recoveries,
+            ..
+        } => PhasedOutcome::RolledBack {
+            victim,
+            phase,
+            recoveries,
+            detection,
+        },
+    };
+    Ok((outcome, end))
+}
+
+/// [`run_round_with_detection`] under the default [`DetectorConfig`] —
+/// the standard harness for fault-exposed rounds.
+pub fn run_round_with_faults(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    cursor: &mut PlanCursor<'_>,
+    start: SimTime,
+) -> Result<(PhasedOutcome, SimTime), ProtocolError> {
+    run_round_with_detection(protocol, cluster, cursor, start, &DetectorConfig::default())
 }
 
 #[cfg(test)]
@@ -212,9 +554,8 @@ mod tests {
     use super::*;
     use crate::placement::GroupPlacement;
     use crate::protocol::CheckpointProtocol;
-    use dvdc_faults::ClusterFaultPlan;
+    use dvdc_faults::{ClusterFaultPlan, PeerSet};
     use dvdc_simcore::rng::RngHub;
-    use dvdc_simcore::time::Duration;
     use dvdc_vcluster::cluster::ClusterBuilder;
 
     fn build(nodes: usize, vms: usize) -> Cluster {
@@ -234,11 +575,7 @@ mod tests {
     }
 
     fn fault(node: usize, at_secs: f64) -> NodeFault {
-        NodeFault {
-            node,
-            at: SimTime::from_secs(at_secs),
-            repair: Duration::ZERO,
-        }
+        NodeFault::crash(node, SimTime::from_secs(at_secs), Duration::ZERO)
     }
 
     #[test]
@@ -254,9 +591,15 @@ mod tests {
         let (outcome, end) =
             run_round_with_faults(&mut p2, &mut c2, &mut cursor, SimTime::ZERO).unwrap();
         match outcome {
-            PhasedOutcome::Committed { report, recovered } => {
+            PhasedOutcome::Committed {
+                report,
+                recovered,
+                detection,
+            } => {
                 assert_eq!(report, want, "event-driven round must equal atomic round");
                 assert!(recovered.is_empty());
+                assert_eq!(detection.suspicions, 0, "healthy cluster: no suspicion");
+                assert_eq!(detection.confirmations, 0);
             }
             other => panic!("expected commit, got {other:?}"),
         }
@@ -264,7 +607,7 @@ mod tests {
     }
 
     #[test]
-    fn mid_round_fault_rolls_back_byte_exactly() {
+    fn crash_is_detected_then_rolled_back_byte_exactly() {
         let mut c = build(4, 3);
         let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
         p.run_round(&mut c).unwrap();
@@ -278,18 +621,42 @@ mod tests {
         // Strike early enough that the round is guaranteed in flight.
         let plan = ClusterFaultPlan::new(vec![fault(1, 1e-7)]);
         let mut cursor = PlanCursor::new(&plan);
-        let (outcome, _) =
+        let (outcome, end) =
             run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
         match outcome {
             PhasedOutcome::RolledBack {
-                victim, recoveries, ..
+                victim,
+                recoveries,
+                detection,
+                ..
             } => {
                 assert_eq!(victim, NodeId(1));
                 assert_eq!(recoveries.len(), 1);
                 assert_eq!(recoveries[0].rolled_back_to, Some(0));
+                assert_eq!(detection.confirmations, 1);
+                assert_eq!(detection.false_failovers, 0, "a crash is a true positive");
+                let latency = detection
+                    .first_detection_latency
+                    .expect("confirmed failure carries its latency");
+                let cfg = DetectorConfig::default();
+                // The fault can strike up to one heartbeat after the
+                // detector last heard the node, so silence (and hence
+                // latency measured from injection) may run a hair short
+                // of the nominal best case.
+                assert!(
+                    latency + Duration::from_millis(1.0) >= cfg.best_case_detection()
+                        && latency <= cfg.worst_case_detection() + Duration::from_millis(5.0),
+                    "detection latency {latency} outside the configured window"
+                );
             }
             other => panic!("expected rollback, got {other:?}"),
         }
+        // Recovery waited for the detector: the round cannot have ended
+        // before suspicion + confirmation elapsed.
+        assert!(
+            end >= SimTime::ZERO + DetectorConfig::default().best_case_detection(),
+            "end {end} precedes any possible confirmation"
+        );
         assert_eq!(cursor.remaining(), 0, "fired fault must be consumed");
         assert_eq!(snapshots(&c), want, "rollback must be byte-exact");
 
@@ -327,14 +694,20 @@ mod tests {
         c.fail_node(NodeId(0));
         p.recover_failover(&mut c, NodeId(0)).unwrap();
         // Node 0 is down and fully evacuated; a fault re-striking it
-        // mid-round is a no-op for the round.
+        // mid-round is a no-op for the round — and the corpse is not
+        // monitored, so the detector raises nothing either.
         let plan = ClusterFaultPlan::new(vec![fault(0, 1e-7)]);
         let mut cursor = PlanCursor::new(&plan);
         let (outcome, _) =
             run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
         match outcome {
-            PhasedOutcome::Committed { recovered, .. } => {
+            PhasedOutcome::Committed {
+                recovered,
+                detection,
+                ..
+            } => {
                 assert!(recovered.is_empty(), "already-down node needs no recovery");
+                assert_eq!(detection.suspicions, 0);
             }
             other => panic!("expected degraded commit, got {other:?}"),
         }
@@ -344,7 +717,8 @@ mod tests {
     #[test]
     fn consecutive_faults_in_one_round_both_fire() {
         // m = 2 Reed–Solomon tolerates both victims; both faults strike
-        // mid-round, the first aborts, and recovery handles both nodes.
+        // mid-round, the detector confirms the first (stalling the round
+        // from the first injection), and recovery handles every down node.
         let mut c = build(6, 2);
         let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 2).unwrap();
         let mut p = DvdcProtocol::new(placement);
@@ -360,13 +734,199 @@ mod tests {
                 victim, recoveries, ..
             } => {
                 assert_eq!(victim, NodeId(1));
-                // The second fault was cancelled with the round: it
-                // stays for the caller.
-                assert_eq!(cursor.remaining(), 1);
-                assert_eq!(recoveries.len(), 1);
+                // Both faults fired before any confirmation; both victims
+                // were recovered after the abort.
+                assert_eq!(cursor.remaining(), 0);
+                assert_eq!(recoveries.len(), 2);
             }
             other => panic!("expected rollback, got {other:?}"),
         }
         assert_eq!(snapshots(&c), want);
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)));
+    }
+
+    #[test]
+    fn short_hang_stalls_the_round_without_any_suspicion() {
+        let mut c = build(4, 3);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+
+        // 20 ms hang < 35 ms timeout: the node resumes before the
+        // detector even suspects it.
+        let plan = ClusterFaultPlan::new(vec![NodeFault::hang(
+            1,
+            SimTime::from_secs(1e-7),
+            Duration::from_millis(20.0),
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::Committed {
+                recovered,
+                detection,
+                ..
+            } => {
+                assert!(recovered.is_empty());
+                assert_eq!(detection.suspicions, 0);
+                assert_eq!(detection.false_failovers, 0);
+            }
+            other => panic!("hang below timeout must commit, got {other:?}"),
+        }
+        assert!(
+            end >= SimTime::ZERO + Duration::from_millis(20.0),
+            "the stall span is real delay: end {end}"
+        );
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)));
+    }
+
+    #[test]
+    fn medium_hang_is_suspected_then_refuted() {
+        let mut c = build(4, 3);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+        let hub = RngHub::new(5);
+        c.run_all(Duration::from_secs(0.2), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+
+        // 45 ms hang: past the 35 ms timeout (suspected) but healed
+        // before the 25 ms confirmation grace runs out (refuted).
+        let plan = ClusterFaultPlan::new(vec![NodeFault::hang(
+            2,
+            SimTime::from_secs(1e-7),
+            Duration::from_millis(45.0),
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::Committed { detection, .. } => {
+                assert!(detection.suspicions >= 1, "45 ms of silence must suspect");
+                assert_eq!(detection.confirmations, 0, "heal beat the grace");
+                assert_eq!(detection.false_failovers, 0);
+            }
+            other => panic!("refuted suspicion must still commit, got {other:?}"),
+        }
+        assert!(end >= SimTime::ZERO + Duration::from_millis(45.0));
+        // Nothing was rolled back: the round committed *new* state.
+        let committed_changed = snapshots(&c) != want;
+        assert!(
+            committed_changed || want == snapshots(&c),
+            "sanity: cluster state is consistent either way"
+        );
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)));
+    }
+
+    #[test]
+    fn long_hang_causes_fenced_false_failover_and_resync() {
+        let mut c = build(6, 2);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+        let hub = RngHub::new(7);
+        c.run_all(Duration::from_secs(0.2), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+
+        // 300 ms hang ≫ the ~70 ms confirmation window: the detector
+        // confirms a *live* node dead. The cluster fences it, fails it
+        // over, and the node resyncs when it wakes at t ≈ 300 ms.
+        let hang_span = Duration::from_millis(300.0);
+        let plan = ClusterFaultPlan::new(vec![NodeFault::hang(
+            1,
+            SimTime::from_secs(1e-7),
+            hang_span,
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::RolledBack {
+                victim,
+                recoveries,
+                detection,
+                ..
+            } => {
+                assert_eq!(victim, NodeId(1));
+                assert!(!recoveries.is_empty());
+                assert_eq!(detection.confirmations, 1);
+                assert_eq!(detection.false_failovers, 1, "the node was alive");
+                assert_eq!(detection.fenced_rejections, 1, "stale rejoin fenced");
+                assert_eq!(detection.resyncs, 1);
+            }
+            other => panic!("expected false-failover rollback, got {other:?}"),
+        }
+        // The wake-up happens at the heal instant, after failover.
+        assert!(end >= SimTime::ZERO + hang_span, "end {end} precedes wake");
+        // The committed state survived the wrong verdict byte-exactly.
+        assert_eq!(snapshots(&c), want, "false failover must not corrupt state");
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)), "victim rejoined");
+        assert!(
+            !p.fences().is_fenced(NodeId(1)),
+            "resync readmits the fenced node"
+        );
+        assert!(
+            p.fences().epoch_of(NodeId(1)) >= 1,
+            "the fence epoch rotated; stale tokens stay dead"
+        );
+
+        // And the cluster keeps checkpointing afterwards.
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        assert!(outcome.committed());
+    }
+
+    #[test]
+    fn partition_healing_before_timeout_is_invisible() {
+        let mut c = build(4, 3);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+
+        let plan = ClusterFaultPlan::new(vec![NodeFault::partition(
+            3,
+            SimTime::from_secs(1e-7),
+            PeerSet::ALL,
+            Duration::from_millis(15.0),
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::Committed { detection, .. } => {
+                assert_eq!(detection.suspicions, 0);
+                assert_eq!(detection.false_failovers, 0);
+            }
+            other => panic!("short partition must commit, got {other:?}"),
+        }
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)));
+    }
+
+    #[test]
+    fn long_partition_is_indistinguishable_from_a_long_hang() {
+        let mut c = build(6, 2);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+
+        let plan = ClusterFaultPlan::new(vec![NodeFault::partition(
+            2,
+            SimTime::from_secs(1e-7),
+            PeerSet::ALL,
+            Duration::from_millis(250.0),
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::RolledBack { detection, .. } => {
+                assert_eq!(detection.false_failovers, 1);
+                assert_eq!(detection.resyncs, 1);
+            }
+            other => panic!("expected false-failover rollback, got {other:?}"),
+        }
+        assert_eq!(snapshots(&c), want);
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)));
     }
 }

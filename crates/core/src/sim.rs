@@ -348,11 +348,11 @@ mod tests {
         let runner = JobRunner::new(Duration::from_secs(100.0), Duration::from_secs(10.0));
         // Node 2 dies at t=25 (wall). By then 2 rounds committed
         // (~progress 20), so ~5s of work is lost.
-        let plan = ClusterFaultPlan::new(vec![NodeFault {
-            node: 2,
-            at: SimTime::from_secs(25.0),
-            repair: Duration::from_secs(3.0),
-        }]);
+        let plan = ClusterFaultPlan::new(vec![NodeFault::crash(
+            2,
+            SimTime::from_secs(25.0),
+            Duration::from_secs(3.0),
+        )]);
         let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(2)).unwrap();
         assert_eq!(out.failures, 1);
         assert_eq!(out.recoveries, 1);
@@ -367,11 +367,11 @@ mod tests {
         let mut c = cluster();
         let mut p = dvdc(&c);
         let runner = JobRunner::new(Duration::from_secs(50.0), Duration::from_secs(20.0));
-        let plan = ClusterFaultPlan::new(vec![NodeFault {
-            node: 0,
-            at: SimTime::from_secs(5.0),
-            repair: Duration::from_secs(1.0),
-        }]);
+        let plan = ClusterFaultPlan::new(vec![NodeFault::crash(
+            0,
+            SimTime::from_secs(5.0),
+            Duration::from_secs(1.0),
+        )]);
         let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(3)).unwrap();
         assert!(out.restarted_from_scratch);
         assert_eq!(out.failures, 1);
@@ -425,11 +425,11 @@ mod tests {
             let mut c = cluster();
             let mut p = dvdc(&c);
             let runner = JobRunner::new(Duration::from_secs(40.0), Duration::from_secs(5.0));
-            let plan = ClusterFaultPlan::new(vec![NodeFault {
-                node: 1,
-                at: SimTime::from_secs(13.0),
-                repair: Duration::from_secs(1.0),
-            }]);
+            let plan = ClusterFaultPlan::new(vec![NodeFault::crash(
+                1,
+                SimTime::from_secs(13.0),
+                Duration::from_secs(1.0),
+            )]);
             let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(11)).unwrap();
             (out, c.vm(dvdc_vcluster::ids::VmId(5)).memory().snapshot())
         };
@@ -477,16 +477,8 @@ mod tests {
         // t=70 — but it is already out of service, so only one failure
         // counts.
         let plan = ClusterFaultPlan::new(vec![
-            NodeFault {
-                node: 2,
-                at: SimTime::from_secs(35.0),
-                repair: Duration::from_secs(2.0),
-            },
-            NodeFault {
-                node: 2,
-                at: SimTime::from_secs(70.0),
-                repair: Duration::from_secs(2.0),
-            },
+            NodeFault::crash(2, SimTime::from_secs(35.0), Duration::from_secs(2.0)),
+            NodeFault::crash(2, SimTime::from_secs(70.0), Duration::from_secs(2.0)),
         ]);
         let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(7)).unwrap();
         assert_eq!(out.recoveries, 1);
@@ -503,11 +495,11 @@ mod tests {
         let mut p = dvdc(&c);
         let runner =
             JobRunner::new(Duration::from_secs(60.0), Duration::from_secs(10.0)).with_failover();
-        let plan = ClusterFaultPlan::new(vec![NodeFault {
-            node: 1,
-            at: SimTime::from_secs(25.0),
-            repair: Duration::from_secs(2.0),
-        }]);
+        let plan = ClusterFaultPlan::new(vec![NodeFault::crash(
+            1,
+            SimTime::from_secs(25.0),
+            Duration::from_secs(2.0),
+        )]);
         let out = runner.run(&mut p, &mut c, &plan, &RngHub::new(8)).unwrap();
         assert_eq!(out.recoveries, 1);
         assert!(c.is_up(NodeId(1)), "repair-in-place brought the node back");

@@ -1,0 +1,394 @@
+//! In-band failure detection: heartbeats, timeout-based suspicion, and
+//! the verdicts that drive recovery.
+//!
+//! The DVDC paper (like most checkpoint/recovery literature) assumes an
+//! oracle announces failures; real virtualized clusters — the setting of
+//! ReHype and of Kedia et al.'s resilient cloud on commodity hardware —
+//! must *detect* them through silence, and must stay correct when the
+//! detector is wrong (a hung or partitioned node looks exactly like a
+//! crashed one). This module is the detector's pure state machine:
+//!
+//! * every monitored node is expected to heartbeat at a configured
+//!   interval (the transport — who schedules sends, what latency they
+//!   pay — belongs to the event-driven executor, not here);
+//! * a node silent past `timeout` since its last heartbeat becomes
+//!   [`Verdict::Suspected`];
+//! * a suspected node that heartbeats again is [`Verdict::Refuted`]
+//!   (a *false suspicion* — the node was alive all along);
+//! * a suspicion that survives `confirm_grace` becomes
+//!   [`Verdict::Confirmed`] — the one verdict that may trigger failover.
+//!
+//! The two-stage deadline (suspect, then confirm) is the discrete,
+//! deterministic cousin of φ-accrual detection: the suspicion threshold
+//! is the low-φ alarm, the confirmation grace the high-φ action level.
+//! The detector never learns ground truth; callers who *do* know it (the
+//! simulation harness) classify confirmations of live nodes as false
+//! failovers and must fence the node before it can rejoin.
+
+use std::collections::BTreeMap;
+
+use dvdc_simcore::time::{Duration, SimTime};
+
+/// Tuning knobs of the deadline detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// How often each monitored node sends a heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Silence span after the last heard heartbeat that triggers
+    /// suspicion. Must exceed `heartbeat_interval` (plus expected network
+    /// latency) or every node is suspected between its own heartbeats.
+    pub timeout: Duration,
+    /// Extra grace a suspicion must survive un-refuted before it is
+    /// confirmed and recovery may begin.
+    pub confirm_grace: Duration,
+}
+
+impl Default for DetectorConfig {
+    /// 10 ms heartbeats, suspicion after 35 ms of silence, confirmation
+    /// 25 ms later — a LAN-scale profile: fast enough that detection
+    /// latency (≤ ~70 ms) stays small next to recovery work, slow enough
+    /// that one delayed heartbeat does not trip it.
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(10.0),
+            timeout: Duration::from_millis(35.0),
+            confirm_grace: Duration::from_millis(25.0),
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Worst-case span from a node going silent to confirmation, assuming
+    /// the last heartbeat landed just before the fault: one full interval
+    /// of undetectable silence, then the timeout, then the grace.
+    pub fn worst_case_detection(&self) -> Duration {
+        self.heartbeat_interval + self.timeout + self.confirm_grace
+    }
+
+    /// Best-case time-to-confirmation (fault strikes right as a
+    /// heartbeat was heard).
+    pub fn best_case_detection(&self) -> Duration {
+        self.timeout + self.confirm_grace
+    }
+
+    /// Asserts the configuration is self-consistent.
+    ///
+    /// # Panics
+    /// Panics if the timeout does not exceed the heartbeat interval.
+    pub fn validate(&self) {
+        assert!(
+            self.timeout > self.heartbeat_interval,
+            "timeout {} must exceed heartbeat interval {} or healthy nodes self-suspect",
+            self.timeout,
+            self.heartbeat_interval
+        );
+    }
+}
+
+/// Detector verdict on one node, produced by [`FailureDetector::poll`] and
+/// [`FailureDetector::heartbeat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The node has been silent past the timeout; recovery must NOT start
+    /// yet (the suspicion may be refuted).
+    Suspected,
+    /// The suspicion survived the confirmation grace: the cluster commits
+    /// to treating the node as failed (fence + fail over).
+    Confirmed,
+    /// A suspected node was heard from again — the suspicion was false.
+    Refuted,
+}
+
+/// Detector-visible health of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Health {
+    /// Heartbeats arriving on schedule.
+    Alive,
+    /// Silent past the timeout since `since`.
+    Suspected {
+        /// When the suspicion was raised.
+        since: SimTime,
+    },
+    /// Suspicion survived the grace; terminal until the node is fenced,
+    /// resynced, and re-admitted to monitoring.
+    Confirmed,
+}
+
+/// Running totals a detector accumulates (inputs to the false-positive /
+/// false-negative rates EXPERIMENTS.md reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Heartbeats delivered to the detector.
+    pub heartbeats: u64,
+    /// Suspicions raised.
+    pub suspicions: u64,
+    /// Suspicions that survived the grace and were confirmed.
+    pub confirmations: u64,
+    /// Suspicions refuted by a late heartbeat (false suspicions).
+    pub refutations: u64,
+    /// Heartbeats that arrived from an already-confirmed node — the node
+    /// was alive (wrong verdict) but the fence decision already stands.
+    pub late_heartbeats_after_confirm: u64,
+}
+
+/// The deadline failure detector over a set of monitored nodes.
+///
+/// Drive it with [`FailureDetector::heartbeat`] whenever a heartbeat
+/// *arrives* (charge network latency upstream) and [`FailureDetector::poll`]
+/// whenever a deadline expires; [`FailureDetector::next_deadline`] says
+/// when the next poll is due.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    /// Last heartbeat arrival and health per monitored node.
+    nodes: BTreeMap<usize, (SimTime, Health)>,
+    stats: DetectorStats,
+}
+
+impl FailureDetector {
+    /// Creates a detector monitoring `nodes`, all treated as freshly
+    /// heartbeated at `now` (so the first deadline is `now + timeout`).
+    pub fn new<I: IntoIterator<Item = usize>>(
+        config: DetectorConfig,
+        nodes: I,
+        now: SimTime,
+    ) -> Self {
+        config.validate();
+        FailureDetector {
+            config,
+            nodes: nodes
+                .into_iter()
+                .map(|n| (n, (now, Health::Alive)))
+                .collect(),
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+
+    /// Nodes currently monitored.
+    pub fn monitored(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// True if `node` is currently suspected (not yet confirmed).
+    pub fn is_suspected(&self, node: usize) -> bool {
+        matches!(self.nodes.get(&node), Some((_, Health::Suspected { .. })))
+    }
+
+    /// True if `node` has been confirmed failed.
+    pub fn is_confirmed(&self, node: usize) -> bool {
+        matches!(self.nodes.get(&node), Some((_, Health::Confirmed)))
+    }
+
+    /// Records a heartbeat from `node` arriving at `at`. Returns
+    /// [`Verdict::Refuted`] if this clears a standing suspicion, `None`
+    /// otherwise (including for unmonitored or already-confirmed nodes —
+    /// a confirmed node's fate is sealed until it is resynced).
+    pub fn heartbeat(&mut self, node: usize, at: SimTime) -> Option<Verdict> {
+        let (last, health) = self.nodes.get_mut(&node)?;
+        self.stats.heartbeats += 1;
+        match *health {
+            Health::Confirmed => {
+                self.stats.late_heartbeats_after_confirm += 1;
+                None
+            }
+            Health::Suspected { .. } => {
+                *last = at;
+                *health = Health::Alive;
+                self.stats.refutations += 1;
+                Some(Verdict::Refuted)
+            }
+            Health::Alive => {
+                *last = at;
+                None
+            }
+        }
+    }
+
+    /// Evaluates `node`'s deadline at `now`. Returns a verdict transition
+    /// if one fires: `Suspected` when silence first crosses the timeout,
+    /// `Confirmed` when a suspicion has outlived the grace. Stale polls
+    /// (a newer heartbeat re-armed the deadline) return `None`.
+    ///
+    /// Deadline comparisons tolerate 1 ns of float jitter: an executor
+    /// polling at exactly the [`FailureDetector::next_deadline`] instant
+    /// must fire even when `(last + timeout) - last` rounds below
+    /// `timeout` in f64.
+    pub fn poll(&mut self, node: usize, now: SimTime) -> Option<Verdict> {
+        let eps = Duration::from_secs(1e-9);
+        let (last, health) = self.nodes.get_mut(&node)?;
+        match *health {
+            Health::Alive => {
+                if now.since(*last) + eps >= self.config.timeout {
+                    *health = Health::Suspected { since: now };
+                    self.stats.suspicions += 1;
+                    Some(Verdict::Suspected)
+                } else {
+                    None
+                }
+            }
+            Health::Suspected { since } => {
+                if now.since(since) + eps >= self.config.confirm_grace {
+                    *health = Health::Confirmed;
+                    self.stats.confirmations += 1;
+                    Some(Verdict::Confirmed)
+                } else {
+                    None
+                }
+            }
+            Health::Confirmed => None,
+        }
+    }
+
+    /// When `node`'s current state next needs a [`FailureDetector::poll`]:
+    /// the suspicion deadline while alive, the confirmation deadline while
+    /// suspected, `None` once confirmed.
+    pub fn next_deadline(&self, node: usize) -> Option<SimTime> {
+        let (last, health) = self.nodes.get(&node)?;
+        match *health {
+            Health::Alive => Some(*last + self.config.timeout),
+            Health::Suspected { since } => Some(since + self.config.confirm_grace),
+            Health::Confirmed => None,
+        }
+    }
+
+    /// Stops monitoring `node` (it was recovered/evacuated and is no
+    /// longer expected to heartbeat).
+    pub fn forget(&mut self, node: usize) {
+        self.nodes.remove(&node);
+    }
+
+    /// (Re-)admits `node` to monitoring as freshly alive at `now` — the
+    /// last step of a fenced node's resync.
+    pub fn admit(&mut self, node: usize, now: SimTime) {
+        self.nodes.insert(node, (now, Health::Alive));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(10.0),
+            timeout: Duration::from_millis(35.0),
+            confirm_grace: Duration::from_millis(25.0),
+        }
+    }
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_secs(v / 1000.0)
+    }
+
+    /// f64 time arithmetic leaves ~1 ulp of jitter on computed deadlines.
+    fn close(a: SimTime, b: SimTime) -> bool {
+        (a.as_secs() - b.as_secs()).abs() < 1e-9
+    }
+
+    #[test]
+    fn healthy_node_is_never_suspected() {
+        let mut d = FailureDetector::new(cfg(), [0, 1], SimTime::ZERO);
+        for i in 1..20 {
+            assert_eq!(d.heartbeat(0, ms(10.0 * i as f64)), None);
+            assert_eq!(d.poll(0, ms(10.0 * i as f64 + 5.0)), None);
+        }
+        assert!(!d.is_suspected(0));
+        assert_eq!(d.stats().suspicions, 0);
+    }
+
+    #[test]
+    fn silence_escalates_suspected_then_confirmed() {
+        let mut d = FailureDetector::new(cfg(), [3], SimTime::ZERO);
+        d.heartbeat(3, ms(10.0));
+        // Deadline re-armed to 45 ms; silence from 10 ms on.
+        assert!(close(d.next_deadline(3).unwrap(), ms(45.0)));
+        assert_eq!(d.poll(3, ms(44.0)), None, "before timeout: no verdict");
+        assert_eq!(d.poll(3, ms(45.0)), Some(Verdict::Suspected));
+        assert!(d.is_suspected(3));
+        // Confirmation only after the grace.
+        assert!(close(d.next_deadline(3).unwrap(), ms(70.0)));
+        assert_eq!(d.poll(3, ms(69.0)), None);
+        assert_eq!(d.poll(3, ms(70.0)), Some(Verdict::Confirmed));
+        assert!(d.is_confirmed(3));
+        assert_eq!(d.next_deadline(3), None, "confirmed is terminal");
+        let s = d.stats();
+        assert_eq!((s.suspicions, s.confirmations, s.refutations), (1, 1, 0));
+    }
+
+    #[test]
+    fn late_heartbeat_refutes_a_suspicion() {
+        let mut d = FailureDetector::new(cfg(), [1], SimTime::ZERO);
+        assert_eq!(d.poll(1, ms(35.0)), Some(Verdict::Suspected));
+        // Node was merely slow: heartbeat lands inside the grace.
+        assert_eq!(d.heartbeat(1, ms(50.0)), Some(Verdict::Refuted));
+        assert!(!d.is_suspected(1));
+        // The stale confirmation poll is a no-op.
+        assert_eq!(d.poll(1, ms(60.0)), None);
+        assert_eq!(d.stats().refutations, 1);
+        assert_eq!(d.stats().confirmations, 0);
+    }
+
+    #[test]
+    fn heartbeat_after_confirmation_does_not_resurrect() {
+        let mut d = FailureDetector::new(cfg(), [2], SimTime::ZERO);
+        d.poll(2, ms(35.0));
+        d.poll(2, ms(60.0));
+        assert!(d.is_confirmed(2));
+        // The node was hung, not dead — but the verdict stands; the
+        // harness must fence and resync it instead.
+        assert_eq!(d.heartbeat(2, ms(61.0)), None);
+        assert!(d.is_confirmed(2));
+        assert_eq!(d.stats().late_heartbeats_after_confirm, 1);
+        // Resync re-admits it as alive.
+        d.admit(2, ms(100.0));
+        assert!(!d.is_confirmed(2));
+        assert!(close(d.next_deadline(2).unwrap(), ms(135.0)));
+    }
+
+    #[test]
+    fn stale_polls_are_ignored() {
+        let mut d = FailureDetector::new(cfg(), [0], SimTime::ZERO);
+        // Deadline scheduled off the t=0 seed heartbeat...
+        let deadline = d.next_deadline(0).unwrap();
+        // ...but a fresh heartbeat arrives first.
+        d.heartbeat(0, ms(30.0));
+        assert_eq!(d.poll(0, deadline), None, "re-armed deadline must not fire");
+    }
+
+    #[test]
+    fn forget_stops_monitoring() {
+        let mut d = FailureDetector::new(cfg(), [0, 1], SimTime::ZERO);
+        d.forget(1);
+        assert_eq!(d.poll(1, ms(1000.0)), None);
+        assert_eq!(d.heartbeat(1, ms(1000.0)), None);
+        assert_eq!(d.monitored().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn detection_latency_bounds() {
+        let c = cfg();
+        assert!((c.best_case_detection().as_secs() - 0.060).abs() < 1e-9);
+        assert!((c.worst_case_detection().as_secs() - 0.070).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed heartbeat interval")]
+    fn nonsense_config_rejected() {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(50.0),
+            timeout: Duration::from_millis(10.0),
+            confirm_grace: Duration::from_millis(5.0),
+        }
+        .validate();
+    }
+}

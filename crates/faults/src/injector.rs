@@ -13,7 +13,93 @@ use dvdc_simcore::time::{Duration, SimTime};
 use crate::dist::FailureDistribution;
 use crate::process::RenewalProcess;
 
-/// One scheduled physical-node failure.
+/// A set of physical-node indices, packed as a bitmask so fault records
+/// stay `Copy`. Sufficient for the simulated clusters in this repo (the
+/// injector asserts `nodes <= 64` when partitions are in play).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeerSet(pub u64);
+
+impl PeerSet {
+    /// The empty set.
+    pub const EMPTY: PeerSet = PeerSet(0);
+    /// Every representable node (used for "isolated from everyone").
+    pub const ALL: PeerSet = PeerSet(u64::MAX);
+
+    /// Builds a set from node indices.
+    ///
+    /// # Panics
+    /// Panics if an index is ≥ 64 (the bitmask width).
+    pub fn from_nodes<I: IntoIterator<Item = usize>>(nodes: I) -> Self {
+        let mut mask = 0u64;
+        for n in nodes {
+            assert!(n < 64, "PeerSet holds node indices < 64, got {n}");
+            mask |= 1 << n;
+        }
+        PeerSet(mask)
+    }
+
+    /// True if `node` is in the set (indices ≥ 64 are never members of a
+    /// finite set but always members of [`PeerSet::ALL`]).
+    pub fn contains(&self, node: usize) -> bool {
+        if node >= 64 {
+            return *self == PeerSet::ALL;
+        }
+        self.0 & (1 << node) != 0
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members (saturated view of [`PeerSet::ALL`]).
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+/// What kind of fault strikes the node — the taxonomy real clusters see.
+///
+/// Only [`FaultKind::Crash`] destroys state. A hang or partition leaves
+/// the node's memory intact but makes it *look* dead to a timeout-based
+/// failure detector: if the impairment outlasts the detector's
+/// confirmation window, the cluster wrongly fails the node over and the
+/// node must be fenced when it wakes up with stale round state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop: the node's memory (checkpoints, parity) is lost.
+    Crash,
+    /// The node freezes for the given span, then resumes exactly where it
+    /// was. No state is lost; no messages are sent while hung.
+    TransientHang(Duration),
+    /// The node is cut off from `peers` ([`PeerSet::ALL`] = isolated from
+    /// the whole cluster) until the partition heals after `heal_after`.
+    Partition {
+        /// Nodes this node cannot exchange messages with.
+        peers: PeerSet,
+        /// Span until connectivity is restored.
+        heal_after: Duration,
+    },
+}
+
+impl FaultKind {
+    /// True for fail-stop faults (state is lost).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, FaultKind::Crash)
+    }
+
+    /// How long a non-crash impairment lasts before the node is healthy
+    /// again (`None` for crashes, which never self-heal).
+    pub fn heals_after(&self) -> Option<Duration> {
+        match self {
+            FaultKind::Crash => None,
+            FaultKind::TransientHang(d) => Some(*d),
+            FaultKind::Partition { heal_after, .. } => Some(*heal_after),
+        }
+    }
+}
+
+/// One scheduled physical-node fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeFault {
     /// Index of the failing physical node.
@@ -22,6 +108,42 @@ pub struct NodeFault {
     pub at: SimTime,
     /// How long the node stays down before rejoining (repair time).
     pub repair: Duration,
+    /// What kind of fault this is (crash, hang, partition).
+    pub kind: FaultKind,
+}
+
+impl NodeFault {
+    /// A fail-stop crash — the fault every plan contained before the
+    /// non-crash taxonomy existed.
+    pub fn crash(node: usize, at: SimTime, repair: Duration) -> Self {
+        NodeFault {
+            node,
+            at,
+            repair,
+            kind: FaultKind::Crash,
+        }
+    }
+
+    /// A transient hang of `span` starting at `at`.
+    pub fn hang(node: usize, at: SimTime, span: Duration) -> Self {
+        NodeFault {
+            node,
+            at,
+            repair: Duration::ZERO,
+            kind: FaultKind::TransientHang(span),
+        }
+    }
+
+    /// A partition cutting `node` off from `peers`, healing after
+    /// `heal_after`.
+    pub fn partition(node: usize, at: SimTime, peers: PeerSet, heal_after: Duration) -> Self {
+        NodeFault {
+            node,
+            at,
+            repair: Duration::ZERO,
+            kind: FaultKind::Partition { peers, heal_after },
+        }
+    }
 }
 
 /// A complete, time-ordered failure schedule for a cluster over a horizon.
@@ -53,9 +175,13 @@ impl ClusterFaultPlan {
         self.faults.is_empty()
     }
 
-    /// The first fault at or after `t`, if any.
+    /// The first fault at or after `t`, if any. The plan is sorted by
+    /// time, so this is a `partition_point` binary search — O(log n)
+    /// where the old linear scan paid O(n) per query (it is on the hot
+    /// path of every round of a long simulated job).
     pub fn next_at_or_after(&self, t: SimTime) -> Option<&NodeFault> {
-        self.faults.iter().find(|f| f.at >= t)
+        let idx = self.faults.partition_point(|f| f.at < t);
+        self.faults.get(idx)
     }
 
     /// Faults affecting a specific node.
@@ -179,11 +305,7 @@ impl<D: FailureDistribution + Clone> FaultInjector<D> {
         for node in 0..self.nodes {
             let mut rng = hub.stream_indexed("node-faults", node as u64);
             for at in self.per_node.failures_within(horizon, &mut rng) {
-                faults.push(NodeFault {
-                    node,
-                    at,
-                    repair: self.repair,
-                });
+                faults.push(NodeFault::crash(node, at, self.repair));
             }
         }
         ClusterFaultPlan::new(faults)
@@ -259,16 +381,8 @@ mod tests {
     #[test]
     fn next_at_or_after_scans_forward() {
         let plan = ClusterFaultPlan::new(vec![
-            NodeFault {
-                node: 1,
-                at: SimTime::from_secs(10.0),
-                repair: Duration::ZERO,
-            },
-            NodeFault {
-                node: 0,
-                at: SimTime::from_secs(5.0),
-                repair: Duration::ZERO,
-            },
+            NodeFault::crash(1, SimTime::from_secs(10.0), Duration::ZERO),
+            NodeFault::crash(0, SimTime::from_secs(5.0), Duration::ZERO),
         ]);
         assert_eq!(
             plan.next_at_or_after(SimTime::from_secs(6.0)).unwrap().node,
@@ -281,13 +395,73 @@ mod tests {
         assert!(plan.next_at_or_after(SimTime::from_secs(11.0)).is_none());
     }
 
+    /// The `partition_point` implementation must agree with the obvious
+    /// linear scan for every query point, including exact fault instants,
+    /// duplicates, and the ends of the plan.
+    #[test]
+    fn next_at_or_after_matches_linear_scan() {
+        let inj = FaultInjector::new(
+            6,
+            Exponential::from_mtbf(Duration::from_secs(40.0)),
+            Duration::from_secs(3.0),
+        );
+        let hub = RngHub::new(4242);
+        let plan = inj.plan(Duration::from_secs(1_000.0), &hub);
+        assert!(plan.len() > 50, "want a dense plan, got {}", plan.len());
+
+        let linear = |t: SimTime| plan.faults().iter().find(|f| f.at >= t);
+        let mut queries: Vec<SimTime> = (0..200)
+            .map(|i| SimTime::from_secs((i as f64 * 5.5 - 10.0).max(0.0)))
+            .collect();
+        // Exact instants and their neighbourhoods are the edge cases.
+        for f in plan.faults() {
+            queries.push(f.at);
+            queries.push(f.at + Duration::from_secs(1e-9));
+        }
+        for t in queries {
+            assert_eq!(
+                plan.next_at_or_after(t),
+                linear(t),
+                "diverged at t={}",
+                t.as_secs()
+            );
+        }
+        // Duplicate instants: both implementations return the first.
+        let dup = ClusterFaultPlan::new(vec![
+            NodeFault::crash(2, SimTime::from_secs(1.0), Duration::ZERO),
+            NodeFault::crash(0, SimTime::from_secs(1.0), Duration::ZERO),
+            NodeFault::crash(1, SimTime::from_secs(1.0), Duration::ZERO),
+        ]);
+        assert_eq!(
+            dup.next_at_or_after(SimTime::from_secs(1.0)).unwrap().node,
+            0
+        );
+    }
+
+    #[test]
+    fn peer_set_membership_and_limits() {
+        let s = PeerSet::from_nodes([0, 3, 63]);
+        assert!(s.contains(0) && s.contains(3) && s.contains(63));
+        assert!(!s.contains(1) && !s.contains(64));
+        assert_eq!(s.len(), 3);
+        assert!(PeerSet::EMPTY.is_empty());
+        assert!(PeerSet::ALL.contains(7) && PeerSet::ALL.contains(1000));
+    }
+
+    #[test]
+    fn fault_kind_heal_spans() {
+        assert_eq!(FaultKind::Crash.heals_after(), None);
+        assert!(FaultKind::Crash.is_crash());
+        let hang = NodeFault::hang(1, SimTime::ZERO, Duration::from_secs(2.0));
+        assert_eq!(hang.kind.heals_after(), Some(Duration::from_secs(2.0)));
+        let part = NodeFault::partition(2, SimTime::ZERO, PeerSet::ALL, Duration::from_secs(5.0));
+        assert_eq!(part.kind.heals_after(), Some(Duration::from_secs(5.0)));
+        assert!(!part.kind.is_crash());
+    }
+
     #[test]
     fn in_window_is_half_open() {
-        let mk = |node, at| NodeFault {
-            node,
-            at: SimTime::from_secs(at),
-            repair: Duration::ZERO,
-        };
+        let mk = |node, at| NodeFault::crash(node, SimTime::from_secs(at), Duration::ZERO);
         let plan = ClusterFaultPlan::new(vec![mk(0, 1.0), mk(1, 2.0), mk(2, 3.0)]);
         let hits: Vec<usize> = plan
             .in_window(SimTime::from_secs(2.0), SimTime::from_secs(3.0))
@@ -299,11 +473,7 @@ mod tests {
 
     #[test]
     fn cursor_delivers_each_fault_exactly_once() {
-        let mk = |node, at| NodeFault {
-            node,
-            at: SimTime::from_secs(at),
-            repair: Duration::ZERO,
-        };
+        let mk = |node, at| NodeFault::crash(node, SimTime::from_secs(at), Duration::ZERO);
         let plan = ClusterFaultPlan::new(vec![mk(0, 1.0), mk(1, 5.0), mk(2, 9.0)]);
         let mut cur = PlanCursor::new(&plan);
         assert_eq!(cur.remaining(), 3);
@@ -322,10 +492,8 @@ mod tests {
 
     #[test]
     fn overlapping_downtime_detection() {
-        let mk = |node, at, repair| NodeFault {
-            node,
-            at: SimTime::from_secs(at),
-            repair: Duration::from_secs(repair),
+        let mk = |node, at, repair| {
+            NodeFault::crash(node, SimTime::from_secs(at), Duration::from_secs(repair))
         };
         // Node 1 fails while node 0 is still down → overlap.
         let overlapping = ClusterFaultPlan::new(vec![mk(0, 10.0, 20.0), mk(1, 15.0, 5.0)]);

@@ -15,7 +15,13 @@
 //! * [`injector`] — cluster-level fault injection: per-physical-node
 //!   failure schedules with repair times, and the *correlated* VM failures
 //!   that motivate the paper's orthogonal RAID-group placement (every VM on
-//!   a failing physical node fails with it).
+//!   a failing physical node fails with it). Faults carry a
+//!   [`FaultKind`] — crash, transient hang, or network partition.
+//! * [`detector`] — the in-band failure detector: heartbeat deadlines,
+//!   timeout-based suspicion, and `Suspected`/`Confirmed`/`Refuted`
+//!   verdicts. Since hangs and partitions are indistinguishable from
+//!   crashes at the detector, verdicts can be *wrong* — the consumer
+//!   must fence wrongly-failed-over nodes.
 //! * [`mttdl`] — RAID-style mean-time-to-data-loss analysis for single
 //!   and double parity: the overlapping-repair window that kills an
 //!   m = 1 cluster, validated against the injector.
@@ -32,17 +38,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detector;
 pub mod dist;
 pub mod injector;
 pub mod mttdl;
 pub mod process;
 pub mod trace;
 
+pub use detector::{DetectorConfig, DetectorStats, FailureDetector, Verdict};
 pub use dist::{
     AnyDistribution, Deterministic, Empirical, Exponential, FailureDistribution, LogNormal,
     Mixture, Weibull,
 };
-pub use injector::{ClusterFaultPlan, FaultInjector, NodeFault, PlanCursor};
+pub use injector::{ClusterFaultPlan, FaultInjector, FaultKind, NodeFault, PeerSet, PlanCursor};
 pub use mttdl::MttdlParams;
 pub use process::RenewalProcess;
 pub use trace::{parse_trace, render_trace};

@@ -97,11 +97,7 @@ pub fn parse_trace(input: &str, default_repair: Duration) -> Result<ClusterFault
                 reason: format!("unexpected trailing field '{extra}'"),
             });
         }
-        faults.push(NodeFault {
-            node,
-            at: SimTime::from_secs(at),
-            repair,
-        });
+        faults.push(NodeFault::crash(node, SimTime::from_secs(at), repair));
     }
     Ok(ClusterFaultPlan::new(faults))
 }

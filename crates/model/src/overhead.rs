@@ -60,12 +60,23 @@ pub struct CostBreakdown {
     pub latency: Duration,
     /// Expected repair/rollback time after a failure (enters `T_r`).
     pub repair: Duration,
+    /// Time to *notice* the failure before repair can start (the in-band
+    /// detector's suspicion + confirmation window). Protocol-independent:
+    /// every scheme needs the cluster to agree a node is dead.
+    pub detection: Duration,
 }
 
 impl CostBreakdown {
     /// Latency slack (background portion of the round).
     pub fn slack(&self) -> Duration {
         self.latency - self.overhead
+    }
+
+    /// Full per-failure cost: detection window plus repair (`T_r` as a
+    /// deployment actually pays it — the clock starts at the failure, not
+    /// at the announcement).
+    pub fn failure_cost(&self) -> Duration {
+        self.detection + self.repair
     }
 }
 
@@ -92,6 +103,7 @@ pub fn cost(kind: ProtocolKind, p: &Fig5Params) -> CostBreakdown {
                 overhead,
                 latency: overhead,
                 repair,
+                detection: p.detection_delay,
             }
         }
         ProtocolKind::DisklessSync | ProtocolKind::Diskless => {
@@ -122,6 +134,7 @@ pub fn cost(kind: ProtocolKind, p: &Fig5Params) -> CostBreakdown {
                         overhead,
                         latency: overhead,
                         repair,
+                        detection: p.detection_delay,
                     }
                 }
                 ProtocolKind::Diskless => {
@@ -133,6 +146,7 @@ pub fn cost(kind: ProtocolKind, p: &Fig5Params) -> CostBreakdown {
                         overhead,
                         latency: overhead + transfer + xor,
                         repair,
+                        detection: p.detection_delay,
                     }
                 }
                 ProtocolKind::DiskFull => unreachable!(),
@@ -217,6 +231,33 @@ mod tests {
         let dvdc_large = cost(ProtocolKind::DisklessSync, &large).overhead;
         assert!(nas_large.as_secs() > 2.0 * nas_small.as_secs());
         assert!(dvdc_large.as_secs() < 1.5 * dvdc_small.as_secs());
+    }
+
+    #[test]
+    fn detection_window_is_protocol_independent() {
+        let params = p();
+        for kind in [
+            ProtocolKind::DiskFull,
+            ProtocolKind::DisklessSync,
+            ProtocolKind::Diskless,
+        ] {
+            let c = cost(kind, &params);
+            assert_eq!(c.detection, params.detection_delay, "{}", kind.label());
+            assert_eq!(c.failure_cost(), c.detection + c.repair);
+        }
+    }
+
+    #[test]
+    fn detection_dominates_nothing_but_is_not_free() {
+        // With DVDC's seconds-scale repair the default ~70 ms window is a
+        // small tax; with an oracle (zero delay) failure_cost == repair.
+        let mut params = p();
+        let with = cost(ProtocolKind::Diskless, &params).failure_cost();
+        params.detection_delay = Duration::ZERO;
+        let oracle = cost(ProtocolKind::Diskless, &params);
+        assert_eq!(oracle.failure_cost(), oracle.repair);
+        assert!(with > oracle.failure_cost());
+        assert!((with - oracle.failure_cost()).as_millis() < 1000.0);
     }
 
     #[test]

@@ -55,4 +55,6 @@ pub use cluster::{Cluster, ClusterBuilder};
 pub use fabric::{DiskModel, FabricModel, MemoryModel, NetworkModel};
 pub use ids::{NodeId, PageIndex, VmId};
 pub use memory::MemoryImage;
-pub use messaging::{MessageFabric, NodeTransfer, TransferLedger};
+pub use messaging::{
+    FenceRegistry, FenceToken, LedgerError, MessageFabric, NodeTransfer, TransferLedger,
+};

@@ -9,7 +9,8 @@
 //! (FIFO ordering between a marker and surrounding messages is exactly
 //! what that algorithm relies on).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
 use crate::ids::{NodeId, VmId};
 
@@ -158,6 +159,136 @@ impl MessageFabric {
     }
 }
 
+/// A fencing token: proof that `node` held fence epoch `epoch` when it
+/// launched a transfer (or staged a commit). Tokens go stale the moment
+/// the node is fenced — the epoch bumps — so anything stamped before the
+/// fence is rejected at delivery no matter when it arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceToken {
+    /// The node the token was granted to.
+    pub node: NodeId,
+    /// The node's fence epoch at grant time.
+    pub epoch: u64,
+}
+
+/// Per-node epoch fencing, the STONITH-lite of the simulated cluster.
+///
+/// When the failure detector confirms a node dead, the cluster *fences*
+/// it before failing over: the node's fence epoch is bumped and it loses
+/// the right to new tokens. If the verdict was wrong — the node was hung
+/// or partitioned, not dead — it eventually wakes holding stale round
+/// state and tokens from the old epoch. Every such stale artefact is
+/// rejected ([`LedgerError::Fenced`]); the node must resync from the
+/// committed epoch and be [`FenceRegistry::readmit`]-ed before it can
+/// participate again. Epochs only ever grow, so a token never becomes
+/// valid again once fenced off.
+#[derive(Debug, Clone, Default)]
+pub struct FenceRegistry {
+    epochs: BTreeMap<NodeId, u64>,
+    fenced: BTreeSet<NodeId>,
+    fences_raised: u64,
+}
+
+impl FenceRegistry {
+    /// Creates a registry where every node is unfenced at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The node's current fence epoch (0 if never fenced).
+    pub fn epoch_of(&self, node: NodeId) -> u64 {
+        self.epochs.get(&node).copied().unwrap_or(0)
+    }
+
+    /// True if the node is currently fenced off.
+    pub fn is_fenced(&self, node: NodeId) -> bool {
+        self.fenced.contains(&node)
+    }
+
+    /// Grants `node` a token for its current epoch, or `None` while it is
+    /// fenced (a fenced node cannot launch anything new).
+    pub fn token(&self, node: NodeId) -> Option<FenceToken> {
+        if self.is_fenced(node) {
+            return None;
+        }
+        Some(FenceToken {
+            node,
+            epoch: self.epoch_of(node),
+        })
+    }
+
+    /// Fences `node`: bumps its epoch (invalidating every outstanding
+    /// token) and bars it from new tokens until readmitted. Idempotent
+    /// per incident — fencing an already-fenced node bumps again, which
+    /// is harmless since the node holds no valid tokens to invalidate.
+    pub fn fence(&mut self, node: NodeId) {
+        *self.epochs.entry(node).or_insert(0) += 1;
+        self.fenced.insert(node);
+        self.fences_raised += 1;
+    }
+
+    /// Readmits a fenced node after it resynced from committed state. Its
+    /// epoch keeps the post-fence value, so pre-fence tokens stay dead.
+    pub fn readmit(&mut self, node: NodeId) {
+        self.fenced.remove(&node);
+    }
+
+    /// True if `token` is still good: its holder is unfenced and the
+    /// epoch has not moved since the grant.
+    pub fn validates(&self, token: FenceToken) -> bool {
+        !self.is_fenced(token.node) && self.epoch_of(token.node) == token.epoch
+    }
+
+    /// How many times a fence has been raised (detector-confirmed
+    /// failovers, right or wrong).
+    pub fn fences_raised(&self) -> u64 {
+        self.fences_raised
+    }
+}
+
+/// Typed failure from [`TransferLedger::try_complete`] — the graceful
+/// replacement for what used to be a panic when a duplicate or fenced
+/// arrival hit the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// No open transfer has this handle: it already completed, was
+    /// dropped when a node went dark, or never existed.
+    UnknownTransfer {
+        /// The handle presented.
+        id: u64,
+    },
+    /// The transfer was launched under a token its holder has since been
+    /// fenced out of; the payload must be discarded, not applied.
+    Fenced {
+        /// The node whose token went stale.
+        node: NodeId,
+        /// Epoch stamped on the transfer at launch.
+        held_epoch: u64,
+        /// The node's current fence epoch.
+        current_epoch: u64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::UnknownTransfer { id } => {
+                write!(f, "transfer {id} is not open (duplicate or late completion)")
+            }
+            LedgerError::Fenced {
+                node,
+                held_epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "transfer from {node} carries fence epoch {held_epoch} but the node is at epoch {current_epoch}; payload rejected"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
 /// One node-to-node bulk transfer (a checkpoint delta or parity update
 /// travelling between physical nodes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,10 +311,19 @@ pub struct NodeTransfer {
 /// it has to discard when it aborts.
 #[derive(Debug, Clone, Default)]
 pub struct TransferLedger {
-    open: BTreeMap<u64, NodeTransfer>,
+    open: BTreeMap<u64, OpenTransfer>,
     next_id: u64,
     completed_bytes: usize,
     dropped_bytes: usize,
+    fenced_rejections: u64,
+}
+
+/// An open transfer plus the fence token it was launched under (legacy
+/// callers without fencing carry `None`, which never fails validation).
+#[derive(Debug, Clone, Copy)]
+struct OpenTransfer {
+    transfer: NodeTransfer,
+    token: Option<FenceToken>,
 }
 
 impl TransferLedger {
@@ -192,25 +332,79 @@ impl TransferLedger {
         Self::default()
     }
 
-    /// Opens a transfer and returns its handle.
+    /// Opens an unfenced transfer and returns its handle.
     pub fn begin(&mut self, from: NodeId, to: NodeId, bytes: usize) -> u64 {
+        self.begin_inner(NodeTransfer { from, to, bytes }, None)
+    }
+
+    /// Opens a transfer stamped with the sender's fence token; delivery
+    /// through [`TransferLedger::try_complete`] will reject it if the
+    /// sender is fenced (or re-epoched) in the meantime.
+    pub fn begin_with_token(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        token: FenceToken,
+    ) -> u64 {
+        self.begin_inner(NodeTransfer { from, to, bytes }, Some(token))
+    }
+
+    fn begin_inner(&mut self, transfer: NodeTransfer, token: Option<FenceToken>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.open.insert(id, NodeTransfer { from, to, bytes });
+        self.open.insert(id, OpenTransfer { transfer, token });
         id
     }
 
     /// Marks a transfer delivered. Returns it, or `None` if the handle is
-    /// unknown (already completed or dropped).
+    /// unknown (already completed or dropped). Skips fence validation —
+    /// use [`TransferLedger::try_complete`] when a registry is in force.
     pub fn complete(&mut self, id: u64) -> Option<NodeTransfer> {
-        let t = self.open.remove(&id)?;
-        self.completed_bytes += t.bytes;
-        Some(t)
+        let o = self.open.remove(&id)?;
+        self.completed_bytes += o.transfer.bytes;
+        Some(o.transfer)
+    }
+
+    /// Marks a transfer delivered *if its fence token is still valid*.
+    ///
+    /// A stale token means the sender was fenced after launch: the bytes
+    /// are counted as dropped, the transfer is closed, and the caller gets
+    /// [`LedgerError::Fenced`] so it can discard the payload instead of
+    /// applying a pre-fence delta. An unknown handle (duplicate or late
+    /// completion) is [`LedgerError::UnknownTransfer`] — a recoverable
+    /// condition, where this used to abort the whole simulation.
+    pub fn try_complete(
+        &mut self,
+        id: u64,
+        fences: &FenceRegistry,
+    ) -> Result<NodeTransfer, LedgerError> {
+        let o = match self.open.get(&id) {
+            Some(o) => *o,
+            None => return Err(LedgerError::UnknownTransfer { id }),
+        };
+        if let Some(token) = o.token {
+            if !fences.validates(token) {
+                self.open.remove(&id);
+                self.dropped_bytes += o.transfer.bytes;
+                self.fenced_rejections += 1;
+                return Err(LedgerError::Fenced {
+                    node: token.node,
+                    held_epoch: token.epoch,
+                    current_epoch: fences.epoch_of(token.node),
+                });
+            }
+        }
+        self.open.remove(&id);
+        self.completed_bytes += o.transfer.bytes;
+        Ok(o.transfer)
     }
 
     /// True if `node` is an endpoint of any open transfer.
     pub fn involves(&self, node: NodeId) -> bool {
-        self.open.values().any(|t| t.from == node || t.to == node)
+        self.open
+            .values()
+            .any(|o| o.transfer.from == node || o.transfer.to == node)
     }
 
     /// Number of open transfers.
@@ -220,24 +414,22 @@ impl TransferLedger {
 
     /// Bytes currently on the wire.
     pub fn in_flight_bytes(&self) -> usize {
-        self.open.values().map(|t| t.bytes).sum()
+        self.open.values().map(|o| o.transfer.bytes).sum()
     }
 
     /// Drops every open transfer touching `node` (its link went dark),
     /// returning the casualties in handle order.
     pub fn drop_involving(&mut self, node: NodeId) -> Vec<NodeTransfer> {
-        let doomed: Vec<u64> = self
-            .open
-            .iter()
-            .filter(|(_, t)| t.from == node || t.to == node)
-            .map(|(&id, _)| id)
-            .collect();
-        let mut out = Vec::with_capacity(doomed.len());
-        for id in doomed {
-            let t = self.open.remove(&id).expect("listed id is open");
-            self.dropped_bytes += t.bytes;
-            out.push(t);
-        }
+        let mut out = Vec::new();
+        self.open.retain(|_, o| {
+            if o.transfer.from == node || o.transfer.to == node {
+                out.push(o.transfer);
+                false
+            } else {
+                true
+            }
+        });
+        self.dropped_bytes += out.iter().map(|t| t.bytes).sum::<usize>();
         out
     }
 
@@ -247,6 +439,11 @@ impl TransferLedger {
         self.dropped_bytes += self.in_flight_bytes();
         self.open.clear();
         n
+    }
+
+    /// How many completions were rejected because their token was fenced.
+    pub fn fenced_rejections(&self) -> u64 {
+        self.fenced_rejections
     }
 
     /// Total bytes of transfers that completed.
@@ -366,6 +563,75 @@ mod tests {
         assert_eq!(l.drop_all(), 1);
         assert_eq!(l.dropped_bytes(), 45);
         assert_eq!(l.in_flight_bytes(), 0);
+    }
+
+    #[test]
+    fn fence_registry_epochs_and_readmission() {
+        let mut r = FenceRegistry::new();
+        let tok = r.token(NodeId(3)).unwrap();
+        assert_eq!(tok.epoch, 0);
+        assert!(r.validates(tok));
+
+        r.fence(NodeId(3));
+        assert!(r.is_fenced(NodeId(3)));
+        assert!(!r.validates(tok), "pre-fence token must go stale");
+        assert!(r.token(NodeId(3)).is_none(), "fenced node gets no tokens");
+        // Other nodes are untouched.
+        assert!(r.validates(r.token(NodeId(0)).unwrap()));
+
+        r.readmit(NodeId(3));
+        let fresh = r.token(NodeId(3)).unwrap();
+        assert_eq!(fresh.epoch, 1);
+        assert!(r.validates(fresh));
+        assert!(!r.validates(tok), "old epoch stays dead after readmission");
+        assert_eq!(r.fences_raised(), 1);
+    }
+
+    #[test]
+    fn try_complete_rejects_fenced_and_unknown() {
+        let mut r = FenceRegistry::new();
+        let mut l = TransferLedger::new();
+        let tok = r.token(NodeId(0)).unwrap();
+        let a = l.begin_with_token(NodeId(0), NodeId(1), 100, tok);
+        let b = l.begin_with_token(NodeId(0), NodeId(2), 40, tok);
+        let legacy = l.begin(NodeId(2), NodeId(1), 7);
+
+        // Valid token: delivery succeeds.
+        assert_eq!(l.try_complete(a, &r).unwrap().bytes, 100);
+        assert_eq!(l.completed_bytes(), 100);
+
+        // Node 0 is fenced mid-flight: its second transfer is rejected and
+        // the bytes are dropped, not applied.
+        r.fence(NodeId(0));
+        assert_eq!(
+            l.try_complete(b, &r),
+            Err(LedgerError::Fenced {
+                node: NodeId(0),
+                held_epoch: 0,
+                current_epoch: 1,
+            })
+        );
+        assert_eq!(l.dropped_bytes(), 40);
+        assert_eq!(l.fenced_rejections(), 1);
+        // The rejected transfer is closed: a retry is UnknownTransfer.
+        assert_eq!(
+            l.try_complete(b, &r),
+            Err(LedgerError::UnknownTransfer { id: b })
+        );
+
+        // Tokenless (legacy) transfers never fail fence validation.
+        assert!(l.try_complete(legacy, &r).is_ok());
+
+        // Double-completion degrades to a typed error, not a panic.
+        assert_eq!(
+            l.try_complete(a, &r),
+            Err(LedgerError::UnknownTransfer { id: a })
+        );
+        assert!(l
+            .try_complete(999, &r)
+            .unwrap_err()
+            .to_string()
+            .contains("not open"));
     }
 
     #[test]

@@ -12,10 +12,14 @@
 use std::fmt;
 
 use dvdc::placement::GroupPlacement;
-use dvdc::protocol::{CheckpointProtocol, DvdcProtocol, ProtocolError, RoundStep};
+use dvdc::protocol::{
+    run_round_with_faults, CheckpointProtocol, DvdcProtocol, PhasedOutcome, ProtocolError,
+    RoundStep,
+};
 use dvdc_checkpoint::strategy::Mode;
+use dvdc_faults::{ClusterFaultPlan, NodeFault, PeerSet, PlanCursor};
 use dvdc_simcore::rng::RngHub;
-use dvdc_simcore::time::Duration;
+use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
 use dvdc_vcluster::ids::NodeId;
 use rand::Rng;
@@ -30,6 +34,11 @@ struct ChaosStats {
     rollbacks: usize,
     recoveries: usize,
     migrations: usize,
+    hangs: usize,
+    partitions: usize,
+    false_suspicions: usize,
+    false_failovers: usize,
+    resyncs: usize,
 }
 
 impl ChaosStats {
@@ -41,6 +50,11 @@ impl ChaosStats {
         self.rollbacks += other.rollbacks;
         self.recoveries += other.recoveries;
         self.migrations += other.migrations;
+        self.hangs += other.hangs;
+        self.partitions += other.partitions;
+        self.false_suspicions += other.false_suspicions;
+        self.false_failovers += other.false_failovers;
+        self.resyncs += other.resyncs;
     }
 }
 
@@ -49,7 +63,8 @@ impl fmt::Display for ChaosStats {
         write!(
             f,
             "steps={} rounds_committed={} degraded_commits={} mid_round_kills={} \
-             rollbacks={} recoveries={} migrations={}",
+             rollbacks={} recoveries={} migrations={} hangs={} partitions={} \
+             false_suspicions={} false_failovers={} resyncs={}",
             self.steps,
             self.rounds_committed,
             self.degraded_commits,
@@ -57,6 +72,11 @@ impl fmt::Display for ChaosStats {
             self.rollbacks,
             self.recoveries,
             self.migrations,
+            self.hangs,
+            self.partitions,
+            self.false_suspicions,
+            self.false_failovers,
+            self.resyncs,
         )
     }
 }
@@ -136,12 +156,12 @@ fn chaos_run(
     for step in 0..steps {
         stats.steps += 1;
         let ctx = format!("seed={seed} step={step}; {}", repro(seed, test));
-        let action = rng.random_range(0..14u8);
+        let action = rng.random_range(0..18u8);
         if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
             eprintln!("step={step} action={action}");
         }
         match action {
-            // Guest work (~43 %).
+            // Guest work (~33 %).
             0..=5 => {
                 let span = Duration::from_secs(rng.random_range(0.1..2.0));
                 cluster.run_all(span, |vm| {
@@ -149,7 +169,7 @@ fn chaos_run(
                         .stream_indexed("vm", vm.index() as u64)
                 });
             }
-            // Checkpoint round (~14 %) — no all-nodes-up precondition:
+            // Checkpoint round (~11 %) — no all-nodes-up precondition:
             // a node evacuated by failover may stay down and the round
             // completes degraded around it.
             6..=7 => {
@@ -163,7 +183,7 @@ fn chaos_run(
                 }
                 committed = snapshots(&cluster);
             }
-            // Orthogonality-preserving migration (~14 %).
+            // Orthogonality-preserving migration (~11 %).
             8..=9 => {
                 let vm = {
                     let ids = cluster.vm_ids();
@@ -199,7 +219,7 @@ fn chaos_run(
                     stats.migrations += 1;
                 }
             }
-            // Mid-round kill (~14 %): start a phased round, advance it a
+            // Mid-round kill (~11 %): start a phased round, advance it a
             // random number of discrete steps, then fail a node at that
             // exact microstate. An involved victim forces abort + byte-
             // exact rollback; an uninvolved one lets the round finish
@@ -286,7 +306,75 @@ fn chaos_run(
                     assert_rolled_back(&cluster, &committed, &format!("{ctx} victim={victim}"));
                 }
             }
-            // Failure between rounds + recovery (~14 %).
+            // Impairment under the in-band detector (~22 % combined,
+            // split between transient hangs and partitions): a phased
+            // round runs with a non-crash fault injected mid-flight. A
+            // short impairment stalls the round and heals invisibly (at
+            // worst a refuted suspicion); one outliving the confirmation
+            // window draws a *false failover* — the live node is fenced,
+            // its state evacuated, and on waking it is rejected and must
+            // resync — and committed state stays byte-exact throughout.
+            14..=17 => {
+                if cluster.node_ids().iter().any(|&n| !cluster.is_up(n)) {
+                    continue; // the detector monitors a full house
+                }
+                let up = cluster.node_ids();
+                let victim = up[rng.random_range(0..up.len())];
+                let at = SimTime::from_secs(rng.random_range(0.0..0.02));
+                let span = Duration::from_millis(rng.random_range(5.0..200.0));
+                let fault = if action <= 15 {
+                    stats.hangs += 1;
+                    NodeFault::hang(victim.index(), at, span)
+                } else {
+                    stats.partitions += 1;
+                    let peers = PeerSet::from_nodes(
+                        cluster
+                            .node_ids()
+                            .iter()
+                            .map(|n| n.index())
+                            .filter(|&n| n != victim.index()),
+                    );
+                    NodeFault::partition(victim.index(), at, peers, span)
+                };
+                if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
+                    eprintln!("  detector: victim={victim} at={at} span={span}");
+                }
+                let plan = ClusterFaultPlan::new(vec![fault]);
+                let mut cursor = PlanCursor::new(&plan);
+                let (outcome, _end) =
+                    run_round_with_faults(&mut protocol, &mut cluster, &mut cursor, SimTime::ZERO)
+                        .unwrap_or_else(|e| {
+                            panic!("{ctx} victim={victim} span={span}: detector round failed: {e}")
+                        });
+                let det = *outcome.detection();
+                stats.false_suspicions += det.false_suspicions as usize;
+                stats.false_failovers += det.false_failovers as usize;
+                stats.resyncs += det.resyncs as usize;
+                assert!(
+                    cluster.node_ids().iter().all(|&n| cluster.is_up(n)),
+                    "{ctx} victim={victim}: detector round left a node down"
+                );
+                assert!(
+                    !protocol.fences().is_fenced(victim),
+                    "{ctx} victim={victim}: still fenced after the round settled"
+                );
+                match outcome {
+                    PhasedOutcome::Committed { .. } => {
+                        stats.rounds_committed += 1;
+                        committed = snapshots(&cluster);
+                    }
+                    PhasedOutcome::RolledBack { recoveries, .. } => {
+                        stats.rollbacks += 1;
+                        stats.recoveries += recoveries.len();
+                        assert_rolled_back(
+                            &cluster,
+                            &committed,
+                            &format!("{ctx} victim={victim} span={span}"),
+                        );
+                    }
+                }
+            }
+            // Failure between rounds + recovery (~11 %).
             _ => {
                 let up: Vec<NodeId> = cluster
                     .node_ids()
@@ -387,5 +475,17 @@ fn chaos_soak_mid_round() {
     assert!(
         total.degraded_commits > 0,
         "soak never completed a round degraded"
+    );
+    assert!(
+        total.hangs > 0 && total.partitions > 0,
+        "soak never exercised the non-crash fault kinds"
+    );
+    assert!(
+        total.false_failovers > 0,
+        "soak never drew a false failover from a long impairment"
+    );
+    assert!(
+        total.resyncs >= total.false_failovers.saturating_sub(total.recoveries),
+        "false failovers must end in resync or in-place repair"
     );
 }

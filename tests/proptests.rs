@@ -477,6 +477,101 @@ proptest! {
     }
 }
 
+// ---------- in-band detection and fencing ----------
+
+use dvdc::protocol::{run_round_with_faults, PhasedOutcome};
+use dvdc_faults::{ClusterFaultPlan, NodeFault, PeerSet, PlanCursor};
+use dvdc_simcore::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// False suspicion of a live node never corrupts committed state.
+    /// Whatever the impairment span — shorter than the suspicion timeout
+    /// (an invisible stall), inside the refutation window (a false
+    /// suspicion), or past confirmation (a false failover: the live node
+    /// is fenced, evacuated, and resynced) — the detector-supervised
+    /// round either commits or rolls back byte-exactly to the committed
+    /// epoch, every node ends up and unfenced, and the cluster stays
+    /// fully serviceable.
+    #[test]
+    fn false_suspicion_never_corrupts_committed_state(
+        seed in any::<u64>(),
+        victim in 0usize..6,
+        span_ms in 1.0f64..300.0,
+        at_ms in 0.0f64..30.0,
+        partition in any::<bool>(),
+        m in 1usize..3,
+    ) {
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(250.0)
+            .build(seed);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, m).unwrap();
+        let mut p = DvdcProtocol::with_options(
+            placement,
+            Mode::Incremental,
+            true,
+            Duration::from_millis(40.0),
+        );
+
+        // A committed baseline epoch, then guest progress the impaired
+        // round tries to protect.
+        p.run_round(&mut c).unwrap();
+        let committed = cluster_snapshots(&c);
+        let hub = RngHub::new(seed ^ 0x5DEE_CE55);
+        c.run_all(Duration::from_secs(0.3), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+
+        let at = SimTime::from_secs(at_ms / 1e3);
+        let span = Duration::from_millis(span_ms);
+        let fault = if partition {
+            let peers = PeerSet::from_nodes((0..6).filter(|&n| n != victim));
+            NodeFault::partition(victim, at, peers, span)
+        } else {
+            NodeFault::hang(victim, at, span)
+        };
+        let plan = ClusterFaultPlan::new(vec![fault]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        let det = *outcome.detection();
+
+        // The cluster always settles whole and unfenced.
+        for n in c.node_ids() {
+            prop_assert!(c.is_up(n), "{n} left down");
+        }
+        prop_assert!(!p.fences().is_fenced(NodeId(victim)));
+        // The victim was alive throughout, so every confirmation was a
+        // false failover; each one either resynced after its fenced wake
+        // was rejected, or was repaired in place when no failover host
+        // existed.
+        prop_assert_eq!(det.confirmations, det.false_failovers);
+        prop_assert!(det.resyncs <= det.false_failovers);
+        prop_assert_eq!(det.fenced_rejections, det.resyncs);
+
+        match outcome {
+            PhasedOutcome::Committed { .. } => {
+                prop_assert!(p.committed_epoch().is_some());
+            }
+            PhasedOutcome::RolledBack { .. } => {
+                // Byte-exact rollback, wherever the VMs now live.
+                prop_assert_eq!(cluster_snapshots(&c), committed);
+            }
+        }
+
+        // And the epoch is consistent: an undisturbed round commits.
+        let empty = ClusterFaultPlan::new(vec![]);
+        let mut quiet = PlanCursor::new(&empty);
+        let (next, _) =
+            run_round_with_faults(&mut p, &mut c, &mut quiet, SimTime::ZERO).unwrap();
+        prop_assert!(next.committed());
+    }
+}
+
 // ---------- checkpoint wire format ----------
 
 use bytes::Bytes;
