@@ -22,6 +22,8 @@
 //!   diskless checkpointing relies on (current + previous epoch, exactly
 //!   the paper's "2I/3I memory" discussion) and a materialized view for
 //!   parity computation and recovery.
+//! * [`integrity`] — per-block checksums (stdchk-style) recorded at every
+//!   store write and verified before recovery or scrub trusts the bytes.
 //! * [`accounting`] — the overhead-vs-latency split that Section II-B2
 //!   stresses: *"Latency is always at least as much as overhead."*
 //! * [`adaptive`] — the Section II-B1 runtime cost–benefit trigger:
@@ -61,6 +63,7 @@
 pub mod accounting;
 pub mod adaptive;
 pub mod delta;
+pub mod integrity;
 pub mod payload;
 pub mod store;
 pub mod strategy;

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::integrity;
 use crate::payload::Checkpoint;
 use dvdc_vcluster::ids::VmId;
 
@@ -56,11 +57,25 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// One materialized entry: the image as of `epoch`.
+/// One materialized entry: the image as of `epoch`, plus the checksum
+/// recorded when the image was written — the integrity witness recovery
+/// and scrub verify before trusting the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Entry {
     epoch: u64,
     image: Vec<u8>,
+    checksum: u64,
+}
+
+impl Entry {
+    fn new(epoch: u64, image: Vec<u8>) -> Self {
+        let checksum = integrity::checksum(&image);
+        Entry {
+            epoch,
+            image,
+            checksum,
+        }
+    }
 }
 
 /// Per-VM materialized images of the latest applied checkpoint.
@@ -81,13 +96,8 @@ impl MaterializedStore {
         use crate::payload::CheckpointPayload as P;
         match &ckpt.payload {
             P::Full { image, .. } => {
-                self.entries.insert(
-                    ckpt.vm,
-                    Entry {
-                        epoch: ckpt.epoch,
-                        image: image.to_vec(),
-                    },
-                );
+                self.entries
+                    .insert(ckpt.vm, Entry::new(ckpt.epoch, image.to_vec()));
                 Ok(())
             }
             P::Incremental { base_epoch, .. } => {
@@ -104,6 +114,7 @@ impl MaterializedStore {
                 }
                 entry.image = ckpt.payload.apply_to(&entry.image);
                 entry.epoch = ckpt.epoch;
+                entry.checksum = integrity::checksum(&entry.image);
                 Ok(())
             }
         }
@@ -122,7 +133,35 @@ impl MaterializedStore {
     /// Inserts a materialized image directly (recovery writes
     /// reconstructed images back this way).
     pub fn insert_image(&mut self, vm: VmId, epoch: u64, image: Vec<u8>) {
-        self.entries.insert(vm, Entry { epoch, image });
+        self.entries.insert(vm, Entry::new(epoch, image));
+    }
+
+    /// Verifies the stored image for `vm` against the checksum recorded
+    /// when it was written: `Some(true)` = intact, `Some(false)` =
+    /// corrupted in place, `None` = no image stored.
+    pub fn verify(&self, vm: VmId) -> Option<bool> {
+        self.entries
+            .get(&vm)
+            .map(|e| integrity::verify(&e.image, e.checksum))
+    }
+
+    /// Silently flips one byte of the stored image *without* refreshing
+    /// the checksum — the corruption fault's write path. Returns false if
+    /// no image is stored or the offset is out of range.
+    pub fn corrupt_byte(&mut self, vm: VmId, offset: usize) -> bool {
+        match self.entries.get_mut(&vm) {
+            Some(e) if !e.image.is_empty() => {
+                let off = offset % e.image.len();
+                e.image[off] ^= 0xA5;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// VMs with stored images, in order.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.entries.keys().copied()
     }
 
     /// Drops the entry for `vm` (e.g. its holder node died).
@@ -219,6 +258,23 @@ impl DoubleBufferedStore {
         &mut self.previous
     }
 
+    /// Verifies the committed image for `vm` against its recorded
+    /// checksum: `Some(false)` means the bytes rotted in place.
+    pub fn verify_committed(&self, vm: VmId) -> Option<bool> {
+        self.previous.verify(vm)
+    }
+
+    /// Verifies the current (in-progress) image for `vm`.
+    pub fn verify_current(&self, vm: VmId) -> Option<bool> {
+        self.current.verify(vm)
+    }
+
+    /// Silently flips one byte of the *committed* image for `vm` without
+    /// refreshing its checksum — the corruption fault's write path.
+    pub fn corrupt_committed_byte(&mut self, vm: VmId, offset: usize) -> bool {
+        self.previous.corrupt_byte(vm, offset)
+    }
+
     /// Total bytes across both buffers — the "2×" memory cost of keeping
     /// current + previous that the paper accepts for safety.
     pub fn total_bytes(&self) -> usize {
@@ -242,6 +298,12 @@ impl DoubleBufferedStore {
 pub struct ParityStore<K: Ord + Copy> {
     committed: BTreeMap<K, Vec<u8>>,
     current: BTreeMap<K, Vec<u8>>,
+    /// Checksums recorded when each committed block was written; stored
+    /// apart from the blocks so a corruption fault can flip block bytes
+    /// without the witness following along.
+    committed_sums: BTreeMap<K, u64>,
+    /// Checksums for the working generation's blocks.
+    current_sums: BTreeMap<K, u64>,
     /// Epoch the *current* generation's delta base corresponds to: the
     /// epoch of the last promote, cleared by rollback/invalidation. When
     /// this matches the protocol's committed epoch, incremental delta
@@ -261,6 +323,8 @@ impl<K: Ord + Copy> ParityStore<K> {
         ParityStore {
             committed: BTreeMap::new(),
             current: BTreeMap::new(),
+            committed_sums: BTreeMap::new(),
+            current_sums: BTreeMap::new(),
             current_epoch: None,
         }
     }
@@ -282,6 +346,7 @@ impl<K: Ord + Copy> ParityStore<K> {
 
     /// Writes `block` into the working generation.
     pub fn stage(&mut self, key: K, block: Vec<u8>) {
+        self.current_sums.insert(key, integrity::checksum(&block));
         self.current.insert(key, block);
     }
 
@@ -289,6 +354,9 @@ impl<K: Ord + Copy> ParityStore<K> {
     /// lost holder's parity to the committed state, which is by definition
     /// also the correct working base for the next round.
     pub fn seed(&mut self, key: K, block: Vec<u8>) {
+        let sum = integrity::checksum(&block);
+        self.committed_sums.insert(key, sum);
+        self.current_sums.insert(key, sum);
         self.committed.insert(key, block.clone());
         self.current.insert(key, block);
     }
@@ -297,6 +365,8 @@ impl<K: Ord + Copy> ParityStore<K> {
     pub fn evict(&mut self, key: K) {
         self.committed.remove(&key);
         self.current.remove(&key);
+        self.committed_sums.remove(&key);
+        self.current_sums.remove(&key);
     }
 
     /// Promotes the working generation to committed — the second phase of
@@ -304,6 +374,7 @@ impl<K: Ord + Copy> ParityStore<K> {
     /// staged blocks. Records `epoch` as the new delta base.
     pub fn promote(&mut self, epoch: u64) {
         self.committed = self.current.clone();
+        self.committed_sums = self.current_sums.clone();
         self.current_epoch = Some(epoch);
     }
 
@@ -312,7 +383,46 @@ impl<K: Ord + Copy> ParityStore<K> {
     /// abort path of the two-phase commit.
     pub fn rollback(&mut self) {
         self.current = self.committed.clone();
+        self.current_sums = self.committed_sums.clone();
         self.current_epoch = None;
+    }
+
+    /// Refreshes the working-generation checksum for `key` after an
+    /// in-place mutation through [`ParityStore::current_mut`] (the
+    /// incremental delta-fold path updates parity bytes in place).
+    pub fn rehash_current(&mut self, key: K) {
+        if let Some(block) = self.current.get(&key) {
+            self.current_sums.insert(key, integrity::checksum(block));
+        }
+    }
+
+    /// Verifies the committed block for `key`: `Some(true)` = intact,
+    /// `Some(false)` = corrupted in place, `None` = absent.
+    pub fn verify_committed(&self, key: K) -> Option<bool> {
+        let block = self.committed.get(&key)?;
+        let sum = self.committed_sums.get(&key)?;
+        Some(integrity::verify(block, *sum))
+    }
+
+    /// Verifies the working-generation block for `key`.
+    pub fn verify_current(&self, key: K) -> Option<bool> {
+        let block = self.current.get(&key)?;
+        let sum = self.current_sums.get(&key)?;
+        Some(integrity::verify(block, *sum))
+    }
+
+    /// Silently flips one byte of the *committed* block for `key` without
+    /// refreshing its checksum — the corruption fault's write path into
+    /// parity. Returns false when the block is absent or empty.
+    pub fn corrupt_committed(&mut self, key: K, offset: usize) -> bool {
+        match self.committed.get_mut(&key) {
+            Some(block) if !block.is_empty() => {
+                let off = offset % block.len();
+                block[off] ^= 0xA5;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The epoch whose images the working generation is based on, if the
@@ -531,6 +641,63 @@ mod tests {
         p.evict(3);
         assert!(p.is_empty());
         assert_eq!(p.total_bytes(), 0);
+    }
+
+    #[test]
+    fn checksums_track_writes_and_catch_corruption() {
+        let mut mem = MemoryImage::patterned(4, 16, 7);
+        let mut ck = Checkpointer::new(Mode::Incremental);
+        let mut store = DoubleBufferedStore::new();
+        store.apply(&ck.capture(VmId(0), 0, &mut mem)).unwrap();
+        store.commit_round();
+        assert_eq!(store.verify_committed(VmId(0)), Some(true));
+        assert_eq!(store.verify_current(VmId(0)), Some(true));
+        assert_eq!(store.verify_committed(VmId(9)), None);
+
+        // Incremental folds refresh the checksum with the image.
+        mem.write_page(2, &[3u8; 16]);
+        store.apply(&ck.capture(VmId(0), 1, &mut mem)).unwrap();
+        assert_eq!(store.verify_current(VmId(0)), Some(true));
+
+        // A silent flip is caught, and only in the buffer it hit.
+        assert!(store.corrupt_committed_byte(VmId(0), 5));
+        assert_eq!(store.verify_committed(VmId(0)), Some(false));
+        assert_eq!(store.verify_current(VmId(0)), Some(true));
+
+        // Re-seeding the image heals the witness.
+        let fresh = mem.as_bytes().to_vec();
+        store.committed_mut().insert_image(VmId(0), 1, fresh);
+        assert_eq!(store.verify_committed(VmId(0)), Some(true));
+    }
+
+    #[test]
+    fn parity_checksums_follow_two_phase_lifecycle() {
+        let mut p: ParityStore<usize> = ParityStore::new();
+        p.stage(0, vec![1, 2, 3, 4]);
+        assert_eq!(p.verify_current(0), Some(true));
+        assert_eq!(p.verify_committed(0), None);
+        p.promote(0);
+        assert_eq!(p.verify_committed(0), Some(true));
+
+        // In-place delta fold: stale until rehashed.
+        p.current_mut(0).unwrap()[1] ^= 0xFF;
+        assert_eq!(p.verify_current(0), Some(false));
+        p.rehash_current(0);
+        assert_eq!(p.verify_current(0), Some(true));
+
+        // Corruption hits committed only; rollback copies the rot (and
+        // its stale witness) into current, so it stays detectable.
+        assert!(p.corrupt_committed(0, 2));
+        assert_eq!(p.verify_committed(0), Some(false));
+        p.rollback();
+        assert_eq!(p.verify_current(0), Some(false));
+
+        // Seeding a rebuilt block heals both generations.
+        p.seed(0, vec![9, 9, 9, 9]);
+        assert_eq!(p.verify_committed(0), Some(true));
+        assert_eq!(p.verify_current(0), Some(true));
+        p.evict(0);
+        assert_eq!(p.verify_committed(0), None);
     }
 
     #[test]

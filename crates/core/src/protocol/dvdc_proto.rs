@@ -24,6 +24,19 @@
 //! committed epoch and resumes. With `m ≥ 2` parity blocks per group
 //! (Reed–Solomon, standing in for the RDP codes of Section II-B2), any
 //! `m` concurrent node failures are survivable.
+//!
+//! Recovery itself is a *phased rebuild pipeline* ([`PhasedRebuild`]):
+//! survivor blocks are fetched over tracked transfers, each affected
+//! group is decoded, rebuilt blocks ship to their homes, and only the
+//! final readmit step mutates protocol state — so rebuild time elapses
+//! on the simulated clock and a cascading second failure mid-rebuild
+//! simply cancels the (mutation-free) pipeline and restarts it against
+//! the new down set, or surfaces honest
+//! [`super::RecoverError::DataLoss`] when tolerance is exceeded. Every
+//! stored block carries a checksum: decode treats rotten survivors as
+//! erasures, the commit path never promotes a rotten block, and a
+//! periodic [`DvdcProtocol::scrub`] repairs silent corruption from group
+//! redundancy through the same pipeline.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -39,11 +52,16 @@ use dvdc_parity::rs::ReedSolomon;
 use dvdc_simcore::time::Duration;
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::{NodeId, VmId};
-use dvdc_vcluster::messaging::{FenceRegistry, FenceToken, LedgerError, TransferLedger};
+use dvdc_vcluster::messaging::{
+    FenceRegistry, FenceToken, LedgerError, RetryDecision, RetryPolicy, TransferLedger,
+};
 
 use crate::placement::{GroupId, GroupPlacement};
 
-use super::{rollback_vms, CheckpointProtocol, ProtocolError, RecoveryReport, RoundReport};
+use super::{
+    rollback_vms, CheckpointProtocol, ProtocolError, RecoverError, RecoveryReport, RoundReport,
+    ScrubReport,
+};
 
 /// Which erasure-code family protects the groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +294,182 @@ impl PhasedRound {
     }
 }
 
+/// Which flavour of rebuild a [`PhasedRebuild`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Rebuild the failed node's lost state, then repair the node in
+    /// place and reseed it ([`CheckpointProtocol::recover`]).
+    InPlace,
+    /// Re-home the failed node's state onto survivors; the victim stays
+    /// fenced and out of service
+    /// ([`CheckpointProtocol::recover_failover`]).
+    Failover,
+    /// Repair checksum-rotten blocks on live nodes from group
+    /// redundancy; no node crashed ([`DvdcProtocol::scrub`]).
+    Scrub,
+    /// Readmit an evacuated node ([`DvdcProtocol::resync_node`]); there
+    /// is no state to rebuild, only the fence to rotate.
+    Resync,
+}
+
+/// The four phases of a rebuild, in execution order.
+///
+/// Like [`RoundPhase`], the `Ord` impl follows execution order so tests
+/// can express "interrupt once the rebuild has reached phase X". The
+/// pipeline is mutation-free until `Readmit`: cancelling a rebuild in any
+/// earlier phase (a second failure changing the victim set, say) leaves
+/// the protocol exactly as it was, so the driver can simply begin a fresh
+/// rebuild against the new down set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RebuildPhase {
+    /// Surviving group members ship their committed blocks to the decode
+    /// sites; each shipment is a tracked launch/arrival pair so a fault
+    /// can land with rebuild bytes on the wire.
+    FetchSurvivors,
+    /// Each affected group runs the erasure decode over the fetched
+    /// (checksum-verified) survivor blocks.
+    Decode,
+    /// Rebuilt blocks ship to their new (or repaired, or scrubbed)
+    /// homes.
+    Place,
+    /// The staged state is applied atomically: fences rotate, stores and
+    /// parity reseed, and (for crash modes) the cluster rolls back to
+    /// the committed epoch.
+    Readmit,
+}
+
+/// Result of one [`DvdcProtocol::step_rebuild`] call.
+#[derive(Debug)]
+pub enum RebuildStep {
+    /// One unit of rebuild work completed; the rebuild continues.
+    Progress {
+        /// Phase the step executed in.
+        phase: RebuildPhase,
+        /// Simulated wall-clock the step took (drives event scheduling).
+        took: Duration,
+    },
+    /// The readmit ran; the rebuild is complete.
+    Completed(RecoveryReport),
+}
+
+/// One rebuilt block awaiting placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RebuiltItem {
+    Vm(VmId),
+    Parity(GroupId, usize),
+}
+
+/// An in-flight rebuild, advanced one discrete step at a time.
+///
+/// Created by [`DvdcProtocol::begin_rebuild`]; driven by
+/// [`DvdcProtocol::step_rebuild`] until it returns
+/// [`RebuildStep::Completed`], or discarded via
+/// [`DvdcProtocol::abort_rebuild`] when a cascading failure invalidates
+/// it. Nothing is mutated before the final `Readmit` step, so an aborted
+/// rebuild needs no cleanup.
+#[derive(Debug)]
+pub struct PhasedRebuild {
+    mode: RebuildMode,
+    victim: NodeId,
+    epoch: u64,
+    phase: RebuildPhase,
+    /// Down set snapshotted at begin; these nodes' blocks are erasures.
+    down: Vec<NodeId>,
+    /// VM images lost with the victim (crash modes).
+    victim_vms: Vec<VmId>,
+    /// Parity blocks lost with the victim (crash modes).
+    victim_parity: Vec<(GroupId, usize)>,
+    /// Checksum-rotten VM images on live nodes, repaired in situ.
+    corrupt_vms: Vec<VmId>,
+    /// Checksum-rotten parity blocks on live nodes, repaired in situ.
+    corrupt_parity: Vec<(GroupId, usize)>,
+    /// Survivor blocks rejected by checksum during decode (treated as
+    /// erasures, never as decode sources).
+    corrupt_sources: usize,
+    // FetchSurvivors: (source, decode site, bytes) per survivor block.
+    fetch_queue: VecDeque<(NodeId, NodeId, usize)>,
+    ledger: TransferLedger,
+    in_flight: Option<u64>,
+    // Decode: one step per affected group.
+    decode_queue: VecDeque<GroupId>,
+    // Place: one step per rebuilt block.
+    place_queue: VecDeque<RebuiltItem>,
+    rebuilt_vms: BTreeMap<VmId, Vec<u8>>,
+    rebuilt_parity: BTreeMap<(GroupId, usize), Vec<u8>>,
+    /// Simulated time accumulated across all steps so far — the rebuild
+    /// window during which a second failure can strike.
+    elapsed: Duration,
+}
+
+impl PhasedRebuild {
+    /// The rebuild flavour.
+    pub fn mode(&self) -> RebuildMode {
+        self.mode
+    }
+
+    /// The node whose state is being rebuilt (for
+    /// [`RebuildMode::Scrub`], the node holding the first rotten block).
+    pub fn victim(&self) -> NodeId {
+        self.victim
+    }
+
+    /// The committed epoch the rebuild restores.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The phase the next step will execute in.
+    pub fn phase(&self) -> RebuildPhase {
+        self.phase
+    }
+
+    /// Simulated time elapsed across the steps taken so far.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Survivor blocks rejected by checksum verification during decode.
+    pub fn corrupt_sources(&self) -> usize {
+        self.corrupt_sources
+    }
+
+    /// In-flight survivor-fetch accounting for this rebuild.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Steps remaining before the queues drain (the readmit step itself
+    /// adds one more). Place steps only materialize after decode, so
+    /// this is a lower bound early on — good enough for "interrupt at a
+    /// random point".
+    pub fn steps_remaining_hint(&self) -> usize {
+        2 * self.fetch_queue.len()
+            + usize::from(self.in_flight.is_some())
+            + self.decode_queue.len()
+            + self.place_queue.len()
+            + 1
+    }
+}
+
+/// Result of one integrity sweep over committed images and parity.
+#[derive(Debug, Default)]
+struct IntegritySweep {
+    /// Blocks whose checksum was checked.
+    verified: usize,
+    corrupt_vms: Vec<VmId>,
+    corrupt_parity: Vec<(GroupId, usize)>,
+}
+
+/// SplitMix64 — a tiny deterministic generator for corruption targeting
+/// (no external RNG dependency; reproducibility from the fault seed).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// The DVDC protocol state.
 #[derive(Debug)]
 pub struct DvdcProtocol {
@@ -499,125 +693,741 @@ impl DvdcProtocol {
         self.node_stores.get(node.index())?.committed_image(vm)
     }
 
-    /// Wipes the state held by every down node and decodes everything the
-    /// `failed` node held (its VMs' committed checkpoints and its parity
-    /// blocks) from group survivors. Shared by repair-in-place
-    /// ([`CheckpointProtocol::recover`]) and
-    /// [`DvdcProtocol::recover_failover`].
-    fn decode_lost_state(
+    /// Verifies the checksum of every committed VM image and parity block
+    /// held by an *up* node, returning the rotten ones. Down nodes are
+    /// skipped — their memory is gone wholesale, corruption of it is
+    /// moot.
+    fn sweep_integrity(&self, cluster: &Cluster) -> IntegritySweep {
+        let mut sweep = IntegritySweep::default();
+        for node in cluster.node_ids() {
+            if !cluster.is_up(node) {
+                continue;
+            }
+            let Some(store) = self.node_stores.get(node.index()) else {
+                continue;
+            };
+            let vms: Vec<VmId> = store.committed().vm_ids().collect();
+            for vm in vms {
+                match store.verify_committed(vm) {
+                    Some(true) => sweep.verified += 1,
+                    Some(false) => {
+                        sweep.verified += 1;
+                        sweep.corrupt_vms.push(vm);
+                    }
+                    None => {}
+                }
+            }
+        }
+        for group in self.placement.groups() {
+            for j in 0..self.parity_blocks {
+                if !cluster.is_up(group.parity_nodes[j]) {
+                    continue;
+                }
+                match self.parity.verify_committed((group.id, j)) {
+                    Some(true) => sweep.verified += 1,
+                    Some(false) => {
+                        sweep.verified += 1;
+                        sweep.corrupt_parity.push((group.id, j));
+                    }
+                    None => {}
+                }
+            }
+        }
+        sweep
+    }
+
+    /// Opens a phase-interruptible rebuild of `failed`'s lost state (or,
+    /// for [`RebuildMode::Scrub`], of whatever blocks fail checksum
+    /// verification). The returned [`PhasedRebuild`] is advanced one
+    /// discrete step at a time via [`DvdcProtocol::step_rebuild`];
+    /// [`CheckpointProtocol::recover`] is exactly this followed by
+    /// stepping to completion.
+    ///
+    /// Crash modes also fold any checksum-rotten survivor blocks into
+    /// the rebuild (they are erasures too — recovery must neither trust
+    /// them as decode sources nor roll VMs back onto them).
+    ///
+    /// Nothing is mutated until the final readmit step, so a rebuild
+    /// interrupted by a cascading failure is simply dropped
+    /// ([`DvdcProtocol::abort_rebuild`]) and begun again against the new
+    /// down set.
+    pub fn begin_rebuild(
         &mut self,
         cluster: &Cluster,
         failed: NodeId,
-    ) -> Result<DecodedState, ProtocolError> {
+        mode: RebuildMode,
+    ) -> Result<PhasedRebuild, RecoverError> {
+        let epoch = self
+            .committed_epoch
+            .ok_or(RecoverError::Protocol(ProtocolError::NoCommittedCheckpoint))?;
         self.ensure_node_stores(cluster.node_count());
 
-        // Everything held by *any* down node is gone: local checkpoint
-        // stores and parity blocks. (Several nodes can be down at once
-        // under the m ≥ 2 codes; recovery repairs one of them per call.)
-        let down: Vec<NodeId> = cluster
-            .node_ids()
-            .into_iter()
-            .filter(|&n| !cluster.is_up(n))
-            .collect();
-        for &d in &down {
-            self.node_stores[d.index()] = DoubleBufferedStore::new();
-            for gid in self.placement.parity_groups_of(d) {
+        let mut rebuild = PhasedRebuild {
+            mode,
+            victim: failed,
+            epoch,
+            phase: RebuildPhase::FetchSurvivors,
+            down: cluster
+                .node_ids()
+                .into_iter()
+                .filter(|&n| !cluster.is_up(n))
+                .collect(),
+            victim_vms: Vec::new(),
+            victim_parity: Vec::new(),
+            corrupt_vms: Vec::new(),
+            corrupt_parity: Vec::new(),
+            corrupt_sources: 0,
+            fetch_queue: VecDeque::new(),
+            ledger: TransferLedger::new(),
+            in_flight: None,
+            decode_queue: VecDeque::new(),
+            place_queue: VecDeque::new(),
+            rebuilt_vms: BTreeMap::new(),
+            rebuilt_parity: BTreeMap::new(),
+            elapsed: Duration::ZERO,
+        };
+
+        if mode == RebuildMode::Resync {
+            if !cluster.vms_on(failed).is_empty()
+                || !self.placement.parity_groups_of(failed).is_empty()
+            {
+                return Err(RecoverError::Protocol(ProtocolError::Unrecoverable {
+                    node: failed,
+                    reason: "resync requires an evacuated node; use recover for one holding state"
+                        .into(),
+                }));
+            }
+            return Ok(rebuild);
+        }
+
+        if mode != RebuildMode::Scrub {
+            rebuild.victim_vms = cluster.vms_on(failed).to_vec();
+            for gid in self.placement.parity_groups_of(failed) {
                 let group = &self.placement.groups()[gid.index()];
                 for j in 0..self.parity_blocks {
-                    if group.parity_nodes[j] == d {
-                        self.parity.evict((gid, j));
+                    if group.parity_nodes[j] == failed {
+                        rebuild.victim_parity.push((gid, j));
                     }
                 }
             }
         }
 
-        let lost_vms = cluster.vms_on(failed).to_vec();
-        let lost_parity = self.placement.parity_groups_of(failed);
+        let sweep = self.sweep_integrity(cluster);
+        rebuild.corrupt_vms = sweep
+            .corrupt_vms
+            .into_iter()
+            .filter(|vm| !rebuild.victim_vms.contains(vm))
+            .collect();
+        rebuild.corrupt_parity = sweep
+            .corrupt_parity
+            .into_iter()
+            .filter(|key| !rebuild.victim_parity.contains(key))
+            .collect();
 
-        // Groups touched by this node: data member hosted here, or a
-        // parity block held here. Decode each once.
-        let mut affected: Vec<GroupId> = lost_vms
+        // Groups touched: a lost or rotten data member, or a lost or
+        // rotten parity block. Decode each once.
+        let mut affected: Vec<GroupId> = rebuild
+            .victim_vms
             .iter()
+            .chain(rebuild.corrupt_vms.iter())
             .map(|&vm| self.placement.group_of(vm).id)
-            .chain(lost_parity.iter().copied())
+            .chain(
+                rebuild
+                    .victim_parity
+                    .iter()
+                    .chain(rebuild.corrupt_parity.iter())
+                    .map(|&(gid, _)| gid),
+            )
             .collect();
         affected.sort();
         affected.dedup();
 
-        let is_down = |n: NodeId| down.contains(&n);
-        let mut reconstructed: Vec<(VmId, Vec<u8>)> = Vec::new();
-        let mut rebuilt_parity: Vec<(GroupId, usize, Vec<u8>)> = Vec::new();
-        let mut reconstruction_work = vec![0usize; cluster.node_count()];
-        for gid in &affected {
+        // One tracked fetch per intact survivor block that must cross
+        // the wire to its group's decode site.
+        for &gid in &affected {
             let group = self.placement.groups()[gid.index()].clone();
-            let mut shards: Vec<Option<Vec<u8>>> = group
-                .data
-                .iter()
-                .map(|&member| {
-                    if is_down(cluster.node_of(member)) {
-                        None
-                    } else {
-                        self.committed_image(cluster, member).map(|i| i.to_vec())
-                    }
-                })
-                .collect();
-            for j in 0..self.parity_blocks {
-                let shard = if is_down(group.parity_nodes[j]) {
-                    None
-                } else {
-                    self.parity.committed((group.id, j)).map(|b| b.to_vec())
-                };
-                shards.push(shard);
+            let decode_site = self.decode_site(cluster, &rebuild, gid);
+            for &member in &group.data {
+                let host = cluster.node_of(member);
+                if rebuild.down.contains(&host)
+                    || rebuild.victim_vms.contains(&member)
+                    || rebuild.corrupt_vms.contains(&member)
+                    || host == decode_site
+                {
+                    continue;
+                }
+                if let Some(img) = self.committed_image(cluster, member) {
+                    rebuild
+                        .fetch_queue
+                        .push_back((host, decode_site, img.len()));
+                }
             }
-            self.code.reconstruct(&mut shards).map_err(|e| match e {
-                CodeError::TooManyErasures { .. } => ProtocolError::Unrecoverable {
-                    node: failed,
-                    reason: format!("{}: {e}", group.id),
-                },
-                other => ProtocolError::Code(other),
-            })?;
+            for j in 0..self.parity_blocks {
+                let holder = group.parity_nodes[j];
+                let key = (gid, j);
+                if rebuild.down.contains(&holder)
+                    || rebuild.victim_parity.contains(&key)
+                    || rebuild.corrupt_parity.contains(&key)
+                    || holder == decode_site
+                {
+                    continue;
+                }
+                if let Some(block) = self.parity.committed(key) {
+                    rebuild
+                        .fetch_queue
+                        .push_back((holder, decode_site, block.len()));
+                }
+            }
+        }
+        rebuild.decode_queue = affected.into();
 
-            let image_len = shards.iter().flatten().map(|s| s.len()).next().unwrap_or(0);
-            for (pos, &member) in group.data.iter().enumerate() {
-                if cluster.node_of(member) == failed {
-                    let image = shards[pos].clone().expect("decoded shard present");
-                    reconstructed.push((member, image));
+        Ok(rebuild)
+    }
+
+    /// The node a group's erasure decode runs on: the first surviving
+    /// parity holder, else the first surviving data host, else the
+    /// victim itself (nothing to fetch in that case).
+    fn decode_site(&self, cluster: &Cluster, rebuild: &PhasedRebuild, gid: GroupId) -> NodeId {
+        let group = &self.placement.groups()[gid.index()];
+        group
+            .parity_nodes
+            .iter()
+            .copied()
+            .find(|p| !rebuild.down.contains(p))
+            .or_else(|| {
+                group
+                    .data
+                    .iter()
+                    .map(|&m| cluster.node_of(m))
+                    .find(|n| !rebuild.down.contains(n))
+            })
+            .unwrap_or(rebuild.victim)
+    }
+
+    /// Executes one discrete unit of rebuild work: one survivor-fetch
+    /// launch or arrival, one group's erasure decode, one rebuilt-block
+    /// shipment, or the final readmit. Phase transitions happen when the
+    /// current phase's queue drains.
+    ///
+    /// Exceeded tolerance (more erasures — crashed holders plus rotten
+    /// survivors — than parity blocks) surfaces as
+    /// [`RecoverError::DataLoss`] from the decode step; the protocol
+    /// state is untouched and the caller records the loss.
+    pub fn step_rebuild(
+        &mut self,
+        cluster: &mut Cluster,
+        rebuild: &mut PhasedRebuild,
+    ) -> Result<RebuildStep, RecoverError> {
+        loop {
+            match rebuild.phase {
+                RebuildPhase::FetchSurvivors => {
+                    if let Some(id) = rebuild.in_flight.take() {
+                        let took = match rebuild.ledger.try_complete(id, &self.fences) {
+                            Ok(t) => cluster.fabric().network.link_transfer(t.bytes),
+                            Err(LedgerError::Fenced { .. })
+                            | Err(LedgerError::UnknownTransfer { .. }) => Duration::ZERO,
+                        };
+                        rebuild.elapsed += took;
+                        return Ok(RebuildStep::Progress {
+                            phase: RebuildPhase::FetchSurvivors,
+                            took,
+                        });
+                    }
+                    let Some((from, to, bytes)) = rebuild.fetch_queue.pop_front() else {
+                        rebuild.phase = RebuildPhase::Decode;
+                        continue;
+                    };
+                    let token = self.fences.token(from).unwrap_or(FenceToken {
+                        node: from,
+                        epoch: u64::MAX,
+                    });
+                    rebuild.in_flight =
+                        Some(rebuild.ledger.begin_with_token(from, to, bytes, token));
+                    return Ok(RebuildStep::Progress {
+                        phase: RebuildPhase::FetchSurvivors,
+                        took: Duration::ZERO,
+                    });
+                }
+                RebuildPhase::Decode => {
+                    let Some(gid) = rebuild.decode_queue.pop_front() else {
+                        rebuild.phase = RebuildPhase::Place;
+                        continue;
+                    };
+                    let took = self.decode_rebuild_group(cluster, rebuild, gid)?;
+                    rebuild.elapsed += took;
+                    return Ok(RebuildStep::Progress {
+                        phase: RebuildPhase::Decode,
+                        took,
+                    });
+                }
+                RebuildPhase::Place => {
+                    let Some(item) = rebuild.place_queue.pop_front() else {
+                        // Readmit is the first (and only) mutating step, so it
+                        // must be a *resting* phase the driver can observe —
+                        // and cancel before — rather than something reached
+                        // and executed within a single step.
+                        rebuild.phase = RebuildPhase::Readmit;
+                        return Ok(RebuildStep::Progress {
+                            phase: RebuildPhase::Readmit,
+                            took: Duration::ZERO,
+                        });
+                    };
+                    let bytes = match item {
+                        RebuiltItem::Vm(vm) => {
+                            rebuild.rebuilt_vms.get(&vm).map(|i| i.len()).unwrap_or(0)
+                        }
+                        RebuiltItem::Parity(gid, j) => rebuild
+                            .rebuilt_parity
+                            .get(&(gid, j))
+                            .map(|b| b.len())
+                            .unwrap_or(0),
+                    };
+                    let took = cluster.fabric().network.link_transfer(bytes);
+                    rebuild.elapsed += took;
+                    return Ok(RebuildStep::Progress {
+                        phase: RebuildPhase::Place,
+                        took,
+                    });
+                }
+                RebuildPhase::Readmit => {
+                    let report = self.readmit_rebuild(cluster, rebuild)?;
+                    return Ok(RebuildStep::Completed(report));
                 }
             }
-            for j in 0..self.parity_blocks {
-                if group.parity_nodes[j] == failed {
-                    let block = shards[group.data.len() + j]
-                        .clone()
-                        .expect("decoded parity present");
-                    rebuilt_parity.push((group.id, j, block));
+        }
+    }
+
+    /// Decodes one affected group from its intact survivors. A survivor
+    /// block that fails checksum verification is treated as one more
+    /// erasure — rotten bytes are never a rebuild source.
+    fn decode_rebuild_group(
+        &mut self,
+        cluster: &Cluster,
+        rebuild: &mut PhasedRebuild,
+        gid: GroupId,
+    ) -> Result<Duration, RecoverError> {
+        let group = self.placement.groups()[gid.index()].clone();
+        let mut corrupt_here = 0usize;
+        let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(group.width());
+        for &member in &group.data {
+            let host = cluster.node_of(member);
+            let shard = if rebuild.down.contains(&host)
+                || rebuild.victim_vms.contains(&member)
+                || rebuild.corrupt_vms.contains(&member)
+            {
+                None
+            } else {
+                match self
+                    .node_stores
+                    .get(host.index())
+                    .and_then(|s| s.verify_committed(member))
+                {
+                    Some(true) => self.committed_image(cluster, member).map(|i| i.to_vec()),
+                    Some(false) => {
+                        corrupt_here += 1;
+                        None
+                    }
+                    None => None,
                 }
+            };
+            shards.push(shard);
+        }
+        for j in 0..self.parity_blocks {
+            let holder = group.parity_nodes[j];
+            let key = (gid, j);
+            let shard = if rebuild.down.contains(&holder)
+                || rebuild.victim_parity.contains(&key)
+                || rebuild.corrupt_parity.contains(&key)
+            {
+                None
+            } else {
+                match self.parity.verify_committed(key) {
+                    Some(true) => self.parity.committed(key).map(|b| b.to_vec()),
+                    Some(false) => {
+                        corrupt_here += 1;
+                        None
+                    }
+                    None => None,
+                }
+            };
+            shards.push(shard);
+        }
+        rebuild.corrupt_sources += corrupt_here;
+
+        self.code.reconstruct(&mut shards).map_err(|e| match e {
+            CodeError::TooManyErasures { .. } => RecoverError::DataLoss {
+                node: rebuild.victim,
+                group: gid,
+                reason: e.to_string(),
+            },
+            other => RecoverError::Protocol(ProtocolError::Code(other)),
+        })?;
+
+        for (pos, &member) in group.data.iter().enumerate() {
+            if rebuild.victim_vms.contains(&member) || rebuild.corrupt_vms.contains(&member) {
+                let image = shards[pos].clone().expect("decoded shard present");
+                rebuild.rebuilt_vms.insert(member, image);
+                rebuild.place_queue.push_back(RebuiltItem::Vm(member));
             }
-            // Account the decode at the first surviving parity holder (or
-            // first surviving data node if all parity was lost).
-            let decode_site = group
-                .parity_nodes
-                .iter()
-                .copied()
-                .find(|&p| !is_down(p))
-                .or_else(|| {
-                    group
-                        .data
-                        .iter()
-                        .map(|&m| cluster.node_of(m))
-                        .find(|&n| !is_down(n))
-                })
-                .unwrap_or(failed);
-            reconstruction_work[decode_site.index()] +=
-                image_len * (group.width() + self.parity_blocks - 1);
+        }
+        for j in 0..self.parity_blocks {
+            let key = (gid, j);
+            if rebuild.victim_parity.contains(&key) || rebuild.corrupt_parity.contains(&key) {
+                let block = shards[group.data.len() + j]
+                    .clone()
+                    .expect("decoded parity present");
+                rebuild.rebuilt_parity.insert(key, block);
+                rebuild.place_queue.push_back(RebuiltItem::Parity(gid, j));
+            }
         }
 
-        Ok(DecodedState {
-            lost_vms,
-            lost_parity,
-            reconstructed,
-            rebuilt_parity,
-            reconstruction_work,
+        let image_len = shards.iter().flatten().map(|s| s.len()).next().unwrap_or(0);
+        Ok(cluster
+            .fabric()
+            .memory
+            .xor(image_len * (group.width() + self.parity_blocks - 1), 1))
+    }
+
+    /// The final rebuild step: applies the staged state atomically
+    /// according to the rebuild's mode and (for crash modes) rolls the
+    /// cluster back to the committed epoch.
+    fn readmit_rebuild(
+        &mut self,
+        cluster: &mut Cluster,
+        rebuild: &mut PhasedRebuild,
+    ) -> Result<RecoveryReport, RecoverError> {
+        let epoch = rebuild.epoch;
+        let rebuilt_bytes: usize = rebuild.rebuilt_vms.values().map(|i| i.len()).sum::<usize>()
+            + rebuild
+                .rebuilt_parity
+                .values()
+                .map(|b| b.len())
+                .sum::<usize>();
+
+        if rebuild.mode == RebuildMode::Resync {
+            if !cluster.is_up(rebuild.victim) {
+                cluster.repair_node(rebuild.victim);
+            }
+            if let Some(store) = self.node_stores.get_mut(rebuild.victim.index()) {
+                store.current_mut().clear();
+                store.committed_mut().clear();
+            }
+            self.fences.readmit(rebuild.victim);
+            let took = cluster.fabric().network.link_transfer(64);
+            rebuild.elapsed += took;
+            return Ok(RecoveryReport {
+                failed_node: rebuild.victim,
+                recovered_vms: Vec::new(),
+                parity_rebuilt: Vec::new(),
+                repair_time: rebuild.elapsed,
+                rolled_back_to: None,
+            });
+        }
+
+        if rebuild.mode != RebuildMode::Scrub {
+            // Rotate the victim's fence epoch: anything it launched
+            // pre-failure is invalidated. In-place repair readmits it
+            // immediately; failover leaves it fenced until resync.
+            self.fences.fence(rebuild.victim);
+            if rebuild.mode == RebuildMode::InPlace {
+                self.fences.readmit(rebuild.victim);
+            }
+
+            // Everything held by *any* down node is gone: wipe local
+            // stores and evict parity before reseeding.
+            let down_now: Vec<NodeId> = cluster
+                .node_ids()
+                .into_iter()
+                .filter(|&n| !cluster.is_up(n))
+                .collect();
+            for &d in &down_now {
+                if let Some(store) = self.node_stores.get_mut(d.index()) {
+                    *store = DoubleBufferedStore::new();
+                }
+                for gid in self.placement.parity_groups_of(d) {
+                    let group = &self.placement.groups()[gid.index()];
+                    for j in 0..self.parity_blocks {
+                        if group.parity_nodes[j] == d {
+                            self.parity.evict((gid, j));
+                        }
+                    }
+                }
+            }
+        }
+
+        match rebuild.mode {
+            RebuildMode::InPlace => {
+                // Bring the node back; reseed its local store and parity
+                // blocks. Seeding writes both buffers directly — a
+                // wholesale commit here would promote unrelated
+                // in-progress captures.
+                if !cluster.is_up(rebuild.victim) {
+                    cluster.repair_node(rebuild.victim);
+                }
+                let store = &mut self.node_stores[rebuild.victim.index()];
+                for vm in &rebuild.victim_vms {
+                    if let Some(image) = rebuild.rebuilt_vms.get(vm) {
+                        store.current_mut().insert_image(*vm, epoch, image.clone());
+                        store
+                            .committed_mut()
+                            .insert_image(*vm, epoch, image.clone());
+                    }
+                }
+                for key in &rebuild.victim_parity {
+                    if let Some(block) = rebuild.rebuilt_parity.get(key) {
+                        self.parity.seed(*key, block.clone());
+                    }
+                }
+            }
+            RebuildMode::Failover => {
+                // Re-home each lost VM: an up node hosting no member
+                // (data or parity) of its group, preferring the
+                // least-loaded.
+                for vm in &rebuild.victim_vms {
+                    let Some(image) = rebuild.rebuilt_vms.get(vm) else {
+                        continue;
+                    };
+                    let group = self.placement.group_of(*vm).clone();
+                    let dest = cluster
+                        .node_ids()
+                        .into_iter()
+                        .filter(|&n| n != rebuild.victim && cluster.is_up(n))
+                        .filter(|&n| {
+                            !group
+                                .data
+                                .iter()
+                                .any(|&m| m != *vm && cluster.node_of(m) == n)
+                                && !group.parity_nodes.contains(&n)
+                        })
+                        .min_by_key(|&n| cluster.vms_on(n).len())
+                        .ok_or_else(|| {
+                            RecoverError::Protocol(ProtocolError::Unrecoverable {
+                                node: rebuild.victim,
+                                reason: format!("no orthogonality-preserving host for {vm}"),
+                            })
+                        })?;
+                    cluster.migrate_vm(*vm, dest);
+                    // Seed both buffers directly: committing the whole
+                    // dest store would promote any in-progress captures
+                    // it happens to hold.
+                    let store = &mut self.node_stores[dest.index()];
+                    store.current_mut().insert_image(*vm, epoch, image.clone());
+                    store
+                        .committed_mut()
+                        .insert_image(*vm, epoch, image.clone());
+                }
+
+                // Re-home the dead node's parity blocks the same way.
+                for key in &rebuild.victim_parity {
+                    let Some(block) = rebuild.rebuilt_parity.get(key) else {
+                        continue;
+                    };
+                    let (gid, _) = *key;
+                    let group = self.placement.groups()[gid.index()].clone();
+                    let dest = cluster
+                        .node_ids()
+                        .into_iter()
+                        .filter(|&n| n != rebuild.victim && cluster.is_up(n))
+                        .filter(|&n| {
+                            !group.data.iter().any(|&m| cluster.node_of(m) == n)
+                                && !group
+                                    .parity_nodes
+                                    .iter()
+                                    .any(|&p| p != rebuild.victim && p == n)
+                        })
+                        .min_by_key(|&n| self.placement.parity_groups_of(n).len())
+                        .ok_or_else(|| {
+                            RecoverError::Protocol(ProtocolError::Unrecoverable {
+                                node: rebuild.victim,
+                                reason: format!(
+                                    "no orthogonality-preserving parity home for {gid}"
+                                ),
+                            })
+                        })?;
+                    self.placement
+                        .rehome_parity(cluster, gid, rebuild.victim, dest)
+                        .map_err(|e| {
+                            RecoverError::Protocol(ProtocolError::Unrecoverable {
+                                node: rebuild.victim,
+                                reason: e.to_string(),
+                            })
+                        })?;
+                    self.parity.seed(*key, block.clone());
+                }
+            }
+            RebuildMode::Scrub => {}
+            RebuildMode::Resync => unreachable!("handled above"),
+        }
+
+        // Rotten survivor blocks are repaired in situ on their live
+        // hosts (all modes; for Scrub this is the entire rebuild).
+        for vm in &rebuild.corrupt_vms {
+            let Some(image) = rebuild.rebuilt_vms.get(vm) else {
+                continue;
+            };
+            let host = cluster.node_of(*vm);
+            if !cluster.is_up(host) {
+                continue;
+            }
+            if let Some(store) = self.node_stores.get_mut(host.index()) {
+                store
+                    .committed_mut()
+                    .insert_image(*vm, epoch, image.clone());
+                // The current-buffer copy may carry the same rot (a
+                // rollback clones committed into current); repair it too
+                // so the next incremental capture has a sound base.
+                if store.verify_current(*vm) == Some(false) {
+                    store.current_mut().insert_image(*vm, epoch, image.clone());
+                }
+            }
+        }
+        for key in &rebuild.corrupt_parity {
+            if let Some(block) = rebuild.rebuilt_parity.get(key) {
+                self.parity.seed(*key, block.clone());
+            }
+        }
+
+        let took = cluster.fabric().memory.copy(rebuilt_bytes);
+        rebuild.elapsed += took;
+
+        if rebuild.mode == RebuildMode::Scrub {
+            let mut parity_rebuilt: Vec<GroupId> =
+                rebuild.corrupt_parity.iter().map(|&(gid, _)| gid).collect();
+            parity_rebuilt.sort();
+            parity_rebuilt.dedup();
+            return Ok(RecoveryReport {
+                failed_node: rebuild.victim,
+                recovered_vms: rebuild.corrupt_vms.clone(),
+                parity_rebuilt,
+                repair_time: rebuild.elapsed,
+                rolled_back_to: None,
+            });
+        }
+
+        self.rollback_to_committed(cluster);
+
+        let mut parity_rebuilt: Vec<GroupId> =
+            rebuild.victim_parity.iter().map(|&(gid, _)| gid).collect();
+        parity_rebuilt.sort();
+        parity_rebuilt.dedup();
+        Ok(RecoveryReport {
+            failed_node: rebuild.victim,
+            recovered_vms: rebuild.victim_vms.clone(),
+            parity_rebuilt,
+            repair_time: rebuild.elapsed,
+            rolled_back_to: Some(epoch),
         })
+    }
+
+    /// Cancels an in-flight rebuild. The pipeline stages nothing into
+    /// the protocol before readmit, so this is a pure drop: committed
+    /// state is untouched and a fresh [`DvdcProtocol::begin_rebuild`]
+    /// against the (possibly changed) down set is always valid.
+    pub fn abort_rebuild(&mut self, rebuild: PhasedRebuild) {
+        drop(rebuild);
+    }
+
+    /// One integrity scrub pass: verifies the checksum of every
+    /// committed VM image and parity block on live nodes, then repairs
+    /// any rotten block from its group's surviving redundancy via the
+    /// phased rebuild pipeline (the rotten block is an erasure, never a
+    /// decode source). Returns what was verified, found, and repaired.
+    ///
+    /// Fails with [`RecoverError::DataLoss`] if corruption (plus any
+    /// concurrent node failures) exceeds a group's tolerance — honest
+    /// data loss, recorded rather than panicked.
+    pub fn scrub(&mut self, cluster: &mut Cluster) -> Result<ScrubReport, RecoverError> {
+        self.ensure_node_stores(cluster.node_count());
+        let sweep = self.sweep_integrity(cluster);
+        let found = sweep.corrupt_vms.len() + sweep.corrupt_parity.len();
+        if found == 0 || self.committed_epoch.is_none() {
+            return Ok(ScrubReport {
+                blocks_verified: sweep.verified,
+                corrupt_found: found,
+                repaired: 0,
+                scrub_time: Duration::ZERO,
+            });
+        }
+        let victim = sweep
+            .corrupt_vms
+            .first()
+            .map(|&vm| cluster.node_of(vm))
+            .or_else(|| {
+                sweep
+                    .corrupt_parity
+                    .first()
+                    .map(|&(gid, j)| self.placement.groups()[gid.index()].parity_nodes[j])
+            })
+            .expect("found > 0 implies a corrupt block");
+        let mut rebuild = self.begin_rebuild(cluster, victim, RebuildMode::Scrub)?;
+        let repaired = rebuild.corrupt_vms.len() + rebuild.corrupt_parity.len();
+        loop {
+            match self.step_rebuild(cluster, &mut rebuild)? {
+                RebuildStep::Progress { .. } => {}
+                RebuildStep::Completed(report) => {
+                    return Ok(ScrubReport {
+                        blocks_verified: sweep.verified,
+                        corrupt_found: found,
+                        repaired,
+                        scrub_time: report.repair_time,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The write path of a silent-corruption fault
+    /// (`dvdc_faults::FaultKind::Corruption`): flips one byte in each of
+    /// up to `blocks` distinct committed blocks (VM images and parity)
+    /// held by `node`, chosen deterministically from `seed`. Checksums
+    /// are *not* refreshed — that is the point: only verification
+    /// notices. Returns how many blocks were rotted.
+    pub fn apply_corruption(
+        &mut self,
+        cluster: &Cluster,
+        node: NodeId,
+        blocks: u8,
+        seed: u64,
+    ) -> usize {
+        self.ensure_node_stores(cluster.node_count());
+        let mut targets: Vec<RebuiltItem> = Vec::new();
+        if let Some(store) = self.node_stores.get(node.index()) {
+            targets.extend(store.committed().vm_ids().map(RebuiltItem::Vm));
+        }
+        for gid in self.placement.parity_groups_of(node) {
+            let group = &self.placement.groups()[gid.index()];
+            for j in 0..self.parity_blocks {
+                if group.parity_nodes[j] == node && self.parity.committed((gid, j)).is_some() {
+                    targets.push(RebuiltItem::Parity(gid, j));
+                }
+            }
+        }
+        if targets.is_empty() {
+            return 0;
+        }
+        let mut state = seed ^ 0xa076_1d64_78bd_642f;
+        let take = (blocks as usize).min(targets.len());
+        // Partial Fisher–Yates: the first `take` entries become a
+        // deterministic sample without replacement, so every hit rots a
+        // *distinct* block (two flips on one block would cancel).
+        for i in 0..take {
+            let j = i + (splitmix(&mut state) as usize) % (targets.len() - i);
+            targets.swap(i, j);
+        }
+        let mut hit = 0usize;
+        for item in targets.into_iter().take(take) {
+            let offset = splitmix(&mut state) as usize;
+            let ok = match item {
+                RebuiltItem::Vm(vm) => {
+                    self.node_stores[node.index()].corrupt_committed_byte(vm, offset)
+                }
+                RebuiltItem::Parity(gid, j) => self.parity.corrupt_committed((gid, j), offset),
+            };
+            if ok {
+                hit += 1;
+            }
+        }
+        hit
     }
 
     /// Rolls every VM on an up node back to its committed checkpoint and
@@ -643,36 +1453,6 @@ impl DvdcProtocol {
         for store in &mut self.node_stores {
             store.discard_round();
         }
-    }
-
-    /// Simulated recovery wall-clock: survivors fan their images into the
-    /// decode sites, the XOR runs there, rebuilt images ship to their new
-    /// (or repaired) homes, and VMs restore from local checkpoints.
-    fn repair_time(&self, cluster: &Cluster, decoded: &DecodedState) -> Duration {
-        let fabric = cluster.fabric();
-        let image_len = decoded
-            .reconstructed
-            .first()
-            .map(|(_, i)| i.len())
-            .unwrap_or(0);
-        let max_decode_bytes = decoded
-            .reconstruction_work
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0);
-        let fan_in = if image_len > 0 {
-            fabric
-                .network
-                .fan_in(image_len, (self.group_width - 1).max(1))
-        } else {
-            Duration::ZERO
-        };
-        let decode = fabric.memory.xor(max_decode_bytes, 1);
-        let rebuilt_bytes: usize = decoded.reconstructed.iter().map(|(_, i)| i.len()).sum();
-        let ship_back = fabric.network.link_transfer(rebuilt_bytes);
-        let restore = fabric.memory.copy(rebuilt_bytes);
-        fan_in + decode + ship_back + restore
     }
 
     /// Opens a phase-interruptible round. The returned [`PhasedRound`] is
@@ -730,6 +1510,18 @@ impl DvdcProtocol {
                         continue;
                     };
                     let node = cluster.node_of(vm);
+                    // Integrity gate: a checksum-rotten current-buffer
+                    // image must never serve as an incremental base.
+                    // Resetting forces a full recapture from live guest
+                    // memory, which also heals the stored copy.
+                    if self
+                        .node_stores
+                        .get(node.index())
+                        .and_then(|s| s.verify_current(vm))
+                        == Some(false)
+                    {
+                        self.checkpointer.reset_vm(vm);
+                    }
                     let mut ckpt = {
                         let mem = cluster.vm_mut(vm).memory_mut();
                         self.checkpointer.capture(vm, round.epoch, mem)
@@ -896,7 +1688,11 @@ impl DvdcProtocol {
                             .apply_delta(j, block, *pos, run.offset, &run.bytes);
                     }
                 }
-                round.redundancy_bytes += block.len();
+                let block_len = block.len();
+                // The fold mutated the block in place: refresh its stored
+                // checksum so verification tracks the new contents.
+                self.parity.rehash_current((gid, j));
+                round.redundancy_bytes += block_len;
                 round.parity_inbound[holder.index()] += dirty;
                 round.parity_xor[holder.index()] += dirty;
                 round.parity_update_bytes += dirty;
@@ -931,6 +1727,38 @@ impl DvdcProtocol {
     /// generation atomically becomes the committed one, local stores
     /// promote, and the round's accounting becomes the report.
     fn promote_round(&mut self, cluster: &Cluster, round: &mut PhasedRound) -> RoundReport {
+        // Integrity gate: a checksum-rotten working block is never
+        // promoted into a committed epoch. A group whose staged parity
+        // fails verification is re-encoded from the members' (intact)
+        // current images first.
+        let rotten: Vec<GroupId> = self
+            .placement
+            .groups()
+            .iter()
+            .filter(|g| {
+                (0..self.parity_blocks)
+                    .any(|j| self.parity.verify_current((g.id, j)) == Some(false))
+            })
+            .map(|g| g.id)
+            .collect();
+        for gid in rotten {
+            let group = self.placement.groups()[gid.index()].clone();
+            let images: Vec<&[u8]> = group
+                .data
+                .iter()
+                .map(|&vm| {
+                    let node = cluster.node_of(vm);
+                    self.node_stores[node.index()]
+                        .current_image(vm)
+                        .expect("VM captured this round must have a current image")
+                })
+                .collect();
+            let parity = self.code.encode(&images);
+            for (j, block) in parity.into_iter().enumerate() {
+                self.parity.stage((gid, j), block);
+            }
+        }
+
         for store in &mut self.node_stores {
             store.commit_round();
         }
@@ -1021,6 +1849,35 @@ impl DvdcProtocol {
             || round.ledger.involves(node)
     }
 
+    /// Reports the round's in-flight shipment as failed because `node` —
+    /// one of its endpoints — just lost its network path (a transient
+    /// partition cut the wire mid-flight). Bounded retry with exponential
+    /// backoff: the ledger keeps the transfer open so the arrival step
+    /// re-runs once the path heals, and [`RetryDecision::Exhausted`] at
+    /// the cap drops the payload — the caller must then take its full
+    /// round-abort path. Returns `None` when no in-flight transfer
+    /// touches `node`.
+    pub fn fail_in_flight_transfer(
+        &mut self,
+        round: &mut PhasedRound,
+        node: NodeId,
+        policy: RetryPolicy,
+    ) -> Option<RetryDecision> {
+        let id = round.in_flight?;
+        if !round.ledger.involves(node) {
+            return None;
+        }
+        match round.ledger.record_failure(id, policy) {
+            Ok(decision) => {
+                if matches!(decision, RetryDecision::Exhausted { .. }) {
+                    round.in_flight = None;
+                }
+                Some(decision)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// Fences `node` immediately: its outstanding tokens go stale and it
     /// cannot launch new transfers until readmitted. Used when a detector
     /// confirms a node dead but there is no state to re-home (the node
@@ -1049,37 +1906,19 @@ impl DvdcProtocol {
         cluster: &mut Cluster,
         node: NodeId,
     ) -> Result<u64, ProtocolError> {
-        let epoch = self
-            .committed_epoch
-            .ok_or(ProtocolError::NoCommittedCheckpoint)?;
-        if !cluster.vms_on(node).is_empty() || !self.placement.parity_groups_of(node).is_empty() {
-            return Err(ProtocolError::Unrecoverable {
-                node,
-                reason: "resync requires an evacuated node; use recover for one holding state"
-                    .into(),
-            });
+        let mut rebuild = self
+            .begin_rebuild(cluster, node, RebuildMode::Resync)
+            .map_err(ProtocolError::from)?;
+        loop {
+            match self
+                .step_rebuild(cluster, &mut rebuild)
+                .map_err(ProtocolError::from)?
+            {
+                RebuildStep::Progress { .. } => {}
+                RebuildStep::Completed(_) => return Ok(rebuild.epoch),
+            }
         }
-        if !cluster.is_up(node) {
-            cluster.repair_node(node);
-        }
-        if let Some(store) = self.node_stores.get_mut(node.index()) {
-            store.current_mut().clear();
-            store.committed_mut().clear();
-        }
-        self.fences.readmit(node);
-        Ok(epoch)
     }
-}
-
-/// Output of [`DvdcProtocol::decode_lost_state`].
-#[derive(Debug)]
-struct DecodedState {
-    lost_vms: Vec<VmId>,
-    lost_parity: Vec<GroupId>,
-    reconstructed: Vec<(VmId, Vec<u8>)>,
-    rebuilt_parity: Vec<(GroupId, usize, Vec<u8>)>,
-    /// Bytes XORed per node during decode (for the cost model).
-    reconstruction_work: Vec<usize>,
 }
 
 impl CheckpointProtocol for DvdcProtocol {
@@ -1103,50 +1942,36 @@ impl CheckpointProtocol for DvdcProtocol {
         }
     }
 
+    /// Repair-in-place recovery = a phased rebuild stepped to completion
+    /// with no interruption: fetch survivors → decode → place → readmit.
+    /// The event-driven drivers (`phased::run_round_with_detection`)
+    /// instead advance the same machine step by step so a second failure
+    /// can land mid-rebuild.
     fn recover(
         &mut self,
         cluster: &mut Cluster,
         failed: NodeId,
     ) -> Result<RecoveryReport, ProtocolError> {
-        let epoch = self
-            .committed_epoch
-            .ok_or(ProtocolError::NoCommittedCheckpoint)?;
+        self.recover_typed(cluster, failed)
+            .map_err(ProtocolError::from)
+    }
 
-        let decoded = self.decode_lost_state(cluster, failed)?;
-
-        // Rotate the node's fence epoch before it rejoins: anything it
-        // launched pre-failure is invalidated, then the repaired node is
-        // immediately readmitted under the new epoch.
-        self.fences.fence(failed);
-        self.fences.readmit(failed);
-
-        // Bring the node back; reseed its local store and parity blocks.
-        // Seeding writes both buffers directly — a wholesale commit here
-        // would promote unrelated in-progress captures.
-        cluster.repair_node(failed);
-        {
-            let store = &mut self.node_stores[failed.index()];
-            for (vm, image) in &decoded.reconstructed {
-                store.current_mut().insert_image(*vm, epoch, image.clone());
-                store
-                    .committed_mut()
-                    .insert_image(*vm, epoch, image.clone());
+    /// The typed form: exceeded tolerance surfaces as
+    /// [`RecoverError::DataLoss`] carrying the group that could not be
+    /// decoded, instead of being flattened into an `Unrecoverable`
+    /// string.
+    fn recover_typed(
+        &mut self,
+        cluster: &mut Cluster,
+        failed: NodeId,
+    ) -> Result<RecoveryReport, RecoverError> {
+        let mut rebuild = self.begin_rebuild(cluster, failed, RebuildMode::InPlace)?;
+        loop {
+            match self.step_rebuild(cluster, &mut rebuild)? {
+                RebuildStep::Progress { .. } => {}
+                RebuildStep::Completed(report) => return Ok(report),
             }
         }
-        for (gid, j, block) in &decoded.rebuilt_parity {
-            self.parity.seed((*gid, *j), block.clone());
-        }
-
-        self.rollback_to_committed(cluster);
-        let repair_time = self.repair_time(cluster, &decoded);
-
-        Ok(RecoveryReport {
-            failed_node: failed,
-            recovered_vms: decoded.lost_vms,
-            parity_rebuilt: decoded.lost_parity,
-            repair_time,
-            rolled_back_to: Some(epoch),
-        })
     }
 
     /// Recovery by **failover**: instead of waiting for the dead node to
@@ -1165,84 +1990,18 @@ impl CheckpointProtocol for DvdcProtocol {
         cluster: &mut Cluster,
         failed: NodeId,
     ) -> Result<RecoveryReport, ProtocolError> {
-        let epoch = self
-            .committed_epoch
-            .ok_or(ProtocolError::NoCommittedCheckpoint)?;
-
-        let decoded = self.decode_lost_state(cluster, failed)?;
-
-        // Fence the victim *before* failover — and leave it fenced. If
-        // the detector was right the node is dead and the fence is moot;
-        // if it was wrong (hang/partition) the node will wake holding
-        // stale round state, find every stale token rejected, and must go
-        // through [`DvdcProtocol::resync_node`] to rejoin.
-        self.fences.fence(failed);
-
-        // Re-home each lost VM: an up node hosting no member (data or
-        // parity) of its group, preferring the least-loaded.
-        for (vm, image) in &decoded.reconstructed {
-            let group = self.placement.group_of(*vm).clone();
-            let dest = cluster
-                .node_ids()
-                .into_iter()
-                .filter(|&n| n != failed && cluster.is_up(n))
-                .filter(|&n| {
-                    !group
-                        .data
-                        .iter()
-                        .any(|&m| m != *vm && cluster.node_of(m) == n)
-                        && !group.parity_nodes.contains(&n)
-                })
-                .min_by_key(|&n| cluster.vms_on(n).len())
-                .ok_or_else(|| ProtocolError::Unrecoverable {
-                    node: failed,
-                    reason: format!("no orthogonality-preserving host for {vm}"),
-                })?;
-            cluster.migrate_vm(*vm, dest);
-            // Seed both buffers directly: committing the whole dest store
-            // would promote any in-progress captures it happens to hold.
-            let store = &mut self.node_stores[dest.index()];
-            store.current_mut().insert_image(*vm, epoch, image.clone());
-            store
-                .committed_mut()
-                .insert_image(*vm, epoch, image.clone());
+        let mut rebuild = self
+            .begin_rebuild(cluster, failed, RebuildMode::Failover)
+            .map_err(ProtocolError::from)?;
+        loop {
+            match self
+                .step_rebuild(cluster, &mut rebuild)
+                .map_err(ProtocolError::from)?
+            {
+                RebuildStep::Progress { .. } => {}
+                RebuildStep::Completed(report) => return Ok(report),
+            }
         }
-
-        // Re-home the dead node's parity blocks the same way.
-        for (gid, j, block) in &decoded.rebuilt_parity {
-            let group = self.placement.groups()[gid.index()].clone();
-            let dest = cluster
-                .node_ids()
-                .into_iter()
-                .filter(|&n| n != failed && cluster.is_up(n))
-                .filter(|&n| {
-                    !group.data.iter().any(|&m| cluster.node_of(m) == n)
-                        && !group.parity_nodes.iter().any(|&p| p != failed && p == n)
-                })
-                .min_by_key(|&n| self.placement.parity_groups_of(n).len())
-                .ok_or_else(|| ProtocolError::Unrecoverable {
-                    node: failed,
-                    reason: format!("no orthogonality-preserving parity home for {gid}"),
-                })?;
-            self.placement
-                .rehome_parity(cluster, *gid, failed, dest)
-                .map_err(|e| ProtocolError::Unrecoverable {
-                    node: failed,
-                    reason: e.to_string(),
-                })?;
-            self.parity.seed((*gid, *j), block.clone());
-        }
-
-        self.rollback_to_committed(cluster);
-        let repair_time = self.repair_time(cluster, &decoded);
-
-        Ok(RecoveryReport {
-            failed_node: failed,
-            recovered_vms: decoded.lost_vms,
-            parity_rebuilt: decoded.lost_parity,
-            repair_time,
-            rolled_back_to: Some(epoch),
-        })
     }
     fn redundancy_bytes(&self) -> usize {
         let parity = self.parity.total_bytes();

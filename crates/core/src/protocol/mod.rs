@@ -24,7 +24,8 @@ mod remus;
 
 pub use diskfull::DiskFullProtocol;
 pub use dvdc_proto::{
-    delta_parity_update, CodeKind, DvdcProtocol, PhasedRound, RoundPhase, RoundStep,
+    delta_parity_update, CodeKind, DvdcProtocol, PhasedRebuild, PhasedRound, RebuildMode,
+    RebuildPhase, RebuildStep, RoundPhase, RoundStep,
 };
 pub use first_shot::FirstShotProtocol;
 pub use phased::{run_round_with_detection, run_round_with_faults, DetectionReport, PhasedOutcome};
@@ -78,6 +79,88 @@ pub struct RecoveryReport {
     /// The epoch every VM was rolled back to (`None` for protocols that
     /// resume without a cluster-wide rollback, i.e. Remus).
     pub rolled_back_to: Option<u64>,
+}
+
+/// Outcome of one integrity scrub pass over the committed stores.
+///
+/// A scrub walks every committed checkpoint image and parity block,
+/// verifies its stored checksum, and repairs any rotten block from the
+/// group's surviving redundancy via the same phased rebuild pipeline
+/// recovery uses (the corrupt block is treated as an erasure, never as a
+/// decode source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Blocks whose checksum was verified (images + parity).
+    pub blocks_verified: usize,
+    /// Blocks whose checksum did not match the stored bytes.
+    pub corrupt_found: usize,
+    /// Corrupt blocks rebuilt from parity and rewritten in place.
+    pub repaired: usize,
+    /// Simulated time the verify + repair pass took.
+    pub scrub_time: Duration,
+}
+
+/// Typed recovery failure: exceeded redundancy surfaces as a value, not
+/// a panic or an opaque string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoverError {
+    /// A group lost more blocks (crashed holders plus checksum-rotten
+    /// survivors) than its parity can absorb — the data is gone. Honest
+    /// data loss, recorded rather than panicked.
+    DataLoss {
+        /// The node whose failure (or corruption) pushed the group past
+        /// its tolerance.
+        node: NodeId,
+        /// The group that could not be decoded.
+        group: GroupId,
+        /// Human-readable cause from the erasure decoder.
+        reason: String,
+    },
+    /// Any other protocol failure (no committed epoch, no failover home,
+    /// store or code errors).
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::DataLoss {
+                node,
+                group,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "data loss: failure of {node} exceeded the tolerance of {group}: {reason}"
+                )
+            }
+            RecoverError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<ProtocolError> for RecoverError {
+    fn from(e: ProtocolError) -> Self {
+        RecoverError::Protocol(e)
+    }
+}
+
+impl From<RecoverError> for ProtocolError {
+    fn from(e: RecoverError) -> Self {
+        match e {
+            RecoverError::DataLoss {
+                node,
+                group,
+                reason,
+            } => ProtocolError::Unrecoverable {
+                node,
+                reason: format!("{group}: {reason}"),
+            },
+            RecoverError::Protocol(p) => p,
+        }
+    }
 }
 
 /// Protocol failures.
@@ -157,6 +240,20 @@ pub trait CheckpointProtocol {
         failed: NodeId,
     ) -> Result<RecoveryReport, ProtocolError>;
 
+    /// [`CheckpointProtocol::recover`] with a typed error: protocols that
+    /// can tell honest data loss (the failure pattern exceeded the
+    /// configured redundancy) apart from other failures surface it as
+    /// [`RecoverError::DataLoss`] instead of an opaque
+    /// [`ProtocolError::Unrecoverable`] string. The default wraps
+    /// `recover`'s error unchanged.
+    fn recover_typed(
+        &mut self,
+        cluster: &mut Cluster,
+        failed: NodeId,
+    ) -> Result<RecoveryReport, RecoverError> {
+        self.recover(cluster, failed).map_err(RecoverError::from)
+    }
+
     /// Bytes of redundant state this protocol currently holds (parity,
     /// replicas, NAS copies) — the memory/storage cost axis of the
     /// Remus-vs-DVDC trade-off in Section VI.
@@ -210,5 +307,26 @@ mod tests {
         let ce = CodeError::ShardLengthMismatch;
         let pe: ProtocolError = ce.clone().into();
         assert_eq!(pe, ProtocolError::Code(ce));
+    }
+
+    #[test]
+    fn recover_error_round_trips_through_protocol_error() {
+        let loss = RecoverError::DataLoss {
+            node: NodeId(3),
+            group: GroupId(1),
+            reason: "too many erasures".into(),
+        };
+        assert!(loss.to_string().contains("data loss"));
+        assert!(loss.to_string().contains("node3"));
+        let pe: ProtocolError = loss.into();
+        match &pe {
+            ProtocolError::Unrecoverable { node, reason } => {
+                assert_eq!(*node, NodeId(3));
+                assert!(reason.contains("too many erasures"));
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        let back: RecoverError = pe.clone().into();
+        assert_eq!(back, RecoverError::Protocol(pe));
     }
 }

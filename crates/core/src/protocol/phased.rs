@@ -30,6 +30,21 @@
 //!   round picks up where it left off, having paid the impairment span
 //!   as delay.
 //!
+//! Recovery itself runs as a **rebuild window** after the round settles:
+//! each down node is rebuilt through the phased
+//! [`DvdcProtocol::begin_rebuild`] pipeline, its fetch/decode/place work
+//! charged through the fabric timing model, with the remaining plan
+//! faults firing at their instants as the rebuild clock advances. A crash
+//! landing mid-rebuild cancels the mutation-free pipeline and restarts it
+//! against the enlarged down set; a failure pattern exceeding the parity
+//! tolerance is recorded as honest [`RecoverError::DataLoss`] in the
+//! outcome — never a panic. A [`FaultKind::Corruption`] fault is silent —
+//! the node stays up and heartbeating while stored blocks rot — and is
+//! caught by checksums: rotten survivors decode as erasures, and a
+//! closing [`DvdcProtocol::scrub`] repairs whatever corruption the round
+//! left behind. A partition that cuts an in-flight transfer is retried
+//! with bounded exponential backoff before it can doom the round.
+//!
 //! [`run_round_with_faults`] is the same harness with the default
 //! [`DetectorConfig`] — the drop-in successor of the old oracle-driven
 //! runner, which handed the protocol the exact failure instant for free.
@@ -43,6 +58,7 @@
 //! [`FaultKind::Crash`]: dvdc_faults::FaultKind::Crash
 //! [`FaultKind::TransientHang`]: dvdc_faults::FaultKind::TransientHang
 //! [`FaultKind::Partition`]: dvdc_faults::FaultKind::Partition
+//! [`FaultKind::Corruption`]: dvdc_faults::FaultKind::Corruption
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -52,9 +68,12 @@ use dvdc_simcore::engine::Simulation;
 use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::NodeId;
+use dvdc_vcluster::messaging::{RetryDecision, RetryPolicy};
 
-use super::dvdc_proto::{DvdcProtocol, PhasedRound, RoundPhase, RoundStep};
-use super::{CheckpointProtocol, ProtocolError, RecoveryReport, RoundReport};
+use super::dvdc_proto::{
+    DvdcProtocol, PhasedRound, RebuildMode, RebuildStep, RoundPhase, RoundStep,
+};
+use super::{ProtocolError, RecoverError, RecoveryReport, RoundReport};
 
 /// Size of one heartbeat message on the wire.
 const HEARTBEAT_BYTES: usize = 64;
@@ -83,6 +102,16 @@ pub struct DetectionReport {
     /// Injection-to-confirmation latency of the first confirmed failure,
     /// if any — the detection-delay term of the completion-time model.
     pub first_detection_latency: Option<Duration>,
+    /// In-flight transfers retried (with backoff) after a transient
+    /// partition cut their path mid-flight.
+    pub transfer_retries: u64,
+    /// Rebuilds cancelled mid-pipeline by a cascading failure and then
+    /// restarted against the enlarged down set.
+    pub rebuilds_interrupted: u64,
+    /// Stored blocks silently rotted by corruption faults this round.
+    pub corrupt_blocks: u64,
+    /// Rotten blocks the post-round scrub found and repaired from parity.
+    pub scrub_repaired: u64,
 }
 
 /// How a detector-driven round ended.
@@ -96,6 +125,10 @@ pub enum PhasedOutcome {
         /// Post-commit recoveries of nodes that failed mid-round without
         /// holding round state.
         recovered: Vec<RecoveryReport>,
+        /// Honest data loss: groups whose failures exceeded the parity
+        /// tolerance during the rebuild window. The affected nodes stay
+        /// down; nothing panicked.
+        data_loss: Vec<RecoverError>,
         /// Detector activity during the round.
         detection: DetectionReport,
     },
@@ -110,6 +143,10 @@ pub enum PhasedOutcome {
         /// Recoveries performed after the abort — the victim's first,
         /// then any other node that went down during the round.
         recoveries: Vec<RecoveryReport>,
+        /// Honest data loss: groups whose failures exceeded the parity
+        /// tolerance during the rebuild window. The affected nodes stay
+        /// down; nothing panicked.
+        data_loss: Vec<RecoverError>,
         /// Detector activity during the round.
         detection: DetectionReport,
     },
@@ -126,6 +163,15 @@ impl PhasedOutcome {
         match self {
             PhasedOutcome::Committed { detection, .. } => detection,
             PhasedOutcome::RolledBack { detection, .. } => detection,
+        }
+    }
+
+    /// Data-loss events recorded during the rebuild window (empty unless
+    /// the failure pattern exceeded the configured parity tolerance).
+    pub fn data_loss(&self) -> &[RecoverError] {
+        match self {
+            PhasedOutcome::Committed { data_loss, .. } => data_loss,
+            PhasedOutcome::RolledBack { data_loss, .. } => data_loss,
         }
     }
 }
@@ -178,6 +224,10 @@ struct Driver<'a, 'p> {
     false_failovers: Vec<FalseFailover>,
     first_detection_latency: Option<Duration>,
     confirmations: u64,
+    /// Backoff schedule for transfers cut by a transient partition.
+    retry_policy: RetryPolicy,
+    transfer_retries: u64,
+    corrupt_blocks: u64,
     error: Option<ProtocolError>,
 }
 
@@ -233,8 +283,10 @@ enum ConfirmAction {
 /// immediately at `start`.
 ///
 /// Returns the outcome and the simulated instant the round — including
-/// detection latency, any stall, and any fenced wake-up resync, but
-/// excluding repair wall-clock — ended.
+/// detection latency, any stall, any fenced wake-up resync, **and** the
+/// rebuild window (recovery work is phased and charged through the fabric
+/// timing model, so repair wall-clock elapses on the simulated clock) —
+/// ended.
 pub fn run_round_with_detection(
     protocol: &mut DvdcProtocol,
     cluster: &mut Cluster,
@@ -270,6 +322,9 @@ pub fn run_round_with_detection(
         false_failovers: Vec::new(),
         first_detection_latency: None,
         confirmations: 0,
+        retry_policy: RetryPolicy::default(),
+        transfer_retries: 0,
+        corrupt_blocks: 0,
         error: None,
     });
     sim.schedule(start, Ev::Step);
@@ -314,17 +369,64 @@ pub fn run_round_with_detection(
             if !w.cluster.is_up(node) {
                 return; // already down — nothing new fails
             }
-            w.injected_at.insert(f.node, sched.now());
-            // Whatever the kind, the node goes silent to the monitor.
-            w.silenced.insert(f.node);
             match f.kind {
+                FaultKind::Corruption { blocks, seed } => {
+                    // Silent fault: stored bytes rot in place. No process
+                    // dies, no heartbeat stops, the detector sees nothing
+                    // — only checksums catch this, at decode or scrub
+                    // time. The node stays up and the round keeps going.
+                    w.corrupt_blocks +=
+                        w.protocol.apply_corruption(w.cluster, node, blocks, seed) as u64;
+                    return;
+                }
                 FaultKind::Crash => {
+                    w.injected_at.insert(f.node, sched.now());
+                    w.silenced.insert(f.node);
                     w.cluster.fail_node(node);
                 }
                 FaultKind::TransientHang(_) | FaultKind::Partition { .. } => {
-                    let span = f.kind.heals_after().expect("non-crash faults heal");
-                    w.heal_at.insert(f.node, sched.now() + span);
+                    w.injected_at.insert(f.node, sched.now());
+                    // The node goes silent to the monitor until it heals.
+                    w.silenced.insert(f.node);
+                    let span = f.kind.heals_after().expect("transient faults heal");
+                    let wake_at = sched.now() + span;
+                    w.heal_at.insert(f.node, wake_at);
                     sched.after(span, Ev::Heal(f.node));
+                    if matches!(f.kind, FaultKind::Partition { .. }) {
+                        // The partition may have cut a shipment mid-flight:
+                        // a transient transfer failure. Bounded retry with
+                        // backoff — the ledger keeps the transfer open so
+                        // the arrival re-runs once the path heals — falling
+                        // back to a full round abort at the cap.
+                        let mut exhausted = None;
+                        if let Some(round) = w.round.as_mut() {
+                            match w
+                                .protocol
+                                .fail_in_flight_transfer(round, node, w.retry_policy)
+                            {
+                                Some(RetryDecision::Retry { .. }) => w.transfer_retries += 1,
+                                Some(RetryDecision::Exhausted { .. }) => {
+                                    exhausted = Some(round.phase());
+                                }
+                                None => {}
+                            }
+                        }
+                        if let Some(phase) = exhausted {
+                            // Retry budget spent: the payload was dropped,
+                            // the round cannot complete. Fence the
+                            // unreachable node and fail it over; it wakes
+                            // fenced and resyncs after the round settles.
+                            w.false_failovers.push(FalseFailover {
+                                node: f.node,
+                                wake_at,
+                            });
+                            w.protocol.fence_node(node);
+                            w.cluster.fail_node(node);
+                            w.aborted = Some((node, phase));
+                            sched.cancel_where(|_| true);
+                            return;
+                        }
+                    }
                 }
             }
             // An impaired member that holds round state freezes the
@@ -396,6 +498,8 @@ pub fn run_round_with_detection(
         first_detection_latency,
         confirmations,
         detector,
+        transfer_retries,
+        corrupt_blocks,
         error,
         ..
     } = sim.world;
@@ -413,83 +517,36 @@ pub fn run_round_with_detection(
         fenced_rejections: 0,
         resyncs: 0,
         first_detection_latency,
+        transfer_retries,
+        rebuilds_interrupted: 0,
+        corrupt_blocks,
+        scrub_repaired: 0,
     };
     let falsely_failed: BTreeSet<usize> = false_failovers.iter().map(|f| f.node).collect();
 
-    // Recover a down node: a wrongly-excommunicated one by failover (its
-    // memory is live but fenced — its state must be re-homed so the
-    // fenced node can be wiped), falling back to repair-in-place when no
-    // orthogonality-preserving host exists; a genuinely dead one in place.
-    fn recover_down(
-        protocol: &mut DvdcProtocol,
-        cluster: &mut Cluster,
-        node: NodeId,
-        falsely_failed: bool,
-    ) -> Result<RecoveryReport, ProtocolError> {
-        if falsely_failed {
-            match protocol.recover_failover(cluster, node) {
-                Ok(r) => return Ok(r),
-                Err(ProtocolError::Unrecoverable { .. }) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        protocol.recover(cluster, node)
+    let victim_hint = aborted.map(|(v, _)| v);
+    if aborted.is_some() {
+        protocol.abort_round(round.expect("aborted round is still held"));
     }
 
-    let outcome = if let Some((victim, phase)) = aborted {
-        let round = round.expect("aborted round is still held");
-        protocol.abort_round(round);
-        let mut recoveries = vec![recover_down(
-            protocol,
-            cluster,
-            victim,
-            falsely_failed.contains(&victim.index()),
-        )?];
-        for node in cluster.node_ids() {
-            if !cluster.is_up(node) && !cluster.vms_on(node).is_empty() {
-                recoveries.push(recover_down(
-                    protocol,
-                    cluster,
-                    node,
-                    falsely_failed.contains(&node.index()),
-                )?);
-            }
-        }
-        PhasedOutcome::RolledBack {
-            victim,
-            phase,
-            recoveries,
-            detection: DetectionReport::default(), // filled below
-        }
-    } else {
-        let report = report.expect("round either commits or aborts");
-        let mut recovered = Vec::new();
-        for node in cluster.node_ids() {
-            if !cluster.is_up(node) && !cluster.vms_on(node).is_empty() {
-                recovered.push(recover_down(
-                    protocol,
-                    cluster,
-                    node,
-                    falsely_failed.contains(&node.index()),
-                )?);
-            }
-        }
-        PhasedOutcome::Committed {
-            report,
-            recovered,
-            detection: DetectionReport::default(), // filled below
-        }
-    };
+    // The rebuild window: every down state-holding node is rebuilt
+    // through the phased pipeline, one rebuild at a time, with the
+    // remaining plan faults fired at their scheduled instants as the
+    // rebuild clock advances.
+    let mut window =
+        drive_rebuild_window(protocol, cluster, cursor, &falsely_failed, victim_hint, end)?;
+    detection.rebuilds_interrupted = window.interrupted;
+    detection.corrupt_blocks += window.corrupt_blocks;
+    let mut end = window.end;
 
     // Wrongly-failed-over nodes wake up once their impairment ends. Each
     // wakes fenced — its stale rejoin attempt (leftover round state,
     // pre-fence tokens) is rejected — and resyncs from the committed
     // epoch to rejoin as an empty, readmitted host.
-    let mut end = end;
     for ff in &false_failovers {
         let node = NodeId(ff.node);
-        if cluster.is_up(node) {
-            continue; // recover() fallback already repaired it in place
+        if cluster.is_up(node) || window.lost.contains(&ff.node) {
+            continue; // repaired in place already, or honestly lost
         }
         debug_assert!(protocol.fences().is_fenced(node));
         detection.fenced_rejections += 1;
@@ -503,39 +560,234 @@ pub fn run_round_with_detection(
     // nothing. There is no state to rebuild: it reboots with a rotated
     // fence epoch and rejoins as an empty host.
     for node in cluster.node_ids() {
-        if !cluster.is_up(node) {
-            match protocol.resync_node(cluster, node) {
-                Ok(_) => detection.resyncs += 1,
-                // Not actually empty (it held parity duty): rebuild it.
-                Err(ProtocolError::Unrecoverable { .. }) => {
-                    protocol.recover(cluster, node)?;
+        if cluster.is_up(node) || window.lost.contains(&node.index()) {
+            continue;
+        }
+        match protocol.resync_node(cluster, node) {
+            Ok(_) => detection.resyncs += 1,
+            // Not actually empty (it held parity duty): rebuild it.
+            Err(ProtocolError::Unrecoverable { .. }) => {
+                match rebuild_to_completion(protocol, cluster, node, RebuildMode::InPlace) {
+                    Ok(_) => {}
+                    Err(e @ RecoverError::DataLoss { .. }) => {
+                        window.lost.insert(node.index());
+                        window.data_loss.push(e);
+                    }
+                    Err(RecoverError::Protocol(p)) => return Err(p),
                 }
-                Err(e) => return Err(e),
             }
+            Err(e) => return Err(e),
         }
     }
 
-    let outcome = match outcome {
-        PhasedOutcome::Committed {
-            report, recovered, ..
-        } => PhasedOutcome::Committed {
-            report,
-            recovered,
-            detection,
-        },
+    // Closing integrity scrub: verify every committed checksum and repair
+    // silent corruption from group redundancy before handing the cluster
+    // back — a later recovery must never roll back to rotten bytes.
+    match protocol.scrub(cluster) {
+        Ok(s) => {
+            detection.scrub_repaired = s.repaired as u64;
+            if s.repaired > 0 {
+                end += s.scrub_time;
+            }
+        }
+        Err(e @ RecoverError::DataLoss { .. }) => window.data_loss.push(e),
+        Err(RecoverError::Protocol(p)) => return Err(p),
+    }
+
+    let outcome = if let Some((victim, phase)) = aborted {
         PhasedOutcome::RolledBack {
             victim,
             phase,
-            recoveries,
-            ..
-        } => PhasedOutcome::RolledBack {
-            victim,
-            phase,
-            recoveries,
+            recoveries: window.recoveries,
+            data_loss: window.data_loss,
             detection,
-        },
+        }
+    } else {
+        PhasedOutcome::Committed {
+            report: report.expect("round either commits or aborts"),
+            recovered: window.recoveries,
+            data_loss: window.data_loss,
+            detection,
+        }
     };
     Ok((outcome, end))
+}
+
+/// What the post-round rebuild window produced.
+#[derive(Debug)]
+struct RebuildWindow {
+    /// Completed rebuilds, in the order they finished (the abort victim
+    /// first when the round rolled back).
+    recoveries: Vec<RecoveryReport>,
+    /// Honest data loss: rebuilds whose groups exceeded tolerance.
+    data_loss: Vec<RecoverError>,
+    /// Nodes that could not be rebuilt; they stay down.
+    lost: BTreeSet<usize>,
+    /// Rebuilds cancelled by a cascading failure and restarted.
+    interrupted: u64,
+    /// Blocks rotted by corruption faults that fired inside the window.
+    corrupt_blocks: u64,
+    /// When the window closed: its start plus all rebuild work, charged
+    /// through the fabric timing model.
+    end: SimTime,
+}
+
+/// Fires every plan fault due by `now` into the rebuild window. A crash
+/// fails its node and returns `true` — the down set changed, so an
+/// in-flight rebuild must cancel. Corruption rots blocks in place for the
+/// closing scrub (or the next rebuild's survivor sweep) to find.
+/// Transient impairments are consumed as no-ops: the detector that would
+/// interpret their silence is not running between rounds, so an
+/// impairment that begins and heals inside the window is unobservable.
+fn fire_due(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    cursor: &mut PlanCursor<'_>,
+    w: &mut RebuildWindow,
+    now: SimTime,
+) -> bool {
+    let mut crashed = false;
+    while let Some(f) = cursor.peek().copied() {
+        if f.at > now {
+            break;
+        }
+        cursor.advance();
+        let node = NodeId(f.node);
+        if !cluster.is_up(node) {
+            continue;
+        }
+        match f.kind {
+            FaultKind::Crash => {
+                cluster.fail_node(node);
+                crashed = true;
+            }
+            FaultKind::Corruption { blocks, seed } => {
+                w.corrupt_blocks += protocol.apply_corruption(cluster, node, blocks, seed) as u64;
+            }
+            FaultKind::TransientHang(_) | FaultKind::Partition { .. } => {}
+        }
+    }
+    crashed
+}
+
+/// Drives the post-round rebuild window: every down state-holding node is
+/// rebuilt through the phased pipeline, one rebuild at a time, with the
+/// remaining plan faults fired at their scheduled instants as the rebuild
+/// clock advances. A crash landing mid-rebuild cancels the (mutation-free)
+/// pipeline — counted as an interruption — and victim selection restarts
+/// against the enlarged down set; exceeded tolerance is recorded as
+/// [`RecoverError::DataLoss`] and the victim stays down, honestly lost.
+fn drive_rebuild_window(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    cursor: &mut PlanCursor<'_>,
+    falsely_failed: &BTreeSet<usize>,
+    victim_hint: Option<NodeId>,
+    start: SimTime,
+) -> Result<RebuildWindow, ProtocolError> {
+    let mut w = RebuildWindow {
+        recoveries: Vec::new(),
+        data_loss: Vec::new(),
+        lost: BTreeSet::new(),
+        interrupted: 0,
+        corrupt_blocks: 0,
+        end: start,
+    };
+    let mut now = start;
+    loop {
+        // Anything overdue fires before (re)choosing a victim.
+        fire_due(protocol, cluster, cursor, &mut w, now);
+        let candidates: Vec<NodeId> = cluster
+            .node_ids()
+            .into_iter()
+            .filter(|&n| !cluster.is_up(n) && !w.lost.contains(&n.index()))
+            .filter(|&n| {
+                !cluster.vms_on(n).is_empty()
+                    || !protocol.placement().parity_groups_of(n).is_empty()
+            })
+            .collect();
+        let Some(victim) = victim_hint
+            .filter(|v| candidates.contains(v))
+            .or_else(|| candidates.first().copied())
+        else {
+            break;
+        };
+        // A wrongly-excommunicated node is failed over (its memory is
+        // live but fenced — its state must be re-homed so the husk can be
+        // wiped at wake-up); a genuinely dead one is repaired in place.
+        let mode = if falsely_failed.contains(&victim.index()) {
+            RebuildMode::Failover
+        } else {
+            RebuildMode::InPlace
+        };
+        let mut rebuild = protocol.begin_rebuild(cluster, victim, mode)?;
+        loop {
+            match protocol.step_rebuild(cluster, &mut rebuild) {
+                Ok(RebuildStep::Progress { took, .. }) => {
+                    now += took;
+                    if fire_due(protocol, cluster, cursor, &mut w, now) {
+                        // Cascading failure mid-rebuild: nothing has been
+                        // mutated yet, so cancel the pipeline and restart
+                        // against the new down set.
+                        protocol.abort_rebuild(rebuild);
+                        w.interrupted += 1;
+                        break;
+                    }
+                }
+                Ok(RebuildStep::Completed(report)) => {
+                    w.recoveries.push(report);
+                    break;
+                }
+                Err(e @ RecoverError::DataLoss { .. }) => {
+                    // Tolerance exceeded: honest loss, never a panic. The
+                    // victim stays down with its loss on record.
+                    protocol.abort_rebuild(rebuild);
+                    w.lost.insert(victim.index());
+                    w.data_loss.push(e);
+                    break;
+                }
+                Err(RecoverError::Protocol(ProtocolError::Unrecoverable { .. }))
+                    if mode == RebuildMode::Failover =>
+                {
+                    // No orthogonality-preserving home for some of the
+                    // victim's state: fall back to repair-in-place for
+                    // whatever the partial failover left behind.
+                    protocol.abort_rebuild(rebuild);
+                    match rebuild_to_completion(protocol, cluster, victim, RebuildMode::InPlace) {
+                        Ok(report) => {
+                            now += report.repair_time;
+                            w.recoveries.push(report);
+                        }
+                        Err(e @ RecoverError::DataLoss { .. }) => {
+                            w.lost.insert(victim.index());
+                            w.data_loss.push(e);
+                        }
+                        Err(RecoverError::Protocol(p)) => return Err(p),
+                    }
+                    break;
+                }
+                Err(RecoverError::Protocol(p)) => return Err(p),
+            }
+        }
+    }
+    w.end = now;
+    Ok(w)
+}
+
+/// Drives one phased rebuild to completion without interruption.
+fn rebuild_to_completion(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    node: NodeId,
+    mode: RebuildMode,
+) -> Result<RecoveryReport, RecoverError> {
+    let mut rebuild = protocol.begin_rebuild(cluster, node, mode)?;
+    loop {
+        match protocol.step_rebuild(cluster, &mut rebuild)? {
+            RebuildStep::Progress { .. } => {}
+            RebuildStep::Completed(report) => return Ok(report),
+        }
+    }
 }
 
 /// [`run_round_with_detection`] under the default [`DetectorConfig`] —
@@ -595,6 +847,7 @@ mod tests {
                 report,
                 recovered,
                 detection,
+                ..
             } => {
                 assert_eq!(report, want, "event-driven round must equal atomic round");
                 assert!(recovered.is_empty());

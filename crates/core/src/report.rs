@@ -82,6 +82,7 @@ mod tests {
             repair_total: Duration::from_secs(3.0),
             lost_work: Duration::from_secs(3.0),
             restarted_from_scratch: false,
+            data_loss_events: 0,
         };
         let rec = ProtocolRunRecord::from_outcome("dvdc", 4, 12, 100.0, 10.0, &out, 1024);
         assert_eq!(rec.protocol, "dvdc");

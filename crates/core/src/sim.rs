@@ -17,7 +17,7 @@ use dvdc_vcluster::cluster::Cluster;
 
 use dvdc_faults::injector::ClusterFaultPlan;
 
-use crate::protocol::{CheckpointProtocol, ProtocolError};
+use crate::protocol::{CheckpointProtocol, ProtocolError, RecoverError};
 
 /// When to take coordinated checkpoints.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +81,10 @@ pub struct JobOutcome {
     /// True if the job hit an unrecoverable failure pattern and had to
     /// restart from scratch (counted inside `wall_time`).
     pub restarted_from_scratch: bool,
+    /// Recoveries that failed with honest [`RecoverError::DataLoss`] —
+    /// the failure pattern exceeded the configured redundancy, as opposed
+    /// to restarts for other unrecoverable conditions.
+    pub data_loss_events: u64,
 }
 
 impl JobOutcome {
@@ -158,6 +162,7 @@ impl JobRunner {
             repair_total: Duration::ZERO,
             lost_work: Duration::ZERO,
             restarted_from_scratch: false,
+            data_loss_events: 0,
         };
 
         while progress < self.job_length {
@@ -209,15 +214,15 @@ impl JobRunner {
                     }
                     cluster.fail_node(node);
                     let recovery = match self.recovery {
-                        RecoveryPolicy::RepairInPlace => protocol.recover(cluster, node),
+                        RecoveryPolicy::RepairInPlace => protocol.recover_typed(cluster, node),
                         RecoveryPolicy::Failover => {
                             match protocol.recover_failover(cluster, node) {
                                 Err(ProtocolError::Unrecoverable { .. }) => {
                                     // No legal host: fall back to waiting
                                     // for the hardware repair.
-                                    protocol.recover(cluster, node)
+                                    protocol.recover_typed(cluster, node)
                                 }
-                                other => other,
+                                other => other.map_err(RecoverError::from),
                             }
                         }
                     };
@@ -227,10 +232,15 @@ impl JobRunner {
                             out.repair_total += rep.repair_time;
                             wall += rep.repair_time + f.repair;
                         }
-                        Err(ProtocolError::NoCommittedCheckpoint)
-                        | Err(ProtocolError::Unrecoverable { .. }) => {
-                            // Operator restart: repair hardware, wipe
-                            // progress, start over.
+                        Err(e @ RecoverError::DataLoss { .. })
+                        | Err(e @ RecoverError::Protocol(ProtocolError::NoCommittedCheckpoint))
+                        | Err(e @ RecoverError::Protocol(ProtocolError::Unrecoverable { .. })) => {
+                            // Honest loss, recorded as a value — never a
+                            // panic. Operator restart: repair hardware,
+                            // wipe progress, start over.
+                            if matches!(e, RecoverError::DataLoss { .. }) {
+                                out.data_loss_events += 1;
+                            }
                             out.restarted_from_scratch = true;
                             for n in cluster.node_ids() {
                                 cluster.repair_node(n);
@@ -240,7 +250,7 @@ impl JobRunner {
                             committed_progress = Duration::ZERO;
                             wall += f.repair;
                         }
-                        Err(other) => return Err(other),
+                        Err(RecoverError::Protocol(other)) => return Err(other),
                     }
                 }
                 _ => {
@@ -415,6 +425,7 @@ mod tests {
             repair_total: Duration::ZERO,
             lost_work: Duration::ZERO,
             restarted_from_scratch: false,
+            data_loss_events: 0,
         };
         assert!((out.completion_ratio(Duration::from_secs(100.0)) - 1.2).abs() < 1e-12);
     }

@@ -60,11 +60,15 @@ impl PeerSet {
 
 /// What kind of fault strikes the node — the taxonomy real clusters see.
 ///
-/// Only [`FaultKind::Crash`] destroys state. A hang or partition leaves
-/// the node's memory intact but makes it *look* dead to a timeout-based
-/// failure detector: if the impairment outlasts the detector's
-/// confirmation window, the cluster wrongly fails the node over and the
-/// node must be fenced when it wakes up with stale round state.
+/// Only [`FaultKind::Crash`] destroys state wholesale. A hang or
+/// partition leaves the node's memory intact but makes it *look* dead to
+/// a timeout-based failure detector: if the impairment outlasts the
+/// detector's confirmation window, the cluster wrongly fails the node
+/// over and the node must be fenced when it wakes up with stale round
+/// state. A [`FaultKind::Corruption`] is the opposite failure mode: the
+/// node stays up and keeps heartbeating, but some of its *stored*
+/// checkpoint/parity bytes silently rot — only a checksum (scrub or a
+/// recovery decode that verifies its sources) can notice.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// Fail-stop: the node's memory (checkpoints, parity) is lost.
@@ -80,6 +84,18 @@ pub enum FaultKind {
         /// Span until connectivity is restored.
         heal_after: Duration,
     },
+    /// `blocks` stored blocks on the node silently flip bytes. The node
+    /// stays live and detectable only by checksum verification; `seed`
+    /// makes the victim-block choice deterministic per fault record (a
+    /// bounded payload keeps the record `Copy`, unlike an explicit block
+    /// list would).
+    Corruption {
+        /// How many stored blocks (checkpoint images or parity blocks)
+        /// are hit.
+        blocks: u8,
+        /// Deterministic seed for picking which blocks and offsets.
+        seed: u64,
+    },
 }
 
 impl FaultKind {
@@ -88,11 +104,18 @@ impl FaultKind {
         matches!(self, FaultKind::Crash)
     }
 
+    /// True for silent data corruption (node up, bytes rotten).
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, FaultKind::Corruption { .. })
+    }
+
     /// How long a non-crash impairment lasts before the node is healthy
-    /// again (`None` for crashes, which never self-heal).
+    /// again (`None` for crashes, which never self-heal, and for
+    /// corruptions, which are instantaneous writes — the node was never
+    /// impaired, only its data).
     pub fn heals_after(&self) -> Option<Duration> {
         match self {
-            FaultKind::Crash => None,
+            FaultKind::Crash | FaultKind::Corruption { .. } => None,
             FaultKind::TransientHang(d) => Some(*d),
             FaultKind::Partition { heal_after, .. } => Some(*heal_after),
         }
@@ -142,6 +165,17 @@ impl NodeFault {
             at,
             repair: Duration::ZERO,
             kind: FaultKind::Partition { peers, heal_after },
+        }
+    }
+
+    /// A silent corruption of `blocks` stored blocks on `node` at `at`,
+    /// with `seed` fixing which blocks/offsets are hit.
+    pub fn corruption(node: usize, at: SimTime, blocks: u8, seed: u64) -> Self {
+        NodeFault {
+            node,
+            at,
+            repair: Duration::ZERO,
+            kind: FaultKind::Corruption { blocks, seed },
         }
     }
 }
@@ -457,6 +491,9 @@ mod tests {
         let part = NodeFault::partition(2, SimTime::ZERO, PeerSet::ALL, Duration::from_secs(5.0));
         assert_eq!(part.kind.heals_after(), Some(Duration::from_secs(5.0)));
         assert!(!part.kind.is_crash());
+        let rot = NodeFault::corruption(3, SimTime::ZERO, 2, 0xBEEF);
+        assert!(rot.kind.is_corruption() && !rot.kind.is_crash());
+        assert_eq!(rot.kind.heals_after(), None);
     }
 
     #[test]

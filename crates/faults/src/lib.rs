@@ -16,7 +16,9 @@
 //!   failure schedules with repair times, and the *correlated* VM failures
 //!   that motivate the paper's orthogonal RAID-group placement (every VM on
 //!   a failing physical node fails with it). Faults carry a
-//!   [`FaultKind`] — crash, transient hang, or network partition.
+//!   [`FaultKind`] — crash, transient hang, network partition, or silent
+//!   block corruption (node up, stored bytes rotten — only checksums
+//!   notice).
 //! * [`detector`] — the in-band failure detector: heartbeat deadlines,
 //!   timeout-based suspicion, and `Suspected`/`Confirmed`/`Refuted`
 //!   verdicts. Since hangs and partitions are indistinguishable from

@@ -56,5 +56,6 @@ pub use fabric::{DiskModel, FabricModel, MemoryModel, NetworkModel};
 pub use ids::{NodeId, PageIndex, VmId};
 pub use memory::MemoryImage;
 pub use messaging::{
-    FenceRegistry, FenceToken, LedgerError, MessageFabric, NodeTransfer, TransferLedger,
+    FenceRegistry, FenceToken, LedgerError, MessageFabric, NodeTransfer, RetryDecision,
+    RetryPolicy, TransferLedger,
 };

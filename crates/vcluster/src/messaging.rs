@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use crate::ids::{NodeId, VmId};
+use dvdc_simcore::time::Duration;
 
 /// An application message: an opaque 64-bit payload plus a sequence
 /// number unique per channel.
@@ -289,6 +290,56 @@ impl fmt::Display for LedgerError {
 
 impl std::error::Error for LedgerError {}
 
+/// Bounded-retry policy for *transient* transfer failures (a partition
+/// that will heal, a dropped frame): each failed attempt backs off
+/// exponentially from `base_backoff`, and once `max_attempts` sends have
+/// failed the transfer is abandoned — the caller falls back to the abort
+/// path it would have taken without retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total send attempts allowed (the first send counts as attempt 1).
+    pub max_attempts: u32,
+    /// Backoff after the first failure; doubles per subsequent failure.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2.0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to wait after the `attempt`-th failed send (1-based):
+    /// `base · 2^(attempt−1)`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 2f64.powi(attempt.saturating_sub(1).min(30) as i32);
+        Duration::from_secs(self.base_backoff.as_secs() * factor)
+    }
+}
+
+/// Outcome of reporting a failed send on an open transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryDecision {
+    /// Budget remains: re-send after `backoff` (this was failed attempt
+    /// number `attempt`).
+    Retry {
+        /// Which attempt just failed, 1-based.
+        attempt: u32,
+        /// How long to wait before the re-send.
+        backoff: Duration,
+    },
+    /// The retry budget is spent; the transfer was closed and its bytes
+    /// counted as dropped. The caller must take its abort path.
+    Exhausted {
+        /// The abandoned transfer.
+        transfer: NodeTransfer,
+    },
+}
+
 /// One node-to-node bulk transfer (a checkpoint delta or parity update
 /// travelling between physical nodes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -316,14 +367,17 @@ pub struct TransferLedger {
     completed_bytes: usize,
     dropped_bytes: usize,
     fenced_rejections: u64,
+    retries: u64,
 }
 
 /// An open transfer plus the fence token it was launched under (legacy
-/// callers without fencing carry `None`, which never fails validation).
+/// callers without fencing carry `None`, which never fails validation)
+/// and how many sends have been attempted so far.
 #[derive(Debug, Clone, Copy)]
 struct OpenTransfer {
     transfer: NodeTransfer,
     token: Option<FenceToken>,
+    attempts: u32,
 }
 
 impl TransferLedger {
@@ -353,8 +407,51 @@ impl TransferLedger {
     fn begin_inner(&mut self, transfer: NodeTransfer, token: Option<FenceToken>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.open.insert(id, OpenTransfer { transfer, token });
+        self.open.insert(
+            id,
+            OpenTransfer {
+                transfer,
+                token,
+                attempts: 1,
+            },
+        );
         id
+    }
+
+    /// Reports a failed send attempt on an open transfer (the wire
+    /// dropped it — e.g. an endpoint is partitioned off). If the policy's
+    /// budget allows, the transfer stays open and the caller re-sends
+    /// after the returned backoff; once the budget is spent the transfer
+    /// is closed, its bytes counted as dropped, and the caller must fall
+    /// back to its abort path.
+    pub fn record_failure(
+        &mut self,
+        id: u64,
+        policy: RetryPolicy,
+    ) -> Result<RetryDecision, LedgerError> {
+        let o = self
+            .open
+            .get_mut(&id)
+            .ok_or(LedgerError::UnknownTransfer { id })?;
+        let failed_attempt = o.attempts;
+        if failed_attempt >= policy.max_attempts {
+            let o = self.open.remove(&id).expect("entry exists");
+            self.dropped_bytes += o.transfer.bytes;
+            return Ok(RetryDecision::Exhausted {
+                transfer: o.transfer,
+            });
+        }
+        o.attempts += 1;
+        self.retries += 1;
+        Ok(RetryDecision::Retry {
+            attempt: failed_attempt,
+            backoff: policy.backoff_for(failed_attempt),
+        })
+    }
+
+    /// How many send attempts were retried after a transient failure.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Marks a transfer delivered. Returns it, or `None` if the handle is
@@ -632,6 +729,68 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("not open"));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_until_exhausted() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2.0),
+        };
+        let mut l = TransferLedger::new();
+        let id = l.begin(NodeId(0), NodeId(1), 100);
+
+        // Attempt 1 fails → retry after the base backoff.
+        assert_eq!(
+            l.record_failure(id, policy),
+            Ok(RetryDecision::Retry {
+                attempt: 1,
+                backoff: Duration::from_millis(2.0),
+            })
+        );
+        // Attempt 2 fails → backoff doubles.
+        assert_eq!(
+            l.record_failure(id, policy),
+            Ok(RetryDecision::Retry {
+                attempt: 2,
+                backoff: Duration::from_millis(4.0),
+            })
+        );
+        assert_eq!(l.retries(), 2);
+        assert_eq!(l.open_count(), 1, "retrying transfer stays open");
+
+        // Attempt 3 fails → budget spent: closed and dropped.
+        match l.record_failure(id, policy).unwrap() {
+            RetryDecision::Exhausted { transfer } => {
+                assert_eq!(transfer.bytes, 100);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(l.open_count(), 0);
+        assert_eq!(l.dropped_bytes(), 100);
+        // A further report is a typed error, not a panic.
+        assert_eq!(
+            l.record_failure(id, policy),
+            Err(LedgerError::UnknownTransfer { id })
+        );
+
+        // A transfer that eventually lands still completes normally.
+        let id2 = l.begin(NodeId(0), NodeId(1), 60);
+        l.record_failure(id2, policy).unwrap();
+        assert_eq!(l.complete(id2).unwrap().bytes, 60);
+        assert_eq!(l.completed_bytes(), 60);
+    }
+
+    #[test]
+    fn retry_policy_backoff_schedule() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(1), p.base_backoff);
+        assert_eq!(
+            p.backoff_for(3).as_secs(),
+            p.base_backoff.as_secs() * 4.0,
+            "exponent grows with the attempt number"
+        );
+        assert!(p.backoff_for(2) > p.backoff_for(1));
     }
 
     #[test]

@@ -2,8 +2,12 @@
 //! rounds, node failures, recoveries (repair-in-place *and* failover),
 //! migrations — and, since the rounds became phase-interruptible,
 //! mid-round node kills at random microstates of the protocol — with
-//! byte-exact state verification after every recovery. The goal is to
-//! shake out interactions no scripted scenario covers.
+//! byte-exact state verification after every recovery. Since recovery
+//! itself became a phased rebuild pipeline, the chaos also kills nodes
+//! *mid-rebuild* (cancel, restart against the remaining redundancy,
+//! honest data loss when the double failure exceeds tolerance) and rots
+//! committed blocks at random to drive the checksum scrub. The goal is
+//! to shake out interactions no scripted scenario covers.
 //!
 //! Reproducibility: every test honours `DVDC_CHAOS_SEED` (a single u64
 //! seed replacing the default seed sweep), and every panic message
@@ -14,7 +18,7 @@ use std::fmt;
 use dvdc::placement::GroupPlacement;
 use dvdc::protocol::{
     run_round_with_faults, CheckpointProtocol, DvdcProtocol, PhasedOutcome, ProtocolError,
-    RoundStep,
+    RebuildMode, RebuildPhase, RebuildStep, RecoverError, RoundStep,
 };
 use dvdc_checkpoint::strategy::Mode;
 use dvdc_faults::{ClusterFaultPlan, NodeFault, PeerSet, PlanCursor};
@@ -39,6 +43,11 @@ struct ChaosStats {
     false_suspicions: usize,
     false_failovers: usize,
     resyncs: usize,
+    rebuilds_interrupted: usize,
+    corrupt_blocks: usize,
+    scrub_repaired: usize,
+    transfer_retries: usize,
+    data_loss: usize,
 }
 
 impl ChaosStats {
@@ -55,6 +64,11 @@ impl ChaosStats {
         self.false_suspicions += other.false_suspicions;
         self.false_failovers += other.false_failovers;
         self.resyncs += other.resyncs;
+        self.rebuilds_interrupted += other.rebuilds_interrupted;
+        self.corrupt_blocks += other.corrupt_blocks;
+        self.scrub_repaired += other.scrub_repaired;
+        self.transfer_retries += other.transfer_retries;
+        self.data_loss += other.data_loss;
     }
 }
 
@@ -64,7 +78,9 @@ impl fmt::Display for ChaosStats {
             f,
             "steps={} rounds_committed={} degraded_commits={} mid_round_kills={} \
              rollbacks={} recoveries={} migrations={} hangs={} partitions={} \
-             false_suspicions={} false_failovers={} resyncs={}",
+             false_suspicions={} false_failovers={} resyncs={} \
+             rebuilds_interrupted={} corrupt_blocks={} scrub_repaired={} \
+             transfer_retries={} data_loss={}",
             self.steps,
             self.rounds_committed,
             self.degraded_commits,
@@ -77,6 +93,11 @@ impl fmt::Display for ChaosStats {
             self.false_suspicions,
             self.false_failovers,
             self.resyncs,
+            self.rebuilds_interrupted,
+            self.corrupt_blocks,
+            self.scrub_repaired,
+            self.transfer_retries,
+            self.data_loss,
         )
     }
 }
@@ -156,7 +177,7 @@ fn chaos_run(
     for step in 0..steps {
         stats.steps += 1;
         let ctx = format!("seed={seed} step={step}; {}", repro(seed, test));
-        let action = rng.random_range(0..18u8);
+        let action = rng.random_range(0..22u8);
         if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
             eprintln!("step={step} action={action}");
         }
@@ -350,6 +371,17 @@ fn chaos_run(
                 stats.false_suspicions += det.false_suspicions as usize;
                 stats.false_failovers += det.false_failovers as usize;
                 stats.resyncs += det.resyncs as usize;
+                stats.transfer_retries += det.transfer_retries as usize;
+                stats.rebuilds_interrupted += det.rebuilds_interrupted as usize;
+                stats.corrupt_blocks += det.corrupt_blocks as usize;
+                stats.scrub_repaired += det.scrub_repaired as usize;
+                if !outcome.data_loss().is_empty() {
+                    // Honest loss: the state can no longer be rebuilt
+                    // byte-exactly, so the run ends here — recorded,
+                    // never a panic.
+                    stats.data_loss += outcome.data_loss().len();
+                    return stats;
+                }
                 assert!(
                     cluster.node_ids().iter().all(|&n| cluster.is_up(n)),
                     "{ctx} victim={victim}: detector round left a node down"
@@ -374,8 +406,8 @@ fn chaos_run(
                     }
                 }
             }
-            // Failure between rounds + recovery (~11 %).
-            _ => {
+            // Failure between rounds + recovery (~9 %).
+            12..=13 => {
                 let up: Vec<NodeId> = cluster
                     .node_ids()
                     .into_iter()
@@ -401,6 +433,120 @@ fn chaos_run(
                 stats.recoveries += 1;
                 assert_rolled_back(&cluster, &committed, &format!("{ctx} victim={victim}"));
             }
+            // Kill during rebuild (~9 %): fail a node, drive its phased
+            // rebuild to a random resting phase, then confirm a *second*
+            // failure at that exact microstate. The in-flight rebuild is
+            // cancelled (mutation-free before Readmit, so cancel is a
+            // pure drop) and restarted against the remaining redundancy:
+            // m >= 2 decodes byte-exactly around both victims; a double
+            // failure that exceeds the code's tolerance is honest data
+            // loss — recorded, never a panic — and ends the run, since
+            // the lost bytes cannot be rebuilt.
+            18..=19 => {
+                let all = cluster.node_ids();
+                let up: Vec<NodeId> = all
+                    .iter()
+                    .copied()
+                    .filter(|&n| cluster.is_up(n) && !cluster.vms_on(n).is_empty())
+                    .collect();
+                if up.len() < all.len() || up.len() <= 2 {
+                    continue; // want a full house before a double failure
+                }
+                let first = up[rng.random_range(0..up.len())];
+                cluster.fail_node(first);
+                let mut rebuild = protocol
+                    .begin_rebuild(&cluster, first, RebuildMode::InPlace)
+                    .unwrap_or_else(|e| panic!("{ctx} first={first}: begin_rebuild failed: {e}"));
+                let phases = [
+                    RebuildPhase::FetchSurvivors,
+                    RebuildPhase::Decode,
+                    RebuildPhase::Place,
+                    RebuildPhase::Readmit,
+                ];
+                let target = phases[rng.random_range(0..phases.len())];
+                let mut first_done = false;
+                while rebuild.phase() < target {
+                    match protocol.step_rebuild(&mut cluster, &mut rebuild) {
+                        Ok(RebuildStep::Progress { .. }) => {}
+                        Ok(RebuildStep::Completed(_)) => {
+                            first_done = true;
+                            stats.recoveries += 1;
+                            break;
+                        }
+                        Err(e) => panic!("{ctx} first={first}: step_rebuild failed: {e}"),
+                    }
+                }
+                let survivors: Vec<NodeId> =
+                    all.iter().copied().filter(|&n| cluster.is_up(n)).collect();
+                let second = survivors[rng.random_range(0..survivors.len())];
+                cluster.fail_node(second);
+                if !first_done {
+                    protocol.abort_rebuild(rebuild);
+                    stats.rebuilds_interrupted += 1;
+                }
+                if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
+                    eprintln!("  rebuildkill: first={first} second={second} phase={target:?}");
+                }
+                let rctx = format!("{ctx} first={first} second={second} phase={target:?}");
+                let mut lost = false;
+                for victim in [first, second] {
+                    if !cluster.is_up(victim) {
+                        match protocol.recover_typed(&mut cluster, victim) {
+                            Ok(_) => stats.recoveries += 1,
+                            Err(RecoverError::DataLoss { .. }) => {
+                                stats.data_loss += 1;
+                                lost = true;
+                                break;
+                            }
+                            Err(e) => panic!("{rctx}: restarted rebuild failed: {e}"),
+                        }
+                    }
+                }
+                if lost {
+                    return stats;
+                }
+                assert_rolled_back(&cluster, &committed, &rctx);
+            }
+            // Silent corruption + scrub (~9 %): rot one committed block
+            // on a random node, then run a full integrity scrub — the
+            // checksum walk must find every injected rotten block and
+            // repair it in place from the group's surviving redundancy.
+            20..=21 => {
+                let all = cluster.node_ids();
+                if all.iter().any(|&n| !cluster.is_up(n)) {
+                    continue; // repair needs the group's redundancy intact
+                }
+                let target = all[rng.random_range(0..all.len())];
+                let hit = protocol.apply_corruption(
+                    &cluster,
+                    target,
+                    1,
+                    seed ^ ((step as u64) << 8 | u64::from(action)),
+                );
+                stats.corrupt_blocks += hit;
+                let report = protocol
+                    .scrub(&mut cluster)
+                    .unwrap_or_else(|e| panic!("{ctx} target={target}: scrub failed: {e}"));
+                assert!(
+                    report.corrupt_found >= hit,
+                    "{ctx} target={target}: scrub missed injected rot \
+                     (found {}, injected {hit})",
+                    report.corrupt_found
+                );
+                assert_eq!(
+                    report.corrupt_found, report.repaired,
+                    "{ctx} target={target}: scrub left rot unrepaired"
+                );
+                stats.scrub_repaired += report.repaired;
+                let clean = protocol
+                    .scrub(&mut cluster)
+                    .unwrap_or_else(|e| panic!("{ctx} target={target}: verify scrub failed: {e}"));
+                assert_eq!(
+                    clean.corrupt_found, 0,
+                    "{ctx} target={target}: rot survived a repair scrub"
+                );
+            }
+            _ => unreachable!("action {action} outside the dispatch range"),
         }
     }
 
@@ -487,5 +633,17 @@ fn chaos_soak_mid_round() {
     assert!(
         total.resyncs >= total.false_failovers.saturating_sub(total.recoveries),
         "false failovers must end in resync or in-place repair"
+    );
+    assert!(
+        total.rebuilds_interrupted > 0,
+        "soak never interrupted an in-flight rebuild with a second failure"
+    );
+    assert!(
+        total.corrupt_blocks > 0 && total.scrub_repaired > 0,
+        "soak never exercised the corruption/scrub path"
+    );
+    assert!(
+        total.data_loss > 0,
+        "soak never recorded honest data loss from an m-exceeding double failure"
     );
 }

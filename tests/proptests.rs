@@ -475,6 +475,61 @@ proptest! {
         p.recover(&mut c, victim).unwrap();
         prop_assert_eq!(cluster_snapshots(&c), want);
     }
+
+    /// Cancelling a phased rebuild after ANY step prefix is harmless:
+    /// the pipeline is mutation-free until Readmit, so an abort is a
+    /// pure drop and a restarted rebuild still lands byte-exactly on
+    /// the committed epoch.
+    #[test]
+    fn any_step_prefix_of_cancelled_rebuild_recovers_committed_state(
+        seed in any::<u64>(),
+        cut in 0usize..120,
+        victim in 0usize..6,
+        m in 1usize..3,
+    ) {
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(250.0)
+            .build(seed);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, m).unwrap();
+        let mut p = DvdcProtocol::with_options(
+            placement,
+            Mode::Incremental,
+            true,
+            Duration::from_millis(40.0),
+        );
+
+        p.run_round(&mut c).unwrap();
+        let hub = RngHub::new(seed ^ 0xA11C_E55E);
+        c.run_all(Duration::from_secs(0.4), |vm| {
+            hub.stream_indexed("w", vm.index() as u64)
+        });
+        p.run_round(&mut c).unwrap();
+        let want = cluster_snapshots(&c);
+
+        let victim = NodeId(victim);
+        c.fail_node(victim);
+        let mut rebuild = p
+            .begin_rebuild(&c, victim, dvdc::protocol::RebuildMode::InPlace)
+            .unwrap();
+        let mut done = false;
+        for _ in 0..cut {
+            match p.step_rebuild(&mut c, &mut rebuild).unwrap() {
+                dvdc::protocol::RebuildStep::Progress { .. } => {}
+                dvdc::protocol::RebuildStep::Completed(_) => {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        if !done {
+            p.abort_rebuild(rebuild);
+            p.recover(&mut c, victim).unwrap();
+        }
+        prop_assert_eq!(cluster_snapshots(&c), want);
+    }
 }
 
 // ---------- in-band detection and fencing ----------

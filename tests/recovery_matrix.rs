@@ -4,7 +4,8 @@
 
 use dvdc::placement::GroupPlacement;
 use dvdc::protocol::{
-    CheckpointProtocol, CodeKind, DvdcProtocol, FirstShotProtocol, RoundPhase, RoundStep,
+    CheckpointProtocol, CodeKind, DvdcProtocol, FirstShotProtocol, RebuildMode, RebuildPhase,
+    RebuildStep, RecoverError, RoundPhase, RoundStep,
 };
 use dvdc_checkpoint::strategy::Mode;
 use dvdc_simcore::rng::RngHub;
@@ -340,6 +341,178 @@ fn dvdc_failure_right_after_commit_recovers_new_epoch() {
                 Some(1),
                 "{ctx}: promote preceded the failure"
             );
+            assert_state(&c, &want, &ctx);
+        }
+    }
+}
+
+/// Second-failure-during-rebuild matrix: (rebuild phase × code family ×
+/// second-victim role). The first victim's phased rebuild is interrupted
+/// at each pipeline phase by a second crash striking a data-holder or a
+/// parity-holder of the same group. The pipeline mutates nothing before
+/// its readmit step, so the canonical response — cancel the rebuild and
+/// restart it against the enlarged down set — must recover byte-exactly
+/// whenever redundancy remains (m = 2), and must surface honest
+/// [`RecoverError::DataLoss`] as a value (never a panic) when it does
+/// not (m = 1).
+#[test]
+fn dvdc_second_failure_during_rebuild_matrix() {
+    let phases = [
+        RebuildPhase::FetchSurvivors,
+        RebuildPhase::Decode,
+        RebuildPhase::Place,
+        RebuildPhase::Readmit,
+    ];
+    for (family, kind, k, m, nodes, vms) in MID_ROUND_FAMILIES {
+        for phase in phases {
+            for second_parity in [false, true] {
+                let mut c = build(nodes, vms);
+                let placement = GroupPlacement::orthogonal_with_parity(&c, k, m)
+                    .unwrap_or_else(|e| panic!("{family}: {e}"));
+                let group0 = placement.groups()[0].clone();
+                let first = c.node_of(group0.data[0]);
+                let second = if second_parity {
+                    group0.parity_nodes[0]
+                } else {
+                    c.node_of(group0.data[1])
+                };
+                assert_ne!(first, second, "{family}: victims must differ");
+                let mut p = DvdcProtocol::with_options(
+                    placement,
+                    Mode::Incremental,
+                    true,
+                    Duration::from_millis(40.0),
+                )
+                .with_code(kind);
+                let ctx = format!(
+                    "family={family} phase={phase:?} second={second} parity={second_parity}"
+                );
+                let hub = RngHub::new(131 * k as u64 + m as u64);
+
+                p.run_round(&mut c).unwrap();
+                c.run_all(Duration::from_secs(0.4), |vm| {
+                    hub.stream_indexed("w1", vm.index() as u64)
+                });
+                p.run_round(&mut c).unwrap();
+                let want = snapshots(&c);
+
+                c.fail_node(first);
+                let mut rebuild = p.begin_rebuild(&c, first, RebuildMode::InPlace).unwrap();
+                while rebuild.phase() < phase {
+                    match p.step_rebuild(&mut c, &mut rebuild) {
+                        Ok(RebuildStep::Progress { .. }) => {}
+                        Ok(RebuildStep::Completed(_)) => {
+                            panic!("{ctx}: rebuild completed before reaching {phase:?}")
+                        }
+                        Err(e) => panic!("{ctx}: step failed early: {e}"),
+                    }
+                }
+                assert_eq!(rebuild.phase(), phase, "{ctx}");
+
+                // The cascading failure: a second node of the same group
+                // dies with the rebuild mid-flight. Nothing has been
+                // mutated, so cancelling is a pure drop.
+                c.fail_node(second);
+                p.abort_rebuild(rebuild);
+
+                // Restart against the enlarged down set.
+                let restarted = p.begin_rebuild(&c, first, RebuildMode::InPlace);
+                if m >= 2 {
+                    let mut rebuild = restarted.unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                    let report = loop {
+                        match p.step_rebuild(&mut c, &mut rebuild) {
+                            Ok(RebuildStep::Progress { .. }) => {}
+                            Ok(RebuildStep::Completed(r)) => break r,
+                            Err(e) => panic!("{ctx}: m=2 restart must recover: {e}"),
+                        }
+                    };
+                    assert!(
+                        report.repair_time > Duration::ZERO,
+                        "{ctx}: rebuild time must elapse on the simulated clock"
+                    );
+                    p.recover(&mut c, second)
+                        .unwrap_or_else(|e| panic!("{ctx}: second victim: {e}"));
+                    assert_state(&c, &want, &ctx);
+                } else {
+                    // m = 1: two failures in one group exceed tolerance.
+                    // Honest data loss as a value — never a panic.
+                    let outcome = (|| -> Result<(), RecoverError> {
+                        let mut rebuild = restarted?;
+                        loop {
+                            match p.step_rebuild(&mut c, &mut rebuild)? {
+                                RebuildStep::Progress { .. } => {}
+                                RebuildStep::Completed(_) => return Ok(()),
+                            }
+                        }
+                    })();
+                    match outcome {
+                        Err(RecoverError::DataLoss { node, .. }) => {
+                            assert_eq!(node, first, "{ctx}: loss names the rebuild victim");
+                        }
+                        other => panic!("{ctx}: expected DataLoss, got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Silent-corruption scrub matrix across the code families: rot committed
+/// blocks on a data-holder and on a parity-holder, and the scrub pass
+/// must find every one (checksums), repair them all from group
+/// redundancy, and leave the cluster byte-exactly restorable.
+#[test]
+fn dvdc_scrub_detects_and_repairs_all_injected_corruption() {
+    for (family, kind, k, m, nodes, vms) in MID_ROUND_FAMILIES {
+        for parity_victim in [false, true] {
+            let mut c = build(nodes, vms);
+            let placement = GroupPlacement::orthogonal_with_parity(&c, k, m)
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
+            let group0 = placement.groups()[0].clone();
+            let target = if parity_victim {
+                group0.parity_nodes[0]
+            } else {
+                c.node_of(group0.data[0])
+            };
+            let mut p = DvdcProtocol::with_options(
+                placement,
+                Mode::Incremental,
+                true,
+                Duration::from_millis(40.0),
+            )
+            .with_code(kind);
+            let ctx = format!("family={family} target={target} parity_victim={parity_victim}");
+            let hub = RngHub::new(17 * k as u64 + m as u64);
+
+            p.run_round(&mut c).unwrap();
+            c.run_all(Duration::from_secs(0.4), |vm| {
+                hub.stream_indexed("w", vm.index() as u64)
+            });
+            p.run_round(&mut c).unwrap();
+            let want = snapshots(&c);
+
+            // Silently rot stored blocks on the target node; the cluster
+            // notices nothing until checksums are checked.
+            let hit = p.apply_corruption(&c, target, 3, 0xDEAD_BEEF ^ k as u64);
+            assert!(hit > 0, "{ctx}: corruption must land");
+
+            let scrub = p.scrub(&mut c).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert!(
+                scrub.corrupt_found > 0,
+                "{ctx}: scrub must detect the injected rot"
+            );
+            assert_eq!(
+                scrub.corrupt_found, scrub.repaired,
+                "{ctx}: every rotten block must be repaired from parity"
+            );
+
+            // A second scrub finds a clean store…
+            let again = p.scrub(&mut c).unwrap();
+            assert_eq!(again.corrupt_found, 0, "{ctx}: scrub must converge");
+            // …and recovery after the repair is still byte-exact.
+            c.fail_node(target);
+            p.recover(&mut c, target)
+                .unwrap_or_else(|e| panic!("{ctx}: post-scrub recovery: {e}"));
             assert_state(&c, &want, &ctx);
         }
     }
