@@ -13,6 +13,7 @@
 mod args;
 
 use std::process::ExitCode;
+use std::rc::Rc;
 
 use args::Args;
 use dvdc::placement::GroupPlacement;
@@ -25,10 +26,14 @@ use dvdc_faults::injector::FaultInjector;
 use dvdc_faults::mttdl::MttdlParams;
 use dvdc_faults::trace::parse_trace;
 use dvdc_model::{fig5, Fig5Params};
+use dvdc_observe::chrome::chrome_trace;
+use dvdc_observe::metrics::metrics_snapshot;
+use dvdc_observe::{RecorderHandle, TraceRecorder};
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::Duration;
 use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
 use dvdc_vcluster::ids::NodeId;
+use serde::Value;
 
 const HELP: &str = "\
 dvdc-sim — Distributed Virtual Diskless Checkpointing simulator
@@ -47,6 +52,9 @@ COMMANDS:
               --job-secs T (600)  --interval N (30)
               --mtbf-secs M (400, per node)  --repair-secs R (5)  --seed S (42)
               --trace FILE (replay a time,node[,repair] CSV failure log)
+              --trace-out FILE (write a Chrome trace-event JSON of the run,
+                loadable in Perfetto / chrome://tracing; a metrics snapshot
+                lands next to it as FILE.metrics.json)
     model   Section V analytics (Figure 5 optima)
               --mtbf-hours H (3)  --job-days D (2)
               --nodes N (4)  --vms-per-node V (3)  --image-gib G (1)
@@ -222,27 +230,61 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     let runner = JobRunner::new(Duration::from_secs(job), Duration::from_secs(interval));
 
+    // --trace-out: collect every structured event the run emits, for
+    // export as Chrome trace JSON plus a metrics snapshot.
+    let trace_out = args.get("trace-out").map(String::from);
+    let trace_buf = trace_out
+        .as_ref()
+        .map(|_| Rc::new(TraceRecorder::unbounded()));
+    let recorder = match &trace_buf {
+        Some(buf) => RecorderHandle::new(buf.clone()),
+        None => RecorderHandle::noop(),
+    };
+
     let outcome = match protocol_name.as_str() {
         "dvdc" => {
             let placement = build_placement(args, &cluster)?;
-            let mut p = DvdcProtocol::new(placement);
-            runner.run(&mut p, &mut cluster, &plan, &hub)
+            let mut p = DvdcProtocol::new(placement).with_recorder(recorder.clone());
+            runner.run_with_recorder(&mut p, &mut cluster, &plan, &hub, &recorder)
         }
         "disk-full" => {
             let mut p = DiskFullProtocol::new();
-            runner.run(&mut p, &mut cluster, &plan, &hub)
+            runner.run_with_recorder(&mut p, &mut cluster, &plan, &hub, &recorder)
         }
         "first-shot" => {
             let mut p = FirstShotProtocol::new(NodeId(nodes - 1));
-            runner.run(&mut p, &mut cluster, &plan, &hub)
+            runner.run_with_recorder(&mut p, &mut cluster, &plan, &hub, &recorder)
         }
         "remus" => {
             let mut p = RemusLikeProtocol::new();
-            runner.run(&mut p, &mut cluster, &plan, &hub)
+            runner.run_with_recorder(&mut p, &mut cluster, &plan, &hub, &recorder)
         }
         other => return Err(format!("unknown protocol '{other}'")),
     }
     .map_err(|e| e.to_string())?;
+
+    if let (Some(path), Some(buf)) = (trace_out.as_deref(), trace_buf.as_ref()) {
+        let events = buf.events();
+        let meta: Vec<(String, Value)> = vec![
+            ("tool".into(), Value::Str("dvdc-sim run".into())),
+            ("protocol".into(), Value::Str(protocol_name.clone())),
+            ("seed".into(), Value::U64(seed)),
+            ("nodes".into(), Value::U64(nodes as u64)),
+            ("job_secs".into(), Value::F64(job)),
+            ("interval_secs".into(), Value::F64(interval)),
+            ("mtbf_secs".into(), Value::F64(mtbf)),
+        ];
+        let trace_json = chrome_trace(&events, &meta);
+        std::fs::write(path, trace_json)
+            .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+        let metrics_path = format!("{path}.metrics.json");
+        std::fs::write(&metrics_path, metrics_snapshot(&events))
+            .map_err(|e| format!("cannot write metrics '{metrics_path}': {e}"))?;
+        println!(
+            "trace             : {path} ({} events; metrics in {metrics_path})",
+            events.len()
+        );
+    }
 
     println!("protocol          : {protocol_name}");
     println!(

@@ -45,15 +45,17 @@ use dvdc_checkpoint::delta::{xor_runs, XorRun};
 use dvdc_checkpoint::payload::CheckpointPayload;
 use dvdc_checkpoint::store::{DoubleBufferedStore, ParityStore};
 use dvdc_checkpoint::strategy::{Checkpointer, Mode};
+use dvdc_observe::{Event, RecorderHandle, NO_TOKEN};
 use dvdc_parity::code::{CodeError, ErasureCode};
 use dvdc_parity::raid5::XorCode;
 use dvdc_parity::rdp::{RdpCode, ZeroPaddedRdp};
 use dvdc_parity::rs::ReedSolomon;
-use dvdc_simcore::time::Duration;
+use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::{NodeId, VmId};
 use dvdc_vcluster::messaging::{
-    FenceRegistry, FenceToken, LedgerError, RetryDecision, RetryPolicy, TransferLedger,
+    FenceEvent, FenceRegistry, FenceToken, LedgerError, LedgerEvent, RetryDecision, RetryPolicy,
+    TransferLedger,
 };
 
 use crate::placement::{GroupId, GroupPlacement};
@@ -220,6 +222,18 @@ pub enum RoundPhase {
     Commit,
 }
 
+impl RoundPhase {
+    /// Stable phase label used in traces and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoundPhase::Capture => "Capture",
+            RoundPhase::Transfer => "Transfer",
+            RoundPhase::Fold => "Fold",
+            RoundPhase::Commit => "Commit",
+        }
+    }
+}
+
 /// Result of one [`DvdcProtocol::step_round`] call.
 #[derive(Debug)]
 pub enum RoundStep {
@@ -312,6 +326,18 @@ pub enum RebuildMode {
     Resync,
 }
 
+impl RebuildMode {
+    /// Stable mode label used in traces and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildMode::InPlace => "InPlace",
+            RebuildMode::Failover => "Failover",
+            RebuildMode::Scrub => "Scrub",
+            RebuildMode::Resync => "Resync",
+        }
+    }
+}
+
 /// The four phases of a rebuild, in execution order.
 ///
 /// Like [`RoundPhase`], the `Ord` impl follows execution order so tests
@@ -336,6 +362,18 @@ pub enum RebuildPhase {
     /// parity reseed, and (for crash modes) the cluster rolls back to
     /// the committed epoch.
     Readmit,
+}
+
+impl RebuildPhase {
+    /// Stable phase label used in traces and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildPhase::FetchSurvivors => "FetchSurvivors",
+            RebuildPhase::Decode => "Decode",
+            RebuildPhase::Place => "Place",
+            RebuildPhase::Readmit => "Readmit",
+        }
+    }
 }
 
 /// Result of one [`DvdcProtocol::step_rebuild`] call.
@@ -506,6 +544,15 @@ pub struct DvdcProtocol {
     /// victim so anything it sent pre-fence — or tries to send after
     /// waking from a false suspicion — is rejected until it resyncs.
     fences: FenceRegistry,
+    /// Structured-event sink (no-op unless a recorder is attached).
+    recorder: RecorderHandle,
+    /// Cached `recorder.enabled()` so hot paths pay one branch, not a
+    /// virtual call, when tracing is off.
+    recording: bool,
+    /// The simulated instant events are stamped with. Advanced by each
+    /// step's `took`; drivers with their own scheduler re-sync it via
+    /// [`CheckpointProtocol::set_clock`].
+    clock: SimTime,
 }
 
 impl DvdcProtocol {
@@ -563,6 +610,112 @@ impl DvdcProtocol {
             parity_blocks,
             group_width,
             fences: FenceRegistry::new(),
+            recorder: RecorderHandle::default(),
+            recording: false,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches a structured-event recorder. Every subsequent round,
+    /// rebuild, scrub, and fence operation emits [`Event`]s stamped with
+    /// the protocol's sim clock. Also switches the fence registry's
+    /// journal on so epoch bumps reach the recorder.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recording = recorder.enabled();
+        if self.recording {
+            self.fences.enable_journal();
+        }
+        self.recorder = recorder;
+    }
+
+    /// Builder-style [`DvdcProtocol::set_recorder`].
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// The attached recorder handle (the no-op handle by default).
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.recorder
+    }
+
+    /// The simulated instant the next emitted event will be stamped with.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    #[inline]
+    fn emit(&self, event: Event) {
+        if self.recording {
+            self.recorder.record(self.clock, &event);
+        }
+    }
+
+    /// Forwards journalled ledger activity (launches, arrivals, fence
+    /// rejections, retries, drops) to the recorder.
+    fn forward_ledger(&self, ledger: &mut TransferLedger) {
+        if !self.recording {
+            return;
+        }
+        for entry in ledger.take_events() {
+            let event = match entry {
+                LedgerEvent::Launched {
+                    id,
+                    transfer,
+                    token_epoch,
+                } => Event::TransferLaunched {
+                    id,
+                    from: transfer.from.index(),
+                    to: transfer.to.index(),
+                    bytes: transfer.bytes,
+                    token_epoch: token_epoch.unwrap_or(NO_TOKEN),
+                },
+                LedgerEvent::Completed { id, transfer } => Event::TransferArrived {
+                    id,
+                    from: transfer.from.index(),
+                    to: transfer.to.index(),
+                    bytes: transfer.bytes,
+                },
+                LedgerEvent::FencedRejection {
+                    id,
+                    node,
+                    held_epoch,
+                    current_epoch,
+                } => Event::TransferFenced {
+                    id,
+                    node: node.index(),
+                    held_epoch,
+                    current_epoch,
+                },
+                LedgerEvent::Retried { id, attempt } => Event::TransferRetried { id, attempt },
+                LedgerEvent::Dropped { id, transfer } => Event::TransferDropped {
+                    id,
+                    from: transfer.from.index(),
+                    to: transfer.to.index(),
+                    bytes: transfer.bytes,
+                },
+            };
+            self.recorder.record(self.clock, &event);
+        }
+    }
+
+    /// Forwards journalled fence-registry activity to the recorder.
+    fn forward_fences(&mut self) {
+        if !self.recording {
+            return;
+        }
+        for entry in self.fences.take_events() {
+            let event = match entry {
+                FenceEvent::Raised { node, epoch } => Event::FenceRaised {
+                    node: node.index(),
+                    epoch,
+                },
+                FenceEvent::Readmitted { node, epoch } => Event::FenceReadmitted {
+                    node: node.index(),
+                    epoch,
+                },
+            };
+            self.recorder.record(self.clock, &event);
         }
     }
 
@@ -762,6 +915,19 @@ impl DvdcProtocol {
             .ok_or(RecoverError::Protocol(ProtocolError::NoCommittedCheckpoint))?;
         self.ensure_node_stores(cluster.node_count());
 
+        let mut ledger = TransferLedger::new();
+        if self.recording {
+            ledger.enable_journal();
+            self.emit(Event::RebuildBegin {
+                victim: failed.index(),
+                mode: mode.name(),
+                epoch,
+            });
+            self.emit(Event::RebuildPhase {
+                victim: failed.index(),
+                phase: RebuildPhase::FetchSurvivors.name(),
+            });
+        }
         let mut rebuild = PhasedRebuild {
             mode,
             victim: failed,
@@ -778,7 +944,7 @@ impl DvdcProtocol {
             corrupt_parity: Vec::new(),
             corrupt_sources: 0,
             fetch_queue: VecDeque::new(),
-            ledger: TransferLedger::new(),
+            ledger,
             in_flight: None,
             decode_queue: VecDeque::new(),
             place_queue: VecDeque::new(),
@@ -791,6 +957,12 @@ impl DvdcProtocol {
             if !cluster.vms_on(failed).is_empty()
                 || !self.placement.parity_groups_of(failed).is_empty()
             {
+                // The begin was already announced; terminate its span so
+                // the event stream never shows a rebuild left open.
+                self.emit(Event::RebuildAborted {
+                    victim: failed.index(),
+                    phase: RebuildPhase::FetchSurvivors.name(),
+                });
                 return Err(RecoverError::Protocol(ProtocolError::Unrecoverable {
                     node: failed,
                     reason: "resync requires an evacuated node; use recover for one holding state"
@@ -918,6 +1090,40 @@ impl DvdcProtocol {
         cluster: &mut Cluster,
         rebuild: &mut PhasedRebuild,
     ) -> Result<RebuildStep, RecoverError> {
+        let step = match self.step_rebuild_inner(cluster, rebuild) {
+            Ok(step) => step,
+            Err(e) => {
+                if let RecoverError::DataLoss { node, group, .. } = &e {
+                    self.emit(Event::DataLoss {
+                        node: node.index(),
+                        group: group.index(),
+                    });
+                }
+                return Err(e);
+            }
+        };
+        if self.recording {
+            // Advance the clock before draining the journals so an
+            // arrival is stamped when its bytes land, not when they left.
+            if let RebuildStep::Progress { took, .. } = &step {
+                self.clock += *took;
+            }
+            self.forward_ledger(&mut rebuild.ledger);
+            self.forward_fences();
+            if matches!(step, RebuildStep::Completed(_)) {
+                self.emit(Event::RebuildCompleted {
+                    victim: rebuild.victim.index(),
+                });
+            }
+        }
+        Ok(step)
+    }
+
+    fn step_rebuild_inner(
+        &mut self,
+        cluster: &mut Cluster,
+        rebuild: &mut PhasedRebuild,
+    ) -> Result<RebuildStep, RecoverError> {
         loop {
             match rebuild.phase {
                 RebuildPhase::FetchSurvivors => {
@@ -935,6 +1141,10 @@ impl DvdcProtocol {
                     }
                     let Some((from, to, bytes)) = rebuild.fetch_queue.pop_front() else {
                         rebuild.phase = RebuildPhase::Decode;
+                        self.emit(Event::RebuildPhase {
+                            victim: rebuild.victim.index(),
+                            phase: RebuildPhase::Decode.name(),
+                        });
                         continue;
                     };
                     let token = self.fences.token(from).unwrap_or(FenceToken {
@@ -951,6 +1161,10 @@ impl DvdcProtocol {
                 RebuildPhase::Decode => {
                     let Some(gid) = rebuild.decode_queue.pop_front() else {
                         rebuild.phase = RebuildPhase::Place;
+                        self.emit(Event::RebuildPhase {
+                            victim: rebuild.victim.index(),
+                            phase: RebuildPhase::Place.name(),
+                        });
                         continue;
                     };
                     let took = self.decode_rebuild_group(cluster, rebuild, gid)?;
@@ -967,6 +1181,10 @@ impl DvdcProtocol {
                         // and cancel before — rather than something reached
                         // and executed within a single step.
                         rebuild.phase = RebuildPhase::Readmit;
+                        self.emit(Event::RebuildPhase {
+                            victim: rebuild.victim.index(),
+                            phase: RebuildPhase::Readmit.name(),
+                        });
                         return Ok(RebuildStep::Progress {
                             phase: RebuildPhase::Readmit,
                             took: Duration::ZERO,
@@ -1324,6 +1542,15 @@ impl DvdcProtocol {
     /// state is untouched and a fresh [`DvdcProtocol::begin_rebuild`]
     /// against the (possibly changed) down set is always valid.
     pub fn abort_rebuild(&mut self, rebuild: PhasedRebuild) {
+        let mut rebuild = rebuild;
+        if self.recording {
+            rebuild.ledger.drop_all();
+            self.forward_ledger(&mut rebuild.ledger);
+            self.emit(Event::RebuildAborted {
+                victim: rebuild.victim.index(),
+                phase: rebuild.phase.name(),
+            });
+        }
         drop(rebuild);
     }
 
@@ -1341,6 +1568,11 @@ impl DvdcProtocol {
         let sweep = self.sweep_integrity(cluster);
         let found = sweep.corrupt_vms.len() + sweep.corrupt_parity.len();
         if found == 0 || self.committed_epoch.is_none() {
+            self.emit(Event::ScrubCompleted {
+                verified: sweep.verified,
+                corrupt: found,
+                repaired: 0,
+            });
             return Ok(ScrubReport {
                 blocks_verified: sweep.verified,
                 corrupt_found: found,
@@ -1362,9 +1594,21 @@ impl DvdcProtocol {
         let mut rebuild = self.begin_rebuild(cluster, victim, RebuildMode::Scrub)?;
         let repaired = rebuild.corrupt_vms.len() + rebuild.corrupt_parity.len();
         loop {
-            match self.step_rebuild(cluster, &mut rebuild)? {
-                RebuildStep::Progress { .. } => {}
-                RebuildStep::Completed(report) => {
+            match self.step_rebuild(cluster, &mut rebuild) {
+                Err(e) => {
+                    // The repair pipeline died mid-flight (e.g. the rot
+                    // exceeds the group's tolerance): abort it so its
+                    // span terminates before the error propagates.
+                    self.abort_rebuild(rebuild);
+                    return Err(e);
+                }
+                Ok(RebuildStep::Progress { .. }) => {}
+                Ok(RebuildStep::Completed(report)) => {
+                    self.emit(Event::ScrubCompleted {
+                        verified: sweep.verified,
+                        corrupt: found,
+                        repaired,
+                    });
                     return Ok(ScrubReport {
                         blocks_verified: sweep.verified,
                         corrupt_found: found,
@@ -1427,6 +1671,12 @@ impl DvdcProtocol {
                 hit += 1;
             }
         }
+        if hit > 0 {
+            self.emit(Event::CorruptionInjected {
+                node: node.index(),
+                blocks: hit,
+            });
+        }
         hit
     }
 
@@ -1472,13 +1722,24 @@ impl DvdcProtocol {
         }
         self.ensure_node_stores(cluster.node_count());
         self.resolve_code_for(cluster);
+        let mut ledger = TransferLedger::new();
+        if self.recording {
+            ledger.enable_journal();
+            self.emit(Event::RoundBegin {
+                epoch: self.next_epoch,
+            });
+            self.emit(Event::RoundPhase {
+                epoch: self.next_epoch,
+                phase: RoundPhase::Capture.name(),
+            });
+        }
         Ok(PhasedRound {
             epoch: self.next_epoch,
             phase: RoundPhase::Capture,
             capture_queue: cluster.vm_ids().into(),
             vm_deltas: BTreeMap::new(),
             transfer_queue: VecDeque::new(),
-            ledger: TransferLedger::new(),
+            ledger,
             in_flight: None,
             fold_queue: self.placement.groups().iter().map(|g| g.id).collect(),
             delta_base: None,
@@ -1502,11 +1763,35 @@ impl DvdcProtocol {
         cluster: &mut Cluster,
         round: &mut PhasedRound,
     ) -> Result<RoundStep, ProtocolError> {
+        let step = self.step_round_inner(cluster, round)?;
+        if self.recording {
+            // Advance the clock before draining the ledger journal so an
+            // arrival is stamped when its bytes land, not when they left.
+            if let RoundStep::Progress { took, .. } = &step {
+                self.clock += *took;
+            }
+            self.forward_ledger(&mut round.ledger);
+            if matches!(step, RoundStep::Committed(_)) {
+                self.emit(Event::RoundCommitted { epoch: round.epoch });
+            }
+        }
+        Ok(step)
+    }
+
+    fn step_round_inner(
+        &mut self,
+        cluster: &mut Cluster,
+        round: &mut PhasedRound,
+    ) -> Result<RoundStep, ProtocolError> {
         loop {
             match round.phase {
                 RoundPhase::Capture => {
                     let Some(vm) = round.capture_queue.pop_front() else {
                         round.phase = RoundPhase::Transfer;
+                        self.emit(Event::RoundPhase {
+                            epoch: round.epoch,
+                            phase: RoundPhase::Transfer.name(),
+                        });
                         continue;
                     };
                     let node = cluster.node_of(vm);
@@ -1590,6 +1875,10 @@ impl DvdcProtocol {
                     }
                     let Some((from, to, bytes)) = round.transfer_queue.pop_front() else {
                         round.phase = RoundPhase::Fold;
+                        self.emit(Event::RoundPhase {
+                            epoch: round.epoch,
+                            phase: RoundPhase::Fold.name(),
+                        });
                         continue;
                     };
                     // A fenced sender gets a never-valid token: the ledger
@@ -1627,6 +1916,10 @@ impl DvdcProtocol {
                         holders.dedup();
                         round.ack_queue = holders.into();
                         round.phase = RoundPhase::Commit;
+                        self.emit(Event::RoundPhase {
+                            epoch: round.epoch,
+                            phase: RoundPhase::Commit.name(),
+                        });
                         continue;
                     };
                     let took = self.fold_group(cluster, round, gid);
@@ -1826,6 +2119,17 @@ impl DvdcProtocol {
     /// reused by the next round, which never observes the difference
     /// because nothing of the aborted round survives.
     pub fn abort_round(&mut self, round: PhasedRound) {
+        let mut round = round;
+        if self.recording {
+            // Account (and journal) anything still on the wire, then
+            // close the round's span.
+            round.ledger.drop_all();
+            self.forward_ledger(&mut round.ledger);
+            self.emit(Event::RoundAborted {
+                epoch: round.epoch,
+                phase: round.phase.name(),
+            });
+        }
         drop(round);
         self.checkpointer.reset_all();
         self.parity.rollback();
@@ -1867,7 +2171,7 @@ impl DvdcProtocol {
         if !round.ledger.involves(node) {
             return None;
         }
-        match round.ledger.record_failure(id, policy) {
+        let decision = match round.ledger.record_failure(id, policy) {
             Ok(decision) => {
                 if matches!(decision, RetryDecision::Exhausted { .. }) {
                     round.in_flight = None;
@@ -1875,7 +2179,9 @@ impl DvdcProtocol {
                 Some(decision)
             }
             Err(_) => None,
-        }
+        };
+        self.forward_ledger(&mut round.ledger);
+        decision
     }
 
     /// Fences `node` immediately: its outstanding tokens go stale and it
@@ -1885,6 +2191,7 @@ impl DvdcProtocol {
     /// fences internally for the state-holding case.
     pub fn fence_node(&mut self, node: NodeId) {
         self.fences.fence(node);
+        self.forward_fences();
     }
 
     /// Rejoin path for a node that was wrongly failed over: it was hung
@@ -1910,12 +2217,13 @@ impl DvdcProtocol {
             .begin_rebuild(cluster, node, RebuildMode::Resync)
             .map_err(ProtocolError::from)?;
         loop {
-            match self
-                .step_rebuild(cluster, &mut rebuild)
-                .map_err(ProtocolError::from)?
-            {
-                RebuildStep::Progress { .. } => {}
-                RebuildStep::Completed(_) => return Ok(rebuild.epoch),
+            match self.step_rebuild(cluster, &mut rebuild) {
+                Ok(RebuildStep::Progress { .. }) => {}
+                Ok(RebuildStep::Completed(_)) => return Ok(rebuild.epoch),
+                Err(e) => {
+                    self.abort_rebuild(rebuild);
+                    return Err(ProtocolError::from(e));
+                }
             }
         }
     }
@@ -1967,9 +2275,15 @@ impl CheckpointProtocol for DvdcProtocol {
     ) -> Result<RecoveryReport, RecoverError> {
         let mut rebuild = self.begin_rebuild(cluster, failed, RebuildMode::InPlace)?;
         loop {
-            match self.step_rebuild(cluster, &mut rebuild)? {
-                RebuildStep::Progress { .. } => {}
-                RebuildStep::Completed(report) => return Ok(report),
+            match self.step_rebuild(cluster, &mut rebuild) {
+                Ok(RebuildStep::Progress { .. }) => {}
+                Ok(RebuildStep::Completed(report)) => return Ok(report),
+                Err(e) => {
+                    // An error abandons the pipeline: abort it so the
+                    // rebuild span terminates in the event stream.
+                    self.abort_rebuild(rebuild);
+                    return Err(e);
+                }
             }
         }
     }
@@ -1994,12 +2308,13 @@ impl CheckpointProtocol for DvdcProtocol {
             .begin_rebuild(cluster, failed, RebuildMode::Failover)
             .map_err(ProtocolError::from)?;
         loop {
-            match self
-                .step_rebuild(cluster, &mut rebuild)
-                .map_err(ProtocolError::from)?
-            {
-                RebuildStep::Progress { .. } => {}
-                RebuildStep::Completed(report) => return Ok(report),
+            match self.step_rebuild(cluster, &mut rebuild) {
+                Ok(RebuildStep::Progress { .. }) => {}
+                Ok(RebuildStep::Completed(report)) => return Ok(report),
+                Err(e) => {
+                    self.abort_rebuild(rebuild);
+                    return Err(ProtocolError::from(e));
+                }
             }
         }
     }
@@ -2007,6 +2322,10 @@ impl CheckpointProtocol for DvdcProtocol {
         let parity = self.parity.total_bytes();
         let local: usize = self.node_stores.iter().map(|s| s.total_bytes()).sum();
         parity + local
+    }
+
+    fn set_clock(&mut self, now: SimTime) {
+        self.clock = now;
     }
 }
 

@@ -36,7 +36,7 @@ use std::fmt;
 use dvdc_checkpoint::accounting::CheckpointCost;
 use dvdc_checkpoint::store::StoreError;
 use dvdc_parity::code::CodeError;
-use dvdc_simcore::time::Duration;
+use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::{NodeId, VmId};
 
@@ -269,6 +269,12 @@ pub trait CheckpointProtocol {
     ) -> Result<RecoveryReport, ProtocolError> {
         self.recover(cluster, failed)
     }
+
+    /// Synchronises the protocol's notion of "now" with an external
+    /// simulation clock, so any structured events it emits (see
+    /// `dvdc-observe`) are stamped on the driver's timeline. Protocols
+    /// without tracing ignore it.
+    fn set_clock(&mut self, _now: SimTime) {}
 }
 
 /// Rolls the listed VMs back to the given images, clearing dirty state.

@@ -62,8 +62,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dvdc_faults::detector::{DetectorConfig, FailureDetector, Verdict};
+use dvdc_faults::detector::{DetectorConfig, DetectorEventKind, FailureDetector, Verdict};
 use dvdc_faults::{FaultKind, NodeFault, PlanCursor};
+use dvdc_observe::{Event, RecorderHandle};
 use dvdc_simcore::engine::Simulation;
 use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
@@ -73,7 +74,17 @@ use dvdc_vcluster::messaging::{RetryDecision, RetryPolicy};
 use super::dvdc_proto::{
     DvdcProtocol, PhasedRound, RebuildMode, RebuildStep, RoundPhase, RoundStep,
 };
-use super::{ProtocolError, RecoverError, RecoveryReport, RoundReport};
+use super::{CheckpointProtocol, ProtocolError, RecoverError, RecoveryReport, RoundReport};
+
+/// Trace label for a fault kind (driver-level [`Event::FaultInjected`]).
+fn fault_kind_name(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Crash => "Crash",
+        FaultKind::TransientHang(_) => "TransientHang",
+        FaultKind::Partition { .. } => "Partition",
+        FaultKind::Corruption { .. } => "Corruption",
+    }
+}
 
 /// Size of one heartbeat message on the wire.
 const HEARTBEAT_BYTES: usize = 64;
@@ -229,11 +240,33 @@ struct Driver<'a, 'p> {
     transfer_retries: u64,
     corrupt_blocks: u64,
     error: Option<ProtocolError>,
+    /// Clone of the protocol's recorder, for driver-level events
+    /// (injections, heals, detector traffic).
+    recorder: RecorderHandle,
+    recording: bool,
 }
 
 impl Driver<'_, '_> {
     fn stall(&mut self, node: usize) {
         self.stalled.insert(node);
+    }
+
+    /// Drains the detector's journal into the recorder. Detector events
+    /// carry their own timestamps (a heartbeat is datestamped at arrival,
+    /// not at the drain point).
+    fn forward_detector(&mut self) {
+        if !self.recording {
+            return;
+        }
+        for entry in self.detector.take_events() {
+            let event = match entry.kind {
+                DetectorEventKind::Heartbeat => Event::HeartbeatArrived { node: entry.node },
+                DetectorEventKind::Suspected => Event::Suspected { node: entry.node },
+                DetectorEventKind::Confirmed => Event::Confirmed { node: entry.node },
+                DetectorEventKind::Refuted => Event::Refuted { node: entry.node },
+            };
+            self.recorder.record(entry.at, &event);
+        }
     }
 
     /// The detector confirmed `node` dead. Decide what that means.
@@ -294,6 +327,9 @@ pub fn run_round_with_detection(
     start: SimTime,
     config: &DetectorConfig,
 ) -> Result<(PhasedOutcome, SimTime), ProtocolError> {
+    let recorder = protocol.recorder().clone();
+    let recording = recorder.enabled();
+    protocol.set_clock(start);
     let round = protocol.begin_round(cluster)?;
     let first_fault = cursor.peek().copied();
     // Monitor every node that is up at round start; an evacuated corpse
@@ -304,7 +340,10 @@ pub fn run_round_with_detection(
         .filter(|&n| cluster.is_up(n))
         .map(|n| n.index())
         .collect();
-    let detector = FailureDetector::new(*config, monitored.iter().copied(), start);
+    let mut detector = FailureDetector::new(*config, monitored.iter().copied(), start);
+    if recording {
+        detector.enable_journal();
+    }
 
     let mut sim = Simulation::new(Driver {
         protocol,
@@ -326,6 +365,8 @@ pub fn run_round_with_detection(
         transfer_retries: 0,
         corrupt_blocks: 0,
         error: None,
+        recorder,
+        recording,
     });
     sim.schedule(start, Ev::Step);
     if let Some(f) = first_fault {
@@ -344,6 +385,7 @@ pub fn run_round_with_detection(
             let Some(round) = w.round.as_mut() else {
                 return;
             };
+            w.protocol.set_clock(sched.now());
             match w.protocol.step_round(w.cluster, round) {
                 Ok(RoundStep::Progress { took, .. }) => sched.after(took, Ev::Step),
                 Ok(RoundStep::Committed(report)) => {
@@ -369,6 +411,16 @@ pub fn run_round_with_detection(
             if !w.cluster.is_up(node) {
                 return; // already down — nothing new fails
             }
+            if w.recording {
+                w.recorder.record(
+                    sched.now(),
+                    &Event::FaultInjected {
+                        node: f.node,
+                        kind: fault_kind_name(&f.kind),
+                    },
+                );
+            }
+            w.protocol.set_clock(sched.now());
             match f.kind {
                 FaultKind::Corruption { blocks, seed } => {
                     // Silent fault: stored bytes rot in place. No process
@@ -450,6 +502,10 @@ pub fn run_round_with_detection(
             w.silenced.remove(&n);
             w.heal_at.remove(&n);
             w.injected_at.remove(&n);
+            if w.recording {
+                w.recorder
+                    .record(sched.now(), &Event::NodeHealed { node: n });
+            }
             if w.stalled.remove(&n) && w.stalled.is_empty() && w.aborted.is_none() {
                 // The round thaws; the impairment span was pure delay.
                 sched.after(Duration::ZERO, Ev::Step);
@@ -468,25 +524,31 @@ pub fn run_round_with_detection(
                 // False suspicion cleared; the stall (if any) was already
                 // lifted by the Heal event.
             }
+            w.forward_detector();
             if let Some(deadline) = w.detector.next_deadline(n) {
                 sched.at(deadline, Ev::Deadline(n));
             }
         }
-        Ev::Deadline(n) => match w.detector.poll(n, sched.now()) {
-            Some(Verdict::Suspected) => {
-                if let Some(deadline) = w.detector.next_deadline(n) {
-                    sched.at(deadline, Ev::Deadline(n));
+        Ev::Deadline(n) => {
+            let verdict = w.detector.poll(n, sched.now());
+            w.forward_detector();
+            match verdict {
+                Some(Verdict::Suspected) => {
+                    if let Some(deadline) = w.detector.next_deadline(n) {
+                        sched.at(deadline, Ev::Deadline(n));
+                    }
                 }
-            }
-            Some(Verdict::Confirmed) => {
-                let now = sched.now();
-                match w.on_confirmed(n, now) {
-                    ConfirmAction::AbortRound => sched.cancel_where(|_| true),
-                    ConfirmAction::Continue => {}
+                Some(Verdict::Confirmed) => {
+                    let now = sched.now();
+                    w.protocol.set_clock(now);
+                    match w.on_confirmed(n, now) {
+                        ConfirmAction::AbortRound => sched.cancel_where(|_| true),
+                        ConfirmAction::Continue => {}
+                    }
                 }
+                _ => {} // stale deadline — a newer heartbeat re-armed it
             }
-            _ => {} // stale deadline — a newer heartbeat re-armed it
-        },
+        }
     });
 
     let end = sim.now();
@@ -497,13 +559,35 @@ pub fn run_round_with_detection(
         false_failovers,
         first_detection_latency,
         confirmations,
-        detector,
+        mut detector,
         transfer_retries,
         corrupt_blocks,
         error,
+        recorder,
+        recording,
         ..
     } = sim.world;
+    if recording {
+        // Verdicts raised by the very last drained event are still in
+        // the detector's journal.
+        for entry in detector.take_events() {
+            let event = match entry.kind {
+                DetectorEventKind::Heartbeat => Event::HeartbeatArrived { node: entry.node },
+                DetectorEventKind::Suspected => Event::Suspected { node: entry.node },
+                DetectorEventKind::Confirmed => Event::Confirmed { node: entry.node },
+                DetectorEventKind::Refuted => Event::Refuted { node: entry.node },
+            };
+            recorder.record(entry.at, &event);
+        }
+    }
+    protocol.set_clock(end);
     if let Some(e) = error {
+        // A failed step leaves the round half-done: tear it down like any
+        // other interrupted round so parity and capture state roll back
+        // (and the trace records the abort) before surfacing the error.
+        if let Some(r) = round {
+            protocol.abort_round(r);
+        }
         return Err(e);
     }
 
@@ -550,6 +634,11 @@ pub fn run_round_with_detection(
         }
         debug_assert!(protocol.fences().is_fenced(node));
         detection.fenced_rejections += 1;
+        let wake = ff.wake_at.max(end);
+        protocol.set_clock(wake);
+        if recording {
+            recorder.record(wake, &Event::NodeHealed { node: ff.node });
+        }
         protocol.resync_node(cluster, node)?;
         detection.resyncs += 1;
         end = end.max(ff.wake_at);
@@ -783,9 +872,13 @@ fn rebuild_to_completion(
 ) -> Result<RecoveryReport, RecoverError> {
     let mut rebuild = protocol.begin_rebuild(cluster, node, mode)?;
     loop {
-        match protocol.step_rebuild(cluster, &mut rebuild)? {
-            RebuildStep::Progress { .. } => {}
-            RebuildStep::Completed(report) => return Ok(report),
+        match protocol.step_rebuild(cluster, &mut rebuild) {
+            Ok(RebuildStep::Progress { .. }) => {}
+            Ok(RebuildStep::Completed(report)) => return Ok(report),
+            Err(e) => {
+                protocol.abort_rebuild(rebuild);
+                return Err(e);
+            }
         }
     }
 }
@@ -1129,6 +1222,63 @@ mod tests {
         let (outcome, _) =
             run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
         assert!(outcome.committed());
+    }
+
+    #[test]
+    fn traced_crash_round_emits_a_clean_causal_stream() {
+        use dvdc_observe::audit::InvariantAuditor;
+        use dvdc_observe::{Fanout, TraceRecorder};
+        use std::rc::Rc;
+
+        let mut c = build(4, 3);
+        let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+        p.run_round(&mut c).unwrap();
+
+        let trace = Rc::new(TraceRecorder::unbounded());
+        let audit = Rc::new(InvariantAuditor::new());
+        p.set_recorder(RecorderHandle::new(Rc::new(Fanout::new(vec![
+            RecorderHandle::new(trace.clone()),
+            RecorderHandle::new(audit.clone()),
+        ]))));
+
+        let plan = ClusterFaultPlan::new(vec![fault(1, 1e-7)]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        assert!(!outcome.committed());
+
+        audit.assert_clean();
+        assert!(audit.events_seen() > 0);
+        let names: Vec<&str> = trace.events().iter().map(|e| e.event.name()).collect();
+        for expected in [
+            "round_begin",
+            "round_phase",
+            "fault_injected",
+            "heartbeat",
+            "suspected",
+            "confirmed",
+            "round_aborted",
+            "rebuild_begin",
+            "rebuild_phase",
+            "rebuild_completed",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Timestamps never run backwards within the recorder's order.
+        let times: Vec<_> = trace.events().iter().map(|e| e.at).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "time went backwards"
+        );
+
+        // A fault-free committed round under the same recorder stays clean
+        // and closes with a commit.
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        assert!(outcome.committed());
+        audit.assert_clean();
+        let names: Vec<&str> = trace.events().iter().map(|e| e.event.name()).collect();
+        assert!(names.contains(&"round_committed"));
     }
 
     #[test]

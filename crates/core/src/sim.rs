@@ -11,6 +11,8 @@
 //! `dvdc-model`.
 
 use dvdc_checkpoint::adaptive::AdaptivePolicy;
+use dvdc_faults::FaultKind;
+use dvdc_observe::{Event, RecorderHandle};
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
@@ -149,6 +151,24 @@ impl JobRunner {
         plan: &ClusterFaultPlan,
         hub: &RngHub,
     ) -> Result<JobOutcome, ProtocolError> {
+        self.run_with_recorder(protocol, cluster, plan, hub, &RecorderHandle::noop())
+    }
+
+    /// [`JobRunner::run`] with a structured-event recorder: job-level
+    /// happenings (fault strikes, forced restarts) are recorded on the
+    /// job's wall clock, and the protocol's own clock is kept in sync so
+    /// its round/rebuild events land on the same timeline. A protocol
+    /// that carries its own recorder (e.g. `DvdcProtocol`) should be
+    /// handed the same sink before the run.
+    pub fn run_with_recorder<P: CheckpointProtocol>(
+        &self,
+        protocol: &mut P,
+        cluster: &mut Cluster,
+        plan: &ClusterFaultPlan,
+        hub: &RngHub,
+        recorder: &RecorderHandle,
+    ) -> Result<JobOutcome, ProtocolError> {
+        let recording = recorder.enabled();
         let mut wall = SimTime::ZERO;
         let mut progress = Duration::ZERO;
         let mut committed_progress = Duration::ZERO;
@@ -212,6 +232,22 @@ impl JobRunner {
                         out.lost_work -= lost;
                         continue;
                     }
+                    if recording {
+                        let kind = match f.kind {
+                            FaultKind::Crash => "Crash",
+                            FaultKind::TransientHang(_) => "TransientHang",
+                            FaultKind::Partition { .. } => "Partition",
+                            FaultKind::Corruption { .. } => "Corruption",
+                        };
+                        recorder.record(strike, &Event::FaultInjected { node: f.node, kind });
+                        // This runner's failure oracle stands in for the
+                        // in-band heartbeat detector, so both verdicts
+                        // land at the strike instant (the phased paths
+                        // run the real detector and show the gap).
+                        recorder.record(strike, &Event::Suspected { node: f.node });
+                        recorder.record(strike, &Event::Confirmed { node: f.node });
+                    }
+                    protocol.set_clock(strike);
                     cluster.fail_node(node);
                     let recovery = match self.recovery {
                         RecoveryPolicy::RepairInPlace => protocol.recover_typed(cluster, node),
@@ -241,6 +277,9 @@ impl JobRunner {
                             if matches!(e, RecoverError::DataLoss { .. }) {
                                 out.data_loss_events += 1;
                             }
+                            if recording {
+                                recorder.record(wall, &Event::JobRestarted { node: f.node });
+                            }
                             out.restarted_from_scratch = true;
                             for n in cluster.node_ids() {
                                 cluster.repair_node(n);
@@ -269,6 +308,7 @@ impl JobRunner {
                         };
                     if take {
                         // Coordinated checkpoint round.
+                        protocol.set_clock(wall);
                         let report = protocol.run_round(cluster)?;
                         out.rounds += 1;
                         out.overhead_total += report.cost.overhead;

@@ -131,6 +131,32 @@ pub struct DetectorStats {
     pub late_heartbeats_after_confirm: u64,
 }
 
+/// One entry in the detector's journal (see
+/// [`FailureDetector::take_events`]): a heartbeat arrival or a verdict
+/// transition, stamped with the simulated instant it happened at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorEvent {
+    /// When the heartbeat arrived / the deadline fired.
+    pub at: SimTime,
+    /// The monitored node.
+    pub node: usize,
+    /// What happened.
+    pub kind: DetectorEventKind,
+}
+
+/// What a [`DetectorEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorEventKind {
+    /// A heartbeat arrived (including ones that refute a suspicion).
+    Heartbeat,
+    /// The node crossed the silence timeout.
+    Suspected,
+    /// A suspicion outlived the confirmation grace.
+    Confirmed,
+    /// A heartbeat cleared a standing suspicion.
+    Refuted,
+}
+
 /// The deadline failure detector over a set of monitored nodes.
 ///
 /// Drive it with [`FailureDetector::heartbeat`] whenever a heartbeat
@@ -143,6 +169,8 @@ pub struct FailureDetector {
     /// Last heartbeat arrival and health per monitored node.
     nodes: BTreeMap<usize, (SimTime, Health)>,
     stats: DetectorStats,
+    journal_enabled: bool,
+    journal: Vec<DetectorEvent>,
 }
 
 impl FailureDetector {
@@ -161,7 +189,22 @@ impl FailureDetector {
                 .map(|n| (n, (now, Health::Alive)))
                 .collect(),
             stats: DetectorStats::default(),
+            journal_enabled: false,
+            journal: Vec::new(),
         }
+    }
+
+    /// Turns the event journal on. Off by default so untraced runs pay
+    /// nothing; the tracing layer drains it via
+    /// [`FailureDetector::take_events`].
+    pub fn enable_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Drains the journal entries accumulated since the last call (empty
+    /// unless [`FailureDetector::enable_journal`] was called).
+    pub fn take_events(&mut self) -> Vec<DetectorEvent> {
+        std::mem::take(&mut self.journal)
     }
 
     /// The configuration in force.
@@ -196,6 +239,13 @@ impl FailureDetector {
     pub fn heartbeat(&mut self, node: usize, at: SimTime) -> Option<Verdict> {
         let (last, health) = self.nodes.get_mut(&node)?;
         self.stats.heartbeats += 1;
+        if self.journal_enabled {
+            self.journal.push(DetectorEvent {
+                at,
+                node,
+                kind: DetectorEventKind::Heartbeat,
+            });
+        }
         match *health {
             Health::Confirmed => {
                 self.stats.late_heartbeats_after_confirm += 1;
@@ -205,6 +255,13 @@ impl FailureDetector {
                 *last = at;
                 *health = Health::Alive;
                 self.stats.refutations += 1;
+                if self.journal_enabled {
+                    self.journal.push(DetectorEvent {
+                        at,
+                        node,
+                        kind: DetectorEventKind::Refuted,
+                    });
+                }
                 Some(Verdict::Refuted)
             }
             Health::Alive => {
@@ -231,6 +288,13 @@ impl FailureDetector {
                 if now.since(*last) + eps >= self.config.timeout {
                     *health = Health::Suspected { since: now };
                     self.stats.suspicions += 1;
+                    if self.journal_enabled {
+                        self.journal.push(DetectorEvent {
+                            at: now,
+                            node,
+                            kind: DetectorEventKind::Suspected,
+                        });
+                    }
                     Some(Verdict::Suspected)
                 } else {
                     None
@@ -240,6 +304,13 @@ impl FailureDetector {
                 if now.since(since) + eps >= self.config.confirm_grace {
                     *health = Health::Confirmed;
                     self.stats.confirmations += 1;
+                    if self.journal_enabled {
+                        self.journal.push(DetectorEvent {
+                            at: now,
+                            node,
+                            kind: DetectorEventKind::Confirmed,
+                        });
+                    }
                     Some(Verdict::Confirmed)
                 } else {
                     None
@@ -379,6 +450,34 @@ mod tests {
         let c = cfg();
         assert!((c.best_case_detection().as_secs() - 0.060).abs() < 1e-9);
         assert!((c.worst_case_detection().as_secs() - 0.070).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journal_records_heartbeats_and_verdict_transitions() {
+        let mut d = FailureDetector::new(cfg(), [0], SimTime::ZERO);
+        d.enable_journal();
+        d.heartbeat(0, ms(10.0));
+        d.poll(0, ms(50.0)); // 40 ms of silence > 35 ms timeout
+        d.heartbeat(0, ms(55.0)); // refutes
+        d.poll(0, ms(95.0)); // re-suspects
+        d.poll(0, ms(125.0)); // confirms
+        let kinds: Vec<DetectorEventKind> = d.take_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DetectorEventKind::Heartbeat,
+                DetectorEventKind::Suspected,
+                DetectorEventKind::Heartbeat,
+                DetectorEventKind::Refuted,
+                DetectorEventKind::Suspected,
+                DetectorEventKind::Confirmed,
+            ]
+        );
+        assert!(d.take_events().is_empty(), "journal drains");
+
+        let mut quiet = FailureDetector::new(cfg(), [0], SimTime::ZERO);
+        quiet.heartbeat(0, ms(10.0));
+        assert!(quiet.take_events().is_empty(), "journal off by default");
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Online causal-invariant auditing over the event stream.
+//!
+//! [`InvariantAuditor`] is a [`Recorder`] that keeps a small state
+//! machine instead of a buffer and flags any event sequence that
+//! violates the protocol's ordering contract:
+//!
+//! 1. **Round lifecycle** — at most one round open at a time, and every
+//!    `RoundBegin` terminates in exactly one of committed / aborted /
+//!    data loss; a terminator with no open round is equally wrong. Every
+//!    `RebuildBegin` likewise terminates in completed or aborted (a
+//!    rebuild that hits data loss is still aborted by its driver).
+//! 2. **Fencing** — no transfer arrival is *accepted* after its sender's
+//!    fence epoch was superseded: an arrival whose launch token is stale
+//!    (sender fenced, or epoch bumped past the token) is a violation,
+//!    as is a launch stamped with an epoch the sender does not hold.
+//! 3. **Commit/rebuild exclusion** — no round commits while a rebuild is
+//!    in flight (rebuilds decode from the committed generation; a commit
+//!    under them would tear it), and no rebuild starts mid-round.
+//! 4. **Detector order** — every `Confirmed` verdict is preceded by a
+//!    standing `Suspected` for the same node, and every `Refuted` clears
+//!    an actual suspicion.
+//!
+//! Attach it (usually inside a [`Fanout`](crate::Fanout) next to a trace
+//! ring) to chaos and recovery suites and call
+//! [`InvariantAuditor::assert_clean`] at the end: every soak run then
+//! doubles as a protocol-order proof.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use dvdc_simcore::time::SimTime;
+
+use crate::event::NO_TOKEN;
+use crate::{Event, Recorder};
+
+/// Per-transfer launch facts the fencing invariant needs at arrival.
+#[derive(Debug, Clone, Copy)]
+struct Launch {
+    from: usize,
+    token_epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct AuditState {
+    open_round: Option<u64>,
+    open_rebuilds: BTreeSet<usize>,
+    launches: BTreeMap<u64, Launch>,
+    fence_epochs: BTreeMap<usize, u64>,
+    fenced: BTreeSet<usize>,
+    suspected: BTreeSet<usize>,
+    violations: Vec<String>,
+    events_seen: u64,
+}
+
+impl AuditState {
+    fn flag(&mut self, at: SimTime, msg: String) {
+        self.violations
+            .push(format!("t={:.6}s: {msg}", at.as_secs()));
+    }
+}
+
+/// A recorder that checks causal invariants online and accumulates
+/// human-readable violations instead of events.
+#[derive(Debug, Default)]
+pub struct InvariantAuditor {
+    state: RefCell<AuditState>,
+}
+
+impl InvariantAuditor {
+    /// A fresh auditor with no open spans and no violations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The violations found so far, in detection order.
+    pub fn violations(&self) -> Vec<String> {
+        self.state.borrow().violations.clone()
+    }
+
+    /// True if no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.state.borrow().violations.is_empty()
+    }
+
+    /// Total events audited.
+    pub fn events_seen(&self) -> u64 {
+        self.state.borrow().events_seen
+    }
+
+    /// Panics with the full violation list if any invariant was broken.
+    ///
+    /// # Panics
+    /// Panics when [`InvariantAuditor::is_clean`] is false.
+    pub fn assert_clean(&self) {
+        let state = self.state.borrow();
+        assert!(
+            state.violations.is_empty(),
+            "invariant auditor found {} violation(s) over {} events:\n  {}",
+            state.violations.len(),
+            state.events_seen,
+            state.violations.join("\n  "),
+        );
+    }
+}
+
+impl Recorder for InvariantAuditor {
+    fn record(&self, at: SimTime, event: &Event) {
+        let mut s = self.state.borrow_mut();
+        s.events_seen += 1;
+        match *event {
+            Event::RoundBegin { epoch } => {
+                if let Some(open) = s.open_round {
+                    s.flag(
+                        at,
+                        format!("round {epoch} begun while round {open} is still open"),
+                    );
+                }
+                if !s.open_rebuilds.is_empty() {
+                    let rebuilds = s.open_rebuilds.clone();
+                    s.flag(
+                        at,
+                        format!("round {epoch} begun while rebuild(s) {rebuilds:?} in flight"),
+                    );
+                }
+                s.open_round = Some(epoch);
+            }
+            Event::RoundCommitted { epoch } => {
+                if !s.open_rebuilds.is_empty() {
+                    let rebuilds = s.open_rebuilds.clone();
+                    s.flag(
+                        at,
+                        format!("round {epoch} committed while rebuild(s) {rebuilds:?} in flight"),
+                    );
+                }
+                match s.open_round.take() {
+                    Some(open) if open == epoch => {}
+                    Some(open) => s.flag(
+                        at,
+                        format!("round {epoch} committed but round {open} was the one open"),
+                    ),
+                    None => s.flag(at, format!("round {epoch} committed with no round open")),
+                }
+            }
+            Event::RoundAborted { epoch, phase } => match s.open_round.take() {
+                Some(open) if open == epoch => {}
+                Some(open) => s.flag(
+                    at,
+                    format!("round {epoch} aborted in {phase} but round {open} was the one open"),
+                ),
+                None => s.flag(
+                    at,
+                    format!("round {epoch} aborted in {phase} with no round open"),
+                ),
+            },
+            Event::DataLoss { .. } => {
+                // Data loss legitimately terminates an open round: the run
+                // abandons it rather than completing it. The rebuild that
+                // hit the loss still gets an explicit `RebuildAborted` from
+                // its driver, so it is *not* closed here.
+                s.open_round = None;
+            }
+            Event::TransferLaunched {
+                id,
+                from,
+                token_epoch,
+                ..
+            } => {
+                if token_epoch != NO_TOKEN {
+                    let current = s.fence_epochs.get(&from).copied().unwrap_or(0);
+                    if s.fenced.contains(&from) {
+                        s.flag(at, format!("transfer {id} launched by fenced node {from}"));
+                    } else if token_epoch != current {
+                        s.flag(
+                            at,
+                            format!(
+                                "transfer {id} launched by node {from} with token epoch \
+                                 {token_epoch}, but the node holds epoch {current}"
+                            ),
+                        );
+                    }
+                }
+                s.launches.insert(id, Launch { from, token_epoch });
+            }
+            Event::TransferArrived { id, .. } => {
+                if let Some(launch) = s.launches.remove(&id) {
+                    if launch.token_epoch != NO_TOKEN {
+                        let current = s.fence_epochs.get(&launch.from).copied().unwrap_or(0);
+                        let fenced_now = s.fenced.contains(&launch.from);
+                        if current != launch.token_epoch || fenced_now {
+                            s.flag(
+                                at,
+                                format!(
+                                    "transfer {id} from node {} accepted with stale fence \
+                                     token (held epoch {}, node at epoch {current}{})",
+                                    launch.from,
+                                    launch.token_epoch,
+                                    if fenced_now { ", fenced" } else { "" },
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Event::TransferFenced { id, .. } | Event::TransferDropped { id, .. } => {
+                s.launches.remove(&id);
+            }
+            Event::FenceRaised { node, epoch } => {
+                s.fence_epochs.insert(node, epoch);
+                s.fenced.insert(node);
+            }
+            Event::FenceReadmitted { node, .. } => {
+                s.fenced.remove(&node);
+            }
+            Event::Suspected { node } => {
+                s.suspected.insert(node);
+            }
+            Event::Refuted { node } => {
+                let standing = s.suspected.remove(&node);
+                if !standing {
+                    s.flag(
+                        at,
+                        format!("node {node} refuted without a standing suspicion"),
+                    );
+                }
+            }
+            Event::Confirmed { node } if !s.suspected.contains(&node) => {
+                s.flag(
+                    at,
+                    format!("node {node} confirmed dead without a prior Suspected"),
+                );
+            }
+            Event::RebuildBegin { victim, .. } => {
+                if let Some(open) = s.open_round {
+                    s.flag(
+                        at,
+                        format!("rebuild of node {victim} begun while round {open} is still open"),
+                    );
+                }
+                if !s.open_rebuilds.insert(victim) {
+                    s.flag(
+                        at,
+                        format!("rebuild of node {victim} begun while one is already open"),
+                    );
+                }
+            }
+            Event::RebuildCompleted { victim } | Event::RebuildAborted { victim, .. } => {
+                let was_open = s.open_rebuilds.remove(&victim);
+                if !was_open {
+                    s.flag(
+                        at,
+                        format!("rebuild of node {victim} terminated but none was open"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(sec: f64) -> SimTime {
+        SimTime::from_secs(sec)
+    }
+
+    #[test]
+    fn clean_round_and_rebuild_pass() {
+        let a = InvariantAuditor::new();
+        a.record(t(0.0), &Event::RoundBegin { epoch: 1 });
+        a.record(t(1.0), &Event::RoundCommitted { epoch: 1 });
+        a.record(t(2.0), &Event::Suspected { node: 2 });
+        a.record(t(2.1), &Event::Confirmed { node: 2 });
+        a.record(t(2.1), &Event::FenceRaised { node: 2, epoch: 1 });
+        a.record(
+            t(2.2),
+            &Event::RebuildBegin {
+                victim: 2,
+                mode: "InPlace",
+                epoch: 1,
+            },
+        );
+        a.record(t(2.9), &Event::RebuildCompleted { victim: 2 });
+        a.record(t(3.0), &Event::RoundBegin { epoch: 2 });
+        a.record(
+            t(4.0),
+            &Event::RoundAborted {
+                epoch: 2,
+                phase: "Transfer",
+            },
+        );
+        a.assert_clean();
+        assert_eq!(a.events_seen(), 9);
+    }
+
+    #[test]
+    fn confirmed_without_suspected_is_flagged() {
+        let a = InvariantAuditor::new();
+        a.record(t(1.0), &Event::Confirmed { node: 3 });
+        assert!(!a.is_clean());
+        assert!(a.violations()[0].contains("without a prior Suspected"));
+    }
+
+    #[test]
+    fn stale_token_arrival_is_flagged() {
+        let a = InvariantAuditor::new();
+        a.record(
+            t(0.0),
+            &Event::TransferLaunched {
+                id: 7,
+                from: 1,
+                to: 2,
+                bytes: 10,
+                token_epoch: 0,
+            },
+        );
+        a.record(t(0.1), &Event::FenceRaised { node: 1, epoch: 1 });
+        a.record(
+            t(0.2),
+            &Event::TransferArrived {
+                id: 7,
+                from: 1,
+                to: 2,
+                bytes: 10,
+            },
+        );
+        let v = a.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("stale fence token"));
+    }
+
+    #[test]
+    fn fenced_rejection_is_the_legal_path() {
+        let a = InvariantAuditor::new();
+        a.record(
+            t(0.0),
+            &Event::TransferLaunched {
+                id: 7,
+                from: 1,
+                to: 2,
+                bytes: 10,
+                token_epoch: 0,
+            },
+        );
+        a.record(t(0.1), &Event::FenceRaised { node: 1, epoch: 1 });
+        a.record(
+            t(0.2),
+            &Event::TransferFenced {
+                id: 7,
+                node: 1,
+                held_epoch: 0,
+                current_epoch: 1,
+            },
+        );
+        a.assert_clean();
+    }
+
+    #[test]
+    fn commit_during_rebuild_is_flagged() {
+        let a = InvariantAuditor::new();
+        a.record(
+            t(0.0),
+            &Event::RebuildBegin {
+                victim: 1,
+                mode: "Failover",
+                epoch: 3,
+            },
+        );
+        a.record(t(0.5), &Event::RoundBegin { epoch: 4 });
+        a.record(t(1.0), &Event::RoundCommitted { epoch: 4 });
+        let v = a.violations();
+        assert!(v.iter().any(|m| m.contains("begun while rebuild")));
+        assert!(v.iter().any(|m| m.contains("committed while rebuild")));
+    }
+
+    #[test]
+    fn dangling_terminators_are_flagged() {
+        let a = InvariantAuditor::new();
+        a.record(t(0.0), &Event::RoundCommitted { epoch: 1 });
+        a.record(t(0.1), &Event::RebuildCompleted { victim: 0 });
+        assert_eq!(a.violations().len(), 2);
+    }
+
+    #[test]
+    fn data_loss_terminates_the_open_round() {
+        let a = InvariantAuditor::new();
+        a.record(t(0.0), &Event::RoundBegin { epoch: 1 });
+        a.record(t(0.5), &Event::DataLoss { node: 1, group: 0 });
+        a.record(t(1.0), &Event::RoundBegin { epoch: 2 });
+        a.record(t(2.0), &Event::RoundCommitted { epoch: 2 });
+        a.assert_clean();
+    }
+
+    #[test]
+    fn data_loss_rebuild_still_needs_its_abort() {
+        let a = InvariantAuditor::new();
+        a.record(
+            t(0.0),
+            &Event::RebuildBegin {
+                victim: 1,
+                mode: "InPlace",
+                epoch: 2,
+            },
+        );
+        a.record(t(0.5), &Event::DataLoss { node: 1, group: 0 });
+        a.record(
+            t(0.5),
+            &Event::RebuildAborted {
+                victim: 1,
+                phase: "Decode",
+            },
+        );
+        a.assert_clean();
+        // Beginning the victim's rebuild again without that abort would
+        // have been a double-begin violation.
+        a.record(
+            t(1.0),
+            &Event::RebuildBegin {
+                victim: 1,
+                mode: "InPlace",
+                epoch: 2,
+            },
+        );
+        a.record(
+            t(1.0),
+            &Event::RebuildBegin {
+                victim: 1,
+                mode: "InPlace",
+                epoch: 2,
+            },
+        );
+        assert!(!a.is_clean());
+    }
+}

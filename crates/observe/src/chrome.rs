@@ -1,0 +1,589 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a recorded timeline in the [Trace Event Format] consumed by
+//! Perfetto and `chrome://tracing`. The mapping:
+//!
+//! * **pid 0** is the cluster: rounds (tid 0) and rebuilds/scrubs
+//!   (tid 1) as nested `B`/`E` duration slices — the round slice wraps
+//!   one slice per phase, so the Capture→Transfer→Fold→Commit
+//!   decomposition reads directly off the timeline.
+//! * **pid n+1** is physical node *n*: transfers appear as `X` complete
+//!   slices on the *sender's* process (one track per destination, named
+//!   `→ node m`), with launch→arrival duration and byte counts in
+//!   `args`; detector verdicts, fences, faults, corruption, and data
+//!   loss are `i` instant events.
+//! * A `M` metadata record names every process/track, and caller-supplied
+//!   run metadata (RNG seed, config) lands in `otherData`.
+//!
+//! Everything is rendered through the deterministic `serde::Value` tree,
+//! so equal event streams produce byte-identical JSON.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::{Event, TimedEvent};
+
+use dvdc_simcore::time::SimTime;
+
+/// Cluster-wide spans (rounds, rebuilds) live on this pid.
+const CLUSTER_PID: u64 = 0;
+/// Round slices on the cluster process.
+const ROUNDS_TID: u64 = 0;
+/// Rebuild/scrub slices on the cluster process.
+const REBUILDS_TID: u64 = 1;
+
+/// Physical node `n` renders as process `n + 1`.
+fn node_pid(node: usize) -> u64 {
+    node as u64 + 1
+}
+
+fn us(at: SimTime) -> Value {
+    Value::F64(at.as_secs() * 1e6)
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+fn base(
+    ph: &str,
+    name: &str,
+    cat: &str,
+    ts: Value,
+    pid: u64,
+    tid: u64,
+    mut extra: Vec<(&str, Value)>,
+) -> Value {
+    let mut entries = vec![
+        ("name", Value::Str(name.to_owned())),
+        ("cat", Value::Str(cat.to_owned())),
+        ("ph", Value::Str(ph.to_owned())),
+        ("ts", ts),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+    ];
+    entries.append(&mut extra);
+    obj(entries)
+}
+
+fn args(entries: Vec<(&str, Value)>) -> (&'static str, Value) {
+    ("args", obj(entries))
+}
+
+/// Tracks a launched transfer until its terminal event arrives.
+#[derive(Clone, Copy)]
+struct OpenTransfer {
+    at: SimTime,
+    from: usize,
+    to: usize,
+    bytes: usize,
+    token_epoch: u64,
+}
+
+/// Builds the full trace envelope as a `Value` tree. See
+/// [`chrome_trace`] for the rendered form.
+pub fn chrome_trace_value(events: &[TimedEvent], other_data: &[(String, Value)]) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+    let mut threads: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    threads.insert((CLUSTER_PID, ROUNDS_TID), "rounds".to_owned());
+    let mut open_transfers: BTreeMap<u64, OpenTransfer> = BTreeMap::new();
+    // (epoch, phase-slice-open) for the round track, ditto for rebuilds.
+    let mut round_open: Option<(u64, bool)> = None;
+    let mut rebuild_open: Option<(usize, bool)> = None;
+
+    let instant = |out: &mut Vec<Value>,
+                   threads: &mut BTreeMap<(u64, u64), String>,
+                   at: SimTime,
+                   name: &str,
+                   cat: &str,
+                   node: usize,
+                   extra: Vec<(&str, Value)>| {
+        let pid = node_pid(node);
+        threads
+            .entry((pid, 0))
+            .or_insert_with(|| "events".to_owned());
+        let mut fields = vec![("s", Value::Str("p".to_owned()))];
+        fields.push(args(extra));
+        out.push(base("i", name, cat, us(at), pid, 0, fields));
+    };
+
+    for te in events {
+        let at = te.at;
+        match te.event {
+            Event::RoundBegin { epoch } => {
+                out.push(base(
+                    "B",
+                    &format!("round {epoch}"),
+                    "round",
+                    us(at),
+                    CLUSTER_PID,
+                    ROUNDS_TID,
+                    vec![args(vec![("epoch", Value::U64(epoch))])],
+                ));
+                round_open = Some((epoch, false));
+            }
+            Event::RoundPhase { epoch, phase } => {
+                if let Some((_, phase_open)) = round_open.as_mut() {
+                    if *phase_open {
+                        out.push(base(
+                            "E",
+                            "",
+                            "phase",
+                            us(at),
+                            CLUSTER_PID,
+                            ROUNDS_TID,
+                            vec![],
+                        ));
+                    }
+                    *phase_open = true;
+                }
+                out.push(base(
+                    "B",
+                    phase,
+                    "phase",
+                    us(at),
+                    CLUSTER_PID,
+                    ROUNDS_TID,
+                    vec![args(vec![("epoch", Value::U64(epoch))])],
+                ));
+            }
+            Event::RoundCommitted { epoch } | Event::RoundAborted { epoch, .. } => {
+                let outcome = match te.event {
+                    Event::RoundCommitted { .. } => "committed",
+                    _ => "aborted",
+                };
+                if let Some((_, phase_open)) = round_open.take() {
+                    if phase_open {
+                        out.push(base(
+                            "E",
+                            "",
+                            "phase",
+                            us(at),
+                            CLUSTER_PID,
+                            ROUNDS_TID,
+                            vec![],
+                        ));
+                    }
+                    out.push(base(
+                        "E",
+                        "",
+                        "round",
+                        us(at),
+                        CLUSTER_PID,
+                        ROUNDS_TID,
+                        vec![args(vec![
+                            ("epoch", Value::U64(epoch)),
+                            ("outcome", Value::Str(outcome.to_owned())),
+                        ])],
+                    ));
+                }
+            }
+            Event::RebuildBegin {
+                victim,
+                mode,
+                epoch,
+            } => {
+                threads
+                    .entry((CLUSTER_PID, REBUILDS_TID))
+                    .or_insert_with(|| "rebuilds".to_owned());
+                out.push(base(
+                    "B",
+                    &format!("rebuild node{victim} ({mode})"),
+                    "rebuild",
+                    us(at),
+                    CLUSTER_PID,
+                    REBUILDS_TID,
+                    vec![args(vec![
+                        ("victim", Value::U64(victim as u64)),
+                        ("mode", Value::Str(mode.to_owned())),
+                        ("epoch", Value::U64(epoch)),
+                    ])],
+                ));
+                rebuild_open = Some((victim, false));
+            }
+            Event::RebuildPhase { victim, phase } => {
+                if let Some((_, phase_open)) = rebuild_open.as_mut() {
+                    if *phase_open {
+                        out.push(base(
+                            "E",
+                            "",
+                            "rebuild-phase",
+                            us(at),
+                            CLUSTER_PID,
+                            REBUILDS_TID,
+                            vec![],
+                        ));
+                    }
+                    *phase_open = true;
+                }
+                out.push(base(
+                    "B",
+                    phase,
+                    "rebuild-phase",
+                    us(at),
+                    CLUSTER_PID,
+                    REBUILDS_TID,
+                    vec![args(vec![("victim", Value::U64(victim as u64))])],
+                ));
+            }
+            Event::RebuildCompleted { victim } | Event::RebuildAborted { victim, .. } => {
+                let outcome = match te.event {
+                    Event::RebuildCompleted { .. } => "completed",
+                    _ => "aborted",
+                };
+                if let Some((_, phase_open)) = rebuild_open.take() {
+                    if phase_open {
+                        out.push(base(
+                            "E",
+                            "",
+                            "rebuild-phase",
+                            us(at),
+                            CLUSTER_PID,
+                            REBUILDS_TID,
+                            vec![],
+                        ));
+                    }
+                    out.push(base(
+                        "E",
+                        "",
+                        "rebuild",
+                        us(at),
+                        CLUSTER_PID,
+                        REBUILDS_TID,
+                        vec![args(vec![
+                            ("victim", Value::U64(victim as u64)),
+                            ("outcome", Value::Str(outcome.to_owned())),
+                        ])],
+                    ));
+                }
+            }
+            Event::TransferLaunched {
+                id,
+                from,
+                to,
+                bytes,
+                token_epoch,
+            } => {
+                open_transfers.insert(
+                    id,
+                    OpenTransfer {
+                        at,
+                        from,
+                        to,
+                        bytes,
+                        token_epoch,
+                    },
+                );
+            }
+            Event::TransferArrived { id, .. }
+            | Event::TransferFenced { id, .. }
+            | Event::TransferDropped { id, .. } => {
+                let outcome = match te.event {
+                    Event::TransferArrived { .. } => "arrived",
+                    Event::TransferFenced { .. } => "fenced",
+                    _ => "dropped",
+                };
+                if let Some(open) = open_transfers.remove(&id) {
+                    let pid = node_pid(open.from);
+                    let tid = open.to as u64 + 1;
+                    threads
+                        .entry((pid, tid))
+                        .or_insert_with(|| format!("\u{2192} node{}", open.to));
+                    let dur = te.at.as_secs() - open.at.as_secs();
+                    let mut fields = vec![("dur", Value::F64(dur * 1e6))];
+                    let mut arg_fields = vec![
+                        ("id", Value::U64(id)),
+                        ("bytes", Value::U64(open.bytes as u64)),
+                        ("outcome", Value::Str(outcome.to_owned())),
+                    ];
+                    if open.token_epoch != crate::event::NO_TOKEN {
+                        arg_fields.push(("token_epoch", Value::U64(open.token_epoch)));
+                    }
+                    fields.push(args(arg_fields));
+                    out.push(base(
+                        "X",
+                        &format!("xfer node{} \u{2192} node{}", open.from, open.to),
+                        "transfer",
+                        us(open.at),
+                        pid,
+                        tid,
+                        fields,
+                    ));
+                }
+            }
+            Event::TransferRetried { id, attempt } => {
+                if let Some(open) = open_transfers.get(&id).copied() {
+                    instant(
+                        &mut out,
+                        &mut threads,
+                        at,
+                        "transfer_retry",
+                        "transfer",
+                        open.from,
+                        vec![
+                            ("id", Value::U64(id)),
+                            ("attempt", Value::U64(attempt as u64)),
+                        ],
+                    );
+                }
+            }
+            Event::HeartbeatArrived { node } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    "heartbeat",
+                    "detector",
+                    node,
+                    vec![],
+                );
+            }
+            Event::Suspected { node } | Event::Confirmed { node } | Event::Refuted { node } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    te.event.name(),
+                    "detector",
+                    node,
+                    vec![],
+                );
+            }
+            Event::FenceRaised { node, epoch } | Event::FenceReadmitted { node, epoch } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    te.event.name(),
+                    "fence",
+                    node,
+                    vec![("epoch", Value::U64(epoch))],
+                );
+            }
+            Event::ScrubCompleted {
+                verified,
+                corrupt,
+                repaired,
+            } => {
+                threads
+                    .entry((CLUSTER_PID, REBUILDS_TID))
+                    .or_insert_with(|| "rebuilds".to_owned());
+                out.push(base(
+                    "i",
+                    "scrub_completed",
+                    "scrub",
+                    us(at),
+                    CLUSTER_PID,
+                    REBUILDS_TID,
+                    vec![
+                        ("s", Value::Str("p".to_owned())),
+                        args(vec![
+                            ("verified", Value::U64(verified as u64)),
+                            ("corrupt", Value::U64(corrupt as u64)),
+                            ("repaired", Value::U64(repaired as u64)),
+                        ]),
+                    ],
+                ));
+            }
+            Event::CorruptionInjected { node, blocks } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    "corruption_injected",
+                    "fault",
+                    node,
+                    vec![("blocks", Value::U64(blocks as u64))],
+                );
+            }
+            Event::DataLoss { node, group } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    "data_loss",
+                    "loss",
+                    node,
+                    vec![("group", Value::U64(group as u64))],
+                );
+            }
+            Event::FaultInjected { node, kind } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    "fault_injected",
+                    "fault",
+                    node,
+                    vec![("kind", Value::Str(kind.to_owned()))],
+                );
+            }
+            Event::NodeHealed { node } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    "node_healed",
+                    "fault",
+                    node,
+                    vec![],
+                );
+            }
+            Event::JobRestarted { node } => {
+                instant(
+                    &mut out,
+                    &mut threads,
+                    at,
+                    "job_restarted",
+                    "loss",
+                    node,
+                    vec![],
+                );
+            }
+        }
+    }
+
+    // Metadata records: name every process and track that appeared.
+    let mut meta: Vec<Value> = Vec::new();
+    let mut pids: Vec<u64> = threads.keys().map(|&(pid, _)| pid).collect();
+    pids.dedup();
+    for pid in pids {
+        let name = if pid == CLUSTER_PID {
+            "cluster".to_owned()
+        } else {
+            format!("node{}", pid - 1)
+        };
+        meta.push(obj(vec![
+            ("name", Value::Str("process_name".to_owned())),
+            ("ph", Value::Str("M".to_owned())),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(0)),
+            ("args", obj(vec![("name", Value::Str(name))])),
+        ]));
+    }
+    for (&(pid, tid), name) in &threads {
+        meta.push(obj(vec![
+            ("name", Value::Str("thread_name".to_owned())),
+            ("ph", Value::Str("M".to_owned())),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(tid)),
+            ("args", obj(vec![("name", Value::Str(name.clone()))])),
+        ]));
+    }
+    meta.append(&mut out);
+
+    Value::Object(vec![
+        ("traceEvents".to_owned(), Value::Array(meta)),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+        ("otherData".to_owned(), Value::Object(other_data.to_vec())),
+    ])
+}
+
+/// Renders the trace envelope as JSON text. `other_data` entries (RNG
+/// seed, config description, …) are embedded verbatim under `otherData`.
+pub fn chrome_trace(events: &[TimedEvent], other_data: &[(String, Value)]) -> String {
+    serde_json::to_string_pretty(&ValueWrap(chrome_trace_value(events, other_data)))
+        .expect("rendering is total")
+}
+
+/// The vendored `serde_json` renders through `Serialize`; `Value` itself
+/// does not implement it, so wrap.
+struct ValueWrap(Value);
+
+impl serde::Serialize for ValueWrap {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, TraceRecorder};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn round_with_phases_nests_and_closes() {
+        let rec = TraceRecorder::unbounded();
+        rec.record(t(1.0), &Event::RoundBegin { epoch: 3 });
+        rec.record(
+            t(1.0),
+            &Event::RoundPhase {
+                epoch: 3,
+                phase: "Capture",
+            },
+        );
+        rec.record(
+            t(1.5),
+            &Event::RoundPhase {
+                epoch: 3,
+                phase: "Transfer",
+            },
+        );
+        rec.record(t(2.0), &Event::RoundCommitted { epoch: 3 });
+        let json = chrome_trace(&rec.events(), &[]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("round 3"));
+        assert!(json.contains("Capture"));
+        assert!(json.contains("Transfer"));
+        // 2 B(phase) + 1 B(round) balanced by 2 E(phase) + 1 E(round).
+        assert_eq!(json.matches("\"ph\": \"B\"").count(), 3);
+        assert_eq!(json.matches("\"ph\": \"E\"").count(), 3);
+    }
+
+    #[test]
+    fn transfer_becomes_complete_slice_with_duration() {
+        let rec = TraceRecorder::unbounded();
+        rec.record(
+            t(1.0),
+            &Event::TransferLaunched {
+                id: 9,
+                from: 2,
+                to: 5,
+                bytes: 4096,
+                token_epoch: 0,
+            },
+        );
+        rec.record(
+            t(1.25),
+            &Event::TransferArrived {
+                id: 9,
+                from: 2,
+                to: 5,
+                bytes: 4096,
+            },
+        );
+        let json = chrome_trace(&rec.events(), &[]);
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 250000.0"));
+        assert!(json.contains("xfer node2 \u{2192} node5"));
+        assert!(json.contains("\"bytes\": 4096"));
+    }
+
+    #[test]
+    fn instants_and_metadata_round_trip() {
+        let rec = TraceRecorder::unbounded();
+        rec.record(t(0.5), &Event::Suspected { node: 4 });
+        rec.record(t(0.6), &Event::Confirmed { node: 4 });
+        rec.record(t(0.6), &Event::FenceRaised { node: 4, epoch: 1 });
+        let json = chrome_trace(&rec.events(), &[("seed".to_owned(), Value::U64(42))]);
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("suspected"));
+        assert!(json.contains("confirmed"));
+        assert!(json.contains("fence_raised"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("node4"));
+        assert!(json.contains("\"seed\": 42"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The event vocabulary: every protocol happening the tracing layer can
+//! observe, expressed in primitive identifiers so the crate depends only
+//! on `dvdc-simcore`.
+
+/// Sentinel for a transfer launched without a fence token (legacy or
+/// never-valid launches). Matches the protocol's "never validates"
+/// epoch.
+pub const NO_TOKEN: u64 = u64::MAX;
+
+/// One observable protocol event.
+///
+/// Node, VM, and group identifiers are raw indices; phase and mode names
+/// are the `Debug` names of the protocol's own enums. Span-like pairs
+/// (round begin/commit, rebuild begin/complete) share a key (`epoch`,
+/// `victim`) so exporters can reconstruct durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A coordinated checkpoint round opened at `epoch`.
+    RoundBegin {
+        /// Epoch the round will commit.
+        epoch: u64,
+    },
+    /// The open round entered a phase (Capture, Transfer, Fold, Commit).
+    RoundPhase {
+        /// Epoch of the open round.
+        epoch: u64,
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// The open round committed.
+    RoundCommitted {
+        /// Epoch that committed.
+        epoch: u64,
+    },
+    /// The open round was aborted (rolled back) while in `phase`.
+    RoundAborted {
+        /// Epoch that was abandoned.
+        epoch: u64,
+        /// Phase the round was in when aborted.
+        phase: &'static str,
+    },
+
+    /// A node-to-node bulk transfer was launched.
+    TransferLaunched {
+        /// Ledger handle.
+        id: u64,
+        /// Sending node index.
+        from: usize,
+        /// Receiving node index.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+        /// Fence epoch stamped at launch, or [`NO_TOKEN`].
+        token_epoch: u64,
+    },
+    /// A transfer arrived and its payload was accepted.
+    TransferArrived {
+        /// Ledger handle.
+        id: u64,
+        /// Sending node index.
+        from: usize,
+        /// Receiving node index.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// A transfer arrived carrying a stale fence token; the payload was
+    /// rejected.
+    TransferFenced {
+        /// Ledger handle.
+        id: u64,
+        /// Node whose token went stale.
+        node: usize,
+        /// Fence epoch stamped at launch.
+        held_epoch: u64,
+        /// The node's fence epoch at arrival.
+        current_epoch: u64,
+    },
+    /// A failed send is being retried after backoff.
+    TransferRetried {
+        /// Ledger handle.
+        id: u64,
+        /// Which attempt just failed, 1-based.
+        attempt: u32,
+    },
+    /// A transfer was abandoned (retry budget spent, endpoint went dark,
+    /// or the round was abandoned).
+    TransferDropped {
+        /// Ledger handle.
+        id: u64,
+        /// Sending node index.
+        from: usize,
+        /// Receiving node index.
+        to: usize,
+        /// Payload size lost on the wire.
+        bytes: usize,
+    },
+
+    /// A heartbeat from `node` reached the detector.
+    HeartbeatArrived {
+        /// Monitored node index.
+        node: usize,
+    },
+    /// The detector began suspecting `node` (heartbeat deadline missed).
+    Suspected {
+        /// Suspect node index.
+        node: usize,
+    },
+    /// The detector confirmed `node` failed (grace period expired).
+    Confirmed {
+        /// Confirmed-dead node index.
+        node: usize,
+    },
+    /// A heartbeat arrived in time to clear the suspicion of `node`.
+    Refuted {
+        /// Cleared node index.
+        node: usize,
+    },
+
+    /// `node` was fenced; its fence epoch bumped to `epoch`.
+    FenceRaised {
+        /// Fenced node index.
+        node: usize,
+        /// The node's new fence epoch.
+        epoch: u64,
+    },
+    /// A fenced node was readmitted after resyncing (epoch unchanged).
+    FenceReadmitted {
+        /// Readmitted node index.
+        node: usize,
+        /// The fence epoch the node re-enters at.
+        epoch: u64,
+    },
+
+    /// A rebuild pipeline started for `victim`.
+    RebuildBegin {
+        /// Node being rebuilt (or scrubbed).
+        victim: usize,
+        /// Rebuild mode name (InPlace, Failover, Resync, Scrub).
+        mode: &'static str,
+        /// Committed epoch the rebuild decodes from.
+        epoch: u64,
+    },
+    /// The open rebuild entered a phase (FetchSurvivors, Decode, Place,
+    /// Readmit).
+    RebuildPhase {
+        /// Node being rebuilt.
+        victim: usize,
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// The open rebuild completed and the cluster was readmitted/rolled
+    /// back.
+    RebuildCompleted {
+        /// Node that was rebuilt.
+        victim: usize,
+    },
+    /// The open rebuild was abandoned (e.g. a cascading failure hit a
+    /// decode source) while in `phase`.
+    RebuildAborted {
+        /// Node whose rebuild was abandoned.
+        victim: usize,
+        /// Phase the rebuild was in when abandoned.
+        phase: &'static str,
+    },
+
+    /// An integrity scrub pass finished.
+    ScrubCompleted {
+        /// Blocks whose checksum was verified.
+        verified: usize,
+        /// Blocks found corrupt.
+        corrupt: usize,
+        /// Corrupt blocks repaired from parity.
+        repaired: usize,
+    },
+    /// Silent corruption was injected into `node`'s committed blocks.
+    CorruptionInjected {
+        /// Corrupted node index.
+        node: usize,
+        /// Blocks flipped.
+        blocks: usize,
+    },
+    /// A group exceeded its erasure tolerance — the data is gone.
+    DataLoss {
+        /// Node whose failure/corruption pushed the group past tolerance.
+        node: usize,
+        /// Group that could not be decoded.
+        group: usize,
+    },
+
+    /// A fault was injected into the cluster (driver-level view).
+    FaultInjected {
+        /// Faulted node index.
+        node: usize,
+        /// Fault kind name (Crash, Hang, Partition, Corruption).
+        kind: &'static str,
+    },
+    /// A transiently-faulted node woke up / healed.
+    NodeHealed {
+        /// Healed node index.
+        node: usize,
+    },
+    /// The job restarted from scratch after an unrecoverable failure.
+    JobRestarted {
+        /// Node whose failure forced the restart.
+        node: usize,
+    },
+}
+
+impl Event {
+    /// Short stable name for exporters and summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RoundBegin { .. } => "round_begin",
+            Event::RoundPhase { .. } => "round_phase",
+            Event::RoundCommitted { .. } => "round_committed",
+            Event::RoundAborted { .. } => "round_aborted",
+            Event::TransferLaunched { .. } => "transfer_launched",
+            Event::TransferArrived { .. } => "transfer_arrived",
+            Event::TransferFenced { .. } => "transfer_fenced",
+            Event::TransferRetried { .. } => "transfer_retried",
+            Event::TransferDropped { .. } => "transfer_dropped",
+            Event::HeartbeatArrived { .. } => "heartbeat",
+            Event::Suspected { .. } => "suspected",
+            Event::Confirmed { .. } => "confirmed",
+            Event::Refuted { .. } => "refuted",
+            Event::FenceRaised { .. } => "fence_raised",
+            Event::FenceReadmitted { .. } => "fence_readmitted",
+            Event::RebuildBegin { .. } => "rebuild_begin",
+            Event::RebuildPhase { .. } => "rebuild_phase",
+            Event::RebuildCompleted { .. } => "rebuild_completed",
+            Event::RebuildAborted { .. } => "rebuild_aborted",
+            Event::ScrubCompleted { .. } => "scrub_completed",
+            Event::CorruptionInjected { .. } => "corruption_injected",
+            Event::DataLoss { .. } => "data_loss",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::NodeHealed { .. } => "node_healed",
+            Event::JobRestarted { .. } => "job_restarted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Event::RoundBegin { epoch: 1 }.name(), "round_begin");
+        assert_eq!(Event::DataLoss { node: 1, group: 2 }.name(), "data_loss");
+    }
+}

@@ -1,0 +1,435 @@
+//! Metrics snapshot: folds a recorded timeline into counters, Welford
+//! summaries, and histograms built on [`dvdc_simcore::stats`].
+//!
+//! The snapshot is the aggregate companion of the Chrome trace: one JSON
+//! document with event counts, round/phase/rebuild duration statistics,
+//! transfer latency distribution, and per-node / per-group breakdowns.
+//! All maps are `BTreeMap`-ordered, so equal event streams render
+//! byte-identical JSON (the trace-determinism test relies on this).
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use dvdc_simcore::stats::{Histogram, Welford};
+use dvdc_simcore::time::SimTime;
+
+use crate::{Event, TimedEvent};
+
+/// Per-node transfer/detector tallies.
+#[derive(Debug, Default, Clone)]
+struct NodeAgg {
+    transfers_out: u64,
+    bytes_out: u64,
+    transfers_in: u64,
+    bytes_in: u64,
+    suspected: u64,
+    confirmed: u64,
+    refuted: u64,
+    fences: u64,
+}
+
+fn welford_value(w: &Welford) -> Value {
+    if w.count() == 0 {
+        return Value::Object(vec![("count".to_owned(), Value::U64(0))]);
+    }
+    Value::Object(vec![
+        ("count".to_owned(), Value::U64(w.count())),
+        ("mean".to_owned(), Value::F64(w.mean())),
+        ("std_dev".to_owned(), Value::F64(w.std_dev())),
+        ("min".to_owned(), Value::F64(w.min())),
+        ("max".to_owned(), Value::F64(w.max())),
+    ])
+}
+
+fn welford_map_value(map: &BTreeMap<&'static str, Welford>) -> Value {
+    Value::Object(
+        map.iter()
+            .map(|(k, w)| ((*k).to_owned(), welford_value(w)))
+            .collect(),
+    )
+}
+
+/// Fixed 16-bin histogram over the observed range; `Null` when fewer
+/// than two distinct observations exist.
+fn histogram_value(samples: &[f64]) -> Value {
+    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if samples.len() < 2 || hi <= lo {
+        return Value::Null;
+    }
+    let mut h = Histogram::new(lo, hi, 16);
+    for &s in samples {
+        h.push(s);
+    }
+    Value::Object(vec![
+        ("lo".to_owned(), Value::F64(lo)),
+        ("hi".to_owned(), Value::F64(hi)),
+        (
+            "bins".to_owned(),
+            Value::Array(h.bins().iter().map(|&c| Value::U64(c)).collect()),
+        ),
+        ("p50".to_owned(), Value::F64(h.quantile(0.5))),
+        ("p99".to_owned(), Value::F64(h.quantile(0.99))),
+    ])
+}
+
+/// Builds the metrics snapshot as a `Value` tree. See
+/// [`metrics_snapshot`] for the rendered form.
+pub fn metrics_snapshot_value(events: &[TimedEvent]) -> Value {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut nodes: BTreeMap<usize, NodeAgg> = BTreeMap::new();
+    let mut loss_by_group: BTreeMap<usize, u64> = BTreeMap::new();
+
+    // Round spans.
+    let mut round_start: Option<SimTime> = None;
+    let mut round_durations = Welford::new();
+    let mut round_samples: Vec<f64> = Vec::new();
+    let mut rounds_committed = 0u64;
+    let mut rounds_aborted = 0u64;
+
+    // Phase spans (round phases and rebuild phases share the machinery).
+    let mut phase_open: Option<(&'static str, SimTime)> = None;
+    let mut phase_durations: BTreeMap<&'static str, Welford> = BTreeMap::new();
+    let mut rebuild_phase_open: Option<(&'static str, SimTime)> = None;
+    let mut rebuild_phase_durations: BTreeMap<&'static str, Welford> = BTreeMap::new();
+
+    // Rebuild spans, by mode.
+    let mut rebuild_open: Option<(&'static str, SimTime)> = None;
+    let mut rebuild_durations: BTreeMap<&'static str, Welford> = BTreeMap::new();
+    let mut rebuilds_completed = 0u64;
+    let mut rebuilds_aborted = 0u64;
+
+    // Transfers.
+    let mut open_transfers: BTreeMap<u64, (SimTime, usize)> = BTreeMap::new();
+    let mut transfer_latency = Welford::new();
+    let mut latency_samples: Vec<f64> = Vec::new();
+    let mut bytes_completed = 0u64;
+    let mut bytes_dropped = 0u64;
+
+    // Scrub totals.
+    let (mut scrub_passes, mut scrub_verified, mut scrub_corrupt, mut scrub_repaired) =
+        (0u64, 0u64, 0u64, 0u64);
+
+    let close_phase = |open: &mut Option<(&'static str, SimTime)>,
+                       durations: &mut BTreeMap<&'static str, Welford>,
+                       at: SimTime| {
+        if let Some((name, start)) = open.take() {
+            durations
+                .entry(name)
+                .or_default()
+                .push(at.since(start).as_secs());
+        }
+    };
+
+    for te in events {
+        *counts.entry(te.event.name()).or_insert(0) += 1;
+        let at = te.at;
+        match te.event {
+            Event::RoundBegin { .. } => round_start = Some(at),
+            Event::RoundPhase { phase, .. } => {
+                close_phase(&mut phase_open, &mut phase_durations, at);
+                phase_open = Some((phase, at));
+            }
+            Event::RoundCommitted { .. } | Event::RoundAborted { .. } => {
+                close_phase(&mut phase_open, &mut phase_durations, at);
+                if let Some(start) = round_start.take() {
+                    if matches!(te.event, Event::RoundCommitted { .. }) {
+                        let d = at.since(start).as_secs();
+                        round_durations.push(d);
+                        round_samples.push(d);
+                    }
+                }
+                match te.event {
+                    Event::RoundCommitted { .. } => rounds_committed += 1,
+                    _ => rounds_aborted += 1,
+                }
+            }
+            Event::RebuildBegin { mode, .. } => {
+                rebuild_open = Some((mode, at));
+            }
+            Event::RebuildPhase { phase, .. } => {
+                close_phase(&mut rebuild_phase_open, &mut rebuild_phase_durations, at);
+                rebuild_phase_open = Some((phase, at));
+            }
+            Event::RebuildCompleted { .. } | Event::RebuildAborted { .. } => {
+                close_phase(&mut rebuild_phase_open, &mut rebuild_phase_durations, at);
+                if let Some((mode, start)) = rebuild_open.take() {
+                    if matches!(te.event, Event::RebuildCompleted { .. }) {
+                        rebuild_durations
+                            .entry(mode)
+                            .or_default()
+                            .push(at.since(start).as_secs());
+                    }
+                }
+                match te.event {
+                    Event::RebuildCompleted { .. } => rebuilds_completed += 1,
+                    _ => rebuilds_aborted += 1,
+                }
+            }
+            Event::TransferLaunched {
+                id, from, bytes, ..
+            } => {
+                open_transfers.insert(id, (at, bytes));
+                let agg = nodes.entry(from).or_default();
+                agg.transfers_out += 1;
+                agg.bytes_out += bytes as u64;
+            }
+            Event::TransferArrived { id, to, bytes, .. } => {
+                if let Some((start, _)) = open_transfers.remove(&id) {
+                    let lat = at.since(start).as_secs();
+                    transfer_latency.push(lat);
+                    latency_samples.push(lat);
+                }
+                bytes_completed += bytes as u64;
+                let agg = nodes.entry(to).or_default();
+                agg.transfers_in += 1;
+                agg.bytes_in += bytes as u64;
+            }
+            Event::TransferFenced { id, .. } => {
+                if let Some((_, bytes)) = open_transfers.remove(&id) {
+                    bytes_dropped += bytes as u64;
+                }
+            }
+            Event::TransferDropped { id, bytes, .. } => {
+                open_transfers.remove(&id);
+                bytes_dropped += bytes as u64;
+            }
+            Event::Suspected { node } => nodes.entry(node).or_default().suspected += 1,
+            Event::Confirmed { node } => nodes.entry(node).or_default().confirmed += 1,
+            Event::Refuted { node } => nodes.entry(node).or_default().refuted += 1,
+            Event::FenceRaised { node, .. } => nodes.entry(node).or_default().fences += 1,
+            Event::ScrubCompleted {
+                verified,
+                corrupt,
+                repaired,
+            } => {
+                scrub_passes += 1;
+                scrub_verified += verified as u64;
+                scrub_corrupt += corrupt as u64;
+                scrub_repaired += repaired as u64;
+            }
+            Event::DataLoss { group, .. } => {
+                *loss_by_group.entry(group).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let count_of = |name: &str| counts.get(name).copied().unwrap_or(0);
+
+    let per_node = Value::Object(
+        nodes
+            .iter()
+            .map(|(node, a)| {
+                (
+                    format!("node{node}"),
+                    Value::Object(vec![
+                        ("transfers_out".to_owned(), Value::U64(a.transfers_out)),
+                        ("bytes_out".to_owned(), Value::U64(a.bytes_out)),
+                        ("transfers_in".to_owned(), Value::U64(a.transfers_in)),
+                        ("bytes_in".to_owned(), Value::U64(a.bytes_in)),
+                        ("suspected".to_owned(), Value::U64(a.suspected)),
+                        ("confirmed".to_owned(), Value::U64(a.confirmed)),
+                        ("refuted".to_owned(), Value::U64(a.refuted)),
+                        ("fences".to_owned(), Value::U64(a.fences)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+
+    Value::Object(vec![
+        ("events".to_owned(), Value::U64(events.len() as u64)),
+        (
+            "counts".to_owned(),
+            Value::Object(
+                counts
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), Value::U64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "rounds".to_owned(),
+            Value::Object(vec![
+                ("committed".to_owned(), Value::U64(rounds_committed)),
+                ("aborted".to_owned(), Value::U64(rounds_aborted)),
+                ("duration".to_owned(), welford_value(&round_durations)),
+                (
+                    "duration_histogram".to_owned(),
+                    histogram_value(&round_samples),
+                ),
+                ("phases".to_owned(), welford_map_value(&phase_durations)),
+            ]),
+        ),
+        (
+            "transfers".to_owned(),
+            Value::Object(vec![
+                (
+                    "launched".to_owned(),
+                    Value::U64(count_of("transfer_launched")),
+                ),
+                (
+                    "arrived".to_owned(),
+                    Value::U64(count_of("transfer_arrived")),
+                ),
+                ("fenced".to_owned(), Value::U64(count_of("transfer_fenced"))),
+                (
+                    "retried".to_owned(),
+                    Value::U64(count_of("transfer_retried")),
+                ),
+                (
+                    "dropped".to_owned(),
+                    Value::U64(count_of("transfer_dropped")),
+                ),
+                ("bytes_completed".to_owned(), Value::U64(bytes_completed)),
+                ("bytes_dropped".to_owned(), Value::U64(bytes_dropped)),
+                ("latency".to_owned(), welford_value(&transfer_latency)),
+                (
+                    "latency_histogram".to_owned(),
+                    histogram_value(&latency_samples),
+                ),
+            ]),
+        ),
+        (
+            "detector".to_owned(),
+            Value::Object(vec![
+                ("heartbeats".to_owned(), Value::U64(count_of("heartbeat"))),
+                ("suspected".to_owned(), Value::U64(count_of("suspected"))),
+                ("confirmed".to_owned(), Value::U64(count_of("confirmed"))),
+                ("refuted".to_owned(), Value::U64(count_of("refuted"))),
+            ]),
+        ),
+        (
+            "fences".to_owned(),
+            Value::Object(vec![
+                ("raised".to_owned(), Value::U64(count_of("fence_raised"))),
+                (
+                    "readmitted".to_owned(),
+                    Value::U64(count_of("fence_readmitted")),
+                ),
+            ]),
+        ),
+        (
+            "rebuilds".to_owned(),
+            Value::Object(vec![
+                ("begun".to_owned(), Value::U64(count_of("rebuild_begin"))),
+                ("completed".to_owned(), Value::U64(rebuilds_completed)),
+                ("aborted".to_owned(), Value::U64(rebuilds_aborted)),
+                (
+                    "duration_by_mode".to_owned(),
+                    welford_map_value(&rebuild_durations),
+                ),
+                (
+                    "phases".to_owned(),
+                    welford_map_value(&rebuild_phase_durations),
+                ),
+            ]),
+        ),
+        (
+            "scrub".to_owned(),
+            Value::Object(vec![
+                ("passes".to_owned(), Value::U64(scrub_passes)),
+                ("verified".to_owned(), Value::U64(scrub_verified)),
+                ("corrupt".to_owned(), Value::U64(scrub_corrupt)),
+                ("repaired".to_owned(), Value::U64(scrub_repaired)),
+            ]),
+        ),
+        (
+            "loss".to_owned(),
+            Value::Object(vec![
+                ("data_loss".to_owned(), Value::U64(count_of("data_loss"))),
+                (
+                    "job_restarts".to_owned(),
+                    Value::U64(count_of("job_restarted")),
+                ),
+                (
+                    "by_group".to_owned(),
+                    Value::Object(
+                        loss_by_group
+                            .iter()
+                            .map(|(g, n)| (format!("group{g}"), Value::U64(*n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("per_node".to_owned(), per_node),
+    ])
+}
+
+/// Renders the metrics snapshot as pretty JSON.
+pub fn metrics_snapshot(events: &[TimedEvent]) -> String {
+    struct W(Value);
+    impl serde::Serialize for W {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string_pretty(&W(metrics_snapshot_value(events))).expect("rendering is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, TraceRecorder};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn snapshot_aggregates_rounds_and_transfers() {
+        let rec = TraceRecorder::unbounded();
+        rec.record(t(0.0), &Event::RoundBegin { epoch: 1 });
+        rec.record(
+            t(0.0),
+            &Event::RoundPhase {
+                epoch: 1,
+                phase: "Capture",
+            },
+        );
+        rec.record(
+            t(1.0),
+            &Event::RoundPhase {
+                epoch: 1,
+                phase: "Transfer",
+            },
+        );
+        rec.record(
+            t(1.0),
+            &Event::TransferLaunched {
+                id: 0,
+                from: 0,
+                to: 1,
+                bytes: 100,
+                token_epoch: 0,
+            },
+        );
+        rec.record(
+            t(1.5),
+            &Event::TransferArrived {
+                id: 0,
+                from: 0,
+                to: 1,
+                bytes: 100,
+            },
+        );
+        rec.record(t(2.0), &Event::RoundCommitted { epoch: 1 });
+        let json = metrics_snapshot(&rec.events());
+        assert!(json.contains("\"committed\": 1"));
+        assert!(json.contains("\"bytes_completed\": 100"));
+        assert!(json.contains("\"node0\""));
+        assert!(json.contains("\"Capture\""));
+        // Round took 2.0 simulated seconds.
+        assert!(json.contains("\"mean\": 2.0"));
+    }
+
+    #[test]
+    fn empty_stream_renders_cleanly() {
+        let json = metrics_snapshot(&[]);
+        assert!(json.contains("\"events\": 0"));
+        assert!(json.contains("\"duration_histogram\": null"));
+    }
+}

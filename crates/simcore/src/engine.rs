@@ -14,17 +14,17 @@ use crate::event::EventQueue;
 use crate::time::{Duration, SimTime};
 
 /// A buffered cancellation predicate (see [`Scheduler::cancel_where`]).
-type CancelPredicate<E> = Box<dyn FnMut(&E) -> bool>;
+type CancelPredicate<'a, E> = Box<dyn FnMut(&E) -> bool + 'a>;
 
 /// Event-scheduling proxy handed to handlers. New events are buffered and
 /// committed to the queue when the handler returns.
-pub struct Scheduler<E> {
+pub struct Scheduler<'a, E> {
     now: SimTime,
     pending: Vec<(SimTime, E)>,
-    cancellations: Vec<CancelPredicate<E>>,
+    cancellations: Vec<CancelPredicate<'a, E>>,
 }
 
-impl<E> std::fmt::Debug for Scheduler<E> {
+impl<E> std::fmt::Debug for Scheduler<'_, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("now", &self.now)
@@ -34,7 +34,7 @@ impl<E> std::fmt::Debug for Scheduler<E> {
     }
 }
 
-impl<E> Scheduler<E> {
+impl<'a, E> Scheduler<'a, E> {
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -62,7 +62,11 @@ impl<E> Scheduler<E> {
     /// This is how an interrupting event (a node fault) retracts the
     /// follow-up work of whatever it interrupted (the phase steps of an
     /// in-flight checkpoint round).
-    pub fn cancel_where<F: FnMut(&E) -> bool + 'static>(&mut self, doomed: F) {
+    ///
+    /// The predicate may borrow from the handler's environment — the
+    /// same `FnMut(&E) -> bool` bound as [`Simulation::cancel_where`],
+    /// with no `'static` requirement.
+    pub fn cancel_where<F: FnMut(&E) -> bool + 'a>(&mut self, doomed: F) {
         self.cancellations.push(Box::new(doomed));
     }
 }
@@ -110,9 +114,46 @@ impl<W, E> Simulation<W, E> {
     /// Runs events until the queue drains or an event at or beyond
     /// `horizon` would fire (events exactly at the horizon are not
     /// delivered). Returns the number of events processed.
-    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> u64
+    ///
+    /// The handler closure is the engine's entire hook surface: it
+    /// consumes each event, mutates the world, and uses the
+    /// [`Scheduler`] proxy to enqueue follow-ups or retract pending
+    /// work — including with predicates that borrow its environment.
+    ///
+    /// # Example
+    /// ```
+    /// use dvdc_simcore::engine::Simulation;
+    /// use dvdc_simcore::time::SimTime;
+    ///
+    /// #[derive(Debug, PartialEq)]
+    /// enum Ev {
+    ///     Tick(u32),
+    ///     Fault,
+    /// }
+    ///
+    /// let mut sim = Simulation::new(Vec::new());
+    /// for i in 0u32..4 {
+    ///     sim.schedule(SimTime::from_secs(1.0 + f64::from(i)), Ev::Tick(i));
+    /// }
+    /// sim.schedule(SimTime::from_secs(2.5), Ev::Fault);
+    ///
+    /// let cancel_from = 2; // borrowed by the cancellation predicate
+    /// sim.run_until(SimTime::from_secs(10.0), |log: &mut Vec<u32>, sched, ev| {
+    ///     match ev {
+    ///         Ev::Tick(n) => log.push(n),
+    ///         // The fault retracts every tick still pending.
+    ///         Ev::Fault => sched.cancel_where(|e| match e {
+    ///             Ev::Tick(n) => *n >= cancel_from,
+    ///             Ev::Fault => false,
+    ///         }),
+    ///     }
+    /// });
+    /// assert_eq!(sim.world, vec![0, 1]);
+    /// ```
+    pub fn run_until<'a, F>(&mut self, horizon: SimTime, mut handler: F) -> u64
     where
-        F: FnMut(&mut W, &mut Scheduler<E>, E),
+        E: 'a,
+        F: FnMut(&mut W, &mut Scheduler<'a, E>, E),
     {
         let mut processed = 0;
         while let Some(t) = self.queue.peek_time() {
@@ -147,9 +188,10 @@ impl<W, E> Simulation<W, E> {
     ///
     /// Beware: a self-perpetuating model never drains; use
     /// [`Simulation::run_until`] for those.
-    pub fn run_to_completion<F>(&mut self, handler: F) -> u64
+    pub fn run_to_completion<'a, F>(&mut self, handler: F) -> u64
     where
-        F: FnMut(&mut W, &mut Scheduler<E>, E),
+        E: 'a,
+        F: FnMut(&mut W, &mut Scheduler<'a, E>, E),
     {
         self.run_until(SimTime::from_secs(f64::MAX / 2.0), handler)
     }
@@ -282,6 +324,26 @@ mod tests {
             vec![Ev::Step(0), Ev::Step(1), Ev::Fault],
             "steps after the fault must have been cancelled"
         );
+    }
+
+    #[test]
+    fn handler_cancellation_accepts_borrowing_predicates() {
+        // The unified bound: a predicate that borrows from the handler's
+        // environment (non-'static) is accepted, matching
+        // `Simulation::cancel_where`.
+        let mut sim = Simulation::new(Vec::new());
+        for i in 0u32..5 {
+            sim.schedule(SimTime::from_secs(1.0 + f64::from(i)), i);
+        }
+        let threshold = 2u32;
+        let threshold_ref = &threshold;
+        sim.run_to_completion(|log: &mut Vec<u32>, sched, ev| {
+            log.push(ev);
+            if ev == 0 {
+                sched.cancel_where(|e| *e >= *threshold_ref);
+            }
+        });
+        assert_eq!(sim.world, vec![0, 1]);
     }
 
     #[test]

@@ -188,6 +188,8 @@ pub struct FenceRegistry {
     epochs: BTreeMap<NodeId, u64>,
     fenced: BTreeSet<NodeId>,
     fences_raised: u64,
+    journal_enabled: bool,
+    journal: Vec<FenceEvent>,
 }
 
 impl FenceRegistry {
@@ -223,15 +225,38 @@ impl FenceRegistry {
     /// per incident — fencing an already-fenced node bumps again, which
     /// is harmless since the node holds no valid tokens to invalidate.
     pub fn fence(&mut self, node: NodeId) {
-        *self.epochs.entry(node).or_insert(0) += 1;
+        let epoch = self.epochs.entry(node).or_insert(0);
+        *epoch += 1;
+        let epoch = *epoch;
         self.fenced.insert(node);
         self.fences_raised += 1;
+        if self.journal_enabled {
+            self.journal.push(FenceEvent::Raised { node, epoch });
+        }
     }
 
     /// Readmits a fenced node after it resynced from committed state. Its
     /// epoch keeps the post-fence value, so pre-fence tokens stay dead.
     pub fn readmit(&mut self, node: NodeId) {
-        self.fenced.remove(&node);
+        if self.fenced.remove(&node) && self.journal_enabled {
+            self.journal.push(FenceEvent::Readmitted {
+                node,
+                epoch: self.epoch_of(node),
+            });
+        }
+    }
+
+    /// Turns the event journal on. Off by default so untraced runs pay
+    /// nothing; the tracing layer drains it via
+    /// [`FenceRegistry::take_events`] after every step.
+    pub fn enable_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Drains the journal entries accumulated since the last call (empty
+    /// unless [`FenceRegistry::enable_journal`] was called).
+    pub fn take_events(&mut self) -> Vec<FenceEvent> {
+        std::mem::take(&mut self.journal)
     }
 
     /// True if `token` is still good: its holder is unfenced and the
@@ -245,6 +270,26 @@ impl FenceRegistry {
     pub fn fences_raised(&self) -> u64 {
         self.fences_raised
     }
+}
+
+/// One entry in the [`FenceRegistry`]'s journal (see
+/// [`FenceRegistry::take_events`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceEvent {
+    /// The node was fenced; `epoch` is its new (post-bump) fence epoch.
+    Raised {
+        /// The fenced node.
+        node: NodeId,
+        /// The node's fence epoch after the bump.
+        epoch: u64,
+    },
+    /// The node was readmitted after resyncing; `epoch` is unchanged.
+    Readmitted {
+        /// The readmitted node.
+        node: NodeId,
+        /// The fence epoch the node re-enters at.
+        epoch: u64,
+    },
 }
 
 /// Typed failure from [`TransferLedger::try_complete`] — the graceful
@@ -352,6 +397,56 @@ pub struct NodeTransfer {
     pub bytes: usize,
 }
 
+/// One entry in the [`TransferLedger`]'s journal (see
+/// [`TransferLedger::take_events`]): the full life cycle of node-level
+/// transfers, in the order it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerEvent {
+    /// A transfer was opened.
+    Launched {
+        /// Ledger handle.
+        id: u64,
+        /// The transfer.
+        transfer: NodeTransfer,
+        /// Fence epoch stamped at launch (`None` for unfenced launches).
+        token_epoch: Option<u64>,
+    },
+    /// A transfer was delivered and accepted.
+    Completed {
+        /// Ledger handle.
+        id: u64,
+        /// The transfer.
+        transfer: NodeTransfer,
+    },
+    /// A transfer arrived with a stale fence token; the payload was
+    /// rejected and the bytes counted as dropped.
+    FencedRejection {
+        /// Ledger handle.
+        id: u64,
+        /// Node whose token went stale.
+        node: NodeId,
+        /// Fence epoch stamped at launch.
+        held_epoch: u64,
+        /// The node's fence epoch at arrival.
+        current_epoch: u64,
+    },
+    /// A failed send is being retried after backoff.
+    Retried {
+        /// Ledger handle.
+        id: u64,
+        /// Which attempt just failed, 1-based.
+        attempt: u32,
+    },
+    /// A transfer was abandoned: retry budget spent, an endpoint went
+    /// dark, or the round was abandoned.
+    Dropped {
+        /// Ledger handle.
+        id: u64,
+        /// The transfer.
+        transfer: NodeTransfer,
+    },
+}
+
 /// In-flight accounting for node-level bulk transfers.
 ///
 /// A diskless-checkpoint round ships deltas from VM hosts to parity
@@ -368,6 +463,8 @@ pub struct TransferLedger {
     dropped_bytes: usize,
     fenced_rejections: u64,
     retries: u64,
+    journal_enabled: bool,
+    journal: Vec<LedgerEvent>,
 }
 
 /// An open transfer plus the fence token it was launched under (legacy
@@ -415,7 +512,27 @@ impl TransferLedger {
                 attempts: 1,
             },
         );
+        if self.journal_enabled {
+            self.journal.push(LedgerEvent::Launched {
+                id,
+                transfer,
+                token_epoch: token.map(|t| t.epoch),
+            });
+        }
         id
+    }
+
+    /// Turns the event journal on. Off by default so untraced runs pay
+    /// nothing; the tracing layer drains it via
+    /// [`TransferLedger::take_events`] after every step.
+    pub fn enable_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Drains the journal entries accumulated since the last call (empty
+    /// unless [`TransferLedger::enable_journal`] was called).
+    pub fn take_events(&mut self) -> Vec<LedgerEvent> {
+        std::mem::take(&mut self.journal)
     }
 
     /// Reports a failed send attempt on an open transfer (the wire
@@ -437,12 +554,24 @@ impl TransferLedger {
         if failed_attempt >= policy.max_attempts {
             let o = self.open.remove(&id).expect("entry exists");
             self.dropped_bytes += o.transfer.bytes;
+            if self.journal_enabled {
+                self.journal.push(LedgerEvent::Dropped {
+                    id,
+                    transfer: o.transfer,
+                });
+            }
             return Ok(RetryDecision::Exhausted {
                 transfer: o.transfer,
             });
         }
         o.attempts += 1;
         self.retries += 1;
+        if self.journal_enabled {
+            self.journal.push(LedgerEvent::Retried {
+                id,
+                attempt: failed_attempt,
+            });
+        }
         Ok(RetryDecision::Retry {
             attempt: failed_attempt,
             backoff: policy.backoff_for(failed_attempt),
@@ -460,6 +589,12 @@ impl TransferLedger {
     pub fn complete(&mut self, id: u64) -> Option<NodeTransfer> {
         let o = self.open.remove(&id)?;
         self.completed_bytes += o.transfer.bytes;
+        if self.journal_enabled {
+            self.journal.push(LedgerEvent::Completed {
+                id,
+                transfer: o.transfer,
+            });
+        }
         Some(o.transfer)
     }
 
@@ -485,15 +620,30 @@ impl TransferLedger {
                 self.open.remove(&id);
                 self.dropped_bytes += o.transfer.bytes;
                 self.fenced_rejections += 1;
+                let current_epoch = fences.epoch_of(token.node);
+                if self.journal_enabled {
+                    self.journal.push(LedgerEvent::FencedRejection {
+                        id,
+                        node: token.node,
+                        held_epoch: token.epoch,
+                        current_epoch,
+                    });
+                }
                 return Err(LedgerError::Fenced {
                     node: token.node,
                     held_epoch: token.epoch,
-                    current_epoch: fences.epoch_of(token.node),
+                    current_epoch,
                 });
             }
         }
         self.open.remove(&id);
         self.completed_bytes += o.transfer.bytes;
+        if self.journal_enabled {
+            self.journal.push(LedgerEvent::Completed {
+                id,
+                transfer: o.transfer,
+            });
+        }
         Ok(o.transfer)
     }
 
@@ -518,15 +668,22 @@ impl TransferLedger {
     /// returning the casualties in handle order.
     pub fn drop_involving(&mut self, node: NodeId) -> Vec<NodeTransfer> {
         let mut out = Vec::new();
-        self.open.retain(|_, o| {
+        let mut dropped_ids = Vec::new();
+        self.open.retain(|&id, o| {
             if o.transfer.from == node || o.transfer.to == node {
                 out.push(o.transfer);
+                dropped_ids.push(id);
                 false
             } else {
                 true
             }
         });
         self.dropped_bytes += out.iter().map(|t| t.bytes).sum::<usize>();
+        if self.journal_enabled {
+            for (&id, &transfer) in dropped_ids.iter().zip(out.iter()) {
+                self.journal.push(LedgerEvent::Dropped { id, transfer });
+            }
+        }
         out
     }
 
@@ -534,6 +691,14 @@ impl TransferLedger {
     pub fn drop_all(&mut self) -> usize {
         let n = self.open.len();
         self.dropped_bytes += self.in_flight_bytes();
+        if self.journal_enabled {
+            for (&id, o) in &self.open {
+                self.journal.push(LedgerEvent::Dropped {
+                    id,
+                    transfer: o.transfer,
+                });
+            }
+        }
         self.open.clear();
         n
     }
@@ -791,6 +956,76 @@ mod tests {
             "exponent grows with the attempt number"
         );
         assert!(p.backoff_for(2) > p.backoff_for(1));
+    }
+
+    #[test]
+    fn journals_record_the_transfer_life_cycle() {
+        let mut fences = FenceRegistry::new();
+        fences.enable_journal();
+        let mut ledger = TransferLedger::new();
+        ledger.enable_journal();
+
+        let token = fences.token(NodeId(0)).unwrap();
+        let a = ledger.begin_with_token(NodeId(0), NodeId(1), 100, token);
+        let b = ledger.begin(NodeId(2), NodeId(1), 50);
+        fences.fence(NodeId(0));
+        assert!(ledger.try_complete(a, &fences).is_err());
+        assert!(ledger.try_complete(b, &fences).is_ok());
+        fences.readmit(NodeId(0));
+
+        let evs = ledger.take_events();
+        assert_eq!(evs.len(), 4);
+        assert!(matches!(
+            evs[0],
+            LedgerEvent::Launched {
+                id,
+                token_epoch: Some(0),
+                ..
+            } if id == a
+        ));
+        assert!(matches!(
+            evs[1],
+            LedgerEvent::Launched {
+                token_epoch: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            evs[2],
+            LedgerEvent::FencedRejection {
+                held_epoch: 0,
+                current_epoch: 1,
+                ..
+            }
+        ));
+        assert!(matches!(evs[3], LedgerEvent::Completed { id, .. } if id == b));
+        assert!(ledger.take_events().is_empty(), "journal drains");
+
+        let fev = fences.take_events();
+        assert_eq!(
+            fev,
+            vec![
+                FenceEvent::Raised {
+                    node: NodeId(0),
+                    epoch: 1
+                },
+                FenceEvent::Readmitted {
+                    node: NodeId(0),
+                    epoch: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn journal_is_off_by_default() {
+        let mut ledger = TransferLedger::new();
+        let id = ledger.begin(NodeId(0), NodeId(1), 10);
+        ledger.complete(id);
+        assert!(ledger.take_events().is_empty());
+        let mut fences = FenceRegistry::new();
+        fences.fence(NodeId(3));
+        assert!(fences.take_events().is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! carries the exact command line to replay the failing run.
 
 use std::fmt;
+use std::rc::Rc;
 
 use dvdc::placement::GroupPlacement;
 use dvdc::protocol::{
@@ -22,6 +23,8 @@ use dvdc::protocol::{
 };
 use dvdc_checkpoint::strategy::Mode;
 use dvdc_faults::{ClusterFaultPlan, NodeFault, PeerSet, PlanCursor};
+use dvdc_observe::audit::InvariantAuditor;
+use dvdc_observe::{Fanout, Recorder, RecorderHandle, TraceRecorder};
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
@@ -110,6 +113,36 @@ fn repro(seed: u64, test: &str) -> String {
     )
 }
 
+/// Dumps the tail of the trace ring when a chaos assertion panics, so a
+/// failing run ships its last ~64 protocol events alongside the repro
+/// command without re-running under `DVDC_CHAOS_TRACE`.
+struct TraceDumpGuard {
+    trace: Rc<TraceRecorder>,
+    repro: String,
+}
+
+impl Drop for TraceDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let events = self.trace.events();
+            eprintln!(
+                "--- last {} trace events before the panic ({} older events dropped) ---",
+                events.len(),
+                self.trace.dropped()
+            );
+            for ev in &events {
+                eprintln!(
+                    "  [{:>12.6}s] #{:<6} {:?}",
+                    ev.at.as_secs(),
+                    ev.seq,
+                    ev.event
+                );
+            }
+            eprintln!("--- {} ---", self.repro);
+        }
+    }
+}
+
 /// The seeds a test sweeps: `DVDC_CHAOS_SEED` (one seed) if set, the
 /// test's default range otherwise.
 fn seeds(default: std::ops::Range<u64>) -> Vec<u64> {
@@ -168,6 +201,21 @@ fn chaos_run(
     let hub = RngHub::new(seed);
     let mut rng = hub.stream("chaos");
     let mut stats = ChaosStats::default();
+
+    // Every chaos run streams its events through the invariant auditor
+    // (the causal-ordering checks run online, against the live stream)
+    // and a 64-event trace ring whose tail the panic guard dumps next
+    // to the seed-repro command.
+    let trace = Rc::new(TraceRecorder::ring(64));
+    let audit = Rc::new(InvariantAuditor::new());
+    protocol.set_recorder(RecorderHandle::new(Rc::new(Fanout::new(vec![
+        RecorderHandle::new(trace.clone()),
+        RecorderHandle::new(audit.clone()),
+    ]))));
+    let _guard = TraceDumpGuard {
+        trace,
+        repro: repro(seed, test),
+    };
 
     // Committed reference state (what a rollback must restore).
     protocol.run_round(&mut cluster).unwrap();
@@ -380,6 +428,7 @@ fn chaos_run(
                     // byte-exactly, so the run ends here — recorded,
                     // never a panic.
                     stats.data_loss += outcome.data_loss().len();
+                    audit.assert_clean();
                     return stats;
                 }
                 assert!(
@@ -503,6 +552,7 @@ fn chaos_run(
                     }
                 }
                 if lost {
+                    audit.assert_clean();
                     return stats;
                 }
                 assert_rolled_back(&cluster, &committed, &rctx);
@@ -550,12 +600,87 @@ fn chaos_run(
         }
     }
 
+    audit.assert_clean();
+    assert!(
+        audit.events_seen() > 0,
+        "seed={seed}: the auditor saw no events — recorder wiring is broken; {}",
+        repro(seed, test)
+    );
     assert!(
         stats.mid_round_kills >= 1,
         "seed={seed}: chaos run never exercised a mid-round kill; {}",
         repro(seed, test)
     );
     stats
+}
+
+/// Negative control for the auditor: record a genuine crash round, then
+/// replay the stream with one `Suspected`/`Confirmed` pair swapped. The
+/// original stream must be clean; the reordered one must not be — proof
+/// the auditor actually checks causal order rather than event presence.
+#[test]
+fn auditor_flags_injected_ordering_violation() {
+    let mut cluster = ClusterBuilder::new()
+        .physical_nodes(4)
+        .vms_per_node(3)
+        .vm_memory(8, 32)
+        .writes_per_sec(300.0)
+        .build(7);
+    let placement = GroupPlacement::orthogonal_with_parity(&cluster, 3, 1).unwrap();
+    let mut protocol = DvdcProtocol::new(placement);
+    let trace = Rc::new(TraceRecorder::unbounded());
+    protocol.set_recorder(RecorderHandle::new(trace.clone()));
+    protocol.run_round(&mut cluster).unwrap();
+
+    // A crash mid-round draws Suspected -> Confirmed -> fence -> rebuild.
+    let plan = ClusterFaultPlan::new(vec![NodeFault::crash(
+        1,
+        SimTime::from_secs(1e-7),
+        Duration::ZERO,
+    )]);
+    let mut cursor = PlanCursor::new(&plan);
+    run_round_with_faults(&mut protocol, &mut cluster, &mut cursor, SimTime::ZERO).unwrap();
+
+    let events = trace.events();
+    let suspected = events
+        .iter()
+        .position(|e| matches!(e.event, dvdc_observe::Event::Suspected { .. }))
+        .expect("crash round must raise a suspicion");
+    let confirmed = events
+        .iter()
+        .position(|e| matches!(e.event, dvdc_observe::Event::Confirmed { .. }))
+        .expect("crash round must confirm the failure");
+    assert!(
+        suspected < confirmed,
+        "stream must suspect before confirming"
+    );
+
+    // The faithful replay is clean...
+    let replay = InvariantAuditor::new();
+    for e in &events {
+        replay.record(e.at, &e.event);
+    }
+    replay.assert_clean();
+
+    // ...and the same stream with the pair swapped is not.
+    let mut tampered = events;
+    tampered.swap(suspected, confirmed);
+    let tampered_audit = InvariantAuditor::new();
+    for e in &tampered {
+        tampered_audit.record(e.at, &e.event);
+    }
+    assert!(
+        !tampered_audit.is_clean(),
+        "auditor missed a Confirmed that precedes its Suspected"
+    );
+    assert!(
+        tampered_audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("confirmed") || v.contains("Confirmed")),
+        "violation should name the unsuspected confirmation, got: {:?}",
+        tampered_audit.violations()
+    );
 }
 
 #[test]

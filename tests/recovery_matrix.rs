@@ -2,16 +2,41 @@
 //! failure points — the fault-tolerance contract of the paper, tested
 //! byte-for-byte.
 
+use std::rc::Rc;
+
 use dvdc::placement::GroupPlacement;
 use dvdc::protocol::{
     CheckpointProtocol, CodeKind, DvdcProtocol, FirstShotProtocol, RebuildMode, RebuildPhase,
     RebuildStep, RecoverError, RoundPhase, RoundStep,
 };
 use dvdc_checkpoint::strategy::Mode;
+use dvdc_observe::audit::InvariantAuditor;
+use dvdc_observe::RecorderHandle;
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::Duration;
 use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
 use dvdc_vcluster::ids::NodeId;
+
+/// Attaches the invariant auditor to a protocol; the returned guard
+/// asserts a violation-free event stream when the drill's scope ends
+/// (skipped if the drill is already panicking, to keep the original
+/// assertion message on top).
+fn audited(p: DvdcProtocol) -> (DvdcProtocol, AuditGuard) {
+    let audit = Rc::new(InvariantAuditor::new());
+    let p = p.with_recorder(RecorderHandle::new(audit.clone()));
+    (p, AuditGuard(audit))
+}
+
+struct AuditGuard(Rc<InvariantAuditor>);
+
+impl Drop for AuditGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            self.0.assert_clean();
+            assert!(self.0.events_seen() > 0, "auditor saw no events");
+        }
+    }
+}
 
 fn build(nodes: usize, vms: usize) -> Cluster {
     ClusterBuilder::new()
@@ -43,8 +68,12 @@ fn dvdc_matrix_shapes_modes_victims() {
                 let mut c = build(nodes, vms);
                 let placement = GroupPlacement::orthogonal(&c, k)
                     .unwrap_or_else(|e| panic!("{nodes}x{vms} k={k}: {e}"));
-                let mut p =
-                    DvdcProtocol::with_options(placement, mode, true, Duration::from_millis(40.0));
+                let (mut p, _audit) = audited(DvdcProtocol::with_options(
+                    placement,
+                    mode,
+                    true,
+                    Duration::from_millis(40.0),
+                ));
                 // Two rounds with guest activity in between, so modes
                 // actually diverge in payload.
                 let hub = RngHub::new(victim as u64);
@@ -79,7 +108,9 @@ fn dvdc_failure_mid_progress_rolls_back_cleanly() {
     // the committed epoch is the recovery point, and dirty progress on
     // survivors is discarded too (global consistency).
     let mut c = build(4, 3);
-    let mut p = DvdcProtocol::new(GroupPlacement::orthogonal(&c, 3).unwrap());
+    let (mut p, _audit) = audited(DvdcProtocol::new(
+        GroupPlacement::orthogonal(&c, 3).unwrap(),
+    ));
     p.run_round(&mut c).unwrap();
     let want = snapshots(&c);
     let hub = RngHub::new(3);
@@ -100,12 +131,12 @@ fn dvdc_incremental_rounds_then_failure_then_more_rounds() {
     for m in [1usize, 2] {
         let mut c = build(6, 2);
         let placement = GroupPlacement::orthogonal_with_parity(&c, 3, m).unwrap();
-        let mut p = DvdcProtocol::with_options(
+        let (mut p, _audit) = audited(DvdcProtocol::with_options(
             placement,
             Mode::Incremental,
             true,
             Duration::from_millis(40.0),
-        );
+        ));
         let hub = RngHub::new(7 + m as u64);
         p.run_round(&mut c).unwrap();
         for round in 0..4u64 {
@@ -165,12 +196,12 @@ fn default_double_parity_survives_all_node_pairs() {
         for b in (a + 1)..nodes {
             let mut c = build(nodes, 2);
             let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 2).unwrap();
-            let mut p = DvdcProtocol::with_options(
+            let (mut p, _audit) = audited(DvdcProtocol::with_options(
                 placement,
                 Mode::Incremental,
                 true,
                 Duration::from_millis(40.0),
-            );
+            ));
             p.run_round(&mut c).unwrap();
             let want = snapshots(&c);
             c.fail_node(NodeId(a));
@@ -221,13 +252,15 @@ fn dvdc_mid_round_matrix_phase_family_victim() {
                 } else {
                     c.node_of(group0.data[0])
                 };
-                let mut p = DvdcProtocol::with_options(
-                    placement,
-                    Mode::Incremental,
-                    true,
-                    Duration::from_millis(40.0),
-                )
-                .with_code(kind);
+                let (mut p, _audit) = audited(
+                    DvdcProtocol::with_options(
+                        placement,
+                        Mode::Incremental,
+                        true,
+                        Duration::from_millis(40.0),
+                    )
+                    .with_code(kind),
+                );
                 let ctx = format!(
                     "family={family} phase={phase:?} victim={victim} parity_victim={parity_victim}"
                 );
@@ -306,13 +339,15 @@ fn dvdc_failure_right_after_commit_recovers_new_epoch() {
             } else {
                 c.node_of(group0.data[0])
             };
-            let mut p = DvdcProtocol::with_options(
-                placement,
-                Mode::Incremental,
-                true,
-                Duration::from_millis(40.0),
-            )
-            .with_code(kind);
+            let (mut p, _audit) = audited(
+                DvdcProtocol::with_options(
+                    placement,
+                    Mode::Incremental,
+                    true,
+                    Duration::from_millis(40.0),
+                )
+                .with_code(kind),
+            );
             let ctx = format!("family={family} victim={victim} parity_victim={parity_victim}");
             let hub = RngHub::new(5 + m as u64);
 
@@ -377,13 +412,15 @@ fn dvdc_second_failure_during_rebuild_matrix() {
                     c.node_of(group0.data[1])
                 };
                 assert_ne!(first, second, "{family}: victims must differ");
-                let mut p = DvdcProtocol::with_options(
-                    placement,
-                    Mode::Incremental,
-                    true,
-                    Duration::from_millis(40.0),
-                )
-                .with_code(kind);
+                let (mut p, _audit) = audited(
+                    DvdcProtocol::with_options(
+                        placement,
+                        Mode::Incremental,
+                        true,
+                        Duration::from_millis(40.0),
+                    )
+                    .with_code(kind),
+                );
                 let ctx = format!(
                     "family={family} phase={phase:?} second={second} parity={second_parity}"
                 );
@@ -439,9 +476,15 @@ fn dvdc_second_failure_during_rebuild_matrix() {
                     let outcome = (|| -> Result<(), RecoverError> {
                         let mut rebuild = restarted?;
                         loop {
-                            match p.step_rebuild(&mut c, &mut rebuild)? {
-                                RebuildStep::Progress { .. } => {}
-                                RebuildStep::Completed(_) => return Ok(()),
+                            match p.step_rebuild(&mut c, &mut rebuild) {
+                                Ok(RebuildStep::Progress { .. }) => {}
+                                Ok(RebuildStep::Completed(_)) => return Ok(()),
+                                Err(e) => {
+                                    // Dispose of the carcass so the event
+                                    // stream terminates the rebuild span.
+                                    p.abort_rebuild(rebuild);
+                                    return Err(e);
+                                }
                             }
                         }
                     })();
@@ -474,13 +517,15 @@ fn dvdc_scrub_detects_and_repairs_all_injected_corruption() {
             } else {
                 c.node_of(group0.data[0])
             };
-            let mut p = DvdcProtocol::with_options(
-                placement,
-                Mode::Incremental,
-                true,
-                Duration::from_millis(40.0),
-            )
-            .with_code(kind);
+            let (mut p, _audit) = audited(
+                DvdcProtocol::with_options(
+                    placement,
+                    Mode::Incremental,
+                    true,
+                    Duration::from_millis(40.0),
+                )
+                .with_code(kind),
+            );
             let ctx = format!("family={family} target={target} parity_victim={parity_victim}");
             let hub = RngHub::new(17 * k as u64 + m as u64);
 
@@ -557,7 +602,7 @@ fn recovery_after_migration_keeps_working_when_orthogonal() {
     c.migrate_vm(vm, dest);
     placement.validate(&c).expect("still orthogonal");
 
-    let mut p = DvdcProtocol::new(placement);
+    let (mut p, _audit) = audited(DvdcProtocol::new(placement));
     p.run_round(&mut c).unwrap();
     let want = snapshots(&c);
     c.fail_node(dest);
