@@ -1,0 +1,118 @@
+//! Cluster-scale sweep — the sharded thousand-node model under load.
+//!
+//! Builds [`ShardedCluster`]s of 100 → 5000 physical nodes (disjoint
+//! sub-clusters with independent, staggered round clocks multiplexed over
+//! one event queue), runs every shard through its checkpoint rounds, and
+//! reports engine throughput (events/sec) and wall-clock per committed
+//! round. After each run a sampled shard is crash-tested:
+//! `verify_shard_recovery` fails a node, rebuilds from parity, and asserts
+//! every VM image byte-identical — so the scale sweep never trades
+//! correctness for speed.
+//!
+//! Run: `cargo run --release -p dvdc-bench --bin cluster_scale`
+//! CI cap: `DVDC_SCALE_MAX_NODES=500 cargo run --release ...`
+
+use std::time::Instant;
+
+use dvdc::shard::{ShardConfig, ShardedCluster};
+use dvdc_bench::{human_secs, render_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScaleRow {
+    nodes: usize,
+    shards: usize,
+    vms: usize,
+    rounds_committed: usize,
+    events_processed: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    wall_secs_per_round: f64,
+    sim_secs: f64,
+    recovered_vms: usize,
+}
+
+fn main() {
+    let max_nodes: usize = std::env::var("DVDC_SCALE_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000);
+    println!("Cluster scale sweep — sharded rounds, capped at {max_nodes} nodes\n");
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for nodes in [100usize, 500, 1000, 5000] {
+        if nodes > max_nodes {
+            println!("(skipping {nodes} nodes: above DVDC_SCALE_MAX_NODES)");
+            continue;
+        }
+        let mut sc = ShardedCluster::build(ShardConfig {
+            total_nodes: nodes,
+            rounds: 2,
+            ..ShardConfig::default()
+        });
+        let start = Instant::now();
+        let report = sc.run();
+        let wall = start.elapsed().as_secs_f64();
+
+        // Byte-exact recovery on a sampled shard (middle of the range).
+        let sampled = sc.shard_count() / 2;
+        let recovered = sc.verify_shard_recovery(sampled);
+        assert!(recovered > 0, "sampled shard must rebuild its lost VMs");
+
+        let row = ScaleRow {
+            nodes: report.nodes,
+            shards: report.shards,
+            vms: report.vms,
+            rounds_committed: report.rounds_committed,
+            events_processed: report.events_processed,
+            wall_secs: wall,
+            events_per_sec: report.events_processed as f64 / wall,
+            wall_secs_per_round: wall / report.rounds_committed as f64,
+            sim_secs: report.sim_time.as_secs(),
+            recovered_vms: recovered,
+        };
+        rows.push(vec![
+            row.nodes.to_string(),
+            row.shards.to_string(),
+            row.vms.to_string(),
+            row.rounds_committed.to_string(),
+            row.events_processed.to_string(),
+            human_secs(row.wall_secs),
+            format!("{:.0}", row.events_per_sec),
+            human_secs(row.wall_secs_per_round),
+        ]);
+        records.push(row);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "shards",
+                "vms",
+                "rounds",
+                "events",
+                "wall",
+                "events/s",
+                "wall/round",
+            ],
+            &rows
+        )
+    );
+
+    if let Some(thousand) = records.iter().find(|r| r.nodes == 1000) {
+        assert!(
+            thousand.rounds_committed == thousand.shards * 2,
+            "every 1000-node shard must commit both rounds"
+        );
+        println!(
+            "1000-node round: {} shards, {}/round wall, recovery byte-exact ✓",
+            thousand.shards,
+            human_secs(thousand.wall_secs_per_round)
+        );
+    }
+    println!("sampled-shard recovery byte-exact at every scale ✓");
+    write_json("cluster_scale", &records);
+}

@@ -19,6 +19,10 @@
 //!   `m ≥ 2` parity via Reed–Solomon, the RDP-style extension of
 //!   Section II-B2), and [`RemusLikeProtocol`] (the Section VI
 //!   active/standby comparator).
+//! * [`shard`] — the thousand-node scaling model: the cluster split into
+//!   independent sub-clusters (shards), each with its own orthogonal
+//!   placement, protocol, and staggered round clock, all interleaved
+//!   through one deterministic event queue.
 //! * [`sim`] — the end-to-end job runner: a fault-free job of length `T`
 //!   executes under a protocol while a `dvdc-faults` plan injects
 //!   physical-node failures; the runner drives rounds, failures,
@@ -62,6 +66,7 @@
 pub mod placement;
 pub mod protocol;
 pub mod report;
+pub mod shard;
 pub mod sim;
 pub mod snapshot;
 
@@ -70,4 +75,5 @@ pub use protocol::{
     CheckpointProtocol, DiskFullProtocol, DvdcProtocol, FirstShotProtocol, ProtocolError,
     RecoveryReport, RemusLikeProtocol, RoundReport,
 };
+pub use shard::{ShardConfig, ShardedCluster, ShardedRunReport};
 pub use sim::{IntervalPolicy, JobOutcome, JobRunner, RecoveryPolicy};

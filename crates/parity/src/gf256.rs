@@ -1,11 +1,25 @@
 //! GF(2⁸) arithmetic for the Reed–Solomon extension.
 //!
 //! The field is GF(2)\[x\]/(x⁸+x⁴+x³+x²+1) (0x11D), the conventional choice
-//! for storage codes. Multiplication and division go through log/exp
-//! tables built once at startup; addition is XOR.
+//! for storage codes. Scalar multiplication and division go through
+//! log/exp tables built once per process (see [`Tables::shared`]);
+//! addition is XOR.
+//!
+//! The *bulk* byte path — the inner loop of RS encode/decode/delta-fold —
+//! does not touch log/exp at all: [`MulTable`] materialises a per-
+//! coefficient 256-entry product row (the ISA-L table-lookup scheme) so
+//! the hot loop is a single branch-free load per byte, unrolled
+//! word-wide, with the whole table resident in four cache lines.
+
+use std::sync::OnceLock;
 
 /// The irreducible polynomial generating the field.
 pub const POLY: u16 = 0x11D;
+
+/// Block lengths at or above this use the table-driven kernel; below it
+/// the 256-entry table build (one pass over the field) costs more than
+/// the branchy scalar loop it replaces.
+pub const MUL_TABLE_MIN: usize = 64;
 
 /// The multiplicative generator used for the tables.
 pub const GENERATOR: u8 = 0x02;
@@ -39,6 +53,17 @@ impl Tables {
             exp[i] = exp[i - 255];
         }
         Tables { exp, log }
+    }
+
+    /// The process-wide shared tables.
+    ///
+    /// The exp/log construction is ~1.5 KiB of work; rebuilding it per
+    /// code instance is O(instances) redundant effort once a cluster
+    /// model holds thousands of orthogonal groups. Every code in this
+    /// crate borrows this single copy instead.
+    pub fn shared() -> &'static Tables {
+        static SHARED: OnceLock<Tables> = OnceLock::new();
+        SHARED.get_or_init(Tables::new)
     }
 
     /// Field addition (= subtraction): XOR.
@@ -94,9 +119,31 @@ impl Tables {
 
     /// Multiply-accumulate over a block: `dst[i] ^= coeff * src[i]`.
     ///
-    /// This is the inner loop of RS encoding; a 64 KiB-block of it shows up
-    /// in `benches/parity_kernels.rs`.
+    /// This is the inner loop of RS encoding. Blocks of at least
+    /// [`MUL_TABLE_MIN`] bytes go through a freshly built [`MulTable`]
+    /// (branch-free single-lookup kernel); shorter blocks use the scalar
+    /// log/exp loop. Callers that reuse a coefficient across many blocks
+    /// (the RS generator rows) should hold a [`MulTable`] directly.
     pub fn mul_acc(&self, dst: &mut [u8], src: &[u8], coeff: u8) {
+        assert_eq!(dst.len(), src.len(), "mul_acc operands must match");
+        if coeff == 0 {
+            return;
+        }
+        if coeff == 1 {
+            crate::xor::xor_into(dst, src);
+            return;
+        }
+        if dst.len() >= MUL_TABLE_MIN {
+            MulTable::new(self, coeff).mul_acc(dst, src);
+        } else {
+            self.mul_acc_scalar(dst, src, coeff);
+        }
+    }
+
+    /// The pre-table scalar kernel: per-byte branch on zero plus two
+    /// log/exp lookups. Kept as the byte-exact reference the table-driven
+    /// kernels are property-tested (and benchmarked) against.
+    pub fn mul_acc_scalar(&self, dst: &mut [u8], src: &[u8], coeff: u8) {
         assert_eq!(dst.len(), src.len(), "mul_acc operands must match");
         if coeff == 0 {
             return;
@@ -110,6 +157,94 @@ impl Tables {
             if s != 0 {
                 *d ^= self.exp[(log_c + self.log[s as usize]) as usize];
             }
+        }
+    }
+}
+
+/// A materialised multiplication row for one fixed coefficient:
+/// `table[b] = coeff · b` over GF(2⁸).
+///
+/// This is the ISA-L-style table-lookup scheme reduced to scalar Rust:
+/// the 256-byte row fits in four cache lines, the hot loop is one
+/// branch-free load per byte, and the word-unrolled body gives the
+/// autovectoriser a straight-line gather it can software-pipeline.
+/// Codes precompute one `MulTable` per generator coefficient so encode,
+/// decode, and delta-fold never touch log/exp in their inner loops.
+#[derive(Clone)]
+pub struct MulTable {
+    coeff: u8,
+    table: [u8; 256],
+}
+
+impl std::fmt::Debug for MulTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulTable")
+            .field("coeff", &self.coeff)
+            .finish()
+    }
+}
+
+impl MulTable {
+    /// Builds the product row for `coeff`.
+    pub fn new(tables: &Tables, coeff: u8) -> Self {
+        let mut table = [0u8; 256];
+        if coeff != 0 {
+            let log_c = tables.log[coeff as usize];
+            for (b, slot) in table.iter_mut().enumerate().skip(1) {
+                *slot = tables.exp[(log_c + tables.log[b]) as usize];
+            }
+        }
+        MulTable { coeff, table }
+    }
+
+    /// The fixed coefficient this row multiplies by.
+    pub fn coeff(&self) -> u8 {
+        self.coeff
+    }
+
+    /// `coeff · b`.
+    #[inline]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.table[b as usize]
+    }
+
+    /// Multiply-accumulate over a block: `dst[i] ^= coeff · src[i]`.
+    ///
+    /// Identity coefficients degrade to the word-wide XOR kernel (the
+    /// m = 1 fast path); zero is a no-op. Otherwise the loop runs eight
+    /// lookups per iteration against the resident 256-byte row.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn mul_acc(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_acc operands must match");
+        match self.coeff {
+            0 => return,
+            1 => {
+                crate::xor::xor_into(dst, src);
+                return;
+            }
+            _ => {}
+        }
+        let t = &self.table;
+        let mut dst_words = dst.chunks_exact_mut(8);
+        let mut src_words = src.chunks_exact(8);
+        for (d, s) in (&mut dst_words).zip(&mut src_words) {
+            d[0] ^= t[s[0] as usize];
+            d[1] ^= t[s[1] as usize];
+            d[2] ^= t[s[2] as usize];
+            d[3] ^= t[s[3] as usize];
+            d[4] ^= t[s[4] as usize];
+            d[5] ^= t[s[5] as usize];
+            d[6] ^= t[s[6] as usize];
+            d[7] ^= t[s[7] as usize];
+        }
+        for (d, &s) in dst_words
+            .into_remainder()
+            .iter_mut()
+            .zip(src_words.remainder())
+        {
+            *d ^= t[s as usize];
         }
     }
 }
@@ -256,6 +391,46 @@ mod tests {
                 .collect();
             t.mul_acc(&mut dst, &src, coeff);
             assert_eq!(dst, expect, "coeff={coeff}");
+        }
+    }
+
+    #[test]
+    fn shared_tables_are_one_instance() {
+        // Every caller of `Tables::shared` must observe the same table
+        // memory — the OnceLock regression guard.
+        let a: &'static Tables = Tables::shared();
+        let b: &'static Tables = Tables::shared();
+        assert!(std::ptr::eq(a, b), "shared tables rebuilt per call");
+    }
+
+    #[test]
+    fn mul_table_row_matches_scalar_mul() {
+        let t = t();
+        for coeff in 0..=255u8 {
+            let row = MulTable::new(&t, coeff);
+            assert_eq!(row.coeff(), coeff);
+            for b in 0..=255u8 {
+                assert_eq!(row.mul(b), t.mul(coeff, b), "coeff={coeff} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_acc_matches_scalar_kernel_with_ragged_tails() {
+        let t = t();
+        for len in [0usize, 1, 7, 8, 9, 15, 63, 64, 65, 257, 1000] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            for coeff in [0u8, 1, 2, 29, 142, 255] {
+                let base: Vec<u8> = (0..len).map(|i| (i * 11 + 3) as u8).collect();
+                let mut scalar = base.clone();
+                t.mul_acc_scalar(&mut scalar, &src, coeff);
+                let mut table = base.clone();
+                MulTable::new(&t, coeff).mul_acc(&mut table, &src);
+                assert_eq!(table, scalar, "len={len} coeff={coeff}");
+                let mut auto = base.clone();
+                t.mul_acc(&mut auto, &src, coeff);
+                assert_eq!(auto, scalar, "auto path len={len} coeff={coeff}");
+            }
         }
     }
 }

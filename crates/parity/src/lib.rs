@@ -17,7 +17,11 @@
 //!   double-failure code adopted by Wang et al. for diskless
 //!   checkpointing): tolerates any two shard losses.
 //! * [`gf256`] / [`rs`] — GF(2⁸) arithmetic and a systematic Vandermonde
-//!   Reed–Solomon code, the general `m`-failure extension.
+//!   Reed–Solomon code, the general `m`-failure extension. The byte path
+//!   runs on per-coefficient 256-entry product tables
+//!   ([`gf256::MulTable`], the ISA-L table-lookup scheme) with
+//!   cache-blocked, optionally multi-threaded folds; the scalar log/exp
+//!   kernel survives as the property-tested reference.
 //!
 //! All shard payloads are plain `&[u8]` blocks of equal length; the VM
 //! checkpoint layer slices images into such blocks.
@@ -51,6 +55,7 @@ pub mod rs;
 pub mod xor;
 
 pub use code::{CodeError, ErasureCode};
+pub use gf256::{MulTable, Tables};
 pub use raid5::{Raid5Layout, XorCode};
 pub use rdp::{RdpCode, ZeroPaddedRdp};
 pub use rs::ReedSolomon;

@@ -9,8 +9,14 @@
 //! bottom `m` rows as the parity generator.
 
 use crate::code::{validate_delta, validate_shards, CodeError, ErasureCode};
-use crate::gf256::Tables;
+use crate::gf256::{MulTable, Tables};
 use crate::xor::xor_into_auto;
+
+/// Bytes per cache block in the encode fold: the source block plus the
+/// `m` parity blocks it feeds stay resident in L1/L2 while every
+/// generator row is applied to it, so each source byte is loaded from
+/// DRAM once per encode rather than once per parity row.
+const ENCODE_BLOCK: usize = 32 << 10;
 
 /// Reed–Solomon erasure code with `k` data shards and `m` parity shards.
 /// Tolerates any `m` erasures. Requires `k + m ≤ 256`.
@@ -18,13 +24,20 @@ use crate::xor::xor_into_auto;
 pub struct ReedSolomon {
     k: usize,
     m: usize,
-    tables: Tables,
+    tables: &'static Tables,
     /// `m × k` parity generator rows (systematic part omitted).
     parity_rows: Vec<Vec<u8>>,
+    /// Materialised product rows, one per generator coefficient — the
+    /// table-driven kernels `encode`/`apply_delta` run on.
+    row_tables: Vec<Vec<MulTable>>,
 }
 
 impl ReedSolomon {
     /// Creates a code with `k` data and `m` parity shards.
+    ///
+    /// The GF(2⁸) log/exp tables are shared process-wide
+    /// ([`Tables::shared`]); only the `m × k` generator product rows are
+    /// built per instance.
     ///
     /// # Panics
     /// Panics if `k == 0`, `m == 0`, or `k + m > 256`.
@@ -32,7 +45,7 @@ impl ReedSolomon {
         assert!(k > 0, "need at least one data shard");
         assert!(m > 0, "need at least one parity shard");
         assert!(k + m <= 256, "GF(256) supports at most 256 total shards");
-        let tables = Tables::new();
+        let tables = Tables::shared();
 
         // Vandermonde: V[i][j] = i^j for i in 0..k+m (distinct points).
         let n = k + m;
@@ -72,17 +85,47 @@ impl ReedSolomon {
         }
 
         let parity_rows = v.split_off(k);
+        let row_tables = parity_rows
+            .iter()
+            .map(|row| row.iter().map(|&c| MulTable::new(tables, c)).collect())
+            .collect();
         ReedSolomon {
             k,
             m,
             tables,
             parity_rows,
+            row_tables,
         }
     }
 
     /// The parity generator coefficient for parity row `r`, data column `c`.
     pub fn coefficient(&self, r: usize, c: usize) -> u8 {
         self.parity_rows[r][c]
+    }
+
+    /// The process-wide GF(2⁸) tables this instance borrows — every
+    /// instance returns the same `&'static` (see the sharing regression
+    /// test).
+    pub fn tables(&self) -> &'static Tables {
+        self.tables
+    }
+
+    /// Folds `data[*][range]` into the matching ranges of the parity
+    /// blocks, cache-blocked so each source block is applied to all `m`
+    /// parity rows while resident.
+    fn fold_ranges(&self, data: &[&[u8]], outs: &mut [&mut [u8]], start: usize) {
+        let len = outs.first().map(|o| o.len()).unwrap_or(0);
+        let mut off = 0;
+        while off < len {
+            let end = (off + ENCODE_BLOCK).min(len);
+            for (c, shard) in data.iter().enumerate() {
+                let src = &shard[start + off..start + end];
+                for (r, out) in outs.iter_mut().enumerate() {
+                    self.row_tables[r][c].mul_acc(&mut out[off..end], src);
+                }
+            }
+            off = end;
+        }
     }
 
     /// Solves `A·x = b` over GF(256) by Gaussian elimination, where `A` is
@@ -140,16 +183,41 @@ impl ErasureCode for ReedSolomon {
             data.iter().all(|d| d.len() == len),
             "data shards must have equal length"
         );
-        self.parity_rows
-            .iter()
-            .map(|row| {
-                let mut out = vec![0u8; len];
-                for (c, shard) in data.iter().enumerate() {
-                    self.tables.mul_acc(&mut out, shard, row[c]);
+        let mut outs: Vec<Vec<u8>> = (0..self.m).map(|_| vec![0u8; len]).collect();
+        let workers = crate::xor::effective_parallel_workers(
+            len,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+        );
+        if workers <= 1 {
+            let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            self.fold_ranges(data, &mut out_refs, 0);
+            return outs;
+        }
+        // Parallel per-group fold: split the byte range into one
+        // contiguous chunk per worker; each worker runs the same
+        // cache-blocked fold over its disjoint slice of every parity row.
+        let chunk = len.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let mut row_chunks: Vec<_> = outs.iter_mut().map(|o| o.chunks_mut(chunk)).collect();
+            let mut start = 0;
+            loop {
+                let group: Vec<&mut [u8]> =
+                    row_chunks.iter_mut().filter_map(|it| it.next()).collect();
+                if group.is_empty() {
+                    break;
                 }
-                out
-            })
-            .collect()
+                scope.spawn(move |_| {
+                    let mut group = group;
+                    self.fold_ranges(data, &mut group, start);
+                });
+                start += chunk;
+            }
+        })
+        .expect("encode worker thread panicked");
+        outs
     }
 
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
@@ -232,7 +300,7 @@ impl ErasureCode for ReedSolomon {
         if coeff == 1 {
             xor_into_auto(dst, delta);
         } else {
-            self.tables.mul_acc(dst, delta, coeff);
+            self.row_tables[parity_index][data_index].mul_acc(dst, delta);
         }
     }
 }
@@ -362,6 +430,45 @@ mod tests {
     fn max_geometry_accepted() {
         let code = ReedSolomon::new(200, 56);
         assert_eq!(code.total_shards(), 256);
+    }
+
+    #[test]
+    fn instances_share_one_gf_table() {
+        // Regression: `new` used to run the full exp/log construction per
+        // instance — O(groups) redundant work at thousands of orthogonal
+        // groups. Two instances must observe the same table pointer.
+        let a = ReedSolomon::new(3, 2);
+        let b = ReedSolomon::new(10, 4);
+        assert!(
+            std::ptr::eq(a.tables(), b.tables()),
+            "each ReedSolomon rebuilt its own GF(256) tables"
+        );
+    }
+
+    #[test]
+    fn parallel_encode_matches_serial() {
+        // Shards large enough that `encode` engages the multi-threaded
+        // fold; the result must be byte-identical to a serial fold (here
+        // reproduced coefficient-by-coefficient with the scalar kernel).
+        let code = ReedSolomon::new(4, 2);
+        let len = 4 * crate::xor::MIN_PARALLEL + 37; // parallel + ragged tail
+        let data: Vec<Vec<u8>> = (0..4)
+            .map(|c| {
+                (0..len)
+                    .map(|i| ((i * 131 + c * 17 + 3) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let fast = code.encode(&refs);
+        let tables = code.tables();
+        for (r, block) in fast.iter().enumerate() {
+            let mut want = vec![0u8; len];
+            for (c, shard) in refs.iter().enumerate() {
+                tables.mul_acc_scalar(&mut want, shard, code.coefficient(r, c));
+            }
+            assert_eq!(block, &want, "parity row {r}");
+        }
     }
 
     #[test]

@@ -55,8 +55,20 @@ pub fn xor_all(sources: &[&[u8]]) -> Vec<u8> {
     acc
 }
 
-/// Parallel variant of [`xor_into`]: splits the buffers into `threads`
-/// contiguous ranges and XORs them on scoped worker threads.
+/// The worker count [`xor_into_parallel`] actually spawns for a buffer of
+/// `len` bytes when asked for `threads` workers: capped so every worker's
+/// chunk stays at least [`MIN_PARALLEL`] bytes.
+///
+/// Without the cap, a 64 KiB buffer split 8 ways hands each worker 8 KiB
+/// — small enough that thread-spawn overhead dominates the XOR itself.
+pub fn effective_parallel_workers(len: usize, threads: usize) -> usize {
+    threads.min(len / MIN_PARALLEL).max(1)
+}
+
+/// Parallel variant of [`xor_into`]: splits the buffers into contiguous
+/// ranges XORed on scoped worker threads. At most `threads` workers run,
+/// further capped so each worker's chunk stays at least [`MIN_PARALLEL`]
+/// bytes (see [`effective_parallel_workers`]).
 ///
 /// This models (and measures, in the kernel bench) the paper's claim that
 /// "the parallelization of the parity calculation should relieve the CPU
@@ -68,11 +80,12 @@ pub fn xor_all(sources: &[&[u8]]) -> Vec<u8> {
 pub fn xor_into_parallel(dst: &mut [u8], src: &[u8], threads: usize) {
     assert_eq!(dst.len(), src.len(), "xor operands must have equal length");
     assert!(threads > 0, "need at least one thread");
-    if threads == 1 || dst.len() < MIN_PARALLEL {
+    let workers = effective_parallel_workers(dst.len(), threads);
+    if workers == 1 || dst.len() < MIN_PARALLEL {
         xor_into(dst, src);
         return;
     }
-    let chunk = dst.len().div_ceil(threads);
+    let chunk = dst.len().div_ceil(workers);
     crossbeam::thread::scope(|scope| {
         for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
             scope.spawn(move |_| xor_into(d, s));
@@ -229,6 +242,34 @@ mod tests {
         let key = vec![0xAAu8; MIN_PARALLEL];
         xor_into_parallel(&mut big, &key, MIN_PARALLEL * 2);
         assert!(big.iter().all(|&x| x == 0xFF));
+    }
+
+    #[test]
+    fn worker_cap_keeps_chunks_at_least_min_parallel() {
+        // The regression the cap exists for: a 64 KiB buffer asked to
+        // split 8 ways must run on ONE worker (8 KiB chunks would be all
+        // spawn overhead), and the count scales up only as whole
+        // MIN_PARALLEL chunks become available.
+        assert_eq!(effective_parallel_workers(MIN_PARALLEL, 8), 1);
+        assert_eq!(effective_parallel_workers(MIN_PARALLEL * 2 - 1, 8), 1);
+        assert_eq!(effective_parallel_workers(MIN_PARALLEL * 2, 8), 2);
+        assert_eq!(effective_parallel_workers(MIN_PARALLEL * 8, 8), 8);
+        assert_eq!(effective_parallel_workers(MIN_PARALLEL * 100, 8), 8);
+        // Tiny buffers and zero length never divide by zero or return 0.
+        assert_eq!(effective_parallel_workers(0, 8), 1);
+        assert_eq!(effective_parallel_workers(100, 8), 1);
+        // And each granted worker's chunk is ≥ MIN_PARALLEL.
+        for len in [
+            MIN_PARALLEL,
+            MIN_PARALLEL * 3 - 1,
+            MIN_PARALLEL * 5 + 13,
+            MIN_PARALLEL * 64,
+        ] {
+            let w = effective_parallel_workers(len, 8);
+            if w > 1 {
+                assert!(len.div_ceil(w) >= MIN_PARALLEL, "len={len} w={w}");
+            }
+        }
     }
 
     #[test]

@@ -105,6 +105,24 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Schedules a batch of events, reserving heap capacity up front —
+    /// the engine's commit path for everything a handler buffered, so a
+    /// handler fanning out N follow-ups costs one reservation rather
+    /// than N incremental grows.
+    ///
+    /// # Panics
+    /// Panics if any event is earlier than the current clock.
+    pub fn schedule_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let it = batch.into_iter();
+        self.heap.reserve(it.size_hint().0);
+        for (at, event) in it {
+            self.schedule(at, event);
+        }
+    }
+
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.time)

@@ -269,6 +269,12 @@ impl Cluster {
         self.nodes.iter().filter(|n| n.up).map(|n| n.id()).collect()
     }
 
+    /// Number of nodes currently up, without allocating the id list that
+    /// [`Cluster::up_nodes`] builds.
+    pub fn up_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.up).count()
+    }
+
     /// Marks a node failed. Returns the VMs that went down with it — the
     /// perfectly correlated failure set of Section IV-A.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<VmId> {
@@ -305,11 +311,13 @@ impl Cluster {
     /// any iteration order.
     pub fn run_all<R: Rng, F: FnMut(VmId) -> R>(&mut self, dt: Duration, mut stream_for: F) -> u64 {
         let mut writes = 0;
-        let up: Vec<NodeId> = self.up_nodes();
-        for node in up {
-            for vm in self.nodes[node.index()].vms.clone() {
+        // Split-borrow nodes (read) from vms (written): no id-list or
+        // per-node VM-list allocations on this per-round hot path.
+        let Cluster { nodes, vms, .. } = self;
+        for node in nodes.iter().filter(|n| n.up) {
+            for &vm in &node.vms {
                 let mut rng = stream_for(vm);
-                writes += self.vms[vm.index()].run(dt, &mut rng);
+                writes += vms[vm.index()].run(dt, &mut rng);
             }
         }
         writes
