@@ -11,7 +11,7 @@
 //! Run: `cargo run -p dvdc-bench --bin availability_analysis`
 
 use dvdc::placement::GroupPlacement;
-use dvdc::protocol::{run_round_with_faults, DvdcProtocol, PhasedOutcome};
+use dvdc::protocol::{run_round_with_faults, CheckpointProtocol, DvdcProtocol, PhasedOutcome};
 use dvdc_bench::{render_table, write_json};
 use dvdc_faults::mttdl::MttdlParams;
 use dvdc_faults::{ClusterFaultPlan, NodeFault, PlanCursor};
@@ -100,6 +100,7 @@ fn main() {
     write_json("availability_analysis", &records);
 
     simulated_mid_round_availability();
+    rack_domain_availability();
 }
 
 #[derive(Serialize)]
@@ -213,6 +214,7 @@ fn simulated_mid_round_availability() {
                 if let Some(lat) = det.first_detection_latency {
                     latencies.push(lat.as_millis());
                 }
+                let lost = !outcome.data_loss().is_empty();
                 match outcome {
                     PhasedOutcome::Committed { recovered: r, .. } => {
                         committed += 1;
@@ -223,9 +225,17 @@ fn simulated_mid_round_availability() {
                         recovered += recoveries.len();
                     }
                 }
+                if lost {
+                    // Overlapping failures exceeded the code's tolerance:
+                    // honest data loss (the victim stays down with its
+                    // loss on record) — the very event the MTTDL table
+                    // prices. Record it and stop this configuration.
+                    data_loss_round = Some(round);
+                    break;
+                }
                 assert!(
                     cluster.node_ids().iter().all(|&n| cluster.is_up(n)),
-                    "every outcome ends fully repaired"
+                    "every lossless outcome ends fully repaired"
                 );
             }
 
@@ -336,4 +346,151 @@ fn simulated_mid_round_availability() {
         "a run only stops early on data loss"
     );
     write_json("availability_midround", &records);
+}
+
+#[derive(Serialize)]
+struct DomainRow {
+    placement: &'static str,
+    parity_blocks: usize,
+    racks_tested: usize,
+    racks_survived: usize,
+    rack_loss_events: usize,
+    confirmations: u64,
+    recoveries: usize,
+}
+
+/// Correlated rack failures against the placement ablation: the same
+/// 10-node / 5-rack / k = 3 cluster under the rack-blind slot-major
+/// layout versus the rack-aware one, for m = 1 and m = 2. Every rack is
+/// killed in turn (fresh cluster each time) through the detector-
+/// supervised round path; a kill that lands two members of one group in
+/// the blast radius exceeds m = 1 and is recorded as honest data loss.
+fn rack_domain_availability() {
+    println!("\nCorrelated rack failures — 10 nodes in 5 racks of 2, k = 3\n");
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (placement_name, rack_aware) in [("flat (rack-blind)", false), ("rack-aware", true)] {
+        for m in [1usize, 2] {
+            let mut survived = 0usize;
+            let mut loss_events = 0usize;
+            let mut confirmations = 0u64;
+            let mut recoveries = 0usize;
+            let racks = 5usize;
+            for rack in 0..racks {
+                let seed = 7000 + 100 * m as u64 + rack as u64;
+                let mut cluster = ClusterBuilder::new()
+                    .physical_nodes(10)
+                    .vms_per_node(3)
+                    .vm_memory(8, 32)
+                    .writes_per_sec(200.0)
+                    .racks(2)
+                    .build(seed);
+                let placement = if rack_aware {
+                    GroupPlacement::orthogonal_with_parity(&cluster, 3, m)
+                } else {
+                    GroupPlacement::orthogonal_flat(&cluster, 3, m)
+                }
+                .expect("10x3 supports k=3 with m parity");
+                assert_eq!(
+                    placement.is_rack_orthogonal(&cluster),
+                    rack_aware,
+                    "the ablation must actually differ in rack-orthogonality"
+                );
+                let mut protocol = DvdcProtocol::new(placement);
+                protocol.run_round(&mut cluster).expect("initial epoch");
+                let plan = ClusterFaultPlan::new(vec![NodeFault::rack_failure(
+                    rack,
+                    SimTime::from_secs(1e-6),
+                    Duration::ZERO,
+                )]);
+                let mut cursor = PlanCursor::new(&plan);
+                match run_round_with_faults(&mut protocol, &mut cluster, &mut cursor, SimTime::ZERO)
+                {
+                    Ok((outcome, _)) => {
+                        let det = *outcome.detection();
+                        confirmations += det.confirmations;
+                        if let PhasedOutcome::RolledBack { recoveries: r, .. } = &outcome {
+                            recoveries += r.len();
+                        }
+                        if outcome.data_loss().is_empty() {
+                            survived += 1;
+                        } else {
+                            loss_events += outcome.data_loss().len();
+                        }
+                    }
+                    Err(e) => {
+                        assert!(
+                            matches!(e, dvdc::protocol::ProtocolError::Unrecoverable { .. }),
+                            "only tolerance-exceeded failures may end a rack kill: {e}"
+                        );
+                        loss_events += 1;
+                    }
+                }
+            }
+            rows.push(vec![
+                placement_name.to_string(),
+                m.to_string(),
+                racks.to_string(),
+                survived.to_string(),
+                loss_events.to_string(),
+                confirmations.to_string(),
+                recoveries.to_string(),
+            ]);
+            records.push(DomainRow {
+                placement: placement_name,
+                parity_blocks: m,
+                racks_tested: racks,
+                racks_survived: survived,
+                rack_loss_events: loss_events,
+                confirmations,
+                recoveries,
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "placement",
+                "m",
+                "racks killed",
+                "survived",
+                "loss events",
+                "confirmed",
+                "recovered",
+            ],
+            &rows
+        )
+    );
+    println!("a rack-blind layout puts two members of one group behind a single");
+    println!("rack switch, so m=1 loses data on the first whole-rack failure;");
+    println!("the rack-aware placement caps every group at one member per rack");
+    println!("and the same kill stays a recoverable single erasure. m=2 buys the");
+    println!("blind layout back its safety by brute redundancy — rack-awareness");
+    println!("delivers it without the extra parity volume.\n");
+
+    // The headline claims, enforced: rack-aware m=1 survives every
+    // single-rack kill; rack-blind m=1 loses data on at least one; m=2
+    // survives even rack-blind (two erasures per group at most).
+    let find = |name: &str, m: usize| {
+        records
+            .iter()
+            .find(|r| r.placement == name && r.parity_blocks == m)
+            .expect("ablation row present")
+    };
+    let aware1 = find("rack-aware", 1);
+    assert_eq!(aware1.racks_survived, aware1.racks_tested);
+    assert_eq!(aware1.rack_loss_events, 0);
+    let blind1 = find("flat (rack-blind)", 1);
+    assert!(
+        blind1.rack_loss_events > 0 && blind1.racks_survived < blind1.racks_tested,
+        "rack-blind m=1 must lose data under some whole-rack kill"
+    );
+    let blind2 = find("flat (rack-blind)", 2);
+    assert_eq!(
+        blind2.racks_survived, blind2.racks_tested,
+        "m=2 tolerates both erasures of a two-node rack even rack-blind"
+    );
+    assert!(records.iter().all(|r| r.confirmations > 0));
+    write_json("availability_domains", &records);
 }

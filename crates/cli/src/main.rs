@@ -44,6 +44,8 @@ USAGE:
 COMMANDS:
     plan    Show the orthogonal RAID-group placement for a cluster
               --nodes N (4)  --vms-per-node V (3)  --group K (3)  --parity M (1)
+              --rack-size R (0 = flat; R > 0 groups nodes into racks of R and
+                placement becomes rack-orthogonal)
     drill   Checkpoint, kill nodes, verify byte-exact recovery
               options of `plan`, plus --kill n1,n2,... (0)  --seed S (42)
     run     Simulate a job under Poisson node failures (or a trace)
@@ -98,14 +100,18 @@ fn build_cluster(args: &Args) -> Result<(Cluster, usize, usize), String> {
         .usize_or("vms-per-node", 3)
         .map_err(|e| e.to_string())?;
     let seed = args.u64_or("seed", 42).map_err(|e| e.to_string())?;
+    let rack_size = args.usize_or("rack-size", 0).map_err(|e| e.to_string())?;
     if nodes == 0 || vms == 0 {
         return Err("cluster needs at least one node and one VM per node".into());
     }
-    let cluster = ClusterBuilder::new()
+    let mut builder = ClusterBuilder::new()
         .physical_nodes(nodes)
         .vms_per_node(vms)
-        .vm_memory(64, 4096)
-        .build(seed);
+        .vm_memory(64, 4096);
+    if rack_size > 0 {
+        builder = builder.racks(rack_size);
+    }
+    let cluster = builder.build(seed);
     Ok((cluster, nodes, vms))
 }
 
@@ -140,6 +146,18 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         "\nparity blocks per node: {:?}",
         placement.parity_load(nodes)
     );
+    if !cluster.topology().is_flat() {
+        println!(
+            "topology: {} racks in {} DC(s); rack-orthogonal: {}",
+            cluster.topology().rack_count(),
+            cluster.topology().dc_count(),
+            if placement.is_rack_orthogonal(&cluster) {
+                "yes — no rack holds two members of any group"
+            } else {
+                "NO"
+            }
+        );
+    }
     println!("worst-case members lost per group on any single node failure:");
     let mut worst = 0;
     for node in cluster.node_ids() {

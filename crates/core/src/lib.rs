@@ -19,6 +19,12 @@
 //!   `m ≥ 2` parity via Reed–Solomon, the RDP-style extension of
 //!   Section II-B2), and [`RemusLikeProtocol`] (the Section VI
 //!   active/standby comparator).
+//! * [`scenario`] — the workload × fault matrix driver: any
+//!   `dvdc-vcluster` workload (steady traffic, dirty-page storms,
+//!   migration churn, rolling restarts, scrub storms) crossed with any
+//!   `dvdc-faults` schedule (node crashes, correlated rack/DC kills,
+//!   impairment storms) through the unchanged detector-supervised round
+//!   harness.
 //! * [`shard`] — the thousand-node scaling model: the cluster split into
 //!   independent sub-clusters (shards), each with its own orthogonal
 //!   placement, protocol, and staggered round clock, all interleaved
@@ -66,6 +72,7 @@
 pub mod placement;
 pub mod protocol;
 pub mod report;
+pub mod scenario;
 pub mod shard;
 pub mod sim;
 pub mod snapshot;
@@ -75,5 +82,6 @@ pub use protocol::{
     CheckpointProtocol, DiskFullProtocol, DvdcProtocol, FirstShotProtocol, ProtocolError,
     RecoveryReport, RemusLikeProtocol, RoundReport,
 };
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};
 pub use shard::{ShardConfig, ShardedCluster, ShardedRunReport};
 pub use sim::{IntervalPolicy, JobOutcome, JobRunner, RecoveryPolicy};

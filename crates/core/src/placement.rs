@@ -14,12 +14,28 @@
 //! fourth node, and every node ends up holding parity for exactly one
 //! group — the RAID-5 balance that lets "all physical machines host
 //! working VMs".
+//!
+//! ## Rack awareness
+//!
+//! Node distinctness is only as good as node *independence*. When the
+//! cluster has a real failure-domain hierarchy (racks, DCs — see
+//! `dvdc_vcluster::topology`), a whole-rack failure takes several nodes
+//! at once, and a group with two members in one rack exceeds its parity
+//! tolerance in a single event. On non-flat topologies
+//! [`GroupPlacement::orthogonal_with_parity`] therefore places each
+//! group's members (data *and* parity) in pairwise-distinct racks
+//! whenever the rack count permits (`rack_count ≥ k + m`), extending the
+//! orthogonality rule one level up. The rack-ignorant construction stays
+//! available as [`GroupPlacement::orthogonal_flat`] — it is the ablation
+//! baseline that the availability analysis shows losing data under
+//! correlated rack loss.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::{NodeId, VmId};
+use dvdc_vcluster::topology::RackId;
 
 /// Identifier of a RAID group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,6 +106,21 @@ pub enum PlacementError {
         /// The node touched twice.
         node: NodeId,
     },
+    /// A group touches some rack more than once — rack-level
+    /// orthogonality violated (only reported by
+    /// [`GroupPlacement::validate_rack_aware`]).
+    RackCollision {
+        /// The offending group.
+        group: GroupId,
+        /// The rack touched twice.
+        rack: RackId,
+    },
+    /// The rack-aware constructor ran out of legal hosts for a group —
+    /// the topology is too skewed for the requested shape.
+    Unplaceable {
+        /// The group that could not be completed.
+        group: GroupId,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -104,6 +135,12 @@ impl fmt::Display for PlacementError {
             }
             PlacementError::NotOrthogonal { group, node } => {
                 write!(f, "{group} touches {node} more than once")
+            }
+            PlacementError::RackCollision { group, rack } => {
+                write!(f, "{group} touches {rack} more than once")
+            }
+            PlacementError::Unplaceable { group } => {
+                write!(f, "no legal host remains for {group} on this topology")
             }
         }
     }
@@ -129,11 +166,37 @@ impl GroupPlacement {
     /// Builds the orthogonal placement with `k` data members and `m`
     /// parity blocks per group (`m = 2` gives double-failure tolerance
     /// via RDP by default; Reed–Solomon handles `m ≥ 3`).
+    ///
+    /// On a flat topology this is the classic slot-major construction.
+    /// On a racked topology the members of each group are additionally
+    /// placed in pairwise-distinct *racks* whenever `rack_count ≥ k + m`
+    /// (verify with [`GroupPlacement::validate_rack_aware`]); with fewer
+    /// racks the constructor still guarantees node distinctness and
+    /// spreads racks as far as they go.
     pub fn orthogonal_with_parity(
         cluster: &Cluster,
         k: usize,
         m: usize,
     ) -> Result<Self, PlacementError> {
+        Self::check_shape(cluster, k, m)?;
+        if cluster.topology().is_flat() {
+            Self::slot_major(cluster, k, m)
+        } else {
+            Self::rack_aware(cluster, k, m)
+        }
+    }
+
+    /// The rack-*ignorant* construction: always slot-major, exactly as if
+    /// the topology were flat. This is the ablation baseline — on a
+    /// racked cluster it will happily put two group members in one rack,
+    /// which is precisely the exposure the availability analysis
+    /// quantifies.
+    pub fn orthogonal_flat(cluster: &Cluster, k: usize, m: usize) -> Result<Self, PlacementError> {
+        Self::check_shape(cluster, k, m)?;
+        Self::slot_major(cluster, k, m)
+    }
+
+    fn check_shape(cluster: &Cluster, k: usize, m: usize) -> Result<(), PlacementError> {
         assert!(k >= 1, "groups need at least one data member");
         assert!(m >= 1, "groups need at least one parity block");
         let n = cluster.node_count();
@@ -144,7 +207,12 @@ impl GroupPlacement {
         if !vms.is_multiple_of(k) {
             return Err(PlacementError::RaggedGroups { vms, k });
         }
+        Ok(())
+    }
 
+    fn slot_major(cluster: &Cluster, k: usize, m: usize) -> Result<Self, PlacementError> {
+        let n = cluster.node_count();
+        let vms = cluster.vm_count();
         // Slot-major walk: VM (node n, slot s) visited at position s·N + n.
         // k consecutive positions occupy k cyclically-consecutive distinct
         // nodes; parity blocks go on the next m nodes after the data span.
@@ -201,6 +269,123 @@ impl GroupPlacement {
         Ok(placement)
     }
 
+    /// Greedy rack-aware construction. Each group draws its `k` data
+    /// members from `k` distinct racks — racks with the most unassigned
+    /// VMs first (ties by rack index), FIFO in slot-major order within a
+    /// rack — so on uniform topologies the groups coincide with the
+    /// slot-major layout while never co-locating two members in a rack.
+    /// Parity goes to ring-walk candidates in racks the group has not
+    /// touched, least parity-load first; the rack constraint is relaxed
+    /// (node distinctness only) exactly when the topology leaves no
+    /// rack-fresh candidate.
+    fn rack_aware(cluster: &Cluster, k: usize, m: usize) -> Result<Self, PlacementError> {
+        let topo = cluster.topology();
+        let n = cluster.node_count();
+        let racks = topo.rack_count();
+        let vms = cluster.vm_count();
+
+        // Per-rack FIFO queues of unassigned VMs, slot-major within rack.
+        let mut queues: Vec<VecDeque<VmId>> = vec![VecDeque::new(); racks];
+        let max_slots = cluster
+            .node_ids()
+            .iter()
+            .map(|&nid| cluster.vms_on(nid).len())
+            .max()
+            .unwrap_or(0);
+        for slot in 0..max_slots {
+            for nid in cluster.node_ids() {
+                if let Some(&vm) = cluster.vms_on(nid).get(slot) {
+                    queues[topo.rack_of(nid).index()].push_back(vm);
+                }
+            }
+        }
+
+        // First VM in `queue` hosted on a node outside `used`, removed.
+        fn take_avoiding(
+            queue: &mut VecDeque<VmId>,
+            used: &[NodeId],
+            cluster: &Cluster,
+        ) -> Option<VmId> {
+            let pos = queue
+                .iter()
+                .position(|&vm| !used.contains(&cluster.node_of(vm)))?;
+            queue.remove(pos)
+        }
+
+        let mut groups = Vec::with_capacity(vms / k);
+        let mut group_of = vec![GroupId(0); vms];
+        let mut parity_load = vec![0usize; n];
+        for gi in 0..vms / k {
+            let id = GroupId(gi);
+            let mut data: Vec<VmId> = Vec::with_capacity(k);
+            let mut data_nodes: Vec<NodeId> = Vec::with_capacity(k);
+            let mut used_racks: Vec<usize> = Vec::with_capacity(k + m);
+            for _ in 0..k {
+                let mut order: Vec<usize> = (0..racks).filter(|&r| !queues[r].is_empty()).collect();
+                order.sort_by_key(|&r| (usize::MAX - queues[r].len(), r));
+                let picked = order
+                    .iter()
+                    .copied()
+                    .filter(|r| !used_racks.contains(r))
+                    .find_map(|r| {
+                        take_avoiding(&mut queues[r], &data_nodes, cluster).map(|vm| (r, vm))
+                    })
+                    .or_else(|| {
+                        // No fresh rack can host: relax to node
+                        // distinctness (skewed topology).
+                        order.iter().copied().find_map(|r| {
+                            take_avoiding(&mut queues[r], &data_nodes, cluster).map(|vm| (r, vm))
+                        })
+                    });
+                let (rack, vm) = picked.ok_or(PlacementError::Unplaceable { group: id })?;
+                used_racks.push(rack);
+                data_nodes.push(cluster.node_of(vm));
+                data.push(vm);
+            }
+
+            // Parity: same ring walk as the flat construction, but
+            // rack-fresh candidates take precedence over rack-used ones.
+            let start = data_nodes.last().expect("non-empty group").index();
+            let ring: Vec<NodeId> = (1..=n)
+                .map(|step| NodeId((start + step) % n))
+                .filter(|cand| !data_nodes.contains(cand))
+                .collect();
+            let mut parity_nodes: Vec<NodeId> = Vec::with_capacity(m);
+            for _ in 0..m {
+                let free: Vec<NodeId> = ring
+                    .iter()
+                    .copied()
+                    .filter(|c| !parity_nodes.contains(c))
+                    .collect();
+                let fresh: Vec<NodeId> = free
+                    .iter()
+                    .copied()
+                    .filter(|c| !used_racks.contains(&topo.rack_of(*c).index()))
+                    .collect();
+                let mut pool = if fresh.is_empty() { free } else { fresh };
+                debug_assert!(!pool.is_empty(), "k+m ≤ n guarantees a candidate");
+                pool.sort_by_key(|c| parity_load[c.index()]);
+                let p = pool[0];
+                used_racks.push(topo.rack_of(p).index());
+                parity_load[p.index()] += 1;
+                parity_nodes.push(p);
+            }
+
+            for &vm in &data {
+                group_of[vm.index()] = id;
+            }
+            groups.push(RaidGroup {
+                id,
+                data,
+                parity_nodes,
+            });
+        }
+
+        let placement = GroupPlacement { groups, group_of };
+        placement.validate(cluster)?;
+        Ok(placement)
+    }
+
     /// All groups.
     pub fn groups(&self) -> &[RaidGroup] {
         &self.groups
@@ -242,6 +427,61 @@ impl GroupPlacement {
             }
         }
         Ok(())
+    }
+
+    /// Verifies orthogonality one level up: in addition to
+    /// [`GroupPlacement::validate`], no group may touch any *rack* more
+    /// than once. This is the invariant rack-aware construction
+    /// establishes whenever `rack_count ≥ k + m`; a whole-rack failure
+    /// then costs each group at most one member.
+    pub fn validate_rack_aware(&self, cluster: &Cluster) -> Result<(), PlacementError> {
+        self.validate(cluster)?;
+        let topo = cluster.topology();
+        for g in &self.groups {
+            let mut seen: BTreeMap<RackId, ()> = BTreeMap::new();
+            let racks = g
+                .data
+                .iter()
+                .map(|&v| topo.rack_of(cluster.node_of(v)))
+                .chain(g.parity_nodes.iter().map(|&p| topo.rack_of(p)));
+            for rack in racks {
+                if seen.insert(rack, ()).is_some() {
+                    return Err(PlacementError::RackCollision { group: g.id, rack });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if every group spans pairwise-distinct racks (and nodes) —
+    /// the placement survives any single whole-rack failure with at most
+    /// one erasure per group.
+    pub fn is_rack_orthogonal(&self, cluster: &Cluster) -> bool {
+        self.validate_rack_aware(cluster).is_ok()
+    }
+
+    /// How many members (data or parity) of each group live in `rack` —
+    /// the blast radius of a whole-rack failure. Survivable with `m`
+    /// parity blocks iff every entry ≤ `m`; rack-orthogonal placement
+    /// guarantees ≤ 1.
+    pub fn impact_of_rack_failure(&self, cluster: &Cluster, rack: RackId) -> Vec<(GroupId, usize)> {
+        let topo = cluster.topology();
+        self.groups
+            .iter()
+            .map(|g| {
+                let data_hits = g
+                    .data
+                    .iter()
+                    .filter(|&&v| topo.rack_of(cluster.node_of(v)) == rack)
+                    .count();
+                let parity_hits = g
+                    .parity_nodes
+                    .iter()
+                    .filter(|&&p| topo.rack_of(p) == rack)
+                    .count();
+                (g.id, data_hits + parity_hits)
+            })
+            .collect()
     }
 
     /// How many members (data or parity) of each group live on `node` —
@@ -424,6 +664,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn racked_cluster(nodes: usize, vms_per_node: usize, nodes_per_rack: usize) -> Cluster {
+        ClusterBuilder::new()
+            .physical_nodes(nodes)
+            .vms_per_node(vms_per_node)
+            .vm_memory(4, 16)
+            .racks(nodes_per_rack)
+            .build(0)
+    }
+
+    #[test]
+    fn rack_aware_placement_never_colocates_group_members_in_a_rack() {
+        // 8 nodes in 4 racks of 2, k=3 m=1: k+m = rack count, so full
+        // rack orthogonality is feasible — and required.
+        for m in [1usize, 2] {
+            let c = racked_cluster(10, 3, 2); // 5 racks
+            let p = GroupPlacement::orthogonal_with_parity(&c, 3, m)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            p.validate_rack_aware(&c)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            assert!(p.is_rack_orthogonal(&c));
+            for rack in 0..c.topology().rack_count() {
+                for (gid, hits) in p.impact_of_rack_failure(&c, RackId(rack)) {
+                    assert!(hits <= 1, "m={m}: rack{rack} hits {gid} {hits}×");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_ablation_on_racked_cluster_exceeds_rack_tolerance() {
+        // The rack-ignorant slot-major layout puts consecutive nodes —
+        // rack mates — into one group: a single rack failure costs some
+        // group two members.
+        let c = racked_cluster(8, 3, 2);
+        let p = GroupPlacement::orthogonal_flat(&c, 3, 1).unwrap();
+        assert!(matches!(
+            p.validate_rack_aware(&c),
+            Err(PlacementError::RackCollision { .. })
+        ));
+        let worst = (0..c.topology().rack_count())
+            .flat_map(|r| p.impact_of_rack_failure(&c, RackId(r)))
+            .map(|(_, hits)| hits)
+            .max()
+            .unwrap();
+        assert!(worst >= 2, "flat placement must double up in some rack");
+    }
+
+    #[test]
+    fn rack_aware_on_flat_topology_is_the_slot_major_layout() {
+        // Flat topology → the rack-aware entry point returns the classic
+        // construction bit-for-bit.
+        let c = cluster(4, 3);
+        let aware = GroupPlacement::orthogonal_with_parity(&c, 3, 1).unwrap();
+        let flat = GroupPlacement::orthogonal_flat(&c, 3, 1).unwrap();
+        assert_eq!(aware, flat);
+    }
+
+    #[test]
+    fn rack_aware_parity_load_stays_balanced() {
+        let c = racked_cluster(8, 3, 2);
+        let p = GroupPlacement::orthogonal_with_parity(&c, 3, 1).unwrap();
+        let load = p.parity_load(8);
+        let (min, max) = (
+            load.iter().min().copied().unwrap(),
+            load.iter().max().copied().unwrap(),
+        );
+        assert!(max - min <= 1, "unbalanced parity load {load:?}");
+    }
+
+    #[test]
+    fn rack_aware_with_few_racks_falls_back_to_node_distinctness() {
+        // 2 racks cannot host k+m = 4 distinct-rack members; the
+        // constructor must still produce a node-orthogonal placement.
+        let c = racked_cluster(8, 3, 4); // 2 racks of 4
+        let p = GroupPlacement::orthogonal_with_parity(&c, 3, 1).unwrap();
+        p.validate(&c).unwrap();
+        assert!(!p.is_rack_orthogonal(&c));
     }
 
     #[test]

@@ -65,11 +65,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use dvdc_faults::detector::{DetectorConfig, DetectorEventKind, FailureDetector, Verdict};
 use dvdc_faults::{FaultKind, NodeFault, PlanCursor};
 use dvdc_observe::{Event, RecorderHandle};
-use dvdc_simcore::engine::Simulation;
+use dvdc_simcore::engine::{Scheduler, Simulation};
 use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::Cluster;
 use dvdc_vcluster::ids::NodeId;
 use dvdc_vcluster::messaging::{RetryDecision, RetryPolicy};
+use dvdc_vcluster::topology::{DcId, RackId};
 
 use super::dvdc_proto::{
     DvdcProtocol, PhasedRound, RebuildMode, RebuildStep, RoundPhase, RoundStep,
@@ -83,7 +84,22 @@ fn fault_kind_name(kind: &FaultKind) -> &'static str {
         FaultKind::TransientHang(_) => "TransientHang",
         FaultKind::Partition { .. } => "Partition",
         FaultKind::Corruption { .. } => "Corruption",
+        FaultKind::RackFailure { .. } => "RackFailure",
+        FaultKind::DcFailure { .. } => "DcFailure",
     }
+}
+
+/// Expands a correlated domain fault to its per-node victims: every node
+/// of the rack (or DC) that is still up. For a domain fault,
+/// [`NodeFault::node`] carries the rack/DC index, not a node index.
+/// Non-domain kinds return `None`.
+fn domain_victims(cluster: &Cluster, kind: &FaultKind) -> Option<Vec<NodeId>> {
+    let nodes = match *kind {
+        FaultKind::RackFailure { rack } => cluster.topology().nodes_in_rack(RackId(rack)),
+        FaultKind::DcFailure { dc } => cluster.topology().nodes_in_dc(DcId(dc)),
+        _ => return None,
+    };
+    Some(nodes.into_iter().filter(|&n| cluster.is_up(n)).collect())
 }
 
 /// Size of one heartbeat message on the wire.
@@ -288,10 +304,14 @@ impl Driver<'_, '_> {
             self.protocol.fence_node(id);
             self.cluster.fail_node(id);
         }
-        let involved = self
-            .round
-            .as_ref()
-            .is_some_and(|r| self.protocol.round_involves(self.cluster, r, id));
+        // Once one confirmation has aborted the round, later verdicts of
+        // the same correlated failure are counted and traced but must not
+        // overwrite the abort victim (nor re-abort anything).
+        let involved = self.aborted.is_none()
+            && self
+                .round
+                .as_ref()
+                .is_some_and(|r| self.protocol.round_involves(self.cluster, r, id));
         if involved {
             let phase = self.round.as_ref().expect("involved implies round").phase();
             self.aborted = Some((id, phase));
@@ -305,6 +325,23 @@ impl Driver<'_, '_> {
 enum ConfirmAction {
     AbortRound,
     Continue,
+}
+
+/// Cancels the round's remaining events while keeping the detector's
+/// deadline chain alive for every node that is silenced, genuinely dead
+/// (no heal pending), and not yet confirmed. A correlated failure (rack
+/// or DC kill) downs several nodes at one instant but only the first
+/// confirmation aborts the round; without the kept deadlines the other
+/// victims would never receive their own `Confirmed` verdict, and the
+/// trace would show nodes dying undetected.
+fn cancel_all_but_pending_verdicts(w: &Driver<'_, '_>, sched: &mut Scheduler<'_, Ev>) {
+    let keep: BTreeSet<usize> = w
+        .silenced
+        .iter()
+        .copied()
+        .filter(|n| !w.heal_at.contains_key(n) && !w.detector.is_confirmed(*n))
+        .collect();
+    sched.cancel_where(move |ev| !matches!(ev, Ev::Deadline(n) if keep.contains(n)));
 }
 
 /// Runs one DVDC round starting at `start`, with the plan faults of
@@ -392,8 +429,9 @@ pub fn run_round_with_detection(
                     w.report = Some(report);
                     w.round = None;
                     // The round is over: detector traffic and unfired
-                    // faults alike belong to the inter-round window.
-                    sched.cancel_where(|_| true);
+                    // faults alike belong to the inter-round window —
+                    // except the verdicts still owed for dead nodes.
+                    cancel_all_but_pending_verdicts(w, sched);
                 }
                 Err(e) => {
                     w.error = Some(e);
@@ -406,6 +444,42 @@ pub fn run_round_with_detection(
             w.cursor.advance();
             if let Some(next) = w.cursor.peek() {
                 sched.at(next.at.max(sched.now()), Ev::Inject(*next));
+            }
+            if let Some(victims) = domain_victims(w.cluster, &f.kind) {
+                // A rack/DC failure is fail-stop for the whole domain at
+                // one instant: every victim dies and goes silent, and the
+                // detector must confirm each one on its own heartbeat
+                // silence — correlated injection, independent detection.
+                w.protocol.set_clock(sched.now());
+                for &v in &victims {
+                    if w.recording {
+                        w.recorder.record(
+                            sched.now(),
+                            &Event::FaultInjected {
+                                node: v.index(),
+                                kind: fault_kind_name(&f.kind),
+                            },
+                        );
+                    }
+                    w.injected_at.insert(v.index(), sched.now());
+                    w.silenced.insert(v.index());
+                    w.cluster.fail_node(v);
+                }
+                let mut stalls = false;
+                for &v in &victims {
+                    let involved = w
+                        .round
+                        .as_ref()
+                        .is_some_and(|r| w.protocol.round_involves(w.cluster, r, v));
+                    if involved {
+                        w.stall(v.index());
+                        stalls = true;
+                    }
+                }
+                if stalls {
+                    sched.cancel_where(|ev| matches!(ev, Ev::Step));
+                }
+                return;
             }
             let node = NodeId(f.node);
             if !w.cluster.is_up(node) {
@@ -475,10 +549,13 @@ pub fn run_round_with_detection(
                             w.protocol.fence_node(node);
                             w.cluster.fail_node(node);
                             w.aborted = Some((node, phase));
-                            sched.cancel_where(|_| true);
+                            cancel_all_but_pending_verdicts(w, sched);
                             return;
                         }
                     }
+                }
+                FaultKind::RackFailure { .. } | FaultKind::DcFailure { .. } => {
+                    unreachable!("domain faults expand to per-node victims above")
                 }
             }
             // An impaired member that holds round state freezes the
@@ -542,7 +619,7 @@ pub fn run_round_with_detection(
                     let now = sched.now();
                     w.protocol.set_clock(now);
                     match w.on_confirmed(n, now) {
-                        ConfirmAction::AbortRound => sched.cancel_where(|_| true),
+                        ConfirmAction::AbortRound => cancel_all_but_pending_verdicts(w, sched),
                         ConfirmAction::Continue => {}
                     }
                 }
@@ -741,6 +818,16 @@ fn fire_due(
             break;
         }
         cursor.advance();
+        if let Some(victims) = domain_victims(cluster, &f.kind) {
+            // Correlated kill inside the window: the whole domain goes
+            // down at once, enlarging the down set for the next victim
+            // selection pass.
+            for v in victims {
+                cluster.fail_node(v);
+                crashed = true;
+            }
+            continue;
+        }
         let node = NodeId(f.node);
         if !cluster.is_up(node) {
             continue;
@@ -754,6 +841,9 @@ fn fire_due(
                 w.corrupt_blocks += protocol.apply_corruption(cluster, node, blocks, seed) as u64;
             }
             FaultKind::TransientHang(_) | FaultKind::Partition { .. } => {}
+            FaultKind::RackFailure { .. } | FaultKind::DcFailure { .. } => {
+                unreachable!("domain faults expand to per-node victims above")
+            }
         }
     }
     crashed
@@ -1279,6 +1369,65 @@ mod tests {
         audit.assert_clean();
         let names: Vec<&str> = trace.events().iter().map(|e| e.event.name()).collect();
         assert!(names.contains(&"round_committed"));
+    }
+
+    #[test]
+    fn rack_kill_confirms_every_victim_and_recovers_byte_exactly() {
+        // 8 nodes in 4 racks of 2, k = 3, m = 1: each group spans k+m = 4
+        // members and 4 racks are available, so rack-aware placement puts
+        // at most one member of any group in a rack — a whole-rack kill
+        // is one erasure per group, and XOR parity recovers it.
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(8)
+            .vms_per_node(3)
+            .vm_memory(8, 32)
+            .writes_per_sec(200.0)
+            .racks(2)
+            .build(11);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 1).unwrap();
+        assert!(placement.is_rack_orthogonal(&c));
+        let mut p = DvdcProtocol::new(placement);
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+
+        let plan = ClusterFaultPlan::new(vec![NodeFault::rack_failure(
+            1,
+            SimTime::from_secs(1e-7),
+            Duration::ZERO,
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        match outcome {
+            PhasedOutcome::RolledBack {
+                victim,
+                recoveries,
+                data_loss,
+                detection,
+                ..
+            } => {
+                // Both rack members (nodes 2 and 3) died at one instant;
+                // the detector owes each its own verdict even though the
+                // first confirmation already aborted the round.
+                assert!(victim == NodeId(2) || victim == NodeId(3));
+                assert_eq!(detection.confirmations, 2, "one verdict per victim");
+                assert_eq!(detection.false_failovers, 0, "rack kill is fail-stop");
+                assert!(data_loss.is_empty(), "rack-aware m=1 survives a rack");
+                assert_eq!(recoveries.len(), 2);
+            }
+            other => panic!("rack kill mid-round must roll back, got {other:?}"),
+        }
+        assert!(
+            end >= SimTime::ZERO + DetectorConfig::default().best_case_detection(),
+            "end {end} precedes any possible confirmation"
+        );
+        assert_eq!(snapshots(&c), want, "rollback must be byte-exact");
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)), "rack rebuilt");
+
+        // The cluster keeps checkpointing afterwards.
+        let (outcome, _) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        assert!(outcome.committed());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use dvdc_simcore::engine::Simulation;
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::{Duration, SimTime};
-use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
+use dvdc_vcluster::cluster::{Cluster, ClusterBuilder, TopologySpec};
 use dvdc_vcluster::ids::NodeId;
 
 use crate::placement::GroupPlacement;
@@ -59,6 +59,16 @@ pub struct ShardConfig {
     pub writes_per_sec: f64,
     /// Seed for all per-VM workload RNG streams.
     pub seed: u64,
+    /// Rack/DC hierarchy applied to *each* shard's sub-cluster. A shard
+    /// is a failure-containment unit, so a rack must never straddle a
+    /// shard boundary: with [`TopologySpec::UniformRacks`],
+    /// `nodes_per_shard` must be a whole number of racks — [`build`]
+    /// rejects anything else rather than silently splitting a rack.
+    /// The default [`TopologySpec::Flat`] keeps the pre-hierarchy model
+    /// (every node its own rack).
+    ///
+    /// [`build`]: ShardedCluster::build
+    pub topology: TopologySpec,
 }
 
 impl Default for ShardConfig {
@@ -77,6 +87,7 @@ impl Default for ShardConfig {
             guest_dt: Duration::from_secs(1.0),
             writes_per_sec: 20.0,
             seed: 0x51a2d,
+            topology: TopologySpec::Flat,
         }
     }
 }
@@ -129,9 +140,11 @@ impl ShardedCluster {
     /// own orthogonal placement and [`DvdcProtocol`].
     ///
     /// # Panics
-    /// Panics if the geometry yields no shards, or the per-shard
-    /// orthogonal placement is infeasible (`group_k + parity_m >
-    /// nodes_per_shard`, or VM count not a multiple of `group_k`).
+    /// Panics if the geometry yields no shards, if a rack would straddle
+    /// a shard boundary (`nodes_per_shard` not a whole number of racks),
+    /// or the per-shard orthogonal placement is infeasible
+    /// (`group_k + parity_m > nodes_per_shard`, VM count not a multiple
+    /// of `group_k`, or too few racks for a rack-orthogonal layout).
     pub fn build(config: ShardConfig) -> Self {
         let shard_count = config.total_nodes / config.nodes_per_shard;
         assert!(
@@ -140,6 +153,16 @@ impl ShardedCluster {
             config.total_nodes,
             config.nodes_per_shard
         );
+        // A shard is the failure-containment unit: every rack must lie
+        // wholly inside one shard, never silently split across two.
+        if let TopologySpec::UniformRacks { nodes_per_rack, .. } = config.topology {
+            assert!(
+                nodes_per_rack > 0 && config.nodes_per_shard.is_multiple_of(nodes_per_rack),
+                "a rack of {} nodes would straddle a shard boundary of {} nodes",
+                nodes_per_rack,
+                config.nodes_per_shard
+            );
+        }
         let shards = (0..shard_count)
             .map(|i| {
                 let cluster = ClusterBuilder::new()
@@ -147,6 +170,7 @@ impl ShardedCluster {
                     .vms_per_node(config.vms_per_node)
                     .vm_memory(config.pages, config.page_size)
                     .writes_per_sec(config.writes_per_sec)
+                    .topology(config.topology.clone())
                     .build(config.seed.wrapping_add(i as u64));
                 let placement = GroupPlacement::orthogonal_with_parity(
                     &cluster,
@@ -260,14 +284,18 @@ impl ShardedCluster {
         }
     }
 
-    /// Crashes the first node of `shard`, recovers through that shard's
-    /// protocol, and asserts every VM image in the shard is byte-identical
-    /// to its pre-crash state (no guest writes occur after the final
-    /// commit, so memory equals the committed epoch). Returns the number
-    /// of VMs rebuilt from parity.
+    /// Crashes the whole rack containing the first node of `shard` (on
+    /// the flat default topology that rack is exactly one node, the
+    /// pre-hierarchy behavior), recovers every victim through that
+    /// shard's protocol, and asserts every VM image in the shard is
+    /// byte-identical to its pre-crash state (no guest writes occur
+    /// after the final commit, so memory equals the committed epoch).
+    /// Returns the number of VMs rebuilt from parity.
     ///
     /// # Panics
-    /// Panics if recovery fails or any VM image differs post-recovery.
+    /// Panics if recovery fails (a racked shard whose placement is not
+    /// rack-orthogonal, or a rack wider than the parity tolerance) or
+    /// any VM image differs post-recovery.
     pub fn verify_shard_recovery(&mut self, shard: usize) -> usize {
         let s = &mut self.shards[shard];
         let before: Vec<Vec<u8>> = s
@@ -276,12 +304,17 @@ impl ShardedCluster {
             .into_iter()
             .map(|vm| s.cluster.vm(vm).memory().as_bytes().to_vec())
             .collect();
-        let victim = NodeId(0);
-        s.cluster.fail_node(victim);
-        let report = s
-            .protocol
-            .recover_typed(&mut s.cluster, victim)
-            .expect("single-node failure within shard tolerance");
+        let rack = s.cluster.rack_of(NodeId(0));
+        let victims = s.cluster.topology().nodes_in_rack(rack);
+        s.cluster.fail_rack(rack);
+        let mut rebuilt = 0;
+        for &victim in &victims {
+            let report = s
+                .protocol
+                .recover_typed(&mut s.cluster, victim)
+                .expect("whole-rack failure within shard tolerance");
+            rebuilt += report.recovered_vms.len();
+        }
         for (vm, pre) in s.cluster.vm_ids().into_iter().zip(&before) {
             assert_eq!(
                 s.cluster.vm(vm).memory().as_bytes(),
@@ -289,7 +322,7 @@ impl ShardedCluster {
                 "shard {shard} {vm:?} not byte-identical after recovery"
             );
         }
-        report.recovered_vms.len()
+        rebuilt
     }
 }
 
@@ -353,6 +386,42 @@ mod tests {
         sc.run();
         let recovered = sc.verify_shard_recovery(1);
         assert_eq!(recovered, sc.config.vms_per_node);
+    }
+
+    #[test]
+    fn racked_shards_survive_whole_rack_failure() {
+        // Each shard: 8 nodes in 4 racks of 2, k+m = 4 → rack-orthogonal
+        // placement, so losing a whole rack (two nodes, six VMs) stays
+        // within the m=1 tolerance per group.
+        let mut sc = ShardedCluster::build(ShardConfig {
+            total_nodes: 16,
+            nodes_per_shard: 8,
+            topology: TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 4,
+            },
+            rounds: 1,
+            ..ShardConfig::default()
+        });
+        assert_eq!(sc.shard_count(), 2);
+        let report = sc.run();
+        assert_eq!(report.rounds_committed, 2);
+        let recovered = sc.verify_shard_recovery(0);
+        assert_eq!(recovered, 2 * sc.config.vms_per_node);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle")]
+    fn rack_straddling_shard_boundary_is_rejected() {
+        ShardedCluster::build(ShardConfig {
+            total_nodes: 12,
+            nodes_per_shard: 4,
+            topology: TopologySpec::UniformRacks {
+                nodes_per_rack: 3,
+                racks_per_dc: 2,
+            },
+            ..ShardConfig::default()
+        });
     }
 
     #[test]

@@ -223,8 +223,22 @@ impl JobRunner {
                     out.lost_work += lost;
                     progress = committed_progress;
 
-                    let node = dvdc_vcluster::ids::NodeId(f.node);
-                    if !cluster.is_up(node) {
+                    // Domain faults (whole rack, whole DC) expand to the
+                    // nodes the topology puts in them; everything else is
+                    // the single node the record names.
+                    let victims: Vec<dvdc_vcluster::ids::NodeId> = match f.kind {
+                        FaultKind::RackFailure { rack } => cluster
+                            .topology()
+                            .nodes_in_rack(dvdc_vcluster::topology::RackId(rack)),
+                        FaultKind::DcFailure { dc } => cluster
+                            .topology()
+                            .nodes_in_dc(dvdc_vcluster::topology::DcId(dc)),
+                        _ => vec![dvdc_vcluster::ids::NodeId(f.node)],
+                    }
+                    .into_iter()
+                    .filter(|&n| cluster.is_up(n))
+                    .collect();
+                    if victims.is_empty() {
                         // Hardware already out of service (failover mode):
                         // nothing new fails.
                         out.failures -= 1;
@@ -238,35 +252,63 @@ impl JobRunner {
                             FaultKind::TransientHang(_) => "TransientHang",
                             FaultKind::Partition { .. } => "Partition",
                             FaultKind::Corruption { .. } => "Corruption",
+                            FaultKind::RackFailure { .. } => "RackFailure",
+                            FaultKind::DcFailure { .. } => "DcFailure",
                         };
-                        recorder.record(strike, &Event::FaultInjected { node: f.node, kind });
-                        // This runner's failure oracle stands in for the
-                        // in-band heartbeat detector, so both verdicts
-                        // land at the strike instant (the phased paths
-                        // run the real detector and show the gap).
-                        recorder.record(strike, &Event::Suspected { node: f.node });
-                        recorder.record(strike, &Event::Confirmed { node: f.node });
+                        for &v in &victims {
+                            recorder.record(
+                                strike,
+                                &Event::FaultInjected {
+                                    node: v.index(),
+                                    kind,
+                                },
+                            );
+                            // This runner's failure oracle stands in for
+                            // the in-band heartbeat detector, so both
+                            // verdicts land at the strike instant (the
+                            // phased paths run the real detector and show
+                            // the gap).
+                            recorder.record(strike, &Event::Suspected { node: v.index() });
+                            recorder.record(strike, &Event::Confirmed { node: v.index() });
+                        }
                     }
                     protocol.set_clock(strike);
-                    cluster.fail_node(node);
-                    let recovery = match self.recovery {
-                        RecoveryPolicy::RepairInPlace => protocol.recover_typed(cluster, node),
-                        RecoveryPolicy::Failover => {
-                            match protocol.recover_failover(cluster, node) {
-                                Err(ProtocolError::Unrecoverable { .. }) => {
-                                    // No legal host: fall back to waiting
-                                    // for the hardware repair.
-                                    protocol.recover_typed(cluster, node)
+                    for &v in &victims {
+                        cluster.fail_node(v);
+                    }
+                    let mut repair_time = Duration::ZERO;
+                    let mut recovered = 0u64;
+                    let mut recovery: Result<(), RecoverError> = Ok(());
+                    for &v in &victims {
+                        let one = match self.recovery {
+                            RecoveryPolicy::RepairInPlace => protocol.recover_typed(cluster, v),
+                            RecoveryPolicy::Failover => {
+                                match protocol.recover_failover(cluster, v) {
+                                    Err(ProtocolError::Unrecoverable { .. }) => {
+                                        // No legal host: fall back to waiting
+                                        // for the hardware repair.
+                                        protocol.recover_typed(cluster, v)
+                                    }
+                                    other => other.map_err(RecoverError::from),
                                 }
-                                other => other.map_err(RecoverError::from),
+                            }
+                        };
+                        match one {
+                            Ok(rep) => {
+                                recovered += 1;
+                                repair_time += rep.repair_time;
+                            }
+                            Err(e) => {
+                                recovery = Err(e);
+                                break;
                             }
                         }
-                    };
+                    }
                     match recovery {
-                        Ok(rep) => {
-                            out.recoveries += 1;
-                            out.repair_total += rep.repair_time;
-                            wall += rep.repair_time + f.repair;
+                        Ok(()) => {
+                            out.recoveries += recovered;
+                            out.repair_total += repair_time;
+                            wall += repair_time + f.repair;
                         }
                         Err(e @ RecoverError::DataLoss { .. })
                         | Err(e @ RecoverError::Protocol(ProtocolError::NoCommittedCheckpoint))

@@ -96,17 +96,46 @@ pub enum FaultKind {
         /// Deterministic seed for picking which blocks and offsets.
         seed: u64,
     },
+    /// A whole rack fails at once (top-of-rack switch, rack PDU): every
+    /// node in the rack crashes simultaneously. The executor expands this
+    /// to per-node crashes using the cluster's topology — this crate only
+    /// names the domain. The carrying [`NodeFault::node`] field holds the
+    /// *rack* index, not a node index.
+    RackFailure {
+        /// Index of the failing rack.
+        rack: usize,
+    },
+    /// A whole data centre fails at once (power/cooling event): every
+    /// node in every rack of the DC crashes simultaneously. Expanded by
+    /// the executor; [`NodeFault::node`] holds the *DC* index.
+    DcFailure {
+        /// Index of the failing data centre.
+        dc: usize,
+    },
 }
 
 impl FaultKind {
-    /// True for fail-stop faults (state is lost).
+    /// True for fail-stop faults (state is lost). Domain failures are
+    /// fail-stop for every node they expand to.
     pub fn is_crash(&self) -> bool {
-        matches!(self, FaultKind::Crash)
+        matches!(
+            self,
+            FaultKind::Crash | FaultKind::RackFailure { .. } | FaultKind::DcFailure { .. }
+        )
     }
 
     /// True for silent data corruption (node up, bytes rotten).
     pub fn is_corruption(&self) -> bool {
         matches!(self, FaultKind::Corruption { .. })
+    }
+
+    /// True for correlated whole-domain failures (rack or DC) that the
+    /// executor must expand to per-node crashes via the topology.
+    pub fn is_domain(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::RackFailure { .. } | FaultKind::DcFailure { .. }
+        )
     }
 
     /// How long a non-crash impairment lasts before the node is healthy
@@ -115,7 +144,10 @@ impl FaultKind {
     /// impaired, only its data).
     pub fn heals_after(&self) -> Option<Duration> {
         match self {
-            FaultKind::Crash | FaultKind::Corruption { .. } => None,
+            FaultKind::Crash
+            | FaultKind::Corruption { .. }
+            | FaultKind::RackFailure { .. }
+            | FaultKind::DcFailure { .. } => None,
             FaultKind::TransientHang(d) => Some(*d),
             FaultKind::Partition { heal_after, .. } => Some(*heal_after),
         }
@@ -176,6 +208,29 @@ impl NodeFault {
             at,
             repair: Duration::ZERO,
             kind: FaultKind::Corruption { blocks, seed },
+        }
+    }
+
+    /// A whole-rack failure at `at`. The record's `node` field carries
+    /// the rack index (domain faults have no single node); the executor
+    /// expands it to per-node crashes with the given `repair`.
+    pub fn rack_failure(rack: usize, at: SimTime, repair: Duration) -> Self {
+        NodeFault {
+            node: rack,
+            at,
+            repair,
+            kind: FaultKind::RackFailure { rack },
+        }
+    }
+
+    /// A whole-DC failure at `at`. The record's `node` field carries the
+    /// DC index; the executor expands it to per-node crashes.
+    pub fn dc_failure(dc: usize, at: SimTime, repair: Duration) -> Self {
+        NodeFault {
+            node: dc,
+            at,
+            repair,
+            kind: FaultKind::DcFailure { dc },
         }
     }
 }
@@ -494,6 +549,21 @@ mod tests {
         let rot = NodeFault::corruption(3, SimTime::ZERO, 2, 0xBEEF);
         assert!(rot.kind.is_corruption() && !rot.kind.is_crash());
         assert_eq!(rot.kind.heals_after(), None);
+    }
+
+    #[test]
+    fn domain_faults_are_fail_stop_and_carry_their_index() {
+        let rack = NodeFault::rack_failure(3, SimTime::from_secs(1.0), Duration::from_secs(10.0));
+        assert!(rack.kind.is_crash());
+        assert!(rack.kind.is_domain());
+        assert_eq!(rack.kind.heals_after(), None);
+        assert_eq!(rack.node, 3);
+        assert!(matches!(rack.kind, FaultKind::RackFailure { rack: 3 }));
+
+        let dc = NodeFault::dc_failure(1, SimTime::from_secs(2.0), Duration::from_secs(60.0));
+        assert!(dc.kind.is_crash() && dc.kind.is_domain());
+        assert!(matches!(dc.kind, FaultKind::DcFailure { dc: 1 }));
+        assert!(!FaultKind::Crash.is_domain());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   [`FaultKind`] — crash, transient hang, network partition, or silent
 //!   block corruption (node up, stored bytes rotten — only checksums
 //!   notice).
+//! * [`schedule`] — composable fault schedules: named plan generators
+//!   (quiet, per-node crashes, correlated rack kills, a DC kill,
+//!   impairment storms, mixtures) over a [`DomainShape`] of node / rack /
+//!   DC counts — the fault-side axis of the workload × fault matrix.
 //! * [`detector`] — the in-band failure detector: heartbeat deadlines,
 //!   timeout-based suspicion, and `Suspected`/`Confirmed`/`Refuted`
 //!   verdicts. Since hangs and partitions are indistinguishable from
@@ -45,6 +49,7 @@ pub mod dist;
 pub mod injector;
 pub mod mttdl;
 pub mod process;
+pub mod schedule;
 pub mod trace;
 
 pub use detector::{DetectorConfig, DetectorStats, FailureDetector, Verdict};
@@ -55,6 +60,10 @@ pub use dist::{
 pub use injector::{ClusterFaultPlan, FaultInjector, FaultKind, NodeFault, PeerSet, PlanCursor};
 pub use mttdl::MttdlParams;
 pub use process::RenewalProcess;
+pub use schedule::{
+    DcKill, DomainShape, FaultSchedule, ImpairmentStorm, MixedSchedule, NodeCrashes, Quiet,
+    RackKills,
+};
 pub use trace::{parse_trace, render_trace};
 
 /// Published MTBF figures quoted in the paper's introduction, handy as

@@ -11,6 +11,7 @@ use rand::Rng;
 use crate::fabric::FabricModel;
 use crate::ids::{NodeId, VmId};
 use crate::memory::MemoryImage;
+use crate::topology::{DcId, RackId, Topology};
 use crate::workload::{AccessPattern, Workload};
 use dvdc_simcore::time::Duration;
 
@@ -93,6 +94,24 @@ pub struct Cluster {
     /// `placement[vm] = node` hosting it.
     placement: Vec<NodeId>,
     fabric: FabricModel,
+    /// DC → rack → node hierarchy; [`Topology::flat`] unless overridden.
+    topology: Topology,
+}
+
+/// How the builder derives the DC → rack → node hierarchy.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// Each node its own rack, one DC — the backward-compatible default.
+    Flat,
+    /// Consecutive nodes grouped into equal racks, racks into DCs.
+    UniformRacks {
+        /// Nodes per rack.
+        nodes_per_rack: usize,
+        /// Racks per data centre.
+        racks_per_dc: usize,
+    },
+    /// An explicit topology; its node count must match the builder's.
+    Explicit(Topology),
 }
 
 /// Builder for [`Cluster`]. Defaults: 4 nodes × 3 VMs (the paper's Fig. 4
@@ -107,6 +126,7 @@ pub struct ClusterBuilder {
     pattern: AccessPattern,
     writes_per_sec: f64,
     fabric: FabricModel,
+    topology: TopologySpec,
 }
 
 impl Default for ClusterBuilder {
@@ -126,6 +146,7 @@ impl ClusterBuilder {
             pattern: AccessPattern::ninety_ten(),
             writes_per_sec: 1000.0,
             fabric: FabricModel::default(),
+            topology: TopologySpec::Flat,
         }
     }
 
@@ -166,11 +187,41 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the failure-domain hierarchy (default: [`TopologySpec::Flat`]).
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Shorthand for [`TopologySpec::UniformRacks`] with all racks in one
+    /// DC.
+    pub fn racks(self, nodes_per_rack: usize) -> Self {
+        self.topology(TopologySpec::UniformRacks {
+            nodes_per_rack,
+            racks_per_dc: usize::MAX,
+        })
+    }
+
     /// Builds the cluster. `seed` only labels the VM images (contents are
     /// a function of VM id); it does not consume RNG state.
     pub fn build(self, _seed: u64) -> Cluster {
         assert!(self.nodes > 0, "cluster needs at least one node");
         assert!(self.vms_per_node > 0, "nodes must host at least one VM");
+        let topology = match self.topology {
+            TopologySpec::Flat => Topology::flat(self.nodes),
+            TopologySpec::UniformRacks {
+                nodes_per_rack,
+                racks_per_dc,
+            } => Topology::uniform_racks(self.nodes, nodes_per_rack, racks_per_dc),
+            TopologySpec::Explicit(t) => {
+                assert_eq!(
+                    t.node_count(),
+                    self.nodes,
+                    "explicit topology node count must match the builder's"
+                );
+                t
+            }
+        };
         let mut nodes = Vec::with_capacity(self.nodes);
         let mut vms = Vec::with_capacity(self.nodes * self.vms_per_node);
         let mut placement = Vec::with_capacity(self.nodes * self.vms_per_node);
@@ -199,6 +250,7 @@ impl ClusterBuilder {
             vms,
             placement,
             fabric: self.fabric,
+            topology,
         }
     }
 }
@@ -275,12 +327,44 @@ impl Cluster {
         self.nodes.iter().filter(|n| n.up).count()
     }
 
+    /// The failure-domain hierarchy.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The rack hosting `node`.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        self.topology.rack_of(node)
+    }
+
     /// Marks a node failed. Returns the VMs that went down with it — the
     /// perfectly correlated failure set of Section IV-A.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<VmId> {
         let n = &mut self.nodes[node.index()];
         n.up = false;
         n.vms.clone()
+    }
+
+    /// Fails every node in `rack` (top-of-rack switch loss, rack power
+    /// event). Returns all VMs taken down, in node order.
+    pub fn fail_rack(&mut self, rack: RackId) -> Vec<VmId> {
+        let victims = self.topology.nodes_in_rack(rack);
+        let mut lost = Vec::new();
+        for node in victims {
+            lost.extend(self.fail_node(node));
+        }
+        lost
+    }
+
+    /// Fails every node in `dc`. Returns all VMs taken down, in node
+    /// order.
+    pub fn fail_dc(&mut self, dc: DcId) -> Vec<VmId> {
+        let victims = self.topology.nodes_in_dc(dc);
+        let mut lost = Vec::new();
+        for node in victims {
+            lost.extend(self.fail_node(node));
+        }
+        lost
     }
 
     /// Brings a repaired node back (its VMs are still placed there; their
@@ -427,5 +511,57 @@ mod tests {
     fn total_bytes_accounts_all_vms() {
         let c = small();
         assert_eq!(c.total_vm_bytes(), 6 * 8 * 32);
+    }
+
+    #[test]
+    fn default_topology_is_flat() {
+        let c = small();
+        assert!(c.topology().is_flat());
+        assert_eq!(c.topology().node_count(), 3);
+        assert_eq!(c.rack_of(NodeId(2)), crate::topology::RackId(2));
+    }
+
+    #[test]
+    fn racked_builder_and_rack_failure() {
+        let mut c = Cluster::builder()
+            .physical_nodes(6)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .racks(2)
+            .build(0);
+        assert_eq!(c.topology().rack_count(), 3);
+        assert_eq!(c.rack_of(NodeId(3)), crate::topology::RackId(1));
+        // Killing rack 1 takes nodes 2 and 3 and their four VMs.
+        let lost = c.fail_rack(crate::topology::RackId(1));
+        assert_eq!(lost, vec![VmId(4), VmId(5), VmId(6), VmId(7)]);
+        assert!(!c.is_up(NodeId(2)));
+        assert!(!c.is_up(NodeId(3)));
+        assert!(c.is_up(NodeId(0)));
+    }
+
+    #[test]
+    fn dc_failure_takes_every_rack_in_it() {
+        let mut c = Cluster::builder()
+            .physical_nodes(8)
+            .vms_per_node(1)
+            .vm_memory(8, 32)
+            .topology(TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 2,
+            })
+            .build(0);
+        assert_eq!(c.topology().dc_count(), 2);
+        let lost = c.fail_dc(crate::topology::DcId(0));
+        assert_eq!(lost, vec![VmId(0), VmId(1), VmId(2), VmId(3)]);
+        assert_eq!(c.up_node_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn explicit_topology_must_match_node_count() {
+        Cluster::builder()
+            .physical_nodes(4)
+            .topology(TopologySpec::Explicit(crate::topology::Topology::flat(3)))
+            .build(0);
     }
 }

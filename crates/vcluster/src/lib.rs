@@ -19,6 +19,9 @@
 //!   NAS bottleneck of disk-full checkpointing, disk bandwidth, and the
 //!   in-memory XOR bandwidth that makes diskless parity cheap
 //!   (Section V-B's two decisive factors).
+//! * [`topology`] — the DC → rack → node failure-domain hierarchy with
+//!   flat, uniform-rack, and scale-free generators; the correlated units
+//!   (whole rack, whole DC) that rack-aware placement must respect.
 //! * [`cluster`] — the cluster itself: node/VM topology, placement,
 //!   migration of VMs between nodes, and node up/down state.
 //! * [`messaging`] — FIFO VM-to-VM channels, the substrate the
@@ -49,13 +52,19 @@ pub mod fabric;
 pub mod ids;
 pub mod memory;
 pub mod messaging;
+pub mod topology;
 pub mod workload;
 
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{Cluster, ClusterBuilder, TopologySpec};
 pub use fabric::{DiskModel, FabricModel, MemoryModel, NetworkModel};
 pub use ids::{NodeId, PageIndex, VmId};
 pub use memory::MemoryImage;
 pub use messaging::{
     FenceRegistry, FenceToken, LedgerError, MessageFabric, NodeTransfer, RetryDecision,
     RetryPolicy, TransferLedger,
+};
+pub use topology::{DcId, RackId, Topology};
+pub use workload::{
+    AccessPattern, BurstyDirtyStorm, ClusterWorkload, MigrationChurn, RollingRestarts, ScrubStorm,
+    SteadyCheckpoint, WorkloadOp, WorkloadTick,
 };

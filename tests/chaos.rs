@@ -27,8 +27,12 @@ use dvdc_observe::audit::InvariantAuditor;
 use dvdc_observe::{Fanout, Recorder, RecorderHandle, TraceRecorder};
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::{Duration, SimTime};
-use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
+use dvdc_vcluster::cluster::{Cluster, ClusterBuilder, TopologySpec};
 use dvdc_vcluster::ids::NodeId;
+use dvdc_vcluster::workload::{
+    BurstyDirtyStorm, ClusterWorkload, MigrationChurn, RollingRestarts, ScrubStorm,
+    SteadyCheckpoint, WorkloadOp,
+};
 use rand::Rng;
 
 /// Counters one chaos run accumulates; the soak test prints the totals.
@@ -41,6 +45,10 @@ struct ChaosStats {
     rollbacks: usize,
     recoveries: usize,
     migrations: usize,
+    restarts: usize,
+    storms: usize,
+    rack_kills: usize,
+    dc_kills: usize,
     hangs: usize,
     partitions: usize,
     false_suspicions: usize,
@@ -62,6 +70,10 @@ impl ChaosStats {
         self.rollbacks += other.rollbacks;
         self.recoveries += other.recoveries;
         self.migrations += other.migrations;
+        self.restarts += other.restarts;
+        self.storms += other.storms;
+        self.rack_kills += other.rack_kills;
+        self.dc_kills += other.dc_kills;
         self.hangs += other.hangs;
         self.partitions += other.partitions;
         self.false_suspicions += other.false_suspicions;
@@ -80,7 +92,8 @@ impl fmt::Display for ChaosStats {
         write!(
             f,
             "steps={} rounds_committed={} degraded_commits={} mid_round_kills={} \
-             rollbacks={} recoveries={} migrations={} hangs={} partitions={} \
+             rollbacks={} recoveries={} migrations={} restarts={} storms={} \
+             rack_kills={} dc_kills={} hangs={} partitions={} \
              false_suspicions={} false_failovers={} resyncs={} \
              rebuilds_interrupted={} corrupt_blocks={} scrub_repaired={} \
              transfer_retries={} data_loss={}",
@@ -91,6 +104,10 @@ impl fmt::Display for ChaosStats {
             self.rollbacks,
             self.recoveries,
             self.migrations,
+            self.restarts,
+            self.storms,
+            self.rack_kills,
+            self.dc_kills,
             self.hangs,
             self.partitions,
             self.false_suspicions,
@@ -174,11 +191,174 @@ fn assert_rolled_back(cluster: &Cluster, committed: &[Vec<u8>], ctx: &str) {
     }
 }
 
-/// One chaos run: random interleavings of work, rounds, failures — and
-/// mid-round kills striking the protocol between its discrete steps.
+/// What resolving one workload op did to the run.
+enum OpOutcome {
+    /// Resolved (or skipped as unsafe/no-op); the run continues.
+    Done,
+    /// The op exceeded the parity tolerance: honest loss, end the run.
+    Lost,
+}
+
+/// Resolves one declarative [`WorkloadOp`] against the live cluster —
+/// the same resolution the scenario driver performs, feeding the chaos
+/// counters instead of a scenario report. Migration destinations prefer
+/// racks free of the group's other members so churn never erodes
+/// rack-orthogonality (on a flat topology every node is its own rack and
+/// the preference is a no-op).
+fn apply_workload_op(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    op: WorkloadOp,
+    k: usize,
+    stats: &mut ChaosStats,
+    ctx: &str,
+) -> OpOutcome {
+    match op {
+        WorkloadOp::Migrate { vm } => {
+            if !cluster.is_up(cluster.node_of(vm)) {
+                return OpOutcome::Done; // its host is down; the rebuild path owns it
+            }
+            let group = protocol.placement().group_of(vm).clone();
+            let forbidden: Vec<NodeId> = group
+                .data
+                .iter()
+                .filter(|&&d| d != vm)
+                .map(|&d| cluster.node_of(d))
+                .chain(group.parity_nodes.iter().copied())
+                .collect();
+            let member_racks: Vec<_> = forbidden.iter().map(|&n| cluster.rack_of(n)).collect();
+            let candidates: Vec<NodeId> = cluster
+                .node_ids()
+                .into_iter()
+                .filter(|&n| cluster.is_up(n) && !forbidden.contains(&n))
+                .collect();
+            let dest = candidates
+                .iter()
+                .copied()
+                .filter(|&n| !member_racks.contains(&cluster.rack_of(n)))
+                .min_by_key(|&n| cluster.vms_on(n).len())
+                .or_else(|| {
+                    candidates
+                        .iter()
+                        .copied()
+                        .min_by_key(|&n| cluster.vms_on(n).len())
+                });
+            if let Some(dest) = dest {
+                let from = cluster.node_of(vm);
+                if dest == from {
+                    return OpOutcome::Done;
+                }
+                cluster.migrate_vm(vm, dest);
+                protocol.on_migrate(cluster, vm, from);
+                protocol
+                    .placement()
+                    .validate(cluster)
+                    .unwrap_or_else(|e| panic!("{ctx}: migration broke orthogonality: {e}"));
+                stats.migrations += 1;
+            }
+            OpOutcome::Done
+        }
+        WorkloadOp::RestartNode { node } => {
+            let up: Vec<NodeId> = cluster
+                .node_ids()
+                .into_iter()
+                .filter(|&n| cluster.is_up(n))
+                .collect();
+            if !up.contains(&node) || up.len() <= k {
+                return OpOutcome::Done; // already down, or too few survivors to decode
+            }
+            cluster.fail_node(node);
+            match protocol.recover_typed(cluster, node) {
+                Ok(_) => {
+                    stats.restarts += 1;
+                    stats.recoveries += 1;
+                    OpOutcome::Done
+                }
+                Err(RecoverError::DataLoss { .. }) => {
+                    stats.restarts += 1;
+                    stats.data_loss += 1;
+                    OpOutcome::Lost
+                }
+                Err(e) => panic!("{ctx} node={node}: restart rebuild failed: {e}"),
+            }
+        }
+        WorkloadOp::Scrub => match protocol.scrub(cluster) {
+            Ok(s) => {
+                stats.scrub_repaired += s.repaired;
+                OpOutcome::Done
+            }
+            Err(RecoverError::DataLoss { .. }) => {
+                stats.data_loss += 1;
+                OpOutcome::Lost
+            }
+            Err(e) => panic!("{ctx}: workload scrub failed: {e}"),
+        },
+    }
+}
+
+/// Drives one detector-supervised round with `fault` injected mid-flight
+/// and folds the outcome into `stats`: the shared path for transient
+/// hangs, partitions, and correlated rack/DC kills. Returns `true` when
+/// the fault pattern exceeded the parity tolerance — honest loss the
+/// caller records by ending the run.
+fn detector_round(
+    protocol: &mut DvdcProtocol,
+    cluster: &mut Cluster,
+    fault: NodeFault,
+    stats: &mut ChaosStats,
+    committed: &mut Vec<Vec<u8>>,
+    ctx: &str,
+) -> bool {
+    let plan = ClusterFaultPlan::new(vec![fault]);
+    let mut cursor = PlanCursor::new(&plan);
+    let (outcome, _end) = run_round_with_faults(protocol, cluster, &mut cursor, SimTime::ZERO)
+        .unwrap_or_else(|e| panic!("{ctx}: detector round failed: {e}"));
+    let det = *outcome.detection();
+    stats.false_suspicions += det.false_suspicions as usize;
+    stats.false_failovers += det.false_failovers as usize;
+    stats.resyncs += det.resyncs as usize;
+    stats.transfer_retries += det.transfer_retries as usize;
+    stats.rebuilds_interrupted += det.rebuilds_interrupted as usize;
+    stats.corrupt_blocks += det.corrupt_blocks as usize;
+    stats.scrub_repaired += det.scrub_repaired as usize;
+    if !outcome.data_loss().is_empty() {
+        stats.data_loss += outcome.data_loss().len();
+        return true;
+    }
+    assert!(
+        cluster.node_ids().iter().all(|&n| cluster.is_up(n)),
+        "{ctx}: detector round left a node down"
+    );
+    assert!(
+        cluster
+            .node_ids()
+            .iter()
+            .all(|&n| !protocol.fences().is_fenced(n)),
+        "{ctx}: a node is still fenced after the round settled"
+    );
+    match outcome {
+        PhasedOutcome::Committed { .. } => {
+            stats.rounds_committed += 1;
+            *committed = snapshots(cluster);
+        }
+        PhasedOutcome::RolledBack { recoveries, .. } => {
+            stats.rollbacks += 1;
+            stats.recoveries += recoveries.len();
+            assert_rolled_back(cluster, committed, ctx);
+        }
+    }
+    false
+}
+
+/// One chaos run: random interleavings of workload ticks, rounds,
+/// failures — and mid-round kills striking the protocol between its
+/// discrete steps. On racked topologies the action space grows two
+/// correlated arms: whole-rack and whole-DC kills through the detector.
+#[allow(clippy::too_many_arguments)]
 fn chaos_run(
     seed: u64,
     test: &'static str,
+    topo: TopologySpec,
     nodes: usize,
     vms: usize,
     k: usize,
@@ -190,6 +370,7 @@ fn chaos_run(
         .vms_per_node(vms)
         .vm_memory(8, 32)
         .writes_per_sec(300.0)
+        .topology(topo)
         .build(seed);
     let placement = GroupPlacement::orthogonal_with_parity(&cluster, k, m).unwrap();
     let mut protocol = DvdcProtocol::with_options(
@@ -222,21 +403,51 @@ fn chaos_run(
     stats.rounds_committed += 1;
     let mut committed = snapshots(&cluster);
 
+    // The workload axis: the same composable cluster workloads the
+    // scenario driver crosses with fault schedules, here interleaved
+    // with the chaos actions. Index 1 is the bursty storm (for the
+    // storm counter).
+    let mut workloads: Vec<Box<dyn ClusterWorkload>> = vec![
+        Box::new(SteadyCheckpoint),
+        Box::new(BurstyDirtyStorm::default()),
+        Box::new(MigrationChurn::default()),
+        Box::new(RollingRestarts::default()),
+        Box::new(ScrubStorm),
+    ];
+    let storm_meter = BurstyDirtyStorm::default();
+    let mut wl_round: u64 = 0;
+    // Correlated rack/DC kill arms only make sense when nodes actually
+    // share racks.
+    let racked = cluster.topology().rack_count() < cluster.node_count();
+
     for step in 0..steps {
         stats.steps += 1;
         let ctx = format!("seed={seed} step={step}; {}", repro(seed, test));
-        let action = rng.random_range(0..22u8);
+        let action = rng.random_range(0..if racked { 26u8 } else { 22u8 });
         if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
             eprintln!("step={step} action={action}");
         }
         match action {
-            // Guest work (~33 %).
+            // Workload ticks (~27 % flat, ~23 % racked): one of the five
+            // composable workloads dirties guest memory and declares ops
+            // (migrations, rolling restarts, scrubs) resolved exactly as
+            // the scenario driver would resolve them.
             0..=5 => {
                 let span = Duration::from_secs(rng.random_range(0.1..2.0));
-                cluster.run_all(span, |vm| {
-                    hub.subhub("work", step as u64)
-                        .stream_indexed("vm", vm.index() as u64)
-                });
+                let wi = rng.random_range(0..workloads.len());
+                if wi == 1 && storm_meter.is_storm(wl_round) {
+                    stats.storms += 1;
+                }
+                let tick = workloads[wi].tick(&mut cluster, span, &hub, wl_round);
+                wl_round += 1;
+                for op in tick.ops {
+                    if let OpOutcome::Lost =
+                        apply_workload_op(&mut protocol, &mut cluster, op, k, &mut stats, &ctx)
+                    {
+                        audit.assert_clean();
+                        return stats;
+                    }
+                }
             }
             // Checkpoint round (~11 %) — no all-nodes-up precondition:
             // a node evacuated by failover may stay down and the round
@@ -252,40 +463,26 @@ fn chaos_run(
                 }
                 committed = snapshots(&cluster);
             }
-            // Orthogonality-preserving migration (~11 %).
+            // Targeted migration (~9 %): a churn op for one random VM,
+            // resolved through the shared rack-aware destination picker.
             8..=9 => {
                 let vm = {
                     let ids = cluster.vm_ids();
                     ids[rng.random_range(0..ids.len())]
                 };
-                if !cluster.is_up(cluster.node_of(vm)) {
-                    continue;
+                if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
+                    eprintln!("  migrate: vm={vm}");
                 }
-                let group = protocol.placement().group_of(vm).clone();
-                let forbidden: Vec<NodeId> = group
-                    .data
-                    .iter()
-                    .filter(|&&m| m != vm)
-                    .map(|&m| cluster.node_of(m))
-                    .chain(group.parity_nodes.iter().copied())
-                    .collect();
-                let dest = cluster
-                    .node_ids()
-                    .into_iter()
-                    .filter(|&n| cluster.is_up(n) && !forbidden.contains(&n))
-                    .min_by_key(|&n| cluster.vms_on(n).len());
-                if let Some(dest) = dest {
-                    let from = cluster.node_of(vm);
-                    if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
-                        eprintln!("  migrate: vm={vm} from={from} dest={dest}");
-                    }
-                    cluster.migrate_vm(vm, dest);
-                    protocol.on_migrate(&cluster, vm, from);
-                    protocol
-                        .placement()
-                        .validate(&cluster)
-                        .unwrap_or_else(|e| panic!("{ctx}: migration broke orthogonality: {e}"));
-                    stats.migrations += 1;
+                if let OpOutcome::Lost = apply_workload_op(
+                    &mut protocol,
+                    &mut cluster,
+                    WorkloadOp::Migrate { vm },
+                    k,
+                    &mut stats,
+                    &ctx,
+                ) {
+                    audit.assert_clean();
+                    return stats;
                 }
             }
             // Mid-round kill (~11 %): start a phased round, advance it a
@@ -408,51 +605,74 @@ fn chaos_run(
                 if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
                     eprintln!("  detector: victim={victim} at={at} span={span}");
                 }
-                let plan = ClusterFaultPlan::new(vec![fault]);
-                let mut cursor = PlanCursor::new(&plan);
-                let (outcome, _end) =
-                    run_round_with_faults(&mut protocol, &mut cluster, &mut cursor, SimTime::ZERO)
-                        .unwrap_or_else(|e| {
-                            panic!("{ctx} victim={victim} span={span}: detector round failed: {e}")
-                        });
-                let det = *outcome.detection();
-                stats.false_suspicions += det.false_suspicions as usize;
-                stats.false_failovers += det.false_failovers as usize;
-                stats.resyncs += det.resyncs as usize;
-                stats.transfer_retries += det.transfer_retries as usize;
-                stats.rebuilds_interrupted += det.rebuilds_interrupted as usize;
-                stats.corrupt_blocks += det.corrupt_blocks as usize;
-                stats.scrub_repaired += det.scrub_repaired as usize;
-                if !outcome.data_loss().is_empty() {
+                if detector_round(
+                    &mut protocol,
+                    &mut cluster,
+                    fault,
+                    &mut stats,
+                    &mut committed,
+                    &format!("{ctx} victim={victim} span={span}"),
+                ) {
                     // Honest loss: the state can no longer be rebuilt
                     // byte-exactly, so the run ends here — recorded,
                     // never a panic.
-                    stats.data_loss += outcome.data_loss().len();
                     audit.assert_clean();
                     return stats;
                 }
-                assert!(
-                    cluster.node_ids().iter().all(|&n| cluster.is_up(n)),
-                    "{ctx} victim={victim}: detector round left a node down"
-                );
-                assert!(
-                    !protocol.fences().is_fenced(victim),
-                    "{ctx} victim={victim}: still fenced after the round settled"
-                );
-                match outcome {
-                    PhasedOutcome::Committed { .. } => {
-                        stats.rounds_committed += 1;
-                        committed = snapshots(&cluster);
-                    }
-                    PhasedOutcome::RolledBack { recoveries, .. } => {
-                        stats.rollbacks += 1;
-                        stats.recoveries += recoveries.len();
-                        assert_rolled_back(
-                            &cluster,
-                            &committed,
-                            &format!("{ctx} victim={victim} span={span}"),
-                        );
-                    }
+            }
+            // Correlated whole-rack kill (~8 %, racked topologies only):
+            // every node in one rack dies mid-round through the same
+            // detector path. Rack-aware placement keeps each group within
+            // its parity tolerance; a layout eroded past that (or m
+            // exceeded by simultaneous damage) pays with honest loss.
+            22..=23 => {
+                if cluster.node_ids().iter().any(|&n| !cluster.is_up(n)) {
+                    continue; // the detector monitors a full house
+                }
+                let rack = rng.random_range(0..cluster.topology().rack_count());
+                let at = SimTime::from_secs(rng.random_range(0.0..0.02));
+                stats.rack_kills += 1;
+                if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
+                    eprintln!("  rackkill: rack={rack} at={at}");
+                }
+                if detector_round(
+                    &mut protocol,
+                    &mut cluster,
+                    NodeFault::rack_failure(rack, at, Duration::ZERO),
+                    &mut stats,
+                    &mut committed,
+                    &format!("{ctx} rack={rack}"),
+                ) {
+                    audit.assert_clean();
+                    return stats;
+                }
+            }
+            // Correlated whole-DC kill (~8 %, multi-DC topologies only):
+            // half the cluster dies at once — almost always an honest,
+            // recorded tolerance-exceeding loss that ends the run, the
+            // catastrophic end of the fault-domain hierarchy.
+            24..=25 => {
+                if cluster.topology().dc_count() < 2
+                    || cluster.node_ids().iter().any(|&n| !cluster.is_up(n))
+                {
+                    continue;
+                }
+                let dc = rng.random_range(0..cluster.topology().dc_count());
+                let at = SimTime::from_secs(rng.random_range(0.0..0.02));
+                stats.dc_kills += 1;
+                if std::env::var("DVDC_CHAOS_TRACE").is_ok() {
+                    eprintln!("  dckill: dc={dc} at={at}");
+                }
+                if detector_round(
+                    &mut protocol,
+                    &mut cluster,
+                    NodeFault::dc_failure(dc, at, Duration::ZERO),
+                    &mut stats,
+                    &mut committed,
+                    &format!("{ctx} dc={dc}"),
+                ) {
+                    audit.assert_clean();
+                    return stats;
                 }
             }
             // Failure between rounds + recovery (~9 %).
@@ -686,28 +906,109 @@ fn auditor_flags_injected_ordering_violation() {
 #[test]
 fn chaos_xor_parity_fig4_shape() {
     for seed in seeds(0..4) {
-        chaos_run(seed, "chaos_xor_parity_fig4_shape", 4, 3, 3, 1, 80);
+        chaos_run(
+            seed,
+            "chaos_xor_parity_fig4_shape",
+            TopologySpec::Flat,
+            4,
+            3,
+            3,
+            1,
+            80,
+        );
     }
 }
 
 #[test]
 fn chaos_xor_parity_roomy_cluster() {
     for seed in seeds(10..14) {
-        chaos_run(seed, "chaos_xor_parity_roomy_cluster", 6, 2, 3, 1, 80);
+        chaos_run(
+            seed,
+            "chaos_xor_parity_roomy_cluster",
+            TopologySpec::Flat,
+            6,
+            2,
+            3,
+            1,
+            80,
+        );
     }
 }
 
 #[test]
 fn chaos_double_parity() {
     for seed in seeds(20..23) {
-        chaos_run(seed, "chaos_double_parity", 6, 2, 3, 2, 60);
+        chaos_run(
+            seed,
+            "chaos_double_parity",
+            TopologySpec::Flat,
+            6,
+            2,
+            3,
+            2,
+            60,
+        );
     }
 }
 
 #[test]
 fn chaos_wide_groups() {
     for seed in seeds(30..32) {
-        chaos_run(seed, "chaos_wide_groups", 8, 2, 4, 1, 60);
+        chaos_run(
+            seed,
+            "chaos_wide_groups",
+            TopologySpec::Flat,
+            8,
+            2,
+            4,
+            1,
+            60,
+        );
+    }
+}
+
+/// Racked topology (4 racks of 2, one DC): the correlated rack-kill arm
+/// joins the dispatch, and the rack-aware placement plus rack-aware
+/// migration resolution must keep every single-rack kill within the m=1
+/// tolerance unless chaos has already degraded the layout.
+#[test]
+fn chaos_racked_rack_kills() {
+    for seed in seeds(40..43) {
+        chaos_run(
+            seed,
+            "chaos_racked_rack_kills",
+            TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 4,
+            },
+            8,
+            3,
+            3,
+            1,
+            80,
+        );
+    }
+}
+
+/// Two-DC topology (6 racks of 2, 3 racks per DC): adds the whole-DC
+/// kill arm — a catastrophic correlated failure that is expected to end
+/// runs with honest recorded data loss, never a panic.
+#[test]
+fn chaos_dc_split() {
+    for seed in seeds(50..52) {
+        chaos_run(
+            seed,
+            "chaos_dc_split",
+            TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 3,
+            },
+            12,
+            2,
+            3,
+            1,
+            60,
+        );
     }
 }
 
@@ -718,19 +1019,42 @@ fn chaos_wide_groups() {
 #[test]
 #[ignore = "long soak; run explicitly with --ignored"]
 fn chaos_soak_mid_round() {
-    let configs: [(&str, usize, usize, usize, usize); 4] = [
-        ("fig4 4n x 3vm k=3 m=1", 4, 3, 3, 1),
-        ("roomy 6n x 2vm k=3 m=1", 6, 2, 3, 1),
-        ("double 6n x 2vm k=3 m=2", 6, 2, 3, 2),
-        ("wide 8n x 2vm k=4 m=1", 8, 2, 4, 1),
+    let configs: [(&str, TopologySpec, usize, usize, usize, usize); 6] = [
+        ("fig4 4n x 3vm k=3 m=1", TopologySpec::Flat, 4, 3, 3, 1),
+        ("roomy 6n x 2vm k=3 m=1", TopologySpec::Flat, 6, 2, 3, 1),
+        ("double 6n x 2vm k=3 m=2", TopologySpec::Flat, 6, 2, 3, 2),
+        ("wide 8n x 2vm k=4 m=1", TopologySpec::Flat, 8, 2, 4, 1),
+        (
+            "racked 8n/4r k=3 m=1",
+            TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 4,
+            },
+            8,
+            3,
+            3,
+            1,
+        ),
+        (
+            "dc-split 12n/6r/2dc k=3 m=1",
+            TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 3,
+            },
+            12,
+            2,
+            3,
+            1,
+        ),
     ];
     let mut total = ChaosStats::default();
-    for (label, nodes, vms, k, m) in configs {
+    for (label, topo, nodes, vms, k, m) in configs {
         let mut per = ChaosStats::default();
         for seed in seeds(100..112) {
             per.merge(chaos_run(
                 seed,
                 "chaos_soak_mid_round",
+                topo.clone(),
                 nodes,
                 vms,
                 k,
@@ -766,6 +1090,22 @@ fn chaos_soak_mid_round() {
     assert!(
         total.corrupt_blocks > 0 && total.scrub_repaired > 0,
         "soak never exercised the corruption/scrub path"
+    );
+    assert!(
+        total.migrations > 0 && total.restarts > 0,
+        "soak never resolved workload migrations/restarts"
+    );
+    assert!(
+        total.storms > 0,
+        "soak never ticked a bursty dirty-page storm round"
+    );
+    assert!(
+        total.rack_kills > 0,
+        "soak never killed a whole rack on the racked topologies"
+    );
+    assert!(
+        total.dc_kills > 0,
+        "soak never killed a whole DC on the two-DC topology"
     );
     assert!(
         total.data_loss > 0,

@@ -6,16 +6,18 @@ use std::rc::Rc;
 
 use dvdc::placement::GroupPlacement;
 use dvdc::protocol::{
-    CheckpointProtocol, CodeKind, DvdcProtocol, FirstShotProtocol, RebuildMode, RebuildPhase,
-    RebuildStep, RecoverError, RoundPhase, RoundStep,
+    run_round_with_faults, CheckpointProtocol, CodeKind, DvdcProtocol, FirstShotProtocol,
+    PhasedOutcome, RebuildMode, RebuildPhase, RebuildStep, RecoverError, RoundPhase, RoundStep,
 };
 use dvdc_checkpoint::strategy::Mode;
+use dvdc_faults::{ClusterFaultPlan, DetectorConfig, NodeFault, PlanCursor};
 use dvdc_observe::audit::InvariantAuditor;
-use dvdc_observe::RecorderHandle;
+use dvdc_observe::{Event, Fanout, RecorderHandle, TraceRecorder};
 use dvdc_simcore::rng::RngHub;
-use dvdc_simcore::time::Duration;
+use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::{Cluster, ClusterBuilder};
 use dvdc_vcluster::ids::NodeId;
+use dvdc_vcluster::topology::RackId;
 
 /// Attaches the invariant auditor to a protocol; the returned guard
 /// asserts a violation-free event stream when the drill's scope ends
@@ -620,4 +622,107 @@ fn non_orthogonal_migration_is_detected_before_it_bites() {
     let (a, b) = (group.data[0], group.data[1]);
     c.migrate_vm(a, c.node_of(b));
     assert!(placement.validate(&c).is_err());
+}
+
+/// Rack-victim axis: a whole-rack kill mid-round on a rack-aware
+/// placement. Every node of the rack must draw its **own** `Confirmed`
+/// verdict within the detector's worst-case window of the injection (the
+/// first confirmation aborts the round, but the detector still owes the
+/// other victims their verdicts), recovery must restore the committed
+/// epoch byte-exactly for every rack choice, and fence epochs must never
+/// move backwards across the batch.
+#[test]
+fn rack_kill_matrix_confirms_every_rack_node_and_recovers() {
+    let racks = 4usize;
+    let nodes_per_rack = 2usize;
+    for rack in 0..racks {
+        let ctx = format!("rack={rack}");
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(racks * nodes_per_rack)
+            .vms_per_node(3)
+            .vm_memory(8, 32)
+            .writes_per_sec(200.0)
+            .racks(nodes_per_rack)
+            .build(31 + rack as u64);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 1).unwrap();
+        assert!(placement.is_rack_orthogonal(&c), "{ctx}");
+        let audit = Rc::new(InvariantAuditor::new());
+        let trace = Rc::new(TraceRecorder::unbounded());
+        let mut p = DvdcProtocol::new(placement).with_recorder(RecorderHandle::new(Rc::new(
+            Fanout::new(vec![
+                RecorderHandle::new(trace.clone()),
+                RecorderHandle::new(audit.clone()),
+            ]),
+        )));
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+        let epochs_before: Vec<u64> = c
+            .node_ids()
+            .iter()
+            .map(|&n| p.fences().epoch_of(n))
+            .collect();
+
+        let inject_at = SimTime::from_secs(1e-7);
+        let plan = ClusterFaultPlan::new(vec![NodeFault::rack_failure(
+            rack,
+            inject_at,
+            Duration::ZERO,
+        )]);
+        let mut cursor = PlanCursor::new(&plan);
+        let (outcome, _end) =
+            run_round_with_faults(&mut p, &mut c, &mut cursor, SimTime::ZERO).unwrap();
+        let victims = c.topology().nodes_in_rack(RackId(rack));
+        assert_eq!(victims.len(), nodes_per_rack, "{ctx}");
+        match outcome {
+            PhasedOutcome::RolledBack {
+                victim,
+                recoveries,
+                data_loss,
+                detection,
+                ..
+            } => {
+                assert!(victims.contains(&victim), "{ctx}: victim {victim}");
+                assert_eq!(
+                    detection.confirmations,
+                    victims.len() as u64,
+                    "{ctx}: every rack node draws its own verdict"
+                );
+                assert!(data_loss.is_empty(), "{ctx}: rack-aware m=1 survives");
+                assert_eq!(recoveries.len(), victims.len(), "{ctx}");
+            }
+            other => panic!("{ctx}: expected rollback, got {other:?}"),
+        }
+
+        // Each victim's Confirmed event lands inside the worst-case
+        // detection window of the (shared) injection instant, with a
+        // small slack for heartbeat phase.
+        let window = DetectorConfig::default().worst_case_detection() + Duration::from_millis(5.0);
+        for v in &victims {
+            let confirmed_at = trace
+                .events()
+                .iter()
+                .find_map(|e| match e.event {
+                    Event::Confirmed { node } if node == v.index() => Some(e.at),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{ctx}: node {v} never confirmed"));
+            assert!(
+                confirmed_at <= inject_at + window,
+                "{ctx}: node {v} confirmed at {confirmed_at}, window closes at {}",
+                inject_at + window
+            );
+        }
+
+        assert_state(&c, &want, &format!("{ctx} post-rack-kill"));
+        assert!(c.node_ids().iter().all(|&n| c.is_up(n)), "{ctx}");
+        // Fence epochs are monotone across the whole batch: recovery may
+        // rotate them forward, never backwards.
+        for (i, n) in c.node_ids().into_iter().enumerate() {
+            assert!(
+                p.fences().epoch_of(n) >= epochs_before[i],
+                "{ctx}: node {n} fence epoch went backwards"
+            );
+        }
+        audit.assert_clean();
+    }
 }
