@@ -1,0 +1,188 @@
+//! Buggify-layer overhead — what do dormant fault points cost?
+//!
+//! Three configurations drive the identical checkpoint/recover workload:
+//!
+//! * `baseline`     — no registry ever attached (the default protocol).
+//! * `buggify-off`  — a [`FaultRegistry`] at [`Intensity::Off`] attached;
+//!   the protocol caches `is_active() == false` and must skip every
+//!   fault-point evaluation, so this must cost the same as `baseline`
+//!   (asserted below, mirroring the `trace_overhead` no-op contract).
+//! * `buggify-quick` — the registry live at [`Intensity::Quick`]
+//!   (~1% activation), the swarm's cheapest tier.
+//!
+//! Run: `cargo run --release -p dvdc-bench --bin buggify_overhead`
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::CheckpointProtocol;
+use dvdc::protocol::DvdcProtocol;
+use dvdc_bench::{render_table, write_json};
+use dvdc_checkpoint::strategy::Mode;
+use dvdc_faults::buggify::{FaultRegistry, Intensity};
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::cluster::ClusterBuilder;
+use dvdc_vcluster::ids::NodeId;
+use serde::Serialize;
+
+const ROUNDS: usize = 40;
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct OverheadRow {
+    config: &'static str,
+    reps: usize,
+    rounds_per_rep: usize,
+    points_fired: u64,
+    points_evaluated: u64,
+    mean_ms: f64,
+    min_ms: f64,
+    overhead_vs_baseline_pct: f64,
+}
+
+fn registry_for(config: &str) -> Option<Rc<FaultRegistry>> {
+    match config {
+        "baseline" => None,
+        "buggify-off" => Some(Rc::new(FaultRegistry::new(7, Intensity::Off))),
+        "buggify-quick" => Some(Rc::new(FaultRegistry::new(7, Intensity::Quick))),
+        other => unreachable!("unknown config {other}"),
+    }
+}
+
+/// One timed rep: `ROUNDS` incremental rounds with guest activity, with a
+/// crash + in-place rebuild every eighth round — the same workload the
+/// tracing-overhead bench times. Returns (elapsed ms, fired, evaluated).
+fn rep(config: &'static str) -> (f64, u64, u64) {
+    let mut cluster = ClusterBuilder::new()
+        .physical_nodes(6)
+        .vms_per_node(2)
+        .vm_memory(8, 32)
+        .writes_per_sec(200.0)
+        .build(7);
+    let placement =
+        GroupPlacement::orthogonal_with_parity(&cluster, 3, 2).expect("6x2 supports k=3, m=2");
+    let mut protocol = DvdcProtocol::with_options(
+        placement,
+        Mode::Incremental,
+        true,
+        Duration::from_millis(40.0),
+    );
+    let registry = registry_for(config);
+    if let Some(r) = &registry {
+        protocol.set_buggify(r.clone());
+    }
+    let hub = RngHub::new(7);
+
+    let start = Instant::now();
+    protocol.run_round(&mut cluster).unwrap();
+    for round in 0..ROUNDS {
+        cluster.run_all(Duration::from_secs(0.2), |vm| {
+            hub.subhub("w", round as u64)
+                .stream_indexed("vm", vm.index() as u64)
+        });
+        protocol.run_round(&mut cluster).unwrap();
+        if round % 8 == 3 {
+            let victim = NodeId(round % 6);
+            cluster.fail_node(victim);
+            protocol.recover(&mut cluster, victim).unwrap();
+        }
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (fired, evaluated) = registry
+        .map(|r| (r.fired_total(), r.evaluated_total()))
+        .unwrap_or((0, 0));
+    (elapsed_ms, fired, evaluated)
+}
+
+fn main() {
+    let configs = ["baseline", "buggify-off", "buggify-quick"];
+
+    // Warm-up rep per config, then interleave the timed reps so clock
+    // drift and cache state spread evenly across configurations.
+    for config in configs {
+        rep(config);
+    }
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut fired = [0u64; 3];
+    let mut evaluated = [0u64; 3];
+    for _ in 0..REPS {
+        for (i, config) in configs.iter().enumerate() {
+            let (ms, f, ev) = rep(config);
+            times[i].push(ms);
+            fired[i] = f;
+            evaluated[i] = ev;
+        }
+    }
+
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let baseline_min = min(&times[0]);
+    let off_min = min(&times[1]);
+
+    let rows: Vec<OverheadRow> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, &config)| {
+            let m = min(&times[i]);
+            OverheadRow {
+                config,
+                reps: REPS,
+                rounds_per_rep: ROUNDS,
+                points_fired: fired[i],
+                points_evaluated: evaluated[i],
+                mean_ms: mean(&times[i]),
+                min_ms: m,
+                overhead_vs_baseline_pct: (m / baseline_min - 1.0) * 100.0,
+            }
+        })
+        .collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{:.2}", r.min_ms),
+                format!("{:.2}", r.mean_ms),
+                format!("{:+.1}%", r.overhead_vs_baseline_pct),
+                r.points_fired.to_string(),
+                r.points_evaluated.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "config",
+                "min ms",
+                "mean ms",
+                "vs baseline",
+                "fired",
+                "evaluated"
+            ],
+            &table
+        )
+    );
+    write_json("buggify_overhead", &rows);
+
+    assert_eq!(
+        evaluated[1], 0,
+        "an Off registry must never be consulted — the cached flag failed"
+    );
+    assert!(
+        evaluated[2] > 0,
+        "the quick registry was never consulted — buggify is not wired"
+    );
+    // The dormant path must be free: the protocol caches `is_active()`
+    // and skips every fault-point evaluation, so any measurable gap over
+    // the never-attached baseline is a regression. 20% headroom absorbs
+    // scheduler noise on shared CI runners.
+    assert!(
+        off_min <= baseline_min * 1.20,
+        "off registry cost {off_min:.2} ms vs baseline {baseline_min:.2} ms — \
+         the disabled buggify path is no longer free"
+    );
+}

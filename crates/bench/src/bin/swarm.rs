@@ -1,0 +1,133 @@
+//! Buggify swarm runner: sweep many seeds × intensities across the
+//! workload × fault-domain matrix, print per-intensity outcome counts
+//! and a repro line for every failure, and write
+//! `bench_results/swarm.json`.
+//!
+//! Knobs (all env, all optional):
+//!
+//! * `DVDC_SWARM_SEEDS` — seeds per intensity (default 500; 25
+//!   consecutive seeds cover the 5 × 5 matrix once).
+//! * `DVDC_SWARM_BASE` — first seed (default 1).
+//! * `DVDC_SWARM_INTENSITIES` — comma list of `off,quick,standard,
+//!   aggressive` (default `quick,standard,aggressive`).
+//! * `DVDC_SWARM_ROUNDS` — checkpoint rounds per cell (default 4).
+//! * `DVDC_BUGGIFY_SEED` — run exactly one seed instead of a sweep
+//!   (repro mode; pairs with `DVDC_BUGGIFY_INTENSITY`).
+//!
+//! Exit status is non-zero iff any cell failed (panic, auditor
+//! violation, or unexpected protocol error) — honest typed data loss and
+//! rollbacks are expected outcomes, not failures.
+
+use std::process::ExitCode;
+
+use dvdc_bench::swarm::{run_swarm, CellStatus, SwarmConfig, SwarmSummary};
+use dvdc_bench::{render_table, write_json};
+use dvdc_faults::buggify::{self, Intensity};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn intensities() -> Vec<Intensity> {
+    let spec = std::env::var("DVDC_SWARM_INTENSITIES")
+        .unwrap_or_else(|_| "quick,standard,aggressive".to_string());
+    let list: Vec<Intensity> = spec
+        .split(',')
+        .filter_map(|s| Intensity::parse(s.trim()))
+        .collect();
+    if list.is_empty() {
+        vec![Intensity::Quick]
+    } else {
+        list
+    }
+}
+
+fn main() -> ExitCode {
+    let repro_seed = std::env::var(buggify::SEED_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let cfg = match repro_seed {
+        Some(seed) => SwarmConfig {
+            base_seed: seed,
+            seeds: 1,
+            intensities: vec![std::env::var(buggify::INTENSITY_ENV)
+                .ok()
+                .and_then(|v| Intensity::parse(&v))
+                .unwrap_or(Intensity::Quick)],
+            rounds: env_u64("DVDC_SWARM_ROUNDS", 4),
+            shrink: true,
+        },
+        None => SwarmConfig {
+            base_seed: env_u64("DVDC_SWARM_BASE", 1),
+            seeds: env_u64("DVDC_SWARM_SEEDS", 500),
+            intensities: intensities(),
+            rounds: env_u64("DVDC_SWARM_ROUNDS", 4),
+            shrink: true,
+        },
+    };
+
+    println!(
+        "buggify swarm: seeds {}..{} x {:?}, {} rounds/cell",
+        cfg.base_seed,
+        cfg.base_seed + cfg.seeds,
+        cfg.intensities.iter().map(|i| i.name()).collect::<Vec<_>>(),
+        cfg.rounds,
+    );
+    let summary = run_swarm(&cfg);
+    print_summary(&summary, &cfg);
+    write_json("swarm", &summary);
+    if summary.failed == 0 {
+        println!(
+            "\nswarm clean: {} cells, 0 panics, 0 auditor violations, 0 unexpected errors",
+            summary.cells
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("\nswarm FAILED: {} failing cells", summary.failed);
+        ExitCode::FAILURE
+    }
+}
+
+fn print_summary(summary: &SwarmSummary, cfg: &SwarmConfig) {
+    let mut rows = Vec::new();
+    for intensity in &cfg.intensities {
+        let name = intensity.name();
+        let cells: Vec<_> = summary
+            .outcomes
+            .iter()
+            .filter(|c| c.intensity == name)
+            .collect();
+        let count = |s: CellStatus| cells.iter().filter(|c| c.status == s).count();
+        rows.push(vec![
+            name.to_string(),
+            cells.len().to_string(),
+            count(CellStatus::Committed).to_string(),
+            count(CellStatus::Degraded).to_string(),
+            count(CellStatus::DataLoss).to_string(),
+            count(CellStatus::Failed).to_string(),
+            cells.iter().map(|c| c.fired).sum::<u64>().to_string(),
+        ]);
+    }
+    println!();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "intensity",
+                "cells",
+                "committed",
+                "degraded",
+                "data-loss",
+                "failed",
+                "points-fired"
+            ],
+            &rows,
+        )
+    );
+    for line in summary.repro_lines() {
+        println!("FAILURE {line}");
+    }
+}

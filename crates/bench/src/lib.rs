@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod swarm;
+
 use std::fs;
 use std::path::PathBuf;
 

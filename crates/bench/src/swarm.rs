@@ -1,0 +1,506 @@
+//! Multi-seed buggify swarm: sweep hundreds of seeds × intensities across
+//! the workload × fault-domain matrix with the invariant auditor attached,
+//! classify every cell's outcome, and shrink any failure to a minimal set
+//! of fault points.
+//!
+//! The swarm is the consumer the buggify subsystem was built for (see
+//! `dvdc_faults::buggify`): each cell builds a fresh cluster, protocol,
+//! and seed-deterministic [`FaultRegistry`], runs one composable
+//! workload × fault-schedule scenario under `catch_unwind`, and demands
+//! that every induced misbehaviour surface as a *typed* outcome —
+//! committed (possibly degraded), rolled back, or honest
+//! [`RecoverError::DataLoss`] — never a panic, never an auditor
+//! violation, never an unexpected protocol error. When a cell does fail,
+//! the engine replays it under [`FaultRegistry::restrict`] to greedily
+//! drop fault points until only a minimal still-failing subset remains,
+//! and records a single-line repro.
+//!
+//! [`RecoverError::DataLoss`]: dvdc::protocol::RecoverError::DataLoss
+
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+
+use dvdc::placement::GroupPlacement;
+use dvdc::protocol::DvdcProtocol;
+use dvdc::scenario::{run_scenario, ScenarioConfig, ScenarioReport};
+use dvdc_faults::buggify::{self, FaultRegistry, Intensity};
+use dvdc_faults::{DcKill, FaultSchedule, ImpairmentStorm, MixedSchedule, NodeCrashes, RackKills};
+use dvdc_observe::audit::InvariantAuditor;
+use dvdc_observe::RecorderHandle;
+use dvdc_simcore::rng::RngHub;
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::cluster::{Cluster, ClusterBuilder, TopologySpec};
+use dvdc_vcluster::workload::{
+    BurstyDirtyStorm, ClusterWorkload, MigrationChurn, RollingRestarts, ScrubStorm,
+    SteadyCheckpoint,
+};
+use serde::Serialize;
+
+/// Workload axis size (mirrors `tests/domain_matrix.rs`).
+pub const WORKLOADS: u64 = 5;
+/// Fault-schedule axis size.
+pub const SCHEDULES: u64 = 5;
+
+/// The swarm cluster: 12 nodes in 6 racks of 2 across 2 DCs — the same
+/// shape the domain-matrix tier uses, deep enough that rack kills are
+/// partial and a DC kill is catastrophic-but-honest.
+fn build_cluster(seed: u64) -> Cluster {
+    ClusterBuilder::new()
+        .physical_nodes(12)
+        .vms_per_node(2)
+        .vm_memory(8, 32)
+        .writes_per_sec(200.0)
+        .topology(TopologySpec::UniformRacks {
+            nodes_per_rack: 2,
+            racks_per_dc: 3,
+        })
+        .build(seed)
+}
+
+fn make_workload(idx: u64) -> (&'static str, Box<dyn ClusterWorkload>) {
+    match idx % WORKLOADS {
+        0 => ("steady", Box::new(SteadyCheckpoint)),
+        1 => ("bursty-storm", Box::new(BurstyDirtyStorm::default())),
+        2 => ("migration-churn", Box::new(MigrationChurn::default())),
+        3 => ("rolling-restarts", Box::new(RollingRestarts::default())),
+        _ => ("scrub-storm", Box::new(ScrubStorm)),
+    }
+}
+
+fn make_schedule(idx: u64, horizon: Duration) -> Box<dyn FaultSchedule> {
+    match idx % SCHEDULES {
+        0 => Box::new(NodeCrashes::exponential(
+            Duration::from_secs(horizon.as_secs() * 2.0),
+            Duration::ZERO,
+        )),
+        1 => Box::new(RackKills {
+            mtbf: Duration::from_secs(horizon.as_secs() * 3.0),
+            repair: Duration::ZERO,
+        }),
+        2 => Box::new(DcKill {
+            at_fraction: 0.45,
+            repair: Duration::ZERO,
+        }),
+        3 => Box::new(ImpairmentStorm::default()),
+        _ => Box::new(MixedSchedule::new(
+            "mixed",
+            vec![
+                Box::new(NodeCrashes::exponential(
+                    Duration::from_secs(horizon.as_secs() * 4.0),
+                    Duration::ZERO,
+                )),
+                Box::new(RackKills {
+                    mtbf: Duration::from_secs(horizon.as_secs() * 6.0),
+                    repair: Duration::ZERO,
+                }),
+            ],
+        )),
+    }
+}
+
+/// How one swarm cell ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Every round committed; no rollbacks, no loss.
+    Committed,
+    /// Some rounds rolled back or were skipped, but all state survived.
+    Degraded,
+    /// Failures honestly exceeded the parity tolerance (typed loss).
+    DataLoss,
+    /// Panic, auditor violation, or unexpected protocol error.
+    Failed,
+}
+
+impl CellStatus {
+    /// Stable lower-case label (also the JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Committed => "committed",
+            CellStatus::Degraded => "degraded",
+            CellStatus::DataLoss => "data-loss",
+            CellStatus::Failed => "failed",
+        }
+    }
+}
+
+// The vendored serde derive handles only structs; encode the enum as its
+// stable label by hand.
+impl Serialize for CellStatus {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+/// Why a cell failed, with the evidence needed to reproduce it.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellFailure {
+    /// `panic`, `auditor-violation`, or `protocol-error`.
+    pub kind: String,
+    /// Panic payload, violation list, or error display.
+    pub detail: String,
+    /// Every fault point that fired during the failing run.
+    pub fired_points: Vec<String>,
+    /// Greedily-shrunk minimal still-failing subset of `fired_points`
+    /// (empty when shrinking was disabled or the failure is
+    /// buggify-independent).
+    pub minimal_points: Vec<String>,
+    /// Exact single-line reproduction recipe.
+    pub repro: String,
+}
+
+/// One cell of the swarm: a (seed, intensity) pair mapped onto the
+/// workload × schedule matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellOutcome {
+    /// Buggify seed (also selects the matrix cell and cluster layout).
+    pub seed: u64,
+    /// Buggify intensity tier name.
+    pub intensity: String,
+    /// Workload axis label.
+    pub workload: String,
+    /// Fault-schedule axis label.
+    pub schedule: String,
+    /// Classification of the run.
+    pub status: CellStatus,
+    /// Rounds that committed (including the initial epoch).
+    pub rounds_committed: u64,
+    /// Rounds aborted by a confirmed mid-round failure.
+    pub rollbacks: u64,
+    /// Typed data-loss events.
+    pub data_loss: u64,
+    /// Fault points that fired, with counts folded in.
+    pub fired_points: Vec<String>,
+    /// Total fault-point activations.
+    pub fired: u64,
+    /// Total fault-point evaluations (fired or not).
+    pub evaluated: u64,
+    /// Present iff `status == Failed`.
+    pub failure: Option<CellFailure>,
+}
+
+/// Swarm sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// First buggify seed; the sweep covers `base_seed..base_seed + seeds`.
+    pub base_seed: u64,
+    /// Number of seeds to sweep (25 consecutive seeds cover the full
+    /// workload × schedule matrix once).
+    pub seeds: u64,
+    /// Intensity tiers to run every seed at.
+    pub intensities: Vec<Intensity>,
+    /// Checkpoint rounds per scenario.
+    pub rounds: u64,
+    /// Shrink failing activation sets to minimal subsets.
+    pub shrink: bool,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            base_seed: 1,
+            seeds: 100,
+            intensities: vec![Intensity::Quick],
+            rounds: 4,
+            shrink: true,
+        }
+    }
+}
+
+/// Aggregate swarm results.
+#[derive(Debug, Serialize)]
+pub struct SwarmSummary {
+    /// Cells run (seeds × intensities).
+    pub cells: u64,
+    /// Cells where every round committed.
+    pub committed: u64,
+    /// Cells degraded (rollbacks/skips) without loss.
+    pub degraded: u64,
+    /// Cells with typed, honest data loss.
+    pub data_loss: u64,
+    /// Cells that failed (panic / violation / unexpected error).
+    pub failed: u64,
+    /// Total fault-point activations across the sweep.
+    pub fired: u64,
+    /// Total fault-point evaluations across the sweep.
+    pub evaluated: u64,
+    /// Every cell, in sweep order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl SwarmSummary {
+    /// Repro lines for every failed cell.
+    pub fn repro_lines(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .filter_map(|c| c.failure.as_ref().map(|f| f.repro.clone()))
+            .collect()
+    }
+}
+
+/// What one raw cell run produced, before shrinking.
+struct RawRun {
+    report: Option<ScenarioReport>,
+    failure: Option<(String, String)>, // (kind, detail)
+    fired_points: Vec<&'static str>,
+    fired: u64,
+    evaluated: u64,
+}
+
+impl RawRun {
+    fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+}
+
+/// Runs one cell raw: fresh cluster + protocol + auditor + registry,
+/// scenario under `catch_unwind`. `restrict` limits which fault points
+/// may fire (occurrence counters still advance — see
+/// [`FaultRegistry::restrict`]); `poison` names a conjunction of points
+/// that, if all fired, detonate a deliberate panic — the hook the
+/// negative shrinker tests use to plant a known bug.
+fn run_raw(
+    seed: u64,
+    intensity: Intensity,
+    rounds: u64,
+    restrict: Option<&[&'static str]>,
+    poison: &[&'static str],
+) -> RawRun {
+    let registry = Rc::new(FaultRegistry::new(seed, intensity));
+    if let Some(allowed) = restrict {
+        registry.restrict(allowed);
+    }
+    let audit = Rc::new(InvariantAuditor::new());
+    let cfg = ScenarioConfig {
+        rounds,
+        round_gap: Duration::from_secs(0.5),
+    };
+    let run_registry = registry.clone();
+    let run_audit = audit.clone();
+    // The panic hook would spray a backtrace for every *expected* panic
+    // the shrinker replays; silence it for the guarded section and
+    // restore it after.
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let caught = panic::catch_unwind(AssertUnwindSafe(move || {
+        let mut cluster = build_cluster(seed);
+        let placement = GroupPlacement::orthogonal_with_parity(&cluster, 3, 1)
+            .expect("12-node/6-rack cluster fits k=3,m=1 orthogonally");
+        let mut protocol = DvdcProtocol::new(placement)
+            .with_recorder(RecorderHandle::new(run_audit))
+            .with_buggify(run_registry.clone());
+        let (_, mut workload) = make_workload(seed);
+        let schedule = make_schedule(seed / WORKLOADS, cfg.horizon());
+        let hub = RngHub::new(seed);
+        let result = run_scenario(
+            &mut protocol,
+            &mut cluster,
+            workload.as_mut(),
+            schedule.as_ref(),
+            &cfg,
+            &hub,
+        );
+        if let Ok(ref _report) = result {
+            let fired = run_registry.fired_points();
+            if !poison.is_empty() && poison.iter().all(|p| fired.contains(p)) {
+                panic!("deliberately planted bug: poison points all fired");
+            }
+        }
+        result
+    }));
+    panic::set_hook(hook);
+
+    let fired_points = registry.fired_points();
+    let fired = registry.fired_total();
+    let evaluated = registry.evaluated_total();
+    let (report, failure) = match caught {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (None, Some(("panic".to_string(), msg)))
+        }
+        Ok(Err(e)) => (None, Some(("protocol-error".to_string(), e.to_string()))),
+        Ok(Ok(report)) => {
+            let violations = audit.violations();
+            if violations.is_empty() {
+                (Some(report), None)
+            } else {
+                (
+                    None,
+                    Some(("auditor-violation".to_string(), violations.join("; "))),
+                )
+            }
+        }
+    };
+    RawRun {
+        report,
+        failure,
+        fired_points,
+        fired,
+        evaluated,
+    }
+}
+
+/// Runs one (seed, intensity) cell, shrinking on failure.
+pub fn run_cell(seed: u64, intensity: Intensity, rounds: u64, shrink: bool) -> CellOutcome {
+    run_cell_poisoned(seed, intensity, rounds, shrink, &[])
+}
+
+/// [`run_cell`] with a planted bug: if every point in `poison` fires in
+/// a clean run, the cell panics deliberately. Exposed so tests can prove
+/// the swarm catches and minimises a known injected defect.
+pub fn run_cell_poisoned(
+    seed: u64,
+    intensity: Intensity,
+    rounds: u64,
+    shrink: bool,
+    poison: &[&'static str],
+) -> CellOutcome {
+    let raw = run_raw(seed, intensity, rounds, None, poison);
+    let (workload_name, _) = make_workload(seed);
+    let schedule = make_schedule(seed / WORKLOADS, Duration::from_secs(1.0));
+    let schedule_name = schedule.name().to_string();
+    let mut outcome = CellOutcome {
+        seed,
+        intensity: intensity.name().to_string(),
+        workload: workload_name.to_string(),
+        schedule: schedule_name,
+        status: CellStatus::Committed,
+        rounds_committed: 0,
+        rollbacks: 0,
+        data_loss: 0,
+        fired_points: raw.fired_points.iter().map(|p| p.to_string()).collect(),
+        fired: raw.fired,
+        evaluated: raw.evaluated,
+        failure: None,
+    };
+    match (&raw.report, &raw.failure) {
+        (Some(report), None) => {
+            outcome.rounds_committed = report.rounds_committed;
+            outcome.rollbacks = report.rollbacks;
+            outcome.data_loss = report.data_loss;
+            outcome.status = if report.data_loss > 0 {
+                CellStatus::DataLoss
+            } else if report.rollbacks > 0 || report.rounds_skipped > 0 {
+                CellStatus::Degraded
+            } else {
+                CellStatus::Committed
+            };
+        }
+        (_, Some((kind, detail))) => {
+            outcome.status = CellStatus::Failed;
+            let minimal = if shrink && !raw.fired_points.is_empty() {
+                buggify::shrink(&raw.fired_points, |subset| {
+                    run_raw(seed, intensity, rounds, Some(subset), poison).failed()
+                })
+            } else {
+                raw.fired_points.clone()
+            };
+            let repro = format!(
+                "reproduce with: DVDC_BUGGIFY_SEED={seed} DVDC_BUGGIFY_INTENSITY={} \
+                 (cell {} x {}, minimal points: {})",
+                intensity.name(),
+                outcome.workload,
+                outcome.schedule,
+                if minimal.is_empty() {
+                    "none - fails without buggify".to_string()
+                } else {
+                    minimal.join(",")
+                },
+            );
+            outcome.failure = Some(CellFailure {
+                kind: kind.clone(),
+                detail: detail.clone(),
+                fired_points: outcome.fired_points.clone(),
+                minimal_points: minimal.iter().map(|p| p.to_string()).collect(),
+                repro,
+            });
+        }
+        (None, None) => unreachable!("raw run produced neither report nor failure"),
+    }
+    outcome
+}
+
+/// Sweeps the configured seeds × intensities and aggregates.
+pub fn run_swarm(cfg: &SwarmConfig) -> SwarmSummary {
+    let mut summary = SwarmSummary {
+        cells: 0,
+        committed: 0,
+        degraded: 0,
+        data_loss: 0,
+        failed: 0,
+        fired: 0,
+        evaluated: 0,
+        outcomes: Vec::new(),
+    };
+    for &intensity in &cfg.intensities {
+        for seed in cfg.base_seed..cfg.base_seed + cfg.seeds {
+            let cell = run_cell(seed, intensity, cfg.rounds, cfg.shrink);
+            summary.cells += 1;
+            summary.fired += cell.fired;
+            summary.evaluated += cell.evaluated;
+            match cell.status {
+                CellStatus::Committed => summary.committed += 1,
+                CellStatus::Degraded => summary.degraded += 1,
+                CellStatus::DataLoss => summary.data_loss += 1,
+                CellStatus::Failed => summary.failed += 1,
+            }
+            summary.outcomes.push(cell);
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvdc_faults::buggify::points;
+
+    #[test]
+    fn one_cell_runs_clean_at_quick_intensity() {
+        let cell = run_cell(1, Intensity::Quick, 3, true);
+        assert_ne!(cell.status, CellStatus::Failed, "{:?}", cell.failure);
+        assert!(cell.evaluated > 0, "buggify never consulted");
+    }
+
+    #[test]
+    fn disabled_registry_fires_nothing() {
+        let cell = run_cell(2, Intensity::Off, 3, true);
+        assert_ne!(cell.status, CellStatus::Failed, "{:?}", cell.failure);
+        assert_eq!(cell.fired, 0);
+    }
+
+    #[test]
+    fn poisoned_cell_fails_and_shrinks_to_the_poison() {
+        // Find a seed where the poison point actually fires, then prove
+        // the swarm flags the cell and the shrinker isolates the point.
+        let poison = [points::ROUND_TRANSFER_DELAY];
+        let seed = (1..200)
+            .find(|&s| {
+                run_cell(s, Intensity::Standard, 3, false)
+                    .fired_points
+                    .iter()
+                    .any(|p| p == points::ROUND_TRANSFER_DELAY)
+            })
+            .expect("some seed fires the transfer-delay point");
+        let cell = run_cell_poisoned(seed, Intensity::Standard, 3, true, &poison);
+        assert_eq!(cell.status, CellStatus::Failed);
+        let failure = cell.failure.expect("failed cell carries its failure");
+        assert_eq!(failure.kind, "panic");
+        assert!(
+            failure.minimal_points.len() <= 3,
+            "shrinker left a non-minimal set: {:?}",
+            failure.minimal_points
+        );
+        assert!(
+            failure
+                .minimal_points
+                .contains(&points::ROUND_TRANSFER_DELAY.to_string()),
+            "minimal set must retain the culprit: {:?}",
+            failure.minimal_points
+        );
+        assert!(failure.repro.contains("DVDC_BUGGIFY_SEED="));
+    }
+}

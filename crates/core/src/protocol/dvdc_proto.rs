@@ -39,12 +39,14 @@
 //! redundancy through the same pipeline.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 use dvdc_checkpoint::accounting::CheckpointCost;
 use dvdc_checkpoint::delta::{xor_runs, XorRun};
 use dvdc_checkpoint::payload::CheckpointPayload;
 use dvdc_checkpoint::store::{DoubleBufferedStore, ParityStore};
 use dvdc_checkpoint::strategy::{Checkpointer, Mode};
+use dvdc_faults::buggify::{self, points, FaultRegistry};
 use dvdc_observe::{Event, RecorderHandle, NO_TOKEN};
 use dvdc_parity::code::{CodeError, ErasureCode};
 use dvdc_parity::raid5::XorCode;
@@ -549,6 +551,14 @@ pub struct DvdcProtocol {
     /// Cached `recorder.enabled()` so hot paths pay one branch, not a
     /// virtual call, when tracing is off.
     recording: bool,
+    /// Buggify fault-point registry (`None` unless attached). Shared by
+    /// `Rc` with the detector-driven drivers so both layers consume one
+    /// deterministic activation stream.
+    buggify: Option<Rc<FaultRegistry>>,
+    /// Cached `registry.is_active()` so every IO callsite pays one
+    /// predictable branch — not an `Rc` deref — when buggify is off,
+    /// mirroring the `recording` flag.
+    buggify_on: bool,
     /// The simulated instant events are stamped with. Advanced by each
     /// step's `took`; drivers with their own scheduler re-sync it via
     /// [`CheckpointProtocol::set_clock`].
@@ -612,6 +622,8 @@ impl DvdcProtocol {
             fences: FenceRegistry::new(),
             recorder: RecorderHandle::default(),
             recording: false,
+            buggify: None,
+            buggify_on: false,
             clock: SimTime::ZERO,
         }
     }
@@ -637,6 +649,92 @@ impl DvdcProtocol {
     /// The attached recorder handle (the no-op handle by default).
     pub fn recorder(&self) -> &RecorderHandle {
         &self.recorder
+    }
+
+    /// Attaches a buggify fault-point registry: every subsequent round,
+    /// rebuild, and scrub evaluates its named fault points against the
+    /// registry's seed, injecting delays, wire losses, duplicate
+    /// deliveries, and spurious read errors at the protocol's own IO
+    /// callsites. An [`Intensity::Off`](dvdc_faults::buggify::Intensity)
+    /// registry leaves the hot paths on the same single-branch disabled
+    /// path as no registry at all.
+    pub fn set_buggify(&mut self, registry: Rc<FaultRegistry>) {
+        self.buggify_on = registry.is_active();
+        self.buggify = Some(registry);
+    }
+
+    /// Builder-style [`DvdcProtocol::set_buggify`].
+    pub fn with_buggify(mut self, registry: Rc<FaultRegistry>) -> Self {
+        self.set_buggify(registry);
+        self
+    }
+
+    /// The attached buggify registry, if any and active — drivers use
+    /// this to evaluate their own fault points (heartbeat drops/delays)
+    /// against the same activation stream.
+    pub fn buggify(&self) -> Option<&Rc<FaultRegistry>> {
+        if self.buggify_on {
+            self.buggify.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates one fault point; `false` on the disabled path.
+    #[inline]
+    fn bug(&self, point: &'static str) -> bool {
+        self.buggify_on && self.buggify.as_ref().is_some_and(|b| b.fires(point))
+    }
+
+    /// Evaluates a delay-type point: the bounded extra latency to charge
+    /// (zero on the disabled path or when the point does not fire).
+    #[inline]
+    fn bug_delay(&self, point: &'static str, max: Duration) -> Duration {
+        if !self.buggify_on {
+            return Duration::ZERO;
+        }
+        match self.buggify.as_ref().and_then(|b| b.roll(point)) {
+            Some(magnitude) => buggify::scaled_delay(magnitude, max),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// The seed injected retries derive their deterministic jitter from.
+    #[inline]
+    fn bug_seed(&self) -> u64 {
+        self.buggify.as_ref().map_or(0, |b| b.seed())
+    }
+
+    /// Evaluates a pair of wire-loss points (dropped frame / torn
+    /// payload) against an open transfer. A firing records a failed
+    /// attempt in the ledger and returns the seed-jittered backoff to
+    /// charge before the arrival re-runs. Injected losses are strictly
+    /// transient: the points only fire while retry budget remains, so
+    /// buggify alone can never exhaust a transfer — exhaustion stays the
+    /// signature of a real partition, which owns the abort path.
+    fn bug_wire_loss(
+        &self,
+        ledger: &mut TransferLedger,
+        id: u64,
+        loss_points: &[&'static str],
+    ) -> Option<Duration> {
+        if !self.buggify_on {
+            return None;
+        }
+        let fired = loss_points.iter().any(|&p| self.bug(p));
+        if !fired {
+            return None;
+        }
+        let policy = RetryPolicy::default();
+        if ledger.attempts(id).is_none_or(|a| a >= policy.max_attempts) {
+            return None;
+        }
+        match ledger.record_failure(id, policy) {
+            Ok(RetryDecision::Retry { attempt, .. }) => {
+                Some(policy.backoff_with_jitter(attempt, self.bug_seed()))
+            }
+            _ => None,
+        }
     }
 
     /// The simulated instant the next emitted event will be stamped with.
@@ -1090,7 +1188,7 @@ impl DvdcProtocol {
         cluster: &mut Cluster,
         rebuild: &mut PhasedRebuild,
     ) -> Result<RebuildStep, RecoverError> {
-        let step = match self.step_rebuild_inner(cluster, rebuild) {
+        let mut step = match self.step_rebuild_inner(cluster, rebuild) {
             Ok(step) => step,
             Err(e) => {
                 if let RecoverError::DataLoss { node, group, .. } = &e {
@@ -1102,6 +1200,20 @@ impl DvdcProtocol {
                 return Err(e);
             }
         };
+        if self.buggify_on {
+            if let RebuildStep::Progress { phase, took } = &mut step {
+                let point = match phase {
+                    RebuildPhase::FetchSurvivors => points::REBUILD_FETCH_DELAY,
+                    RebuildPhase::Decode => points::REBUILD_DECODE_DELAY,
+                    RebuildPhase::Place => points::REBUILD_PLACE_DELAY,
+                    RebuildPhase::Readmit => points::REBUILD_READMIT_DELAY,
+                };
+                let extra = self.bug_delay(point, Duration::from_millis(5.0))
+                    + self.bug_delay(points::CLOCK_JITTER, Duration::from_micros(500.0));
+                *took += extra;
+                rebuild.elapsed += extra;
+            }
+        }
         if self.recording {
             // Advance the clock before draining the journals so an
             // arrival is stamped when its bytes land, not when they left.
@@ -1128,8 +1240,22 @@ impl DvdcProtocol {
             match rebuild.phase {
                 RebuildPhase::FetchSurvivors => {
                     if let Some(id) = rebuild.in_flight.take() {
+                        if let Some(backoff) = self.bug_wire_loss(
+                            &mut rebuild.ledger,
+                            id,
+                            &[points::REBUILD_FETCH_DROP],
+                        ) {
+                            // The survivor fetch was lost on the wire:
+                            // re-fetched after the (seed-jittered) backoff.
+                            rebuild.in_flight = Some(id);
+                            rebuild.elapsed += backoff;
+                            return Ok(RebuildStep::Progress {
+                                phase: RebuildPhase::FetchSurvivors,
+                                took: backoff,
+                            });
+                        }
                         let took = match rebuild.ledger.try_complete(id, &self.fences) {
-                            Ok(t) => cluster.fabric().network.link_transfer(t.bytes),
+                            Ok(t) => cluster.link_transfer(t.from, t.to, t.bytes),
                             Err(LedgerError::Fenced { .. })
                             | Err(LedgerError::UnknownTransfer { .. }) => Duration::ZERO,
                         };
@@ -1565,6 +1691,25 @@ impl DvdcProtocol {
     /// data loss, recorded rather than panicked.
     pub fn scrub(&mut self, cluster: &mut Cluster) -> Result<ScrubReport, RecoverError> {
         self.ensure_node_stores(cluster.node_count());
+        if self.buggify_on && self.committed_epoch.is_some() {
+            // Buggify's scrub-read fault: one committed block rots right
+            // under the scrubber (a latent media error surfacing at read
+            // time). Injected through the same corruption write path the
+            // chaos plans use, so this very pass must detect it via
+            // checksums and repair it from group redundancy.
+            if let Some(magnitude) = self
+                .buggify
+                .as_ref()
+                .and_then(|b| b.roll(points::SCRUB_READ_ERROR))
+            {
+                let nodes = cluster.up_nodes();
+                if !nodes.is_empty() {
+                    let pick = nodes[(magnitude * nodes.len() as f64) as usize % nodes.len()];
+                    let seed = self.bug_seed() ^ (magnitude.to_bits()).rotate_left(17);
+                    self.apply_corruption(cluster, pick, 1, seed);
+                }
+            }
+        }
         let sweep = self.sweep_integrity(cluster);
         let found = sweep.corrupt_vms.len() + sweep.corrupt_parity.len();
         if found == 0 || self.committed_epoch.is_none() {
@@ -1763,7 +1908,19 @@ impl DvdcProtocol {
         cluster: &mut Cluster,
         round: &mut PhasedRound,
     ) -> Result<RoundStep, ProtocolError> {
-        let step = self.step_round_inner(cluster, round)?;
+        let mut step = self.step_round_inner(cluster, round)?;
+        if self.buggify_on {
+            if let RoundStep::Progress { phase, took } = &mut step {
+                let point = match phase {
+                    RoundPhase::Capture => points::ROUND_CAPTURE_DELAY,
+                    RoundPhase::Transfer => points::ROUND_TRANSFER_DELAY,
+                    RoundPhase::Fold => points::ROUND_FOLD_DELAY,
+                    RoundPhase::Commit => points::ROUND_COMMIT_DELAY,
+                };
+                *took += self.bug_delay(point, Duration::from_millis(5.0));
+                *took += self.bug_delay(points::CLOCK_JITTER, Duration::from_micros(500.0));
+            }
+        }
         if self.recording {
             // Advance the clock before draining the ledger journal so an
             // arrival is stamped when its bytes land, not when they left.
@@ -1858,8 +2015,22 @@ impl DvdcProtocol {
                     // so a fault event can land with the bytes on the
                     // wire (the ledger then reports the victim involved).
                     if let Some(id) = round.in_flight.take() {
+                        if let Some(backoff) = self.bug_wire_loss(
+                            &mut round.ledger,
+                            id,
+                            &[points::TRANSFER_ARRIVE_DROP, points::TRANSFER_ARRIVE_TORN],
+                        ) {
+                            // Lost or torn on the wire: the ledger keeps
+                            // the transfer open, the arrival re-runs after
+                            // the (seed-jittered) backoff.
+                            round.in_flight = Some(id);
+                            return Ok(RoundStep::Progress {
+                                phase: RoundPhase::Transfer,
+                                took: backoff,
+                            });
+                        }
                         let took = match round.ledger.try_complete(id, &self.fences) {
-                            Ok(t) => cluster.fabric().network.link_transfer(t.bytes),
+                            Ok(t) => cluster.link_transfer(t.from, t.to, t.bytes),
                             // Fenced sender: the bytes crossed the wire but
                             // the receiver discards them (they still cost
                             // their transfer time). Unknown handle: the
@@ -1868,6 +2039,18 @@ impl DvdcProtocol {
                             Err(LedgerError::Fenced { .. })
                             | Err(LedgerError::UnknownTransfer { .. }) => Duration::ZERO,
                         };
+                        if self.bug(points::TRANSFER_ARRIVE_DUPLICATE) {
+                            // Deliver the same handle again: the ledger
+                            // must reject the duplicate — a regression
+                            // here double-applies a delta.
+                            assert!(
+                                matches!(
+                                    round.ledger.try_complete(id, &self.fences),
+                                    Err(LedgerError::UnknownTransfer { .. })
+                                ),
+                                "duplicate delivery of transfer {id} was not rejected"
+                            );
+                        }
                         return Ok(RoundStep::Progress {
                             phase: RoundPhase::Transfer,
                             took,
@@ -1934,10 +2117,21 @@ impl DvdcProtocol {
                         // working generation is fully staged. The old
                         // generation stays authoritative until *every*
                         // holder has acked.
-                        let took = cluster.fabric().network.link_transfer(64);
+                        let took = cluster.fabric().network.link_transfer(64)
+                            + self.bug_delay(points::COMMIT_ACK_DELAY, Duration::from_millis(5.0));
                         return Ok(RoundStep::Progress {
                             phase: RoundPhase::Commit,
                             took,
+                        });
+                    }
+                    if self.bug(points::COMMIT_PROMOTE_DELAY) {
+                        // The promote is held back one step (a slow
+                        // coordinator): the committed generation stays
+                        // authoritative for the extra beat, so a fault
+                        // landing in the gap aborts cleanly.
+                        return Ok(RoundStep::Progress {
+                            phase: RoundPhase::Commit,
+                            took: Duration::from_millis(1.0),
                         });
                     }
                     return Ok(RoundStep::Committed(self.promote_round(cluster, round)));

@@ -62,6 +62,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dvdc_faults::buggify;
 use dvdc_faults::detector::{DetectorConfig, DetectorEventKind, FailureDetector, Verdict};
 use dvdc_faults::{FaultKind, NodeFault, PlanCursor};
 use dvdc_observe::{Event, RecorderHandle};
@@ -306,14 +307,14 @@ impl Driver<'_, '_> {
         }
         // Once one confirmation has aborted the round, later verdicts of
         // the same correlated failure are counted and traced but must not
-        // overwrite the abort victim (nor re-abort anything).
-        let involved = self.aborted.is_none()
-            && self
-                .round
-                .as_ref()
-                .is_some_and(|r| self.protocol.round_involves(self.cluster, r, id));
-        if involved {
-            let phase = self.round.as_ref().expect("involved implies round").phase();
+        // overwrite the abort victim (nor re-abort anything). Borrowing
+        // the round once (instead of a second `expect`) keeps the
+        // involved-implies-round invariant structural.
+        let involved_phase = match (&self.aborted, &self.round) {
+            (None, Some(r)) if self.protocol.round_involves(self.cluster, r, id) => Some(r.phase()),
+            _ => None,
+        };
+        if let Some(phase) = involved_phase {
             self.aborted = Some((id, phase));
             ConfirmAction::AbortRound
         } else {
@@ -514,6 +515,9 @@ pub fn run_round_with_detection(
                     w.injected_at.insert(f.node, sched.now());
                     // The node goes silent to the monitor until it heals.
                     w.silenced.insert(f.node);
+                    // Invariant: this match arm admits only TransientHang and
+                    // Partition, and `heals_after` is `Some` for exactly those
+                    // two kinds by construction — the expect is unreachable.
                     let span = f.kind.heals_after().expect("transient faults heal");
                     let wake_at = sched.now() + span;
                     w.heal_at.insert(f.node, wake_at);
@@ -593,7 +597,22 @@ pub fn run_round_with_detection(
             if w.silenced.contains(&n) {
                 return; // down, hung, or partitioned: nothing on the wire
             }
-            let latency = w.cluster.fabric().network.link_transfer(HEARTBEAT_BYTES);
+            let mut latency = w.cluster.fabric().network.link_transfer(HEARTBEAT_BYTES);
+            if let Some(bug) = w.protocol.buggify() {
+                if bug.fires(buggify::points::HEARTBEAT_SEND_DROP) {
+                    // Lost on the wire. The deadline chain decides what the
+                    // gap means: one dropped beat is usually absorbed, a
+                    // streak escalates to suspicion and — if confirmed — a
+                    // false failover the driver already knows how to heal.
+                    return;
+                }
+                if let Some(m) = bug.roll(buggify::points::HEARTBEAT_SEND_DELAY) {
+                    // Stretch delivery up to 1.5× the detector timeout, so
+                    // the worst rolls land the beat *after* the deadline and
+                    // exercise the Suspected → Refuted path.
+                    latency += buggify::scaled_delay(m, w.config.timeout * 1.5);
+                }
+            }
             sched.after(latency, Ev::HeartbeatArrive(n));
         }
         Ev::HeartbeatArrive(n) => {
@@ -687,7 +706,13 @@ pub fn run_round_with_detection(
 
     let victim_hint = aborted.map(|(v, _)| v);
     if aborted.is_some() {
-        protocol.abort_round(round.expect("aborted round is still held"));
+        // An aborted round is still held (commit is the only path that
+        // takes it, and the abort cancels the remaining Step events), but
+        // tolerate a vanished round rather than trusting that across every
+        // future injection point.
+        if let Some(r) = round {
+            protocol.abort_round(r);
+        }
     }
 
     // The rebuild window: every down state-holding node is rebuilt
@@ -769,8 +794,17 @@ pub fn run_round_with_detection(
             detection,
         }
     } else {
+        // A drained event queue with neither a commit report nor an abort
+        // verdict means the driver wedged — surface it as a typed error
+        // (attributed to the coordinator) instead of panicking mid-sweep.
+        let Some(report) = report else {
+            return Err(ProtocolError::Unrecoverable {
+                node: NodeId(0),
+                reason: "round ended neither committed nor aborted (driver stalled)".to_string(),
+            });
+        };
         PhasedOutcome::Committed {
-            report: report.expect("round either commits or aborts"),
+            report,
             recovered: window.recoveries,
             data_loss: window.data_loss,
             detection,

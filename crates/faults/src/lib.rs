@@ -34,6 +34,11 @@
 //! * [`trace`] — trace-driven plans: parse measured failure logs
 //!   (`time,node[,repair]` CSV) into the same [`ClusterFaultPlan`] the
 //!   synthetic injectors produce.
+//! * [`buggify`] — FoundationDB-style seed-deterministic fault points
+//!   planted *inside* the protocol's IO callsites (transfer arrivals,
+//!   heartbeat sends, scrub reads), plus the greedy repro shrinker the
+//!   swarm harness uses. Where [`injector`] faults whole nodes from the
+//!   outside, buggify stresses the code between those faults.
 //!
 //! [`Exponential`]: dist::Exponential
 //! [`Weibull`]: dist::Weibull
@@ -44,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buggify;
 pub mod detector;
 pub mod dist;
 pub mod injector;
@@ -52,6 +58,7 @@ pub mod process;
 pub mod schedule;
 pub mod trace;
 
+pub use buggify::{FaultRegistry, Intensity};
 pub use detector::{DetectorConfig, DetectorStats, FailureDetector, Verdict};
 pub use dist::{
     AnyDistribution, Deterministic, Empirical, Exponential, FailureDistribution, LogNormal,

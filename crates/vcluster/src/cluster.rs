@@ -8,7 +8,7 @@
 
 use rand::Rng;
 
-use crate::fabric::FabricModel;
+use crate::fabric::{FabricModel, LinkClass};
 use crate::ids::{NodeId, VmId};
 use crate::memory::MemoryImage;
 use crate::topology::{DcId, RackId, Topology};
@@ -335,6 +335,27 @@ impl Cluster {
     /// The rack hosting `node`.
     pub fn rack_of(&self, node: NodeId) -> RackId {
         self.topology.rack_of(node)
+    }
+
+    /// Which topology tier the path between two nodes crosses.
+    pub fn link_class(&self, a: NodeId, b: NodeId) -> LinkClass {
+        let (ra, rb) = (self.topology.rack_of(a), self.topology.rack_of(b));
+        if ra == rb {
+            LinkClass::IntraRack
+        } else if self.topology.dc_of_rack(ra) == self.topology.dc_of_rack(rb) {
+            LinkClass::CrossRack
+        } else {
+            LinkClass::CrossDc
+        }
+    }
+
+    /// Time to push `bytes` from `from` to `to`, charged through the
+    /// fabric tier the path crosses ([`Cluster::link_class`]). On a flat
+    /// fabric (no tiers installed) this equals
+    /// `fabric().network.link_transfer(bytes)` for every pair.
+    pub fn link_transfer(&self, from: NodeId, to: NodeId, bytes: usize) -> Duration {
+        self.fabric
+            .link_transfer_class(self.link_class(from, to), bytes)
     }
 
     /// Marks a node failed. Returns the VMs that went down with it — the

@@ -359,10 +359,30 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff to wait after the `attempt`-th failed send (1-based):
-    /// `base · 2^(attempt−1)`.
+    /// `base · 2^(attempt−1)`. The exponent is capped at 30 so the
+    /// factor never overflows — a runaway attempt counter saturates at
+    /// `base · 2^30` instead of going infinite.
     pub fn backoff_for(&self, attempt: u32) -> Duration {
         let factor = 2f64.powi(attempt.saturating_sub(1).min(30) as i32);
         Duration::from_secs(self.base_backoff.as_secs() * factor)
+    }
+
+    /// [`RetryPolicy::backoff_for`] with *deterministic* jitter: the wait
+    /// is scaled into `[0.5, 1.5)` of the exponential backoff by a
+    /// splitmix64 hash of `(seed, attempt)`. Real systems jitter their
+    /// backoff to break retry synchronisation; deriving the jitter from a
+    /// seed instead of a wall clock keeps buggify-injected retries
+    /// bit-for-bit reproducible under the same `DVDC_BUGGIFY_SEED`.
+    pub fn backoff_with_jitter(&self, attempt: u32, seed: u64) -> Duration {
+        let mut state =
+            seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x243f_6a88_85a3_08d3;
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        self.backoff_for(attempt) * (0.5 + unit)
     }
 }
 
@@ -581,6 +601,16 @@ impl TransferLedger {
     /// How many send attempts were retried after a transient failure.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Send attempts made so far on an open transfer (`None` once it
+    /// completed or dropped). Buggify's wire-loss points consult this to
+    /// keep their injected failures strictly transient: they only fail an
+    /// attempt when retry budget remains, so a drop injection alone can
+    /// never exhaust a transfer — exhaustion stays the signature of a
+    /// real (plan-injected) partition.
+    pub fn attempts(&self, id: u64) -> Option<u32> {
+        self.open.get(&id).map(|o| o.attempts)
     }
 
     /// Marks a transfer delivered. Returns it, or `None` if the handle is
@@ -956,6 +986,55 @@ mod tests {
             "exponent grows with the attempt number"
         );
         assert!(p.backoff_for(2) > p.backoff_for(1));
+    }
+
+    #[test]
+    fn retry_backoff_exponent_caps_instead_of_overflowing() {
+        let p = RetryPolicy::default();
+        let capped = p.backoff_for(u32::MAX);
+        // The factor saturates at 2^30: finite, and flat from there on.
+        assert_eq!(
+            capped.as_secs(),
+            p.base_backoff.as_secs() * (1u64 << 30) as f64
+        );
+        assert_eq!(p.backoff_for(31), capped);
+        assert_eq!(p.backoff_for(1000), capped);
+        assert!(capped.as_secs().is_finite());
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=6 {
+            let a = p.backoff_with_jitter(attempt, 42);
+            let b = p.backoff_with_jitter(attempt, 42);
+            assert_eq!(a, b, "same seed must replay the same jitter");
+            let base = p.backoff_for(attempt).as_secs();
+            assert!(
+                a.as_secs() >= base * 0.5 && a.as_secs() < base * 1.5,
+                "attempt {attempt}: {} outside [0.5, 1.5)·{base}",
+                a.as_secs()
+            );
+        }
+        // Different seeds actually spread.
+        let spread: Vec<f64> = (0..16)
+            .map(|s| p.backoff_with_jitter(3, s).as_secs())
+            .collect();
+        let min = spread.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = spread.iter().copied().fold(0.0, f64::max);
+        assert!(max > min, "sixteen seeds produced identical jitter");
+    }
+
+    #[test]
+    fn ledger_reports_attempts_for_open_transfers() {
+        let policy = RetryPolicy::default();
+        let mut ledger = TransferLedger::new();
+        let id = ledger.begin(NodeId(0), NodeId(1), 100);
+        assert_eq!(ledger.attempts(id), Some(1));
+        ledger.record_failure(id, policy).unwrap();
+        assert_eq!(ledger.attempts(id), Some(2));
+        ledger.complete(id).unwrap();
+        assert_eq!(ledger.attempts(id), None);
     }
 
     #[test]

@@ -726,3 +726,52 @@ fn rack_kill_matrix_confirms_every_rack_node_and_recovers() {
         audit.assert_clean();
     }
 }
+
+/// Hierarchical link asymmetry: the same node rebuild on the same
+/// 2-DC topology takes measurably longer when the fabric charges
+/// cross-DC fetches at WAN rates than when every link is the flat
+/// datacenter network. With k+m = 4 rack-distinct members over 3 racks
+/// per DC, every group is forced to span both DCs, so a rebuild always
+/// pulls at least one survivor shard across the WAN tier.
+#[test]
+fn tiered_fabric_makes_cross_dc_rebuild_measurably_slower() {
+    use dvdc_vcluster::fabric::{FabricModel, NetworkModel, TieredNetwork};
+
+    let repair = |fabric: FabricModel| {
+        let mut c = ClusterBuilder::new()
+            .physical_nodes(12)
+            .vms_per_node(2)
+            .vm_memory(8, 32)
+            .writes_per_sec(200.0)
+            .topology(dvdc_vcluster::cluster::TopologySpec::UniformRacks {
+                nodes_per_rack: 2,
+                racks_per_dc: 3,
+            })
+            .fabric(fabric)
+            .build(77);
+        let placement = GroupPlacement::orthogonal_with_parity(&c, 3, 1).unwrap();
+        let (mut p, _audit) = audited(DvdcProtocol::new(placement));
+        p.run_round(&mut c).unwrap();
+        let want = snapshots(&c);
+        let victim = NodeId(0);
+        c.fail_node(victim);
+        let report = p.recover_typed(&mut c, victim).unwrap();
+        assert_state(&c, &want, "rebuild restores bytes regardless of fabric");
+        report.repair_time
+    };
+
+    let flat = repair(FabricModel::default());
+    let flat_tiered =
+        repair(FabricModel::default().with_tiers(TieredNetwork::flat(NetworkModel::default())));
+    let wan_tiered = repair(FabricModel::default().with_tiers(TieredNetwork::datacenter()));
+
+    assert_eq!(
+        flat, flat_tiered,
+        "uniform tiers must charge exactly like the untiered fabric"
+    );
+    assert!(
+        wan_tiered > flat * 1.5,
+        "cross-DC fetches at WAN rates must dominate the rebuild window: \
+         tiered {wan_tiered} vs flat {flat}"
+    );
+}
