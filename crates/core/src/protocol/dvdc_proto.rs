@@ -582,6 +582,13 @@ impl DvdcProtocol {
     /// overhead. The code family follows the placement's parity count:
     /// m = 1 → XOR, m = 2 → the paper-cited RDP, m ≥ 3 → Reed–Solomon
     /// (override with [`DvdcProtocol::with_code`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` has no groups, or if its groups do not all
+    /// share one `(width, parity_count)` geometry. Every
+    /// [`GroupPlacement`] constructor in this crate upholds both, so
+    /// this only fires on a hand-built placement.
     pub fn with_options(
         placement: GroupPlacement,
         mode: Mode,
@@ -1407,9 +1414,21 @@ impl DvdcProtocol {
             other => RecoverError::Protocol(ProtocolError::Code(other)),
         })?;
 
+        // A successful reconstruct() fills every erased slot; a None here
+        // means the decoder broke its contract. Surface that as a typed
+        // error rather than a panic — the rebuild aborts and the caller
+        // sees exactly which slot came back empty.
+        let missing_shard = |what: String| {
+            RecoverError::Protocol(ProtocolError::Unrecoverable {
+                node: rebuild.victim,
+                reason: format!("decoder returned no data for {what} in {gid}"),
+            })
+        };
         for (pos, &member) in group.data.iter().enumerate() {
             if rebuild.victim_vms.contains(&member) || rebuild.corrupt_vms.contains(&member) {
-                let image = shards[pos].clone().expect("decoded shard present");
+                let image = shards[pos]
+                    .clone()
+                    .ok_or_else(|| missing_shard(format!("{member}")))?;
                 rebuild.rebuilt_vms.insert(member, image);
                 rebuild.place_queue.push_back(RebuiltItem::Vm(member));
             }
@@ -1419,7 +1438,7 @@ impl DvdcProtocol {
             if rebuild.victim_parity.contains(&key) || rebuild.corrupt_parity.contains(&key) {
                 let block = shards[group.data.len() + j]
                     .clone()
-                    .expect("decoded parity present");
+                    .ok_or_else(|| missing_shard(format!("parity block {j}")))?;
                 rebuild.rebuilt_parity.insert(key, block);
                 rebuild.place_queue.push_back(RebuiltItem::Parity(gid, j));
             }
@@ -1725,17 +1744,27 @@ impl DvdcProtocol {
                 scrub_time: Duration::ZERO,
             });
         }
-        let victim = sweep
-            .corrupt_vms
-            .first()
-            .map(|&vm| cluster.node_of(vm))
-            .or_else(|| {
-                sweep
-                    .corrupt_parity
-                    .first()
-                    .map(|&(gid, j)| self.placement.groups()[gid.index()].parity_nodes[j])
-            })
-            .expect("found > 0 implies a corrupt block");
+        let victim = match (sweep.corrupt_vms.first(), sweep.corrupt_parity.first()) {
+            (Some(&vm), _) => cluster.node_of(vm),
+            (None, Some(&(gid, j))) => self.placement.groups()[gid.index()].parity_nodes[j],
+            // `found` counts exactly these two lists and the zero case
+            // returned above, so this arm is unreachable today. If the
+            // sweep accounting ever drifts there is nothing to point a
+            // rebuild at — report the (clean) sweep instead of panicking.
+            (None, None) => {
+                self.emit(Event::ScrubCompleted {
+                    verified: sweep.verified,
+                    corrupt: found,
+                    repaired: 0,
+                });
+                return Ok(ScrubReport {
+                    blocks_verified: sweep.verified,
+                    corrupt_found: found,
+                    repaired: 0,
+                    scrub_time: Duration::ZERO,
+                });
+            }
+        };
         let mut rebuild = self.begin_rebuild(cluster, victim, RebuildMode::Scrub)?;
         let repaired = rebuild.corrupt_vms.len() + rebuild.corrupt_parity.len();
         loop {
@@ -2165,10 +2194,15 @@ impl DvdcProtocol {
                 .sum();
             for j in 0..self.parity_blocks {
                 let holder = group.parity_nodes[j];
+                // Invariant: `member_runs` is only Some when the
+                // `complete` check above saw current((gid, j)).is_some()
+                // for every j, and nothing between the check and this
+                // loop removes parity entries — apply_delta only mutates
+                // block contents in place.
                 let block = self
                     .parity
                     .current_mut((gid, j))
-                    .expect("presence checked above");
+                    .expect("complete-check guarantees a current parity block");
                 for (pos, runs) in &member_runs {
                     for run in runs.iter() {
                         self.code
@@ -2193,7 +2227,11 @@ impl DvdcProtocol {
                     let node = cluster.node_of(vm);
                     self.node_stores[node.index()]
                         .current_image(vm)
-                        .expect("VM captured this round must have a current image")
+                        // Invariant: the round's capture phase runs over
+                        // every VM before any group folds, and a store's
+                        // current image persists across rounds once set —
+                        // so a full-group re-encode always has sources.
+                        .expect("capture phase precedes fold: current image present")
                 })
                 .collect();
             let parity = self.code.encode(&images);
@@ -2237,7 +2275,11 @@ impl DvdcProtocol {
                     let node = cluster.node_of(vm);
                     self.node_stores[node.index()]
                         .current_image(vm)
-                        .expect("VM captured this round must have a current image")
+                        // Invariant: promote_round only runs after every
+                        // member acked its capture, so each VM in a
+                        // rotten group still holds the image the staged
+                        // parity was (supposed to be) computed from.
+                        .expect("round fully captured before promote: current image present")
                 })
                 .collect();
             let parity = self.code.encode(&images);

@@ -19,8 +19,10 @@
 mod diskfull;
 mod dvdc_proto;
 mod first_shot;
+pub mod node_core;
 mod phased;
 mod remus;
+pub mod transport;
 
 pub use diskfull::DiskFullProtocol;
 pub use dvdc_proto::{
@@ -28,8 +30,15 @@ pub use dvdc_proto::{
     RebuildPhase, RebuildStep, RoundPhase, RoundStep,
 };
 pub use first_shot::FirstShotProtocol;
+pub use node_core::{
+    fnv64, initial_image, Action, BlockInfo, BlockKind, ClusterSpec, DigestSource, Msg, NodeCore,
+    Note, StatusView, CTL,
+};
 pub use phased::{run_round_with_detection, run_round_with_faults, DetectionReport, PhasedOutcome};
 pub use remus::RemusLikeProtocol;
+pub use transport::{
+    dispatch, Clock, DispatchOutcome, SimClock, SimNet, Transport, TransportError,
+};
 
 use std::fmt;
 

@@ -1,0 +1,2027 @@
+//! Per-node DVDC protocol state machine — the deployable core.
+//!
+//! [`DvdcProtocol`](super::DvdcProtocol) is a *global* model: one struct
+//! owns every node's store and runs the round as a single closed-world
+//! computation, which is exactly right for the simulation studies but can
+//! never be cut across OS processes. This module is the distributed
+//! refactor of the same protocol: [`NodeCore`] holds **one node's** view
+//! (its live VM image, its committed checkpoint block, its replica of the
+//! fence registry, its own failure detector) and advances purely by
+//! consuming messages and clock ticks. The state machine performs no IO
+//! and reads no clock — every entry point takes `now` and returns the
+//! [`Action`]s (sends, notes) the caller must carry out — so the *same*
+//! code drives the deterministic in-process simulation (see
+//! [`SimNet`](super::transport::SimNet)) and real processes over TCP (the
+//! `dvdc-transport` / `dvdc-node` crates).
+//!
+//! The pieces are genuinely reused, not reimplemented: heartbeat silence
+//! is judged by [`FailureDetector`], fencing by a replicated
+//! [`FenceRegistry`] (converged via broadcast with
+//! [`FenceRegistry::advance_to`]), and parity by the [`ErasureCode`]
+//! implementations the sim protocols use.
+//!
+//! # Protocol sketch
+//!
+//! * Nodes `0..k` are data nodes, each hosting one VM image; nodes
+//!   `k..k+m` hold parity. The lowest live unfenced node acts as round
+//!   coordinator.
+//! * A round is the paper's two-phase commit: `RoundBegin` → each data
+//!   node captures its image (after a configurable delay — the real
+//!   mid-round fault window), ships it to every parity holder and
+//!   `CaptureAck`s; holders encode once all `k` blocks arrive and
+//!   `FoldAck`; the coordinator broadcasts `Commit`; everyone promotes
+//!   staged state and `CommitAck`s.
+//! * Heartbeats flow between established sessions; each node feeds its
+//!   own detector. When the acting coordinator's detector **Confirms** a
+//!   silent node it fences it (epoch bump, broadcast), aborts any open
+//!   round, and rebuilds the victim's committed block from survivor
+//!   blocks + parity, holding the result in *custody* so later rounds
+//!   stay fully encoded.
+//! * A restarted victim comes back empty (diskless!), is `Rejected` at
+//!   the handshake for holding a pre-fence epoch, resyncs from the
+//!   coordinator's custody, and is readmitted cluster-wide at its
+//!   post-fence epoch with a cluster rollback to the committed round.
+//!
+//! Losses beyond the code's tolerance surface as [`Note::DataLoss`] —
+//! typed, never a panic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dvdc_faults::detector::{DetectorConfig, FailureDetector, Verdict};
+use dvdc_parity::code::ErasureCode;
+use dvdc_parity::raid5::XorCode;
+use dvdc_parity::rs::ReedSolomon;
+use dvdc_simcore::time::{Duration, SimTime};
+use dvdc_vcluster::ids::NodeId;
+use dvdc_vcluster::messaging::FenceRegistry;
+
+/// Pseudo node id used by `dvdc-ctl` (and test drivers) as the sender of
+/// control-plane requests; replies are routed back to it by the runtime.
+pub const CTL: NodeId = NodeId(usize::MAX);
+
+/// Which slot of the erasure group a block fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A data node's checkpoint image (slot `node`).
+    Data,
+    /// A parity holder's shard (slot `node` = `k + j`).
+    Parity,
+}
+
+/// Where a [`Msg::DigestResp`] digest was read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestSource {
+    /// The node's own committed checkpoint block.
+    Committed,
+    /// The coordinator's custody copy of a fenced node's block.
+    Custody,
+    /// No committed state exists for the queried node.
+    Missing,
+}
+
+/// One block carried in a [`Msg::FetchBlocks`] rebuild response:
+/// the committed state of slot `holder` at `epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockInfo {
+    /// The node whose erasure-group slot this block fills (not
+    /// necessarily the sender — custody blocks travel on behalf of their
+    /// fenced owner).
+    pub holder: NodeId,
+    /// Data image or parity shard.
+    pub kind: BlockKind,
+    /// The committed epoch the block belongs to.
+    pub epoch: u64,
+    /// The block bytes.
+    pub data: Vec<u8>,
+}
+
+/// Control-plane snapshot of one node, served over [`Msg::StatusReq`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusView {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Who this node currently believes coordinates rounds.
+    pub coordinator: NodeId,
+    /// Last committed checkpoint epoch (0 = none yet).
+    pub committed_epoch: u64,
+    /// This node's own fence epoch in its registry replica.
+    pub fence_epoch: u64,
+    /// Peers with an established session.
+    pub peers_established: Vec<NodeId>,
+    /// Peers currently suspected by the local detector.
+    pub suspected: Vec<NodeId>,
+    /// Peers confirmed failed by the local detector.
+    pub confirmed: Vec<NodeId>,
+    /// Fenced nodes whose rebuilt blocks this node holds in custody.
+    pub custody: Vec<NodeId>,
+    /// Rounds this node has seen commit.
+    pub rounds_committed: u64,
+    /// True if a rebuild ever ended in typed data loss on this node.
+    pub data_loss: bool,
+}
+
+/// Every message of the distributed DVDC protocol (data plane, failure
+/// plane, and the `dvdc-ctl` control plane).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Session handshake: "I am `node` of cluster `cluster_id`, at fence
+    /// epoch `fence_epoch`." Rejected when the epoch is pre-fence.
+    Hello {
+        /// The dialing node.
+        node: NodeId,
+        /// Cluster identity — cross-cluster dials are ignored.
+        cluster_id: u64,
+        /// The dialer's own fence epoch.
+        fence_epoch: u64,
+    },
+    /// Handshake accept: a session now exists in this direction.
+    Welcome {
+        /// The accepting node.
+        node: NodeId,
+        /// The accepter's own fence epoch.
+        fence_epoch: u64,
+    },
+    /// Handshake refusal: the dialer is fenced and must resync first.
+    Rejected {
+        /// The refused (fenced) node.
+        node: NodeId,
+        /// The fence epoch it must present after resync.
+        required_epoch: u64,
+        /// Whom to ask for resync.
+        coordinator: NodeId,
+    },
+    /// Liveness beacon, sent every `DetectorConfig::heartbeat_interval`.
+    Heartbeat {
+        /// The beaconing node.
+        node: NodeId,
+    },
+    /// Coordinator opens checkpoint round `epoch`.
+    RoundBegin {
+        /// The round's (tentative) epoch.
+        epoch: u64,
+        /// Data slots that will be encoded: live data members first, then
+        /// custody orphans the coordinator ships on behalf of.
+        sources: Vec<NodeId>,
+        /// Parity nodes expected to fold and ack.
+        holders: Vec<NodeId>,
+    },
+    /// A captured checkpoint block in flight to a parity holder.
+    Payload {
+        /// Round epoch the capture belongs to.
+        epoch: u64,
+        /// The data slot this block fills.
+        source: NodeId,
+        /// Sender's fence epoch — stale (pre-fence) payloads are dropped.
+        fence_epoch: u64,
+        /// The captured image bytes.
+        data: Vec<u8>,
+    },
+    /// Data member reports its capture is staged and shipped.
+    CaptureAck {
+        /// Round epoch.
+        epoch: u64,
+        /// The acking member.
+        node: NodeId,
+    },
+    /// Parity holder reports its shard is folded and staged.
+    FoldAck {
+        /// Round epoch.
+        epoch: u64,
+        /// The acking holder.
+        node: NodeId,
+    },
+    /// Coordinator: all acks in — promote staged state to committed.
+    Commit {
+        /// The epoch being committed.
+        epoch: u64,
+    },
+    /// Participant finished promoting `epoch`.
+    CommitAck {
+        /// The committed epoch.
+        epoch: u64,
+        /// The acking participant.
+        node: NodeId,
+    },
+    /// Coordinator abandons the open round (timeout or member failure);
+    /// participants drop staged state, committed state is untouched.
+    AbortRound {
+        /// The abandoned epoch.
+        epoch: u64,
+        /// Why the round died.
+        reason: String,
+    },
+    /// Coordinator's fencing decision, replicated to every peer
+    /// ([`FenceRegistry::advance_to`]).
+    Fence {
+        /// The fenced node.
+        node: NodeId,
+        /// Its post-bump fence epoch.
+        epoch: u64,
+    },
+    /// Coordinator asks a survivor for its committed blocks to rebuild
+    /// `victim`.
+    FetchReq {
+        /// The node being rebuilt.
+        victim: NodeId,
+    },
+    /// Survivor's rebuild contribution: its own committed block plus any
+    /// custody blocks it holds.
+    FetchBlocks {
+        /// The responding node.
+        node: NodeId,
+        /// Sender's fence epoch — stale responders are dropped.
+        fence_epoch: u64,
+        /// The blocks, each tagged with its slot and epoch.
+        blocks: Vec<BlockInfo>,
+    },
+    /// A fenced node (restarted, empty) asks the coordinator for its
+    /// state back.
+    ResyncReq {
+        /// The resyncing node.
+        node: NodeId,
+    },
+    /// Coordinator ships the rebuilt state: adopt, then `ResyncDone`.
+    ResyncState {
+        /// The resyncing node.
+        node: NodeId,
+        /// The post-fence epoch the node must adopt.
+        fence_epoch: u64,
+        /// The committed epoch of the shipped block (and of the cluster).
+        committed_epoch: u64,
+        /// The custody block (`None` when nothing is held — e.g. a parity
+        /// node whose shard went stale; it re-folds next round).
+        image: Option<Vec<u8>>,
+    },
+    /// Resyncing node confirms it installed the shipped state.
+    ResyncDone {
+        /// The resynced node.
+        node: NodeId,
+        /// The fence epoch it now runs at.
+        fence_epoch: u64,
+    },
+    /// Coordinator readmits a resynced node cluster-wide; peers unfence
+    /// it at `fence_epoch`, re-admit it to their detectors, and roll live
+    /// images back to the committed round (the paper's cluster rollback).
+    Readmit {
+        /// The readmitted node.
+        node: NodeId,
+        /// Its post-fence epoch.
+        fence_epoch: u64,
+        /// The committed epoch everyone resumes from.
+        rollback_epoch: u64,
+    },
+    /// ctl: request a [`StatusView`].
+    StatusReq,
+    /// ctl: the snapshot.
+    StatusResp(StatusView),
+    /// ctl: run one checkpoint round (only the coordinator accepts).
+    CheckpointReq,
+    /// ctl: the requested round committed.
+    CheckpointDone {
+        /// The committed epoch.
+        epoch: u64,
+    },
+    /// ctl: the requested round failed — typed reason, no panic.
+    CheckpointFailed {
+        /// Why the round could not start or commit.
+        reason: String,
+    },
+    /// ctl: ask for the digest of `node`'s committed block.
+    DigestReq {
+        /// The node whose state is digested.
+        node: NodeId,
+    },
+    /// ctl: digest answer.
+    DigestResp {
+        /// The digested node.
+        node: NodeId,
+        /// Epoch of the digested block (0 when `source` is `Missing`).
+        epoch: u64,
+        /// FNV-1a 64-bit digest of the block bytes (0 when missing).
+        digest: u64,
+        /// Where the bytes came from.
+        source: DigestSource,
+    },
+    /// ctl: which peers does this node consider suspected/confirmed?
+    KillQueryReq,
+    /// ctl: the detector's current verdict sets.
+    KillQueryResp {
+        /// Peers confirmed failed.
+        confirmed: Vec<NodeId>,
+        /// Peers currently suspected.
+        suspected: Vec<NodeId>,
+    },
+}
+
+impl Msg {
+    /// Length of the bulk payload carried by data-plane messages, `None`
+    /// for control messages. The sim transport charges these through its
+    /// [`TransferLedger`](dvdc_vcluster::messaging::TransferLedger).
+    pub fn payload_len(&self) -> Option<usize> {
+        match self {
+            Msg::Payload { data, .. } => Some(data.len()),
+            Msg::FetchBlocks { blocks, .. } => Some(blocks.iter().map(|b| b.data.len()).sum()),
+            Msg::ResyncState { image, .. } => Some(image.as_ref().map(Vec::len).unwrap_or(0)),
+            _ => None,
+        }
+    }
+}
+
+/// Things a [`NodeCore`] asks its driver to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit `msg` to `to` (possibly [`CTL`]).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A structured observation for logging / tracing / assertions.
+    Note(Note),
+}
+
+/// Structured protocol observations, the deployable analogue of the sim's
+/// observe events. The runtime maps these onto `dvdc-observe` events and
+/// log lines; tests assert on them directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Note {
+    /// A session with `peer` is up (we heard Hello or Welcome).
+    SessionEstablished {
+        /// The peer.
+        peer: NodeId,
+    },
+    /// Our Hello was rejected — we are fenced and must resync.
+    HelloRejected {
+        /// Who rejected us.
+        peer: NodeId,
+        /// The epoch we must come back with.
+        required_epoch: u64,
+    },
+    /// Local detector verdict on a peer.
+    PeerVerdict {
+        /// The judged peer.
+        node: NodeId,
+        /// The verdict.
+        verdict: Verdict,
+    },
+    /// A node was fenced (locally decided or learned by broadcast).
+    Fenced {
+        /// The fenced node.
+        node: NodeId,
+        /// Its new fence epoch.
+        epoch: u64,
+    },
+    /// A checkpoint round opened.
+    RoundStarted {
+        /// Round epoch.
+        epoch: u64,
+    },
+    /// A checkpoint round fully committed (coordinator view).
+    RoundCommitted {
+        /// Committed epoch.
+        epoch: u64,
+    },
+    /// A round died without committing.
+    RoundAborted {
+        /// The abandoned epoch.
+        epoch: u64,
+        /// Why.
+        reason: String,
+    },
+    /// Rebuild of a fenced node's block began.
+    RebuildStarted {
+        /// The node being rebuilt.
+        victim: NodeId,
+    },
+    /// Rebuild finished; the block is in custody.
+    RebuildCompleted {
+        /// The rebuilt node.
+        victim: NodeId,
+        /// Epoch of the rebuilt block.
+        epoch: u64,
+        /// FNV-1a digest of the rebuilt bytes.
+        digest: u64,
+    },
+    /// The failure pattern exceeded the code's tolerance — the paper's
+    /// honest failure mode, typed instead of panicking.
+    DataLoss {
+        /// The unrebuildable node.
+        victim: NodeId,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A data-plane message from a stale (pre-fence) sender was dropped.
+    StaleRejected {
+        /// The stale sender.
+        from: NodeId,
+        /// The epoch it presented.
+        held_epoch: u64,
+        /// The epoch the registry requires.
+        current_epoch: u64,
+    },
+    /// A malformed or unusable payload was dropped.
+    PayloadDropped {
+        /// The sender.
+        from: NodeId,
+        /// Why it was dropped.
+        reason: String,
+    },
+    /// We served a resync to a rejoining node.
+    ResyncServed {
+        /// The rejoining node.
+        peer: NodeId,
+    },
+    /// A node was readmitted at its post-fence epoch.
+    Readmitted {
+        /// The readmitted node.
+        node: NodeId,
+        /// Its fence epoch.
+        epoch: u64,
+    },
+}
+
+/// Static description of the checkpoint group a [`NodeCore`] belongs to.
+/// Every member must be constructed with an identical spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster identity, embedded in handshakes and image seeds.
+    pub cluster_id: u64,
+    /// Number of data nodes `k` (ids `0..k`).
+    pub data_nodes: usize,
+    /// Number of parity nodes `m` (ids `k..k+m`); `m == 1` selects XOR,
+    /// larger `m` Reed–Solomon.
+    pub parity_nodes: usize,
+    /// Bytes per VM image / checkpoint block.
+    pub image_len: usize,
+    /// Failure-detector tuning (heartbeat cadence lives here too).
+    pub detector: DetectorConfig,
+    /// How long the coordinator waits for a round's acks before aborting.
+    pub round_timeout: Duration,
+    /// How long the coordinator waits for rebuild contributions before
+    /// deciding with what it has.
+    pub rebuild_timeout: Duration,
+    /// Pause between `RoundBegin` and the local capture — the genuine
+    /// mid-round window fault-injection (and SIGKILL tests) aim at.
+    pub capture_delay: Duration,
+}
+
+impl ClusterSpec {
+    /// Total member count `k + m`.
+    pub fn total(&self) -> usize {
+        self.data_nodes + self.parity_nodes
+    }
+
+    /// True if `node` is one of the `k` data slots.
+    pub fn is_data(&self, node: NodeId) -> bool {
+        node.index() < self.data_nodes
+    }
+
+    /// True if `node` is one of the `m` parity slots.
+    pub fn is_parity(&self, node: NodeId) -> bool {
+        node.index() >= self.data_nodes && node.index() < self.total()
+    }
+
+    /// Instantiates the group's erasure code: XOR for `m == 1`,
+    /// Reed–Solomon otherwise.
+    pub fn code(&self) -> Box<dyn ErasureCode> {
+        if self.parity_nodes == 1 {
+            Box::new(XorCode::new(self.data_nodes))
+        } else {
+            Box::new(ReedSolomon::new(self.data_nodes, self.parity_nodes))
+        }
+    }
+}
+
+impl Default for ClusterSpec {
+    /// A small LAN-profile group: 4+1 XOR, 4 KiB images, generous
+    /// timeouts relative to the default detector windows.
+    fn default() -> Self {
+        ClusterSpec {
+            cluster_id: 1,
+            data_nodes: 4,
+            parity_nodes: 1,
+            image_len: 4096,
+            detector: DetectorConfig::default(),
+            round_timeout: Duration::from_millis(500.0),
+            rebuild_timeout: Duration::from_millis(500.0),
+            capture_delay: Duration::from_millis(0.0),
+        }
+    }
+}
+
+/// FNV-1a 64-bit digest — the cheap content fingerprint `dvdc-ctl`
+/// compares across rebuilds (byte-exactness checks use it end to end).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fill_pseudo(seed: u64, buf: &mut [u8]) {
+    let mut s = seed;
+    for chunk in buf.chunks_mut(8) {
+        s = splitmix64(s);
+        for (i, b) in chunk.iter_mut().enumerate() {
+            *b = (s >> (8 * i)) as u8;
+        }
+    }
+}
+
+/// The deterministic initial VM image of `node` — every member derives
+/// the same bytes from the spec, so a byte-exact rebuild is checkable
+/// without shipping golden files around.
+pub fn initial_image(cluster_id: u64, node: NodeId, len: usize) -> Vec<u8> {
+    let mut img = vec![0u8; len];
+    fill_pseudo(
+        splitmix64(cluster_id).wrapping_add(node.index() as u64),
+        &mut img,
+    );
+    img
+}
+
+/// Deterministically mutates a live image after committing `epoch` —
+/// the stand-in for guest dirty-page traffic between rounds.
+fn churn_image(cluster_id: u64, node: NodeId, epoch: u64, image: &mut [u8]) {
+    let seed = splitmix64(cluster_id ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(node.index() as u64);
+    let mut s = seed;
+    for chunk in image.chunks_mut(8) {
+        s = splitmix64(s);
+        for (i, b) in chunk.iter_mut().enumerate() {
+            *b ^= (s >> (8 * i)) as u8;
+        }
+    }
+}
+
+/// Coordinator-side bookkeeping of one open round.
+#[derive(Debug, Clone)]
+struct CoordRound {
+    epoch: u64,
+    started_at: SimTime,
+    sources: Vec<NodeId>,
+    holders: Vec<NodeId>,
+    capture_pending: BTreeSet<NodeId>,
+    fold_pending: BTreeSet<NodeId>,
+    commit_pending: BTreeSet<NodeId>,
+    commit_sent: bool,
+}
+
+/// Participant-side bookkeeping of one open round.
+#[derive(Debug, Clone)]
+struct PartRound {
+    epoch: u64,
+    started_at: SimTime,
+    sources: Vec<NodeId>,
+    holders: Vec<NodeId>,
+    /// Data member: when the deferred capture fires (`None` once done or
+    /// for non-members).
+    capture_due: Option<SimTime>,
+    staged_image: Option<Vec<u8>>,
+    payloads: BTreeMap<NodeId, Vec<u8>>,
+    staged_parity: Option<Vec<u8>>,
+}
+
+/// Coordinator-side bookkeeping of one rebuild in flight.
+#[derive(Debug, Clone)]
+struct Rebuild {
+    victim: NodeId,
+    started_at: SimTime,
+    awaiting: BTreeSet<NodeId>,
+    blocks: Vec<BlockInfo>,
+}
+
+/// Victim-side bookkeeping of a resync in flight.
+#[derive(Debug, Clone)]
+struct ResyncClient {
+    coordinator: NodeId,
+    next_retry: SimTime,
+}
+
+/// One node's replica of the distributed DVDC protocol. See the module
+/// docs for the protocol itself; see `on_message` / `on_tick` for the
+/// driving contract.
+pub struct NodeCore {
+    id: NodeId,
+    spec: ClusterSpec,
+    code: Box<dyn ErasureCode>,
+    /// Peers with an established session (either handshake direction).
+    sessions: BTreeSet<NodeId>,
+    detector: FailureDetector,
+    fences: FenceRegistry,
+    /// Live VM image (data nodes only).
+    live: Option<Vec<u8>>,
+    /// Committed checkpoint block: data image or parity shard.
+    committed: Option<(u64, Vec<u8>)>,
+    /// Rebuilt blocks held on behalf of fenced nodes.
+    custody: BTreeMap<NodeId, (u64, BlockKind, Vec<u8>)>,
+    coord_round: Option<CoordRound>,
+    part_round: Option<PartRound>,
+    rebuild: Option<Rebuild>,
+    /// Victims whose rebuild ended in typed data loss — not retried.
+    lost: BTreeSet<NodeId>,
+    resync: Option<ResyncClient>,
+    /// Highest round epoch ever begun (committed or not) — keeps retry
+    /// epochs strictly increasing across aborts.
+    last_begun: u64,
+    next_heartbeat: SimTime,
+    next_hello: SimTime,
+    ctl_waiting: bool,
+    rounds_committed: u64,
+    data_loss: bool,
+}
+
+impl NodeCore {
+    /// Creates the node's replica. `id` must be one of the spec's `k + m`
+    /// member slots.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the member range or the spec's detector
+    /// config is inconsistent (see [`DetectorConfig::validate`]).
+    pub fn new(id: NodeId, spec: ClusterSpec) -> Self {
+        assert!(
+            id.index() < spec.total(),
+            "{id} outside the {}+{} member range",
+            spec.data_nodes,
+            spec.parity_nodes
+        );
+        spec.detector.validate();
+        let live = if spec.is_data(id) {
+            Some(initial_image(spec.cluster_id, id, spec.image_len))
+        } else {
+            None
+        };
+        let code = spec.code();
+        NodeCore {
+            id,
+            detector: FailureDetector::new(spec.detector, [], SimTime::ZERO),
+            fences: FenceRegistry::new(),
+            live,
+            committed: None,
+            custody: BTreeMap::new(),
+            sessions: BTreeSet::new(),
+            coord_round: None,
+            part_round: None,
+            rebuild: None,
+            lost: BTreeSet::new(),
+            resync: None,
+            last_begun: 0,
+            next_heartbeat: SimTime::ZERO,
+            next_hello: SimTime::ZERO,
+            ctl_waiting: false,
+            rounds_committed: 0,
+            data_loss: false,
+            code,
+            spec,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cluster spec this node was built with.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Last committed epoch and block (image or parity shard), if any.
+    pub fn committed(&self) -> Option<(u64, &[u8])> {
+        self.committed.as_ref().map(|(e, b)| (*e, b.as_slice()))
+    }
+
+    /// The live VM image (data nodes only).
+    pub fn live_image(&self) -> Option<&[u8]> {
+        self.live.as_deref()
+    }
+
+    /// The custody block held for `node`, if any.
+    pub fn custody_block(&self, node: NodeId) -> Option<(u64, &[u8])> {
+        self.custody.get(&node).map(|(e, _, b)| (*e, b.as_slice()))
+    }
+
+    /// True if a session with `peer` is established.
+    pub fn has_session(&self, peer: NodeId) -> bool {
+        self.sessions.contains(&peer)
+    }
+
+    /// True if a rebuild ever ended in typed data loss here.
+    pub fn saw_data_loss(&self) -> bool {
+        self.data_loss
+    }
+
+    /// The node this replica currently believes coordinates: the lowest
+    /// member that is neither fenced nor confirmed dead, among itself and
+    /// its established sessions.
+    pub fn coordinator(&self) -> NodeId {
+        let mut best = self.id;
+        for &p in &self.sessions {
+            if p.index() < best.index()
+                && !self.fences.is_fenced(p)
+                && !self.detector.is_confirmed(p.index())
+            {
+                best = p;
+            }
+        }
+        best
+    }
+
+    fn is_acting_coordinator(&self) -> bool {
+        self.coordinator() == self.id
+    }
+
+    /// Peers (excluding self) that are established, unfenced, and not
+    /// confirmed dead.
+    fn live_peers(&self) -> Vec<NodeId> {
+        self.sessions
+            .iter()
+            .copied()
+            .filter(|p| !self.fences.is_fenced(*p) && !self.detector.is_confirmed(p.index()))
+            .collect()
+    }
+
+    /// The handshake this node opens sessions with; the driver sends it
+    /// on every fresh connection (and [`NodeCore::on_tick`] re-sends it
+    /// periodically to sessionless peers).
+    pub fn hello(&self) -> Msg {
+        Msg::Hello {
+            node: self.id,
+            cluster_id: self.spec.cluster_id,
+            fence_epoch: self.fences.epoch_of(self.id),
+        }
+    }
+
+    /// The control-plane snapshot.
+    pub fn status(&self) -> StatusView {
+        let suspected = self
+            .detector
+            .monitored()
+            .filter(|&n| self.detector.is_suspected(n))
+            .map(NodeId)
+            .collect();
+        let confirmed = self
+            .detector
+            .monitored()
+            .filter(|&n| self.detector.is_confirmed(n))
+            .map(NodeId)
+            .collect();
+        StatusView {
+            node: self.id,
+            coordinator: self.coordinator(),
+            committed_epoch: self.committed.as_ref().map(|(e, _)| *e).unwrap_or(0),
+            fence_epoch: self.fences.epoch_of(self.id),
+            peers_established: self.sessions.iter().copied().collect(),
+            suspected,
+            confirmed,
+            custody: self.custody.keys().copied().collect(),
+            rounds_committed: self.rounds_committed,
+            data_loss: self.data_loss,
+        }
+    }
+
+    /// Drives time-based behaviour: heartbeat sends, detector deadlines,
+    /// deferred captures, round/rebuild timeouts, handshake retries.
+    /// Call at least every heartbeat interval with a monotone `now`.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Action> {
+        let mut out = Vec::new();
+
+        // Heartbeats to every established peer.
+        if now >= self.next_heartbeat {
+            for &p in &self.sessions {
+                out.push(Action::Send {
+                    to: p,
+                    msg: Msg::Heartbeat { node: self.id },
+                });
+            }
+            self.next_heartbeat = now + self.spec.detector.heartbeat_interval;
+        }
+
+        // Handshake (re)tries to sessionless members — covers initial
+        // join, reconnects, and the post-readmit re-join. Fenced members
+        // are skipped: a restarted (diskless, fence-ignorant) instance
+        // would happily answer our Hello with a Welcome and short-circuit
+        // its own Hello → Rejected → resync path. The fenced node must
+        // dial us, get rejected, and resync before any session forms.
+        if now >= self.next_hello {
+            for i in 0..self.spec.total() {
+                let p = NodeId(i);
+                if p != self.id && !self.sessions.contains(&p) && !self.fences.is_fenced(p) {
+                    out.push(Action::Send {
+                        to: p,
+                        msg: self.hello(),
+                    });
+                }
+            }
+            self.next_hello = now + self.spec.detector.heartbeat_interval * 5.0;
+        }
+
+        // Detector deadlines.
+        let monitored: Vec<usize> = self.detector.monitored().collect();
+        for n in monitored {
+            if let Some(verdict) = self.detector.poll(n, now) {
+                self.note_verdict(NodeId(n), verdict, now, &mut out);
+            }
+        }
+
+        // Deferred capture.
+        if let Some(due) = self.part_round.as_ref().and_then(|r| r.capture_due) {
+            if now >= due {
+                self.do_capture(&mut out);
+            }
+        }
+
+        // Round timeout (coordinator).
+        if let Some(r) = &self.coord_round {
+            if now.since(r.started_at) > self.spec.round_timeout {
+                let epoch = r.epoch;
+                self.abort_round(epoch, "round timed out".to_string(), &mut out);
+            }
+        }
+
+        // Stale participant round (coordinator died without aborting).
+        if let Some(r) = &self.part_round {
+            if self.coord_round.is_none() && now.since(r.started_at) > self.spec.round_timeout * 2.0
+            {
+                let epoch = r.epoch;
+                self.part_round = None;
+                out.push(Action::Note(Note::RoundAborted {
+                    epoch,
+                    reason: "participant round expired without commit".to_string(),
+                }));
+            }
+        }
+
+        // Rebuild timeout: decide with the blocks that arrived.
+        if let Some(rb) = &self.rebuild {
+            if !rb.awaiting.is_empty() && now.since(rb.started_at) > self.spec.rebuild_timeout {
+                self.finish_rebuild(now, &mut out);
+            }
+        }
+
+        // Rebuild backlog: a victim confirmed while another rebuild was
+        // in flight (or whose first attempt raced a second failure) is
+        // picked up here once the coordinator is free again.
+        if self.rebuild.is_none() && self.is_acting_coordinator() {
+            let next = (0..self.spec.total()).map(NodeId).find(|n| {
+                *n != self.id
+                    && self.fences.is_fenced(*n)
+                    && self.detector.is_confirmed(n.index())
+                    && !self.custody.contains_key(n)
+                    && !self.lost.contains(n)
+            });
+            if let Some(victim) = next {
+                self.start_rebuild(victim, now, &mut out);
+            }
+        }
+
+        // Resync retry.
+        if let Some(rs) = &self.resync {
+            if now >= rs.next_retry {
+                let coord = rs.coordinator;
+                out.push(Action::Send {
+                    to: coord,
+                    msg: Msg::ResyncReq { node: self.id },
+                });
+                if let Some(rs) = &mut self.resync {
+                    rs.next_retry = now + self.spec.detector.heartbeat_interval * 10.0;
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Consumes one message. `from` identifies the sender ([`CTL`] for
+    /// control-plane requests); replies are emitted as [`Action::Send`]s.
+    pub fn on_message(&mut self, from: NodeId, msg: Msg, now: SimTime) -> Vec<Action> {
+        let mut out = Vec::new();
+        match msg {
+            Msg::Hello {
+                node,
+                cluster_id,
+                fence_epoch,
+            } => {
+                if cluster_id != self.spec.cluster_id || node.index() >= self.spec.total() {
+                    return out;
+                }
+                let required = self.fences.epoch_of(node);
+                if self.fences.is_fenced(node) || fence_epoch < required {
+                    out.push(Action::Send {
+                        to: node,
+                        msg: Msg::Rejected {
+                            node,
+                            required_epoch: required,
+                            coordinator: self.coordinator(),
+                        },
+                    });
+                    return out;
+                }
+                let fresh = self.sessions.insert(node);
+                self.detector.admit(node.index(), now);
+                out.push(Action::Send {
+                    to: node,
+                    msg: Msg::Welcome {
+                        node: self.id,
+                        fence_epoch: self.fences.epoch_of(self.id),
+                    },
+                });
+                if fresh {
+                    out.push(Action::Note(Note::SessionEstablished { peer: node }));
+                }
+            }
+            Msg::Welcome { node, .. } => {
+                // A Welcome from a node we currently hold fenced cannot
+                // open a session: the sender is a restarted instance that
+                // has not resynced yet (or the message raced the fence).
+                // Ignoring it forces the peer through Hello → Rejected.
+                if node.index() >= self.spec.total() || self.fences.is_fenced(node) {
+                    return out;
+                }
+                let fresh = self.sessions.insert(node);
+                self.detector.admit(node.index(), now);
+                if fresh {
+                    out.push(Action::Note(Note::SessionEstablished { peer: node }));
+                }
+            }
+            Msg::Rejected {
+                node,
+                required_epoch,
+                coordinator,
+            } => {
+                if node != self.id {
+                    return out;
+                }
+                out.push(Action::Note(Note::HelloRejected {
+                    peer: from,
+                    required_epoch,
+                }));
+                // We are fenced and (being freshly restarted) hold no
+                // state: ask the coordinator to resync us. Idempotent —
+                // several peers may reject us concurrently.
+                if self.resync.is_none() && self.committed.is_none() {
+                    self.resync = Some(ResyncClient {
+                        coordinator,
+                        next_retry: now + self.spec.detector.heartbeat_interval * 10.0,
+                    });
+                    out.push(Action::Send {
+                        to: coordinator,
+                        msg: Msg::ResyncReq { node: self.id },
+                    });
+                }
+            }
+            Msg::Heartbeat { node } => {
+                if let Some(verdict) = self.detector.heartbeat(node.index(), now) {
+                    self.note_verdict(node, verdict, now, &mut out);
+                }
+            }
+            Msg::RoundBegin {
+                epoch,
+                sources,
+                holders,
+            } => self.on_round_begin(epoch, sources, holders, now, &mut out),
+            Msg::Payload {
+                epoch,
+                source,
+                fence_epoch,
+                data,
+            } => self.on_payload(from, epoch, source, fence_epoch, data, &mut out),
+            Msg::CaptureAck { epoch, node } => {
+                if let Some(r) = &mut self.coord_round {
+                    if r.epoch == epoch {
+                        r.capture_pending.remove(&node);
+                    }
+                }
+                self.maybe_commit(&mut out);
+            }
+            Msg::FoldAck { epoch, node } => {
+                if let Some(r) = &mut self.coord_round {
+                    if r.epoch == epoch {
+                        r.fold_pending.remove(&node);
+                    }
+                }
+                self.maybe_commit(&mut out);
+            }
+            Msg::Commit { epoch } => self.on_commit(epoch, &mut out),
+            Msg::CommitAck { epoch, node } => {
+                let mut done = false;
+                if let Some(r) = &mut self.coord_round {
+                    if r.epoch == epoch && r.commit_sent {
+                        r.commit_pending.remove(&node);
+                        done = r.commit_pending.is_empty();
+                    }
+                }
+                if done {
+                    self.coord_round = None;
+                    out.push(Action::Note(Note::RoundCommitted { epoch }));
+                    if self.ctl_waiting {
+                        self.ctl_waiting = false;
+                        out.push(Action::Send {
+                            to: CTL,
+                            msg: Msg::CheckpointDone { epoch },
+                        });
+                    }
+                }
+            }
+            Msg::AbortRound { epoch, reason } => {
+                if self.part_round.as_ref().is_some_and(|r| r.epoch == epoch) {
+                    self.part_round = None;
+                    out.push(Action::Note(Note::RoundAborted { epoch, reason }));
+                }
+            }
+            Msg::Fence { node, epoch } => {
+                self.fences.advance_to(node, epoch);
+                self.sessions.remove(&node);
+                out.push(Action::Note(Note::Fenced { node, epoch }));
+            }
+            Msg::FetchReq { victim } => {
+                let mut blocks = Vec::new();
+                if let Some((e, b)) = &self.committed {
+                    blocks.push(BlockInfo {
+                        holder: self.id,
+                        kind: if self.spec.is_data(self.id) {
+                            BlockKind::Data
+                        } else {
+                            BlockKind::Parity
+                        },
+                        epoch: *e,
+                        data: b.clone(),
+                    });
+                }
+                for (&n, (e, k, b)) in &self.custody {
+                    if n != victim {
+                        blocks.push(BlockInfo {
+                            holder: n,
+                            kind: *k,
+                            epoch: *e,
+                            data: b.clone(),
+                        });
+                    }
+                }
+                out.push(Action::Send {
+                    to: from,
+                    msg: Msg::FetchBlocks {
+                        node: self.id,
+                        fence_epoch: self.fences.epoch_of(self.id),
+                        blocks,
+                    },
+                });
+            }
+            Msg::FetchBlocks {
+                node,
+                fence_epoch,
+                blocks,
+            } => {
+                let required = self.fences.epoch_of(node);
+                if self.fences.is_fenced(node) || fence_epoch < required {
+                    out.push(Action::Note(Note::StaleRejected {
+                        from: node,
+                        held_epoch: fence_epoch,
+                        current_epoch: required,
+                    }));
+                    return out;
+                }
+                let mut complete = false;
+                if let Some(rb) = &mut self.rebuild {
+                    if rb.awaiting.remove(&node) {
+                        rb.blocks.extend(blocks);
+                        complete = rb.awaiting.is_empty();
+                    }
+                }
+                if complete {
+                    self.finish_rebuild(now, &mut out);
+                }
+            }
+            Msg::ResyncReq { node } => self.on_resync_req(node, &mut out),
+            Msg::ResyncState {
+                node,
+                fence_epoch,
+                committed_epoch,
+                image,
+            } => {
+                if node != self.id || self.resync.is_none() {
+                    return out;
+                }
+                self.resync = None;
+                // Adopt the post-fence epoch and the rebuilt state.
+                self.fences.readmit_at(self.id, fence_epoch);
+                if let Some(img) = image {
+                    if self.spec.is_data(self.id) {
+                        self.live = Some(img.clone());
+                    }
+                    self.committed = Some((committed_epoch, img));
+                } else if self.spec.is_data(self.id) {
+                    // A data resync always ships bytes; an empty one means
+                    // nothing was ever committed — restart from the seed.
+                    self.live = Some(initial_image(
+                        self.spec.cluster_id,
+                        self.id,
+                        self.spec.image_len,
+                    ));
+                }
+                out.push(Action::Send {
+                    to: from,
+                    msg: Msg::ResyncDone {
+                        node: self.id,
+                        fence_epoch,
+                    },
+                });
+                // Re-open sessions now; peers accept once the coordinator's
+                // Readmit broadcast lands (retried by on_tick otherwise).
+                self.next_hello = now;
+            }
+            Msg::ResyncDone { node, fence_epoch } => {
+                if !self.is_acting_coordinator() || !self.fences.is_fenced(node) {
+                    return out;
+                }
+                if fence_epoch != self.fences.epoch_of(node) {
+                    return out;
+                }
+                let rollback_epoch = self.committed.as_ref().map(|(e, _)| *e).unwrap_or(0);
+                self.fences.readmit_at(node, fence_epoch);
+                self.custody.remove(&node);
+                self.lost.remove(&node);
+                self.detector.admit(node.index(), now);
+                for &p in self.sessions.clone().iter() {
+                    out.push(Action::Send {
+                        to: p,
+                        msg: Msg::Readmit {
+                            node,
+                            fence_epoch,
+                            rollback_epoch,
+                        },
+                    });
+                }
+                self.apply_rollback();
+                out.push(Action::Note(Note::Readmitted {
+                    node,
+                    epoch: fence_epoch,
+                }));
+            }
+            Msg::Readmit {
+                node, fence_epoch, ..
+            } => {
+                self.fences.readmit_at(node, fence_epoch);
+                self.lost.remove(&node);
+                if node != self.id {
+                    self.detector.admit(node.index(), now);
+                }
+                self.apply_rollback();
+                out.push(Action::Note(Note::Readmitted {
+                    node,
+                    epoch: fence_epoch,
+                }));
+            }
+            Msg::StatusReq => {
+                out.push(Action::Send {
+                    to: from,
+                    msg: Msg::StatusResp(self.status()),
+                });
+            }
+            Msg::StatusResp(_)
+            | Msg::CheckpointDone { .. }
+            | Msg::CheckpointFailed { .. }
+            | Msg::DigestResp { .. }
+            | Msg::KillQueryResp { .. } => {
+                // Control-plane replies terminate at the ctl client; a
+                // daemon receiving one ignores it.
+            }
+            Msg::CheckpointReq => {
+                self.ctl_waiting = true;
+                if let Err(reason) = self.try_start_round(now, &mut out) {
+                    self.ctl_waiting = false;
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Msg::CheckpointFailed { reason },
+                    });
+                }
+            }
+            Msg::DigestReq { node } => {
+                let (epoch, digest, source) = if node == self.id {
+                    match &self.committed {
+                        Some((e, b)) => (*e, fnv64(b), DigestSource::Committed),
+                        None => (0, 0, DigestSource::Missing),
+                    }
+                } else {
+                    match self.custody.get(&node) {
+                        Some((e, _, b)) => (*e, fnv64(b), DigestSource::Custody),
+                        None => (0, 0, DigestSource::Missing),
+                    }
+                };
+                out.push(Action::Send {
+                    to: from,
+                    msg: Msg::DigestResp {
+                        node,
+                        epoch,
+                        digest,
+                        source,
+                    },
+                });
+            }
+            Msg::KillQueryReq => {
+                let status = self.status();
+                out.push(Action::Send {
+                    to: from,
+                    msg: Msg::KillQueryResp {
+                        confirmed: status.confirmed,
+                        suspected: status.suspected,
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Emits a verdict note and, on confirmation by the acting
+    /// coordinator, fences the victim and starts the rebuild.
+    fn note_verdict(
+        &mut self,
+        node: NodeId,
+        verdict: Verdict,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        out.push(Action::Note(Note::PeerVerdict { node, verdict }));
+        if verdict != Verdict::Confirmed {
+            return;
+        }
+        self.sessions.remove(&node);
+        // Only the acting coordinator (recomputed *after* excluding the
+        // victim) fences and rebuilds; everyone else waits for the
+        // broadcast so exactly one epoch bump wins.
+        if !self.is_acting_coordinator() {
+            return;
+        }
+        self.fences.fence(node);
+        let epoch = self.fences.epoch_of(node);
+        out.push(Action::Note(Note::Fenced { node, epoch }));
+        for &p in self.live_peers().iter() {
+            out.push(Action::Send {
+                to: p,
+                msg: Msg::Fence { node, epoch },
+            });
+        }
+        // A round the victim participated in can never finish — abort it.
+        if let Some(r) = &self.coord_round {
+            if r.sources.contains(&node) || r.holders.contains(&node) {
+                let e = r.epoch;
+                self.abort_round(e, format!("{node} confirmed failed mid-round"), out);
+            }
+        }
+        self.start_rebuild(node, now, out);
+    }
+
+    fn start_rebuild(&mut self, victim: NodeId, now: SimTime, out: &mut Vec<Action>) {
+        if self.rebuild.is_some() || self.custody.contains_key(&victim) {
+            return;
+        }
+        out.push(Action::Note(Note::RebuildStarted { victim }));
+        let peers = self.live_peers();
+        let mut blocks = Vec::new();
+        if let Some((e, b)) = &self.committed {
+            blocks.push(BlockInfo {
+                holder: self.id,
+                kind: if self.spec.is_data(self.id) {
+                    BlockKind::Data
+                } else {
+                    BlockKind::Parity
+                },
+                epoch: *e,
+                data: b.clone(),
+            });
+        }
+        for (&n, (e, k, b)) in &self.custody {
+            blocks.push(BlockInfo {
+                holder: n,
+                kind: *k,
+                epoch: *e,
+                data: b.clone(),
+            });
+        }
+        self.rebuild = Some(Rebuild {
+            victim,
+            started_at: now,
+            awaiting: peers.iter().copied().collect(),
+            blocks,
+        });
+        for &p in &peers {
+            out.push(Action::Send {
+                to: p,
+                msg: Msg::FetchReq { victim },
+            });
+        }
+        if peers.is_empty() {
+            self.finish_rebuild(now, out);
+        }
+    }
+
+    /// Decodes the victim's block from the collected survivor blocks at
+    /// the newest epoch with enough coverage. Failure is typed
+    /// ([`Note::DataLoss`]), never a panic.
+    fn finish_rebuild(&mut self, _now: SimTime, out: &mut Vec<Action>) {
+        let Some(rb) = self.rebuild.take() else {
+            return;
+        };
+        let victim = rb.victim;
+        let k = self.spec.data_nodes;
+        let total = self.spec.total();
+
+        // Newest epoch with >= k distinct slots present.
+        let mut by_epoch: BTreeMap<u64, BTreeMap<usize, &BlockInfo>> = BTreeMap::new();
+        for b in &rb.blocks {
+            if b.holder.index() < total && b.holder != victim && b.data.len() == self.spec.image_len
+            {
+                by_epoch
+                    .entry(b.epoch)
+                    .or_default()
+                    .insert(b.holder.index(), b);
+            }
+        }
+        let chosen = by_epoch
+            .iter()
+            .rev()
+            .find(|(_, slots)| slots.len() >= k)
+            .map(|(e, slots)| (*e, slots.clone()));
+        let Some((epoch, slots)) = chosen else {
+            self.data_loss = true;
+            self.lost.insert(victim);
+            out.push(Action::Note(Note::DataLoss {
+                victim,
+                reason: format!(
+                    "no committed epoch has the {k} blocks needed (best coverage: {})",
+                    by_epoch.values().map(|s| s.len()).max().unwrap_or(0)
+                ),
+            }));
+            return;
+        };
+
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+        for (idx, b) in &slots {
+            shards[*idx] = Some(b.data.clone());
+        }
+        if let Err(e) = self.code.reconstruct(&mut shards) {
+            self.data_loss = true;
+            self.lost.insert(victim);
+            out.push(Action::Note(Note::DataLoss {
+                victim,
+                reason: format!("decode at epoch {epoch} failed: {e}"),
+            }));
+            return;
+        }
+        let Some(block) = shards[victim.index()].take() else {
+            self.data_loss = true;
+            self.lost.insert(victim);
+            out.push(Action::Note(Note::DataLoss {
+                victim,
+                reason: format!("decode at epoch {epoch} left the victim slot empty"),
+            }));
+            return;
+        };
+        let digest = fnv64(&block);
+        let kind = if self.spec.is_data(victim) {
+            BlockKind::Data
+        } else {
+            BlockKind::Parity
+        };
+        self.custody.insert(victim, (epoch, kind, block));
+        out.push(Action::Note(Note::RebuildCompleted {
+            victim,
+            epoch,
+            digest,
+        }));
+    }
+
+    fn on_resync_req(&mut self, node: NodeId, out: &mut Vec<Action>) {
+        if !self.is_acting_coordinator() || !self.fences.is_fenced(node) {
+            return;
+        }
+        // Defer while a round or rebuild is open — the victim retries.
+        if self.coord_round.is_some() || self.rebuild.is_some() {
+            return;
+        }
+        let fence_epoch = self.fences.epoch_of(node);
+        let committed_epoch = self.committed.as_ref().map(|(e, _)| *e).unwrap_or(0);
+        let image = self
+            .custody
+            .get(&node)
+            .filter(|(e, _, _)| !self.spec.is_parity(node) || *e == committed_epoch)
+            .map(|(_, _, b)| b.clone());
+        out.push(Action::Send {
+            to: node,
+            msg: Msg::ResyncState {
+                node,
+                fence_epoch,
+                committed_epoch,
+                image,
+            },
+        });
+        out.push(Action::Note(Note::ResyncServed { peer: node }));
+    }
+
+    /// Starts a round if this node coordinates and the group is whole.
+    /// Returns the typed reason when it cannot.
+    fn try_start_round(&mut self, now: SimTime, out: &mut Vec<Action>) -> Result<(), String> {
+        if !self.is_acting_coordinator() {
+            return Err(format!(
+                "{} is not the coordinator (try {})",
+                self.id,
+                self.coordinator()
+            ));
+        }
+        if self.coord_round.is_some() {
+            return Err("a round is already open".to_string());
+        }
+        if self.rebuild.is_some() {
+            return Err("a rebuild is in flight".to_string());
+        }
+        let live = self.live_peers();
+        // Every data slot must be covered by a live member or custody.
+        let mut sources = Vec::new();
+        for i in 0..self.spec.data_nodes {
+            let n = NodeId(i);
+            if n == self.id || live.contains(&n) || self.custody.contains_key(&n) {
+                sources.push(n);
+            } else {
+                return Err(format!("{n} is down and not yet rebuilt into custody"));
+            }
+        }
+        let holders: Vec<NodeId> = (self.spec.data_nodes..self.spec.total())
+            .map(NodeId)
+            .filter(|h| *h == self.id || live.contains(h))
+            .collect();
+        if holders.is_empty() {
+            return Err("no live parity holder".to_string());
+        }
+        let epoch = self
+            .last_begun
+            .max(self.committed.as_ref().map(|(e, _)| *e).unwrap_or(0))
+            + 1;
+        self.last_begun = epoch;
+        self.coord_round = Some(CoordRound {
+            epoch,
+            started_at: now,
+            sources: sources.clone(),
+            holders: holders.clone(),
+            capture_pending: sources
+                .iter()
+                .copied()
+                .filter(|s| !self.custody.contains_key(s))
+                .collect(),
+            fold_pending: holders.iter().copied().collect(),
+            commit_pending: BTreeSet::new(),
+            commit_sent: false,
+        });
+        out.push(Action::Note(Note::RoundStarted { epoch }));
+        for &p in &live {
+            out.push(Action::Send {
+                to: p,
+                msg: Msg::RoundBegin {
+                    epoch,
+                    sources: sources.clone(),
+                    holders: holders.clone(),
+                },
+            });
+        }
+        // The coordinator participates too.
+        self.on_round_begin(epoch, sources, holders, now, out);
+        Ok(())
+    }
+
+    fn on_round_begin(
+        &mut self,
+        epoch: u64,
+        sources: Vec<NodeId>,
+        holders: Vec<NodeId>,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        if let Some(r) = &self.part_round {
+            if r.epoch >= epoch {
+                return; // stale replay
+            }
+            out.push(Action::Note(Note::RoundAborted {
+                epoch: r.epoch,
+                reason: format!("superseded by round {epoch}"),
+            }));
+        }
+        let i_capture = self.spec.is_data(self.id) && sources.contains(&self.id);
+        self.part_round = Some(PartRound {
+            epoch,
+            started_at: now,
+            sources,
+            holders,
+            capture_due: i_capture.then(|| now + self.spec.capture_delay),
+            staged_image: None,
+            payloads: BTreeMap::new(),
+            staged_parity: None,
+        });
+        // A zero capture delay fires immediately.
+        if let Some(due) = self.part_round.as_ref().and_then(|r| r.capture_due) {
+            if now >= due {
+                self.do_capture(out);
+            }
+        }
+    }
+
+    /// Performs the deferred capture: snapshot the live image, ship it to
+    /// every holder, ack the coordinator. The coordinator additionally
+    /// ships custody orphans' frozen blocks so the encode always spans
+    /// all `k` data slots.
+    fn do_capture(&mut self, out: &mut Vec<Action>) {
+        let Some(r) = &mut self.part_round else {
+            return;
+        };
+        if r.capture_due.take().is_none() {
+            return;
+        }
+        let epoch = r.epoch;
+        let holders = r.holders.clone();
+        let sources = r.sources.clone();
+        let Some(img) = self.live.clone() else {
+            return;
+        };
+        if let Some(r) = &mut self.part_round {
+            r.staged_image = Some(img.clone());
+        }
+        let my_epoch = self.fences.epoch_of(self.id);
+        let coordinator = self.coordinator();
+        for &h in &holders {
+            let payload = Msg::Payload {
+                epoch,
+                source: self.id,
+                fence_epoch: my_epoch,
+                data: img.clone(),
+            };
+            if h == self.id {
+                let acts = self.on_message(self.id, payload, SimTime::ZERO);
+                out.extend(acts);
+            } else {
+                out.push(Action::Send {
+                    to: h,
+                    msg: payload,
+                });
+            }
+        }
+        let ack = Msg::CaptureAck {
+            epoch,
+            node: self.id,
+        };
+        if coordinator == self.id {
+            if let Some(cr) = &mut self.coord_round {
+                if cr.epoch == epoch {
+                    cr.capture_pending.remove(&self.id);
+                }
+            }
+        } else {
+            out.push(Action::Send {
+                to: coordinator,
+                msg: ack,
+            });
+        }
+        // Coordinator ships custody orphans' frozen committed blocks.
+        if self.is_acting_coordinator() {
+            for &s in &sources {
+                let Some((_, BlockKind::Data, bytes)) =
+                    self.custody.get(&s).map(|(e, k, b)| (*e, *k, b.clone()))
+                else {
+                    continue;
+                };
+                for &h in &holders {
+                    let payload = Msg::Payload {
+                        epoch,
+                        source: s,
+                        fence_epoch: my_epoch,
+                        data: bytes.clone(),
+                    };
+                    if h == self.id {
+                        let acts = self.on_message(self.id, payload, SimTime::ZERO);
+                        out.extend(acts);
+                    } else {
+                        out.push(Action::Send {
+                            to: h,
+                            msg: payload,
+                        });
+                    }
+                }
+            }
+        }
+        self.maybe_commit(out);
+    }
+
+    fn on_payload(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        source: NodeId,
+        fence_epoch: u64,
+        data: Vec<u8>,
+        out: &mut Vec<Action>,
+    ) {
+        if !self.spec.is_parity(self.id) {
+            return;
+        }
+        // Epoch-fenced data plane: a stale sender's blocks never land.
+        let required = self.fences.epoch_of(from);
+        if from.index() < self.spec.total()
+            && (self.fences.is_fenced(from) || fence_epoch < required)
+        {
+            out.push(Action::Note(Note::StaleRejected {
+                from,
+                held_epoch: fence_epoch,
+                current_epoch: required,
+            }));
+            return;
+        }
+        if data.len() != self.spec.image_len {
+            out.push(Action::Note(Note::PayloadDropped {
+                from,
+                reason: format!(
+                    "block of {} bytes, expected {}",
+                    data.len(),
+                    self.spec.image_len
+                ),
+            }));
+            return;
+        }
+        let Some(r) = &mut self.part_round else {
+            return;
+        };
+        if r.epoch != epoch || !r.sources.contains(&source) {
+            return;
+        }
+        r.payloads.insert(source, data);
+        if r.payloads.len() < self.spec.data_nodes {
+            return;
+        }
+        // All k blocks in: fold our shard.
+        let epoch = r.epoch;
+        let blocks: Vec<Vec<u8>> = (0..self.spec.data_nodes)
+            .map(|i| r.payloads.get(&NodeId(i)).cloned())
+            .collect::<Option<Vec<_>>>()
+            .unwrap_or_default();
+        if blocks.len() != self.spec.data_nodes {
+            return; // sources didn't cover every slot — wait for more
+        }
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let parity = self.code.encode(&refs);
+        let j = self.id.index() - self.spec.data_nodes;
+        let Some(shard) = parity.into_iter().nth(j) else {
+            return;
+        };
+        if let Some(r) = &mut self.part_round {
+            r.staged_parity = Some(shard);
+        }
+        let coordinator = self.coordinator();
+        if coordinator == self.id {
+            if let Some(cr) = &mut self.coord_round {
+                if cr.epoch == epoch {
+                    cr.fold_pending.remove(&self.id);
+                }
+            }
+        } else {
+            out.push(Action::Send {
+                to: coordinator,
+                msg: Msg::FoldAck {
+                    epoch,
+                    node: self.id,
+                },
+            });
+        }
+        self.maybe_commit(out);
+    }
+
+    /// Coordinator: broadcast Commit once every capture and fold acked.
+    fn maybe_commit(&mut self, out: &mut Vec<Action>) {
+        let ready = matches!(
+            &self.coord_round,
+            Some(r) if !r.commit_sent
+                && r.capture_pending.is_empty()
+                && r.fold_pending.is_empty()
+        );
+        if !ready {
+            return;
+        }
+        let (epoch, participants) = {
+            let r = self
+                .coord_round
+                .as_mut()
+                .expect("checked Some above; no intervening mutation");
+            r.commit_sent = true;
+            let mut participants: BTreeSet<NodeId> = r
+                .sources
+                .iter()
+                .chain(r.holders.iter())
+                .copied()
+                .filter(|n| !self.custody.contains_key(n))
+                .collect();
+            participants.remove(&self.id);
+            r.commit_pending = participants.clone();
+            (r.epoch, participants)
+        };
+        for &p in &participants {
+            out.push(Action::Send {
+                to: p,
+                msg: Msg::Commit { epoch },
+            });
+        }
+        // Commit locally (no self-ack needed).
+        self.on_commit(epoch, out);
+        let done = self
+            .coord_round
+            .as_ref()
+            .is_some_and(|r| r.commit_pending.is_empty());
+        if done {
+            self.coord_round = None;
+            out.push(Action::Note(Note::RoundCommitted { epoch }));
+            if self.ctl_waiting {
+                self.ctl_waiting = false;
+                out.push(Action::Send {
+                    to: CTL,
+                    msg: Msg::CheckpointDone { epoch },
+                });
+            }
+        }
+    }
+
+    /// Participant: promote staged state to committed, churn the live
+    /// image, ack the coordinator.
+    fn on_commit(&mut self, epoch: u64, out: &mut Vec<Action>) {
+        let Some(r) = &mut self.part_round else {
+            return;
+        };
+        if r.epoch != epoch {
+            return;
+        }
+        let staged = r.staged_image.take().or_else(|| r.staged_parity.take());
+        self.part_round = None;
+        if let Some(block) = staged {
+            self.committed = Some((epoch, block));
+        }
+        if let (Some(live), true) = (&mut self.live, self.spec.is_data(self.id)) {
+            churn_image(self.spec.cluster_id, self.id, epoch, live);
+        }
+        // Custody orphans' blocks re-committed at this epoch (same bytes).
+        for (e, _, _) in self.custody.values_mut() {
+            *e = epoch;
+        }
+        self.rounds_committed += 1;
+        let coordinator = self.coordinator();
+        if coordinator != self.id {
+            out.push(Action::Send {
+                to: coordinator,
+                msg: Msg::CommitAck {
+                    epoch,
+                    node: self.id,
+                },
+            });
+        }
+    }
+
+    fn abort_round(&mut self, epoch: u64, reason: String, out: &mut Vec<Action>) {
+        let Some(r) = self.coord_round.take() else {
+            return;
+        };
+        if r.epoch != epoch {
+            self.coord_round = Some(r);
+            return;
+        }
+        for &p in self.live_peers().iter() {
+            out.push(Action::Send {
+                to: p,
+                msg: Msg::AbortRound {
+                    epoch,
+                    reason: reason.clone(),
+                },
+            });
+        }
+        if self.part_round.as_ref().is_some_and(|pr| pr.epoch == epoch) {
+            self.part_round = None;
+        }
+        out.push(Action::Note(Note::RoundAborted {
+            epoch,
+            reason: reason.clone(),
+        }));
+        if self.ctl_waiting {
+            self.ctl_waiting = false;
+            out.push(Action::Send {
+                to: CTL,
+                msg: Msg::CheckpointFailed { reason },
+            });
+        }
+    }
+
+    /// The paper's cluster-wide rollback on readmission: every data node
+    /// resumes from its committed image so the whole group restarts from
+    /// one consistent round.
+    fn apply_rollback(&mut self) {
+        if !self.spec.is_data(self.id) {
+            return;
+        }
+        if let Some((_, img)) = &self.committed {
+            self.live = Some(img.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec {
+            cluster_id: 7,
+            data_nodes: 3,
+            parity_nodes: 1,
+            image_len: 64,
+            ..ClusterSpec::default()
+        }
+    }
+
+    #[test]
+    fn initial_images_are_deterministic_and_distinct() {
+        let a = initial_image(7, NodeId(0), 64);
+        let b = initial_image(7, NodeId(0), 64);
+        let c = initial_image(7, NodeId(1), 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(initial_image(8, NodeId(0), 64), a);
+    }
+
+    #[test]
+    fn churn_changes_bytes_deterministically() {
+        let mut a = initial_image(7, NodeId(0), 64);
+        let orig = a.clone();
+        churn_image(7, NodeId(0), 1, &mut a);
+        assert_ne!(a, orig);
+        let mut b = orig.clone();
+        churn_image(7, NodeId(0), 1, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hello_handshake_establishes_sessions_both_ways() {
+        let s = spec();
+        let mut a = NodeCore::new(NodeId(0), s.clone());
+        let mut b = NodeCore::new(NodeId(1), s);
+        let now = SimTime::ZERO;
+        let out = b.on_message(NodeId(0), a.hello(), now);
+        let welcome = out
+            .iter()
+            .find_map(|act| match act {
+                Action::Send { to, msg } if *to == NodeId(0) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("b must welcome a");
+        assert!(b.has_session(NodeId(0)));
+        a.on_message(NodeId(1), welcome, now);
+        assert!(a.has_session(NodeId(1)));
+    }
+
+    #[test]
+    fn fenced_hello_is_rejected_with_required_epoch() {
+        let s = spec();
+        let mut b = NodeCore::new(NodeId(1), s.clone());
+        // b learns node0 was fenced at epoch 2.
+        b.on_message(
+            NodeId(2),
+            Msg::Fence {
+                node: NodeId(0),
+                epoch: 2,
+            },
+            SimTime::ZERO,
+        );
+        let a = NodeCore::new(NodeId(0), s);
+        let out = b.on_message(NodeId(0), a.hello(), SimTime::ZERO);
+        match &out[0] {
+            Action::Send {
+                msg: Msg::Rejected { required_epoch, .. },
+                ..
+            } => assert_eq!(*required_epoch, 2),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(!b.has_session(NodeId(0)));
+    }
+
+    #[test]
+    fn stale_payload_is_dropped_with_note() {
+        let s = spec();
+        let mut p = NodeCore::new(NodeId(3), s); // parity node
+        p.on_message(
+            NodeId(1),
+            Msg::Fence {
+                node: NodeId(0),
+                epoch: 1,
+            },
+            SimTime::ZERO,
+        );
+        let out = p.on_message(
+            NodeId(0),
+            Msg::Payload {
+                epoch: 1,
+                source: NodeId(0),
+                fence_epoch: 0,
+                data: vec![0; 64],
+            },
+            SimTime::ZERO,
+        );
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Note(Note::StaleRejected { from, .. }) if *from == NodeId(0)
+        )));
+    }
+
+    #[test]
+    fn status_and_digest_roundtrip() {
+        let s = spec();
+        let mut n = NodeCore::new(NodeId(0), s);
+        let out = n.on_message(CTL, Msg::StatusReq, SimTime::ZERO);
+        assert!(matches!(
+            &out[0],
+            Action::Send { to, msg: Msg::StatusResp(v) }
+                if *to == CTL && v.node == NodeId(0) && v.committed_epoch == 0
+        ));
+        let out = n.on_message(CTL, Msg::DigestReq { node: NodeId(0) }, SimTime::ZERO);
+        assert!(matches!(
+            &out[0],
+            Action::Send {
+                msg: Msg::DigestResp {
+                    source: DigestSource::Missing,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn checkpoint_req_without_peers_fails_typed() {
+        let s = spec();
+        let mut n = NodeCore::new(NodeId(0), s);
+        let out = n.on_message(CTL, Msg::CheckpointReq, SimTime::ZERO);
+        let reason = out
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    msg: Msg::CheckpointFailed { reason },
+                    ..
+                } => Some(reason.clone()),
+                _ => None,
+            })
+            .expect("must fail typed");
+        assert!(reason.contains("down"), "got: {reason}");
+    }
+
+    #[test]
+    fn payload_len_classifies_bulk_messages() {
+        assert_eq!(
+            Msg::Payload {
+                epoch: 1,
+                source: NodeId(0),
+                fence_epoch: 0,
+                data: vec![0; 10],
+            }
+            .payload_len(),
+            Some(10)
+        );
+        assert_eq!(Msg::Heartbeat { node: NodeId(0) }.payload_len(), None);
+        assert_eq!(
+            Msg::FetchBlocks {
+                node: NodeId(0),
+                fence_epoch: 0,
+                blocks: vec![
+                    BlockInfo {
+                        holder: NodeId(0),
+                        kind: BlockKind::Data,
+                        epoch: 1,
+                        data: vec![0; 4],
+                    },
+                    BlockInfo {
+                        holder: NodeId(1),
+                        kind: BlockKind::Data,
+                        epoch: 1,
+                        data: vec![0; 6],
+                    },
+                ],
+            }
+            .payload_len(),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+}

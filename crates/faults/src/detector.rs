@@ -58,6 +58,17 @@ impl Default for DetectorConfig {
 }
 
 impl DetectorConfig {
+    /// Builds a config from millisecond knobs — the form the real
+    /// deployment (`dvdc-node` flags) speaks, where sim time is mapped
+    /// onto the wall clock.
+    pub fn from_millis(heartbeat_interval: f64, timeout: f64, confirm_grace: f64) -> Self {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(heartbeat_interval),
+            timeout: Duration::from_millis(timeout),
+            confirm_grace: Duration::from_millis(confirm_grace),
+        }
+    }
+
     /// Worst-case span from a node going silent to confirmation, assuming
     /// the last heartbeat landed just before the fault: one full interval
     /// of undetectable silence, then the timeout, then the grace.

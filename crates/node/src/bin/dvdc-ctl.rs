@@ -1,0 +1,185 @@
+//! Control CLI for a running `dvdc-node` cluster.
+//!
+//! ```text
+//! dvdc-ctl <HOST:PORT> status
+//! dvdc-ctl <HOST:PORT> checkpoint
+//! dvdc-ctl <HOST:PORT> digest <NODE>
+//! dvdc-ctl <HOST:PORT> kill-query
+//! dvdc-ctl <HOST:PORT> wait-live <PEERS> <TIMEOUT_SECS>
+//! dvdc-ctl <HOST:PORT> wait-epoch <EPOCH> <TIMEOUT_SECS>
+//! ```
+//!
+//! Exit codes: 0 success, 1 protocol failure or wait timeout, 2 usage.
+//! Every failure path prints a typed reason — the CI smoke job greps
+//! this output and trusts the codes.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration as StdDuration, Instant};
+
+use dvdc::protocol::node_core::{DigestSource, Msg};
+use dvdc_node::{ctl_request, ctl_status, format_status};
+use dvdc_vcluster::ids::NodeId;
+
+const RPC_TIMEOUT: StdDuration = StdDuration::from_secs(30);
+const POLL: StdDuration = StdDuration::from_millis(100);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CtlError::Usage(msg)) => {
+            eprintln!("dvdc-ctl: {msg}");
+            eprintln!(
+                "usage: dvdc-ctl <HOST:PORT> status | checkpoint | digest <NODE> | \
+                 kill-query | wait-live <PEERS> <TIMEOUT_SECS> | wait-epoch <EPOCH> <TIMEOUT_SECS>"
+            );
+            ExitCode::from(2)
+        }
+        Err(CtlError::Failed(msg)) => {
+            eprintln!("dvdc-ctl: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+enum CtlError {
+    Usage(String),
+    Failed(String),
+}
+
+fn usage(msg: impl Into<String>) -> CtlError {
+    CtlError::Usage(msg.into())
+}
+
+fn failed(msg: impl Into<String>) -> CtlError {
+    CtlError::Failed(msg.into())
+}
+
+fn run(args: &[String]) -> Result<(), CtlError> {
+    let addr: SocketAddr = args
+        .first()
+        .ok_or_else(|| usage("missing daemon address"))?
+        .parse()
+        .map_err(|e| usage(format!("bad address: {e}")))?;
+    let cmd = args.get(1).ok_or_else(|| usage("missing command"))?;
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "status" => {
+            let view = ctl_status(addr, RPC_TIMEOUT).map_err(failed)?;
+            println!("{}", format_status(&view));
+            Ok(())
+        }
+        "checkpoint" => {
+            match ctl_request(addr, &Msg::CheckpointReq, RPC_TIMEOUT).map_err(failed)? {
+                Msg::CheckpointDone { epoch } => {
+                    println!("checkpoint committed epoch={epoch}");
+                    Ok(())
+                }
+                Msg::CheckpointFailed { reason } => {
+                    Err(failed(format!("checkpoint failed: {reason}")))
+                }
+                other => Err(failed(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        "digest" => {
+            let node: usize = rest
+                .first()
+                .ok_or_else(|| usage("digest needs a node id"))?
+                .parse()
+                .map_err(|e| usage(format!("bad node id: {e}")))?;
+            let req = Msg::DigestReq { node: NodeId(node) };
+            match ctl_request(addr, &req, RPC_TIMEOUT).map_err(failed)? {
+                Msg::DigestResp {
+                    node,
+                    epoch,
+                    digest,
+                    source,
+                } => {
+                    let source = match source {
+                        DigestSource::Committed => "committed",
+                        DigestSource::Custody => "custody",
+                        DigestSource::Missing => "missing",
+                    };
+                    println!(
+                        "digest node={} epoch={epoch} digest={digest:016x} source={source}",
+                        node.0
+                    );
+                    Ok(())
+                }
+                other => Err(failed(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        "kill-query" => match ctl_request(addr, &Msg::KillQueryReq, RPC_TIMEOUT).map_err(failed)? {
+            Msg::KillQueryResp {
+                confirmed,
+                suspected,
+            } => {
+                let fmt = |ns: Vec<NodeId>| {
+                    ns.iter()
+                        .map(|n| n.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                println!(
+                    "kill-query confirmed={} suspected={}",
+                    fmt(confirmed),
+                    fmt(suspected)
+                );
+                Ok(())
+            }
+            other => Err(failed(format!("unexpected reply: {other:?}"))),
+        },
+        "wait-live" => {
+            let peers: usize = parse_arg(rest, 0, "wait-live needs a peer count")?;
+            let timeout: u64 = parse_arg(rest, 1, "wait-live needs a timeout")?;
+            wait_until(addr, timeout, &format!("{peers} live peers"), |view| {
+                view.peers_established.len() >= peers
+            })
+        }
+        "wait-epoch" => {
+            let epoch: u64 = parse_arg(rest, 0, "wait-epoch needs an epoch")?;
+            let timeout: u64 = parse_arg(rest, 1, "wait-epoch needs a timeout")?;
+            wait_until(addr, timeout, &format!("committed epoch {epoch}"), |view| {
+                view.committed_epoch >= epoch
+            })
+        }
+        other => Err(usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn parse_arg<T: std::str::FromStr>(rest: &[String], idx: usize, what: &str) -> Result<T, CtlError>
+where
+    T::Err: std::fmt::Display,
+{
+    rest.get(idx)
+        .ok_or_else(|| usage(what))?
+        .parse()
+        .map_err(|e| usage(format!("{what}: {e}")))
+}
+
+fn wait_until<F>(addr: SocketAddr, timeout_secs: u64, what: &str, pred: F) -> Result<(), CtlError>
+where
+    F: Fn(&dvdc::protocol::node_core::StatusView) -> bool,
+{
+    let deadline = Instant::now() + StdDuration::from_secs(timeout_secs);
+    let mut last;
+    loop {
+        match ctl_status(addr, StdDuration::from_secs(2)) {
+            Ok(view) => {
+                if pred(&view) {
+                    println!("{}", format_status(&view));
+                    return Ok(());
+                }
+                last = format_status(&view);
+            }
+            Err(e) => last = e,
+        }
+        if Instant::now() >= deadline {
+            return Err(failed(format!(
+                "timed out waiting for {what}; last: {last}"
+            )));
+        }
+        std::thread::sleep(POLL);
+    }
+}

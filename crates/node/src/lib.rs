@@ -1,0 +1,347 @@
+//! Shared plumbing for the DVDC deployment binaries (`dvdc-node`,
+//! `dvdc-ctl`) and their integration tests: daemon option parsing, the
+//! ctl request/reply client, human-readable status formatting, and the
+//! [`Note`] → [`Event`] mapping that feeds the daemon's panic-dump ring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration as StdDuration;
+
+use dvdc::protocol::node_core::{ClusterSpec, Msg, Note, StatusView, CTL};
+use dvdc_faults::detector::{DetectorConfig, Verdict};
+use dvdc_observe::Event;
+use dvdc_simcore::time::Duration;
+use dvdc_transport::frame::{read_frame, write_frame};
+use dvdc_transport::wire::{decode_envelope, encode_envelope};
+use dvdc_vcluster::ids::NodeId;
+
+/// Parsed `dvdc-node` command line.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// This node's protocol id (index into `addrs`).
+    pub id: usize,
+    /// Cluster identity, embedded in handshakes and image seeds.
+    pub cluster_id: u64,
+    /// Number of data nodes `k`.
+    pub data: usize,
+    /// Number of parity nodes `m`.
+    pub parity: usize,
+    /// Bytes per checkpoint image.
+    pub image_len: usize,
+    /// Listen address of every member, in id order.
+    pub addrs: Vec<SocketAddr>,
+    /// Heartbeat interval (wall milliseconds).
+    pub hb_ms: f64,
+    /// Suspicion deadline (wall milliseconds).
+    pub timeout_ms: f64,
+    /// Confirmation grace (wall milliseconds).
+    pub grace_ms: f64,
+    /// Round timeout (wall milliseconds).
+    pub round_ms: f64,
+    /// Rebuild timeout (wall milliseconds).
+    pub rebuild_ms: f64,
+    /// Capture delay — the mid-round window (wall milliseconds).
+    pub capture_ms: f64,
+    /// Backoff-jitter seed (also printed by the panic dump for repro).
+    pub seed: u64,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions {
+            id: 0,
+            cluster_id: 1,
+            data: 4,
+            parity: 1,
+            image_len: 4096,
+            addrs: Vec::new(),
+            hb_ms: 50.0,
+            timeout_ms: 250.0,
+            grace_ms: 200.0,
+            round_ms: 5000.0,
+            rebuild_ms: 5000.0,
+            capture_ms: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+impl NodeOptions {
+    /// Parses `--flag value` pairs (see the daemon's `--help`). Returns
+    /// a usage error string instead of panicking on bad input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<NodeOptions, String> {
+        let mut opts = NodeOptions::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--id" => opts.id = parse_num(&value("--id")?, "--id")?,
+                "--cluster-id" => {
+                    opts.cluster_id = parse_num(&value("--cluster-id")?, "--cluster-id")?
+                }
+                "--data" => opts.data = parse_num(&value("--data")?, "--data")?,
+                "--parity" => opts.parity = parse_num(&value("--parity")?, "--parity")?,
+                "--image-len" => opts.image_len = parse_num(&value("--image-len")?, "--image-len")?,
+                "--addrs" => {
+                    opts.addrs = value("--addrs")?
+                        .split(',')
+                        .map(|a| {
+                            a.parse::<SocketAddr>()
+                                .map_err(|e| format!("bad address {a:?} in --addrs: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--hb-ms" => opts.hb_ms = parse_num(&value("--hb-ms")?, "--hb-ms")?,
+                "--timeout-ms" => {
+                    opts.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")?
+                }
+                "--grace-ms" => opts.grace_ms = parse_num(&value("--grace-ms")?, "--grace-ms")?,
+                "--round-ms" => opts.round_ms = parse_num(&value("--round-ms")?, "--round-ms")?,
+                "--rebuild-ms" => {
+                    opts.rebuild_ms = parse_num(&value("--rebuild-ms")?, "--rebuild-ms")?
+                }
+                "--capture-ms" => {
+                    opts.capture_ms = parse_num(&value("--capture-ms")?, "--capture-ms")?
+                }
+                "--seed" => opts.seed = parse_num(&value("--seed")?, "--seed")?,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if opts.addrs.len() != opts.data + opts.parity {
+            return Err(format!(
+                "--addrs lists {} addresses but the group is k={} + m={}",
+                opts.addrs.len(),
+                opts.data,
+                opts.parity
+            ));
+        }
+        if opts.id >= opts.addrs.len() {
+            return Err(format!(
+                "--id {} out of range for {} members",
+                opts.id,
+                opts.addrs.len()
+            ));
+        }
+        Ok(opts)
+    }
+
+    /// The [`ClusterSpec`] these options describe (wall ms mapped onto
+    /// the protocol's sim-seconds axis one-to-one).
+    pub fn spec(&self) -> ClusterSpec {
+        ClusterSpec {
+            cluster_id: self.cluster_id,
+            data_nodes: self.data,
+            parity_nodes: self.parity,
+            image_len: self.image_len,
+            detector: DetectorConfig::from_millis(self.hb_ms, self.timeout_ms, self.grace_ms),
+            round_timeout: Duration::from_millis(self.round_ms),
+            rebuild_timeout: Duration::from_millis(self.rebuild_ms),
+            capture_delay: Duration::from_millis(self.capture_ms),
+        }
+    }
+
+    /// This node's own listen address.
+    pub fn listen(&self) -> SocketAddr {
+        self.addrs[self.id]
+    }
+
+    /// Every other member as `(id, addr)`.
+    pub fn peers(&self) -> Vec<(NodeId, SocketAddr)> {
+        self.addrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.id)
+            .map(|(i, a)| (NodeId(i), *a))
+            .collect()
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad value {raw:?} for {flag}: {e}"))
+}
+
+/// One blocking ctl round trip: connect, send `msg` as [`CTL`], read one
+/// reply. `timeout` bounds both the connect and the read, so a dead or
+/// wedged daemon yields a typed error string, never a hang.
+pub fn ctl_request(addr: SocketAddr, msg: &Msg, timeout: StdDuration) -> Result<Msg, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| format!("connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set read timeout: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    write_frame(&mut stream, &encode_envelope(CTL, msg))
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let payload = read_frame(&mut stream).map_err(|e| format!("reply from {addr}: {e}"))?;
+    let (_, reply) = decode_envelope(&payload).map_err(|e| format!("decode reply: {e}"))?;
+    Ok(reply)
+}
+
+/// Fetches a [`StatusView`] from `addr`.
+pub fn ctl_status(addr: SocketAddr, timeout: StdDuration) -> Result<StatusView, String> {
+    match ctl_request(addr, &Msg::StatusReq, timeout)? {
+        Msg::StatusResp(view) => Ok(view),
+        other => Err(format!("expected StatusResp, got {other:?}")),
+    }
+}
+
+fn ids(nodes: &[NodeId]) -> String {
+    nodes
+        .iter()
+        .map(|n| n.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One-line `key=value` rendering of a status snapshot (what `dvdc-ctl
+/// status` prints and the CI smoke job greps).
+pub fn format_status(view: &StatusView) -> String {
+    format!(
+        "node={} coordinator={} committed_epoch={} fence_epoch={} peers={} suspected={} \
+         confirmed={} custody={} rounds={} data_loss={}",
+        view.node.0,
+        view.coordinator.0,
+        view.committed_epoch,
+        view.fence_epoch,
+        ids(&view.peers_established),
+        ids(&view.suspected),
+        ids(&view.confirmed),
+        ids(&view.custody),
+        view.rounds_committed,
+        view.data_loss,
+    )
+}
+
+/// Maps a protocol [`Note`] onto the observe [`Event`] vocabulary for
+/// the daemon's panic-dump ring. Notes with no event analogue (session
+/// chatter, stale-message drops) return `None` — they still go to the
+/// log, just not the ring.
+pub fn note_event(note: &Note) -> Option<Event> {
+    Some(match note {
+        Note::PeerVerdict { node, verdict } => match verdict {
+            Verdict::Suspected => Event::Suspected { node: node.0 },
+            Verdict::Confirmed => Event::Confirmed { node: node.0 },
+            Verdict::Refuted => Event::Refuted { node: node.0 },
+        },
+        Note::Fenced { node, epoch } => Event::FenceRaised {
+            node: node.0,
+            epoch: *epoch,
+        },
+        Note::RoundStarted { epoch } => Event::RoundBegin { epoch: *epoch },
+        Note::RoundCommitted { epoch } => Event::RoundCommitted { epoch: *epoch },
+        Note::RoundAborted { epoch, .. } => Event::RoundAborted {
+            epoch: *epoch,
+            phase: "Distributed",
+        },
+        Note::RebuildStarted { victim } => Event::RebuildBegin {
+            victim: victim.0,
+            mode: "Custody",
+            epoch: 0,
+        },
+        Note::RebuildCompleted { victim, .. } => Event::RebuildCompleted { victim: victim.0 },
+        Note::DataLoss { victim, .. } => Event::DataLoss {
+            node: victim.0,
+            group: 0,
+        },
+        Note::Readmitted { node, epoch } => Event::FenceReadmitted {
+            node: node.0,
+            epoch: *epoch,
+        },
+        Note::SessionEstablished { .. }
+        | Note::HelloRejected { .. }
+        | Note::StaleRejected { .. }
+        | Note::PayloadDropped { .. }
+        | Note::ResyncServed { .. } => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn options_parse_round_trip() {
+        let opts = NodeOptions::parse(args(
+            "--id 2 --cluster-id 99 --data 2 --parity 1 --image-len 512 \
+             --addrs 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+             --hb-ms 30 --timeout-ms 150 --grace-ms 100 --round-ms 2000 \
+             --rebuild-ms 2000 --capture-ms 400 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(opts.id, 2);
+        assert_eq!(opts.listen(), "127.0.0.1:7003".parse().unwrap());
+        assert_eq!(opts.peers().len(), 2);
+        let spec = opts.spec();
+        assert_eq!(spec.total(), 3);
+        assert_eq!(spec.image_len, 512);
+        assert!((spec.capture_delay.as_secs() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_errors_are_typed_strings() {
+        let err = NodeOptions::parse(args("--bogus 1")).unwrap_err();
+        assert!(err.contains("unknown flag"));
+        let err = NodeOptions::parse(args("--id")).unwrap_err();
+        assert!(err.contains("needs a value"));
+        let err =
+            NodeOptions::parse(args("--data 2 --parity 1 --addrs 127.0.0.1:7001")).unwrap_err();
+        assert!(err.contains("lists 1 addresses"));
+        let err = NodeOptions::parse(args(
+            "--id 9 --data 1 --parity 1 --addrs 127.0.0.1:1,127.0.0.1:2",
+        ))
+        .unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn status_line_is_greppable() {
+        let view = StatusView {
+            node: NodeId(0),
+            coordinator: NodeId(0),
+            committed_epoch: 3,
+            fence_epoch: 0,
+            peers_established: vec![NodeId(1), NodeId(2)],
+            suspected: vec![],
+            confirmed: vec![NodeId(4)],
+            custody: vec![NodeId(4)],
+            rounds_committed: 3,
+            data_loss: false,
+        };
+        let line = format_status(&view);
+        assert!(line.contains("committed_epoch=3"));
+        assert!(line.contains("peers=1,2"));
+        assert!(line.contains("custody=4"));
+        assert!(line.contains("data_loss=false"));
+    }
+
+    #[test]
+    fn note_mapping_covers_the_failure_plane() {
+        let fenced = Note::Fenced {
+            node: NodeId(2),
+            epoch: 1,
+        };
+        assert_eq!(
+            note_event(&fenced),
+            Some(Event::FenceRaised { node: 2, epoch: 1 })
+        );
+        let verdict = Note::PeerVerdict {
+            node: NodeId(3),
+            verdict: Verdict::Confirmed,
+        };
+        assert_eq!(note_event(&verdict), Some(Event::Confirmed { node: 3 }));
+        let chatter = Note::SessionEstablished { peer: NodeId(1) };
+        assert_eq!(note_event(&chatter), None);
+    }
+}

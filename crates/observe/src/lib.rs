@@ -128,6 +128,32 @@ struct TraceBuf {
     dropped: u64,
 }
 
+impl TraceBuf {
+    fn with_cap(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        TraceBuf {
+            cap: Some(cap),
+            ..TraceBuf::default()
+        }
+    }
+
+    fn push(&mut self, at: SimTime, event: &Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(TimedEvent {
+            at,
+            seq,
+            event: *event,
+        });
+        if let Some(cap) = self.cap {
+            while self.events.len() > cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
 impl TraceRecorder {
     /// A buffer that keeps every event.
     pub fn unbounded() -> Self {
@@ -140,12 +166,8 @@ impl TraceRecorder {
     /// # Panics
     /// Panics if `cap` is 0.
     pub fn ring(cap: usize) -> Self {
-        assert!(cap > 0, "ring capacity must be positive");
         TraceRecorder {
-            inner: RefCell::new(TraceBuf {
-                cap: Some(cap),
-                ..TraceBuf::default()
-            }),
+            inner: RefCell::new(TraceBuf::with_cap(cap)),
         }
     }
 
@@ -178,19 +200,121 @@ impl TraceRecorder {
 
 impl Recorder for TraceRecorder {
     fn record(&self, at: SimTime, event: &Event) {
-        let mut buf = self.inner.borrow_mut();
-        let seq = buf.next_seq;
-        buf.next_seq += 1;
-        buf.events.push_back(TimedEvent {
-            at,
-            seq,
-            event: *event,
-        });
-        if let Some(cap) = buf.cap {
-            while buf.events.len() > cap {
-                buf.events.pop_front();
-                buf.dropped += 1;
-            }
+        self.inner.borrow_mut().push(at, event);
+    }
+}
+
+/// Thread-safe ring of recent events, for multi-threaded runtimes (the
+/// `dvdc-node` daemon) where the single-threaded [`TraceRecorder`]
+/// cannot be shared. A `Mutex` guards the buffer; the panic hook reads
+/// the tail through [`SyncRingRecorder::events`] even while other
+/// threads hold clones of the `Arc`.
+#[derive(Debug)]
+pub struct SyncRingRecorder {
+    inner: std::sync::Mutex<TraceBuf>,
+}
+
+impl SyncRingRecorder {
+    /// A ring that keeps only the most recent `cap` events.
+    ///
+    /// # Panics
+    /// Panics if `cap` is 0.
+    pub fn ring(cap: usize) -> Self {
+        SyncRingRecorder {
+            inner: std::sync::Mutex::new(TraceBuf::with_cap(cap)),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first. Returns the
+    /// events recorded before a poisoning panic too — that is exactly
+    /// when the panic hook needs them.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        let buf = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        buf.events.iter().cloned().collect()
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        let buf = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        buf.dropped
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        let buf = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        buf.next_seq
+    }
+}
+
+impl Recorder for SyncRingRecorder {
+    fn record(&self, at: SimTime, event: &Event) {
+        if let Ok(mut buf) = self.inner.lock() {
+            buf.push(at, event);
+        }
+    }
+}
+
+/// Anything a [`TraceDumpGuard`] (or a panic hook) can drain a trace
+/// tail from: the buffered events plus the evicted-count.
+pub trait TraceTail {
+    /// `(events oldest-first, number of older events dropped)`.
+    fn tail(&self) -> (Vec<TimedEvent>, u64);
+}
+
+impl TraceTail for Rc<TraceRecorder> {
+    fn tail(&self) -> (Vec<TimedEvent>, u64) {
+        (self.events(), self.dropped())
+    }
+}
+
+impl TraceTail for std::sync::Arc<SyncRingRecorder> {
+    fn tail(&self) -> (Vec<TimedEvent>, u64) {
+        (self.events(), self.dropped())
+    }
+}
+
+/// Writes a trace tail to stderr in the standard panic-report layout:
+/// a header with counts, one line per event, then `footer` (typically a
+/// repro command or the daemon's seed/epoch line).
+pub fn dump_tail(events: &[TimedEvent], dropped: u64, footer: &str) {
+    eprintln!(
+        "--- last {} trace events before the panic ({dropped} older events dropped) ---",
+        events.len(),
+    );
+    for ev in events {
+        eprintln!(
+            "  [{:>12.6}s] #{:<6} {:?}",
+            ev.at.as_secs(),
+            ev.seq,
+            ev.event
+        );
+    }
+    eprintln!("--- {footer} ---");
+}
+
+/// Dumps the tail of a trace ring to stderr when the holding scope
+/// unwinds from a panic, so a failing run ships its last N protocol
+/// events alongside a repro line without re-running under tracing.
+/// Arms over any [`TraceTail`] source — `Rc<TraceRecorder>` in
+/// single-threaded chaos tests, `Arc<SyncRingRecorder>` in the daemon.
+pub struct TraceDumpGuard<S: TraceTail> {
+    trace: S,
+    footer: String,
+}
+
+impl<S: TraceTail> TraceDumpGuard<S> {
+    /// Arms the guard; `footer` closes the dump (repro command,
+    /// seed/epoch, ...).
+    pub fn new(trace: S, footer: String) -> Self {
+        TraceDumpGuard { trace, footer }
+    }
+}
+
+impl<S: TraceTail> Drop for TraceDumpGuard<S> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let (events, dropped) = self.trace.tail();
+            dump_tail(&events, dropped, &self.footer);
         }
     }
 }
@@ -316,6 +440,57 @@ mod tests {
         assert_eq!(evs[1].event, Event::RoundBegin { epoch: 4 });
         assert_eq!(rec.dropped(), 3);
         assert_eq!(rec.recorded(), 5);
+    }
+
+    #[test]
+    fn sync_ring_is_shared_across_threads_and_keeps_the_tail() {
+        let rec = std::sync::Arc::new(SyncRingRecorder::ring(8));
+        let mut handles = Vec::new();
+        for thread in 0..4u64 {
+            let rec = std::sync::Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16 {
+                    rec.record(t(thread as f64), &Event::RoundBegin { epoch: i });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 64);
+        assert_eq!(rec.events().len(), 8);
+        assert_eq!(rec.dropped(), 56);
+        // Sequence numbers stay monotone in the surviving tail.
+        let seqs: Vec<u64> = rec.events().iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn trace_tail_reads_both_recorder_kinds() {
+        let rc = Rc::new(TraceRecorder::ring(1));
+        rc.record(t(1.0), &Event::RoundBegin { epoch: 1 });
+        rc.record(t(2.0), &Event::RoundBegin { epoch: 2 });
+        let (events, dropped) = rc.tail();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 1);
+
+        let arc = std::sync::Arc::new(SyncRingRecorder::ring(4));
+        arc.record(t(1.0), &Event::Suspected { node: 2 });
+        let (events, dropped) = arc.tail();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn dump_guard_is_silent_without_a_panic() {
+        let trace = Rc::new(TraceRecorder::ring(4));
+        trace.record(t(1.0), &Event::RoundBegin { epoch: 1 });
+        let _guard = TraceDumpGuard::new(Rc::clone(&trace), "no panic".into());
+        // Dropping outside a panic must not consume or disturb the trace.
+        drop(_guard);
+        assert_eq!(trace.len(), 1);
     }
 
     #[test]

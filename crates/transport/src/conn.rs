@@ -1,0 +1,214 @@
+//! Per-peer connection state machine: dial with retry, typed errors.
+//!
+//! Reconnect pacing reuses the cluster's
+//! [`RetryPolicy`](dvdc_vcluster::messaging::RetryPolicy) — the same
+//! exponential backoff-with-deterministic-jitter schedule the sim's
+//! transfer layer uses, so deployment and simulation share one retry
+//! model. Jitter is seeded per-(node, peer), so two nodes re-dialing the
+//! same restarted peer do not thundering-herd in lockstep yet every run
+//! with the same seed paces identically.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration as StdDuration;
+
+use dvdc_simcore::time::Duration;
+use dvdc_vcluster::messaging::RetryPolicy;
+
+/// Typed dial failures.
+#[derive(Debug)]
+pub enum ConnectError {
+    /// Every attempt allowed by the policy failed; carries the last OS
+    /// error.
+    Exhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: std::io::Error,
+    },
+    /// The caller asked for zero attempts — nothing was tried.
+    NoAttempts,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::Exhausted { attempts, last } => {
+                write!(f, "connect failed after {attempts} attempts: {last}")
+            }
+            ConnectError::NoAttempts => write!(f, "connect policy allows zero attempts"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// Where a peer link currently stands. The runtime keeps one per peer
+/// and reports it through status/logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// No socket; the writer will dial on the next send or tick.
+    Disconnected,
+    /// A dial (attempt `attempt`, 1-based) is in flight or backing off.
+    Connecting {
+        /// The 1-based attempt number.
+        attempt: u32,
+    },
+    /// The socket is up and frames flow.
+    Established,
+}
+
+/// Convert a simcore [`Duration`] (f64 seconds) into a std sleep
+/// duration, clamping negatives to zero.
+pub fn to_std(d: Duration) -> StdDuration {
+    StdDuration::from_secs_f64(d.as_secs().max(0.0))
+}
+
+/// The full backoff schedule a dialer will sleep through under `policy`
+/// with jitter `seed`: one entry per attempt after the first. Pure —
+/// unit-testable without sockets, and what
+/// [`connect_with_retry`] actually sleeps.
+pub fn backoff_schedule(policy: &RetryPolicy, seed: u64) -> Vec<Duration> {
+    (1..policy.max_attempts)
+        .map(|attempt| policy.backoff_with_jitter(attempt, seed))
+        .collect()
+}
+
+/// Dial `addr`, retrying per `policy` with jittered backoff between
+/// attempts. `sleep` is injected so tests can record the schedule
+/// instead of blocking; production passes `std::thread::sleep`.
+pub fn connect_with_retry_using<S: FnMut(StdDuration)>(
+    addr: SocketAddr,
+    policy: &RetryPolicy,
+    seed: u64,
+    connect_timeout: StdDuration,
+    mut sleep: S,
+) -> Result<TcpStream, ConnectError> {
+    if policy.max_attempts == 0 {
+        return Err(ConnectError::NoAttempts);
+    }
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 1..=policy.max_attempts {
+        if attempt > 1 {
+            sleep(to_std(policy.backoff_with_jitter(attempt - 1, seed)));
+        }
+        match TcpStream::connect_timeout(&addr, connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ConnectError::Exhausted {
+        attempts: policy.max_attempts,
+        last: last.expect("max_attempts >= 1 guarantees at least one dial error"),
+    })
+}
+
+/// [`connect_with_retry_using`] with real `std::thread::sleep` backoff.
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    policy: &RetryPolicy,
+    seed: u64,
+    connect_timeout: StdDuration,
+) -> Result<TcpStream, ConnectError> {
+    connect_with_retry_using(addr, policy, seed, connect_timeout, std::thread::sleep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn policy(attempts: u32, base_ms: f64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::from_millis(base_ms),
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let p = policy(4, 2.0);
+        assert_eq!(backoff_schedule(&p, 7), backoff_schedule(&p, 7));
+        assert_ne!(backoff_schedule(&p, 7), backoff_schedule(&p, 8));
+    }
+
+    #[test]
+    fn schedule_grows_exponentially_within_jitter_band() {
+        let p = policy(5, 2.0);
+        for (i, b) in backoff_schedule(&p, 3).iter().enumerate() {
+            let attempt = (i + 1) as u32;
+            let nominal = 2.0e-3 * f64::from(1u32 << (attempt - 1));
+            let secs = b.as_secs();
+            assert!(
+                secs >= nominal * 0.5 && secs < nominal * 1.5,
+                "attempt {attempt}: {secs}s outside [{}, {})",
+                nominal * 0.5,
+                nominal * 1.5
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped_not_overflowing() {
+        let p = policy(200, 2.0);
+        // backoff_for caps the exponent at 30 — a huge attempt number
+        // must not overflow or go non-finite, jittered or not.
+        let capped = p.backoff_for(100);
+        assert_eq!(capped, p.backoff_for(31));
+        let j = p.backoff_with_jitter(100, 9);
+        assert!(j.as_secs().is_finite() && j.as_secs() > 0.0);
+        assert!(j.as_secs() < capped.as_secs() * 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn connect_sleeps_exactly_the_published_schedule_then_exhausts() {
+        // A listener that was bound and dropped: the port is (almost
+        // certainly) closed, so every dial fails fast with refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let p = policy(3, 1.0);
+        let mut slept = Vec::new();
+        let res = connect_with_retry_using(addr, &p, 42, StdDuration::from_millis(200), |d| {
+            slept.push(d)
+        });
+        match res {
+            Err(ConnectError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        let expected: Vec<StdDuration> = backoff_schedule(&p, 42).into_iter().map(to_std).collect();
+        assert_eq!(slept, expected);
+    }
+
+    #[test]
+    fn connect_succeeds_against_live_listener_without_sleeping() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let mut slept = Vec::new();
+        let res = connect_with_retry_using(
+            addr,
+            &policy(3, 1.0),
+            7,
+            StdDuration::from_millis(500),
+            |d| slept.push(d),
+        );
+        assert!(res.is_ok());
+        assert!(slept.is_empty(), "first attempt succeeded, no backoff due");
+    }
+
+    #[test]
+    fn zero_attempt_policy_is_typed() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let res = connect_with_retry_using(
+            addr,
+            &policy(0, 1.0),
+            0,
+            StdDuration::from_millis(10),
+            |_| {},
+        );
+        assert!(matches!(res, Err(ConnectError::NoAttempts)));
+    }
+}

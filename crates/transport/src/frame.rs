@@ -1,0 +1,387 @@
+//! Length-prefixed framed codec for DVDC sockets.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! magic   u32 LE   0x4456_4443  ("DVDC" read as big-endian ASCII)
+//! version u8       1
+//! flags   u8       0 (reserved)
+//! len     u32 LE   payload length in bytes, <= MAX_FRAME
+//! payload len bytes
+//! digest  u64 LE   FNV-1a 64 of the payload
+//! ```
+//!
+//! Every malformed input maps to a typed [`FrameError`] — the decoder
+//! never panics and never silently resynchronises on garbage (a stream
+//! with a bad magic or checksum is dead; the link layer reconnects).
+
+use dvdc::protocol::node_core::fnv64;
+
+/// Frame magic: the ASCII bytes `DVDC` packed big-endian-first into a
+/// `u32`, serialized little-endian on the wire.
+pub const MAGIC: u32 = 0x4456_4443;
+
+/// Codec version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on payload size (64 MiB). Larger `len` fields are rejected
+/// before any allocation — a corrupt or hostile length cannot OOM the
+/// process or stall the reader.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Fixed header size: magic + version + flags + len.
+pub const HEADER_LEN: usize = 10;
+
+/// Checksum trailer size.
+pub const TRAILER_LEN: usize = 8;
+
+/// Typed framing failures. `Io` carries only the [`std::io::ErrorKind`]
+/// so the error stays `PartialEq` and cheaply clonable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`] — not a DVDC stream.
+    BadMagic {
+        /// The value actually read.
+        got: u32,
+    },
+    /// The version byte is not one this build speaks.
+    Version {
+        /// The version actually read.
+        got: u8,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The declared length.
+        len: u32,
+    },
+    /// The payload digest did not match the trailer — torn or corrupt.
+    Checksum {
+        /// Digest recomputed over the received payload.
+        expected: u64,
+        /// Digest carried in the trailer.
+        got: u64,
+    },
+    /// A one-shot decode was handed fewer bytes than one whole frame.
+    Truncated,
+    /// The underlying stream failed (includes EOF mid-frame as
+    /// [`std::io::ErrorKind::UnexpectedEof`]).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { got } => {
+                write!(f, "bad frame magic {got:#010x} (want {MAGIC:#010x})")
+            }
+            FrameError::Version { got } => {
+                write!(f, "unsupported frame version {got} (want {VERSION})")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {MAX_FRAME}")
+            }
+            FrameError::Checksum { expected, got } => write!(
+                f,
+                "frame checksum mismatch: payload digests to {expected:#018x}, trailer says {got:#018x}"
+            ),
+            FrameError::Truncated => write!(f, "truncated frame: fewer bytes than one whole frame"),
+            FrameError::Io(kind) => write!(f, "frame io error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.kind())
+    }
+}
+
+/// Encode one payload into a complete frame (header + payload + trailer).
+///
+/// # Panics
+///
+/// Panics if `payload.len()` exceeds [`MAX_FRAME`] — senders control
+/// their own payload sizes, so an oversized *outbound* frame is a local
+/// logic bug, unlike inbound ones which are typed errors.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME as usize,
+        "outbound frame of {} bytes exceeds MAX_FRAME",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out
+}
+
+/// Validate a header already known to hold [`HEADER_LEN`] bytes; returns
+/// the payload length.
+fn parse_header(header: &[u8]) -> Result<usize, FrameError> {
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { got: magic });
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::Version { got: header[4] });
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    Ok(len as usize)
+}
+
+/// Verify the trailer digest and return the payload.
+fn check_payload(payload: &[u8], trailer: &[u8]) -> Result<(), FrameError> {
+    let got = u64::from_le_bytes([
+        trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+        trailer[7],
+    ]);
+    let expected = fnv64(payload);
+    if expected != got {
+        return Err(FrameError::Checksum { expected, got });
+    }
+    Ok(())
+}
+
+/// Incremental decoder for a byte stream that arrives in arbitrary
+/// chunks. Feed bytes in with [`feed`](FrameDecoder::feed), pull whole
+/// frames out with [`next_frame`](FrameDecoder::next_frame). A partial
+/// frame simply yields `Ok(None)` until more bytes arrive; malformed
+/// bytes yield a typed error and poison the decoder (the stream cannot be
+/// trusted past the first framing violation).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append raw bytes received from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means "need
+    /// more bytes"; errors are sticky — once the stream violates framing,
+    /// every subsequent call returns the same error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = match parse_header(&self.buf[..HEADER_LEN]) {
+            Ok(len) => len,
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        };
+        let total = HEADER_LEN + len + TRAILER_LEN;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload_end = HEADER_LEN + len;
+        if let Err(e) = check_payload(
+            &self.buf[HEADER_LEN..payload_end],
+            &self.buf[payload_end..total],
+        ) {
+            self.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        let payload = self.buf[HEADER_LEN..payload_end].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+/// One-shot decode of a buffer expected to hold exactly one whole frame
+/// (e.g. a control-plane reply read to EOF). Fewer bytes than a whole
+/// frame is [`FrameError::Truncated`]; surplus bytes after the frame are
+/// also `Truncated` (the caller's "exactly one" expectation was torn
+/// either way).
+pub fn decode_exact(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let len = parse_header(&bytes[..HEADER_LEN])?;
+    let total = HEADER_LEN + len + TRAILER_LEN;
+    if bytes.len() != total {
+        return Err(FrameError::Truncated);
+    }
+    check_payload(
+        &bytes[HEADER_LEN..HEADER_LEN + len],
+        &bytes[HEADER_LEN + len..total],
+    )?;
+    Ok(bytes[HEADER_LEN..HEADER_LEN + len].to_vec())
+}
+
+/// Blocking read of one whole frame from a stream. EOF before the first
+/// header byte is reported as `Io(UnexpectedEof)` like any other torn
+/// read — callers that treat clean EOF as normal shutdown match on it.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    r.read_exact(&mut trailer)?;
+    check_payload(&payload, &trailer)?;
+    Ok(payload)
+}
+
+/// Blocking write of one payload as a whole frame.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let frame = encode_frame(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let payload = b"hello dvdc".to_vec();
+        let frame = encode_frame(&payload);
+        assert_eq!(decode_exact(&frame).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = encode_frame(&[]);
+        assert_eq!(frame.len(), HEADER_LEN + TRAILER_LEN);
+        assert_eq!(decode_exact(&frame).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_frame_is_typed_not_a_hang() {
+        let frame = encode_frame(b"payload bytes");
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_exact(&frame[..cut]),
+                Err(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_after_exact_frame_is_truncated() {
+        let mut frame = encode_frame(b"x");
+        frame.push(0xAA);
+        assert_eq!(decode_exact(&frame), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut frame = encode_frame(b"x");
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            decode_exact(&frame),
+            Err(FrameError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_typed() {
+        let mut frame = encode_frame(b"x");
+        frame[4] = 9;
+        assert_eq!(decode_exact(&frame), Err(FrameError::Version { got: 9 }));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = encode_frame(b"x");
+        frame[6..10].copy_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            decode_exact(&frame),
+            Err(FrameError::Oversized { len: MAX_FRAME + 1 })
+        );
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut frame = encode_frame(b"checksum me");
+        frame[HEADER_LEN + 3] ^= 0x01;
+        assert!(matches!(
+            decode_exact(&frame),
+            Err(FrameError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_fed_one_byte_at_a_time() {
+        let payloads: Vec<Vec<u8>> = vec![b"one".to_vec(), vec![], vec![0u8; 300]];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.feed(&[b]);
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_poisons_on_corrupt_stream() {
+        let mut frame = encode_frame(b"abc");
+        let n = frame.len();
+        frame[n - 1] ^= 0xFF; // corrupt the trailer
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let first = dec.next_frame();
+        assert!(matches!(first, Err(FrameError::Checksum { .. })));
+        // Sticky: feeding a now-valid frame does not resurrect the stream.
+        dec.feed(&encode_frame(b"later"));
+        assert_eq!(dec.next_frame(), first);
+    }
+
+    #[test]
+    fn read_frame_reports_torn_stream_as_unexpected_eof() {
+        let frame = encode_frame(b"stream me");
+        let mut cursor = std::io::Cursor::new(frame[..frame.len() - 2].to_vec());
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(FrameError::Io(std::io::ErrorKind::UnexpectedEof))
+        );
+    }
+
+    #[test]
+    fn write_then_read_over_a_cursor() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"over the wire").unwrap();
+        write_frame(&mut buf, b"twice").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"over the wire");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"twice");
+    }
+}

@@ -1,0 +1,734 @@
+//! Binary wire format for DVDC protocol messages.
+//!
+//! One frame payload carries one *envelope*: the sender's [`NodeId`] as a
+//! `u64`, followed by a tagged [`Msg`] body. Encoding is hand-rolled and
+//! self-contained (little-endian integers, `u32`-length-prefixed byte
+//! strings) so the deployment path adds no serialization dependency and
+//! every decode failure is a typed [`WireError`] — a hostile or torn
+//! payload can never panic the daemon.
+//!
+//! Variant tags are assigned in declaration order of
+//! [`Msg`](dvdc::protocol::node_core::Msg) starting at 1; tag 0 is
+//! reserved as invalid so zero-filled buffers decode to a typed error.
+
+use dvdc::protocol::node_core::{BlockInfo, BlockKind, DigestSource, Msg, StatusView};
+use dvdc_vcluster::ids::NodeId;
+
+/// Typed decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The message tag byte names no known [`Msg`] variant.
+    UnknownTag(u8),
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Bytes remained after a complete message — framing and body
+    /// disagree about the length.
+    TrailingBytes,
+    /// A length or enum discriminant field held an impossible value.
+    BadLength,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::Truncated => write!(f, "message body truncated"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message body"),
+            WireError::BadLength => write!(f, "impossible length or discriminant in message body"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_node(out: &mut Vec<u8>, n: NodeId) {
+    put_u64(out, n.0 as u64);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_nodes(out: &mut Vec<u8>, ns: &[NodeId]) {
+    put_u32(out, ns.len() as u32);
+    for n in ns {
+        put_node(out, *n);
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, v as u8);
+}
+
+fn put_block(out: &mut Vec<u8>, b: &BlockInfo) {
+    put_node(out, b.holder);
+    put_u8(
+        out,
+        match b.kind {
+            BlockKind::Data => 0,
+            BlockKind::Parity => 1,
+        },
+    );
+    put_u64(out, b.epoch);
+    put_bytes(out, &b.data);
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn node(&mut self) -> Result<NodeId, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map(NodeId)
+            .map_err(|_| WireError::BadLength)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn nodes(&mut self) -> Result<Vec<NodeId>, WireError> {
+        let n = self.u32()? as usize;
+        // Each node costs 8 bytes — reject counts the buffer cannot hold
+        // before reserving anything.
+        if self.buf.len() - self.pos < n * 8 {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.node()).collect()
+    }
+
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadLength),
+        }
+    }
+
+    fn block(&mut self) -> Result<BlockInfo, WireError> {
+        let holder = self.node()?;
+        let kind = match self.u8()? {
+            0 => BlockKind::Data,
+            1 => BlockKind::Parity,
+            _ => return Err(WireError::BadLength),
+        };
+        let epoch = self.u64()?;
+        let data = self.bytes()?;
+        Ok(BlockInfo {
+            holder,
+            kind,
+            epoch,
+            data,
+        })
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Msg codec
+// ---------------------------------------------------------------------
+
+/// Serialize one message body (tag + fields) into `out`.
+pub fn encode_msg(out: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::Hello {
+            node,
+            cluster_id,
+            fence_epoch,
+        } => {
+            put_u8(out, 1);
+            put_node(out, *node);
+            put_u64(out, *cluster_id);
+            put_u64(out, *fence_epoch);
+        }
+        Msg::Welcome { node, fence_epoch } => {
+            put_u8(out, 2);
+            put_node(out, *node);
+            put_u64(out, *fence_epoch);
+        }
+        Msg::Rejected {
+            node,
+            required_epoch,
+            coordinator,
+        } => {
+            put_u8(out, 3);
+            put_node(out, *node);
+            put_u64(out, *required_epoch);
+            put_node(out, *coordinator);
+        }
+        Msg::Heartbeat { node } => {
+            put_u8(out, 4);
+            put_node(out, *node);
+        }
+        Msg::RoundBegin {
+            epoch,
+            sources,
+            holders,
+        } => {
+            put_u8(out, 5);
+            put_u64(out, *epoch);
+            put_nodes(out, sources);
+            put_nodes(out, holders);
+        }
+        Msg::Payload {
+            epoch,
+            source,
+            fence_epoch,
+            data,
+        } => {
+            put_u8(out, 6);
+            put_u64(out, *epoch);
+            put_node(out, *source);
+            put_u64(out, *fence_epoch);
+            put_bytes(out, data);
+        }
+        Msg::CaptureAck { epoch, node } => {
+            put_u8(out, 7);
+            put_u64(out, *epoch);
+            put_node(out, *node);
+        }
+        Msg::FoldAck { epoch, node } => {
+            put_u8(out, 8);
+            put_u64(out, *epoch);
+            put_node(out, *node);
+        }
+        Msg::Commit { epoch } => {
+            put_u8(out, 9);
+            put_u64(out, *epoch);
+        }
+        Msg::CommitAck { epoch, node } => {
+            put_u8(out, 10);
+            put_u64(out, *epoch);
+            put_node(out, *node);
+        }
+        Msg::AbortRound { epoch, reason } => {
+            put_u8(out, 11);
+            put_u64(out, *epoch);
+            put_str(out, reason);
+        }
+        Msg::Fence { node, epoch } => {
+            put_u8(out, 12);
+            put_node(out, *node);
+            put_u64(out, *epoch);
+        }
+        Msg::FetchReq { victim } => {
+            put_u8(out, 13);
+            put_node(out, *victim);
+        }
+        Msg::FetchBlocks {
+            node,
+            fence_epoch,
+            blocks,
+        } => {
+            put_u8(out, 14);
+            put_node(out, *node);
+            put_u64(out, *fence_epoch);
+            put_u32(out, blocks.len() as u32);
+            for b in blocks {
+                put_block(out, b);
+            }
+        }
+        Msg::ResyncReq { node } => {
+            put_u8(out, 15);
+            put_node(out, *node);
+        }
+        Msg::ResyncState {
+            node,
+            fence_epoch,
+            committed_epoch,
+            image,
+        } => {
+            put_u8(out, 16);
+            put_node(out, *node);
+            put_u64(out, *fence_epoch);
+            put_u64(out, *committed_epoch);
+            match image {
+                None => put_u8(out, 0),
+                Some(bytes) => {
+                    put_u8(out, 1);
+                    put_bytes(out, bytes);
+                }
+            }
+        }
+        Msg::ResyncDone { node, fence_epoch } => {
+            put_u8(out, 17);
+            put_node(out, *node);
+            put_u64(out, *fence_epoch);
+        }
+        Msg::Readmit {
+            node,
+            fence_epoch,
+            rollback_epoch,
+        } => {
+            put_u8(out, 18);
+            put_node(out, *node);
+            put_u64(out, *fence_epoch);
+            put_u64(out, *rollback_epoch);
+        }
+        Msg::StatusReq => put_u8(out, 19),
+        Msg::StatusResp(view) => {
+            put_u8(out, 20);
+            put_node(out, view.node);
+            put_node(out, view.coordinator);
+            put_u64(out, view.committed_epoch);
+            put_u64(out, view.fence_epoch);
+            put_nodes(out, &view.peers_established);
+            put_nodes(out, &view.suspected);
+            put_nodes(out, &view.confirmed);
+            put_nodes(out, &view.custody);
+            put_u64(out, view.rounds_committed);
+            put_bool(out, view.data_loss);
+        }
+        Msg::CheckpointReq => put_u8(out, 21),
+        Msg::CheckpointDone { epoch } => {
+            put_u8(out, 22);
+            put_u64(out, *epoch);
+        }
+        Msg::CheckpointFailed { reason } => {
+            put_u8(out, 23);
+            put_str(out, reason);
+        }
+        Msg::DigestReq { node } => {
+            put_u8(out, 24);
+            put_node(out, *node);
+        }
+        Msg::DigestResp {
+            node,
+            epoch,
+            digest,
+            source,
+        } => {
+            put_u8(out, 25);
+            put_node(out, *node);
+            put_u64(out, *epoch);
+            put_u64(out, *digest);
+            put_u8(
+                out,
+                match source {
+                    DigestSource::Committed => 0,
+                    DigestSource::Custody => 1,
+                    DigestSource::Missing => 2,
+                },
+            );
+        }
+        Msg::KillQueryReq => put_u8(out, 26),
+        Msg::KillQueryResp {
+            confirmed,
+            suspected,
+        } => {
+            put_u8(out, 27);
+            put_nodes(out, confirmed);
+            put_nodes(out, suspected);
+        }
+    }
+}
+
+fn decode_msg(r: &mut Reader<'_>) -> Result<Msg, WireError> {
+    let tag = r.u8()?;
+    let msg = match tag {
+        1 => Msg::Hello {
+            node: r.node()?,
+            cluster_id: r.u64()?,
+            fence_epoch: r.u64()?,
+        },
+        2 => Msg::Welcome {
+            node: r.node()?,
+            fence_epoch: r.u64()?,
+        },
+        3 => Msg::Rejected {
+            node: r.node()?,
+            required_epoch: r.u64()?,
+            coordinator: r.node()?,
+        },
+        4 => Msg::Heartbeat { node: r.node()? },
+        5 => Msg::RoundBegin {
+            epoch: r.u64()?,
+            sources: r.nodes()?,
+            holders: r.nodes()?,
+        },
+        6 => Msg::Payload {
+            epoch: r.u64()?,
+            source: r.node()?,
+            fence_epoch: r.u64()?,
+            data: r.bytes()?,
+        },
+        7 => Msg::CaptureAck {
+            epoch: r.u64()?,
+            node: r.node()?,
+        },
+        8 => Msg::FoldAck {
+            epoch: r.u64()?,
+            node: r.node()?,
+        },
+        9 => Msg::Commit { epoch: r.u64()? },
+        10 => Msg::CommitAck {
+            epoch: r.u64()?,
+            node: r.node()?,
+        },
+        11 => Msg::AbortRound {
+            epoch: r.u64()?,
+            reason: r.string()?,
+        },
+        12 => Msg::Fence {
+            node: r.node()?,
+            epoch: r.u64()?,
+        },
+        13 => Msg::FetchReq { victim: r.node()? },
+        14 => {
+            let node = r.node()?;
+            let fence_epoch = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut blocks = Vec::new();
+            for _ in 0..n {
+                blocks.push(r.block()?);
+            }
+            Msg::FetchBlocks {
+                node,
+                fence_epoch,
+                blocks,
+            }
+        }
+        15 => Msg::ResyncReq { node: r.node()? },
+        16 => {
+            let node = r.node()?;
+            let fence_epoch = r.u64()?;
+            let committed_epoch = r.u64()?;
+            let image = match r.u8()? {
+                0 => None,
+                1 => Some(r.bytes()?),
+                _ => return Err(WireError::BadLength),
+            };
+            Msg::ResyncState {
+                node,
+                fence_epoch,
+                committed_epoch,
+                image,
+            }
+        }
+        17 => Msg::ResyncDone {
+            node: r.node()?,
+            fence_epoch: r.u64()?,
+        },
+        18 => Msg::Readmit {
+            node: r.node()?,
+            fence_epoch: r.u64()?,
+            rollback_epoch: r.u64()?,
+        },
+        19 => Msg::StatusReq,
+        20 => Msg::StatusResp(StatusView {
+            node: r.node()?,
+            coordinator: r.node()?,
+            committed_epoch: r.u64()?,
+            fence_epoch: r.u64()?,
+            peers_established: r.nodes()?,
+            suspected: r.nodes()?,
+            confirmed: r.nodes()?,
+            custody: r.nodes()?,
+            rounds_committed: r.u64()?,
+            data_loss: r.boolean()?,
+        }),
+        21 => Msg::CheckpointReq,
+        22 => Msg::CheckpointDone { epoch: r.u64()? },
+        23 => Msg::CheckpointFailed {
+            reason: r.string()?,
+        },
+        24 => Msg::DigestReq { node: r.node()? },
+        25 => {
+            let node = r.node()?;
+            let epoch = r.u64()?;
+            let digest = r.u64()?;
+            let source = match r.u8()? {
+                0 => DigestSource::Committed,
+                1 => DigestSource::Custody,
+                2 => DigestSource::Missing,
+                _ => return Err(WireError::BadLength),
+            };
+            Msg::DigestResp {
+                node,
+                epoch,
+                digest,
+                source,
+            }
+        }
+        26 => Msg::KillQueryReq,
+        27 => Msg::KillQueryResp {
+            confirmed: r.nodes()?,
+            suspected: r.nodes()?,
+        },
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------
+
+/// Serialize a `[sender][msg]` envelope — the unit a frame payload
+/// carries.
+pub fn encode_envelope(from: NodeId, msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + msg.payload_len().unwrap_or(0));
+    put_node(&mut out, from);
+    encode_msg(&mut out, msg);
+    out
+}
+
+/// Decode a `[sender][msg]` envelope. The whole buffer must be consumed
+/// — surplus bytes are [`WireError::TrailingBytes`].
+pub fn decode_envelope(bytes: &[u8]) -> Result<(NodeId, Msg), WireError> {
+    let mut r = Reader::new(bytes);
+    let from = r.node()?;
+    let msg = decode_msg(&mut r)?;
+    r.done()?;
+    Ok((from, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvdc::protocol::node_core::CTL;
+
+    fn rt(from: NodeId, msg: Msg) {
+        let bytes = encode_envelope(from, &msg);
+        let (f2, m2) = decode_envelope(&bytes).unwrap();
+        assert_eq!(f2, from);
+        assert_eq!(m2, msg);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let n = NodeId(3);
+        let view = StatusView {
+            node: NodeId(0),
+            coordinator: NodeId(1),
+            committed_epoch: 7,
+            fence_epoch: 2,
+            peers_established: vec![NodeId(1), NodeId(2)],
+            suspected: vec![NodeId(4)],
+            confirmed: vec![],
+            custody: vec![NodeId(2)],
+            rounds_committed: 7,
+            data_loss: false,
+        };
+        let block = BlockInfo {
+            holder: NodeId(2),
+            kind: BlockKind::Parity,
+            epoch: 5,
+            data: vec![9u8; 64],
+        };
+        let all = vec![
+            Msg::Hello {
+                node: n,
+                cluster_id: 42,
+                fence_epoch: 1,
+            },
+            Msg::Welcome {
+                node: n,
+                fence_epoch: 1,
+            },
+            Msg::Rejected {
+                node: n,
+                required_epoch: 3,
+                coordinator: NodeId(0),
+            },
+            Msg::Heartbeat { node: n },
+            Msg::RoundBegin {
+                epoch: 4,
+                sources: vec![NodeId(0), NodeId(1)],
+                holders: vec![NodeId(4)],
+            },
+            Msg::Payload {
+                epoch: 4,
+                source: n,
+                fence_epoch: 1,
+                data: vec![1, 2, 3],
+            },
+            Msg::CaptureAck { epoch: 4, node: n },
+            Msg::FoldAck { epoch: 4, node: n },
+            Msg::Commit { epoch: 4 },
+            Msg::CommitAck { epoch: 4, node: n },
+            Msg::AbortRound {
+                epoch: 4,
+                reason: "node 2 confirmed failed".into(),
+            },
+            Msg::Fence { node: n, epoch: 2 },
+            Msg::FetchReq { victim: n },
+            Msg::FetchBlocks {
+                node: NodeId(0),
+                fence_epoch: 2,
+                blocks: vec![block],
+            },
+            Msg::ResyncReq { node: n },
+            Msg::ResyncState {
+                node: n,
+                fence_epoch: 2,
+                committed_epoch: 4,
+                image: Some(vec![7; 32]),
+            },
+            Msg::ResyncState {
+                node: n,
+                fence_epoch: 2,
+                committed_epoch: 4,
+                image: None,
+            },
+            Msg::ResyncDone {
+                node: n,
+                fence_epoch: 2,
+            },
+            Msg::Readmit {
+                node: n,
+                fence_epoch: 2,
+                rollback_epoch: 4,
+            },
+            Msg::StatusReq,
+            Msg::StatusResp(view),
+            Msg::CheckpointReq,
+            Msg::CheckpointDone { epoch: 5 },
+            Msg::CheckpointFailed {
+                reason: "not the coordinator".into(),
+            },
+            Msg::DigestReq { node: n },
+            Msg::DigestResp {
+                node: n,
+                epoch: 5,
+                digest: 0xDEAD_BEEF,
+                source: DigestSource::Custody,
+            },
+            Msg::KillQueryReq,
+            Msg::KillQueryResp {
+                confirmed: vec![NodeId(2)],
+                suspected: vec![NodeId(3), NodeId(4)],
+            },
+        ];
+        for msg in all {
+            rt(NodeId(1), msg);
+        }
+    }
+
+    #[test]
+    fn ctl_sender_round_trips() {
+        rt(CTL, Msg::StatusReq);
+        let bytes = encode_envelope(CTL, &Msg::CheckpointReq);
+        let (from, _) = decode_envelope(&bytes).unwrap();
+        assert_eq!(from, CTL);
+    }
+
+    #[test]
+    fn zeroed_buffer_is_a_typed_error() {
+        assert_eq!(decode_envelope(&[0u8; 9]), Err(WireError::UnknownTag(0)));
+    }
+
+    #[test]
+    fn short_buffer_is_truncated() {
+        assert_eq!(decode_envelope(&[1, 2, 3]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut bytes = encode_envelope(NodeId(1), &Msg::Commit { epoch: 9 });
+        bytes.push(0);
+        assert_eq!(decode_envelope(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn hostile_node_list_count_cannot_oom() {
+        // Envelope: sender + RoundBegin with a sources count of u32::MAX
+        // but no bytes behind it — must be Truncated, not an allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.push(5); // RoundBegin
+        bytes.extend_from_slice(&4u64.to_le_bytes()); // epoch
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // sources count
+        assert_eq!(decode_envelope(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncating_any_prefix_never_panics() {
+        let msg = Msg::FetchBlocks {
+            node: NodeId(0),
+            fence_epoch: 2,
+            blocks: vec![BlockInfo {
+                holder: NodeId(1),
+                kind: BlockKind::Data,
+                epoch: 3,
+                data: vec![5; 40],
+            }],
+        };
+        let bytes = encode_envelope(NodeId(0), &msg);
+        for cut in 0..bytes.len() {
+            assert!(decode_envelope(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -246,6 +246,40 @@ impl FenceRegistry {
         }
     }
 
+    /// Applies a *remote* fence decision to this replica of the registry:
+    /// raises `node`'s epoch to at least `epoch` and marks it fenced.
+    ///
+    /// In the multi-process deployment every node keeps its own
+    /// `FenceRegistry` replica; the coordinator decides the fence and
+    /// broadcasts `(node, epoch)`, and peers converge by calling this.
+    /// Epochs only grow — a stale or duplicated broadcast can never roll
+    /// one back.
+    pub fn advance_to(&mut self, node: NodeId, epoch: u64) {
+        let e = self.epochs.entry(node).or_insert(0);
+        if epoch > *e {
+            *e = epoch;
+        }
+        let epoch = *e;
+        if self.fenced.insert(node) {
+            self.fences_raised += 1;
+            if self.journal_enabled {
+                self.journal.push(FenceEvent::Raised { node, epoch });
+            }
+        }
+    }
+
+    /// Applies a *remote* readmission: raises `node`'s epoch to at least
+    /// `epoch` (the post-fence epoch the coordinator readmitted it at)
+    /// and unfences it. The replica-side dual of
+    /// [`FenceRegistry::advance_to`]; idempotent like it.
+    pub fn readmit_at(&mut self, node: NodeId, epoch: u64) {
+        let e = self.epochs.entry(node).or_insert(0);
+        if epoch > *e {
+            *e = epoch;
+        }
+        self.readmit(node);
+    }
+
     /// Turns the event journal on. Off by default so untraced runs pay
     /// nothing; the tracing layer drains it via
     /// [`FenceRegistry::take_events`] after every step.
@@ -877,6 +911,36 @@ mod tests {
         assert!(r.validates(fresh));
         assert!(!r.validates(tok), "old epoch stays dead after readmission");
         assert_eq!(r.fences_raised(), 1);
+    }
+
+    #[test]
+    fn fence_replica_advance_and_readmit_at() {
+        let mut r = FenceRegistry::new();
+        // A replica learns of a remote fence at epoch 3.
+        r.advance_to(NodeId(2), 3);
+        assert!(r.is_fenced(NodeId(2)));
+        assert_eq!(r.epoch_of(NodeId(2)), 3);
+        assert_eq!(r.fences_raised(), 1);
+
+        // Duplicate or stale broadcasts never roll the epoch back and
+        // never double-count the incident.
+        r.advance_to(NodeId(2), 1);
+        assert_eq!(r.epoch_of(NodeId(2)), 3);
+        assert_eq!(r.fences_raised(), 1);
+
+        // Remote readmission at the post-fence epoch unfences and pins
+        // the epoch at least that high.
+        r.readmit_at(NodeId(2), 3);
+        assert!(!r.is_fenced(NodeId(2)));
+        assert_eq!(r.epoch_of(NodeId(2)), 3);
+        let tok = r.token(NodeId(2)).unwrap();
+        assert_eq!(tok.epoch, 3);
+
+        // A readmit broadcast can also carry a higher epoch than the
+        // replica ever saw fenced (it missed the fence entirely).
+        r.readmit_at(NodeId(5), 7);
+        assert!(!r.is_fenced(NodeId(5)));
+        assert_eq!(r.epoch_of(NodeId(5)), 7);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use dvdc::protocol::{
 use dvdc_checkpoint::strategy::Mode;
 use dvdc_faults::{ClusterFaultPlan, NodeFault, PeerSet, PlanCursor};
 use dvdc_observe::audit::InvariantAuditor;
-use dvdc_observe::{Fanout, Recorder, RecorderHandle, TraceRecorder};
+use dvdc_observe::{Fanout, Recorder, RecorderHandle, TraceDumpGuard, TraceRecorder};
 use dvdc_simcore::rng::RngHub;
 use dvdc_simcore::time::{Duration, SimTime};
 use dvdc_vcluster::cluster::{Cluster, ClusterBuilder, TopologySpec};
@@ -128,36 +128,6 @@ fn repro(seed: u64, test: &str) -> String {
         "reproduce with: DVDC_CHAOS_SEED={seed} cargo test --release --test chaos \
          {test} -- --exact --nocapture --include-ignored"
     )
-}
-
-/// Dumps the tail of the trace ring when a chaos assertion panics, so a
-/// failing run ships its last ~64 protocol events alongside the repro
-/// command without re-running under `DVDC_CHAOS_TRACE`.
-struct TraceDumpGuard {
-    trace: Rc<TraceRecorder>,
-    repro: String,
-}
-
-impl Drop for TraceDumpGuard {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            let events = self.trace.events();
-            eprintln!(
-                "--- last {} trace events before the panic ({} older events dropped) ---",
-                events.len(),
-                self.trace.dropped()
-            );
-            for ev in &events {
-                eprintln!(
-                    "  [{:>12.6}s] #{:<6} {:?}",
-                    ev.at.as_secs(),
-                    ev.seq,
-                    ev.event
-                );
-            }
-            eprintln!("--- {} ---", self.repro);
-        }
-    }
 }
 
 /// The seeds a test sweeps: `DVDC_CHAOS_SEED` (one seed) if set, the
@@ -393,10 +363,7 @@ fn chaos_run(
         RecorderHandle::new(trace.clone()),
         RecorderHandle::new(audit.clone()),
     ]))));
-    let _guard = TraceDumpGuard {
-        trace,
-        repro: repro(seed, test),
-    };
+    let _guard = TraceDumpGuard::new(trace, repro(seed, test));
 
     // Committed reference state (what a rollback must restore).
     protocol.run_round(&mut cluster).unwrap();

@@ -1,0 +1,26 @@
+//! Tier-1 entry point for the real-process SIGKILL smoke.
+//!
+//! The actual assertions live in `crates/node/tests/process_cluster.rs`
+//! (they need `CARGO_BIN_EXE_*`, which cargo only provides to the crate
+//! that defines the binaries). This wrapper makes the same arc — five
+//! OS processes on loopback TCP, a mid-round SIGKILL, byte-exact parity
+//! rebuild, fence/resync rejoin — run under plain `cargo test` at the
+//! workspace root, so the deployment mode cannot silently rot out of
+//! the tier-1 gate.
+
+use std::process::Command;
+
+#[test]
+fn real_five_process_cluster_survives_sigkill() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = Command::new(cargo)
+        .args(["test", "-q", "-p", "dvdc-node", "--test", "process_cluster"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("spawn nested cargo test");
+    assert!(
+        status.success(),
+        "the 5-process SIGKILL cluster test failed (run \
+         `cargo test -p dvdc-node --test process_cluster` for detail): {status}"
+    );
+}
